@@ -1,0 +1,175 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mcsim::bench {
+
+std::vector<Series>
+runSchedulerStudy(ExperimentRunner &runner)
+{
+    std::vector<Series> out;
+    for (auto kind : kPaperSchedulers) {
+        Series s;
+        s.label = schedulerKindName(kind);
+        SimConfig cfg = SimConfig::baseline();
+        cfg.scheduler = kind;
+        for (auto wl : kAllWorkloads)
+            s.results[wl] = runner.run(wl, cfg);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::vector<Series>
+runPagePolicyStudy(ExperimentRunner &runner)
+{
+    std::vector<Series> out;
+    for (auto kind : kPaperPagePolicies) {
+        Series s;
+        s.label = pagePolicyKindName(kind);
+        SimConfig cfg = SimConfig::baseline();
+        cfg.pagePolicy = kind;
+        for (auto wl : kAllWorkloads)
+            s.results[wl] = runner.run(wl, cfg);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::map<WorkloadId, MappingScheme>
+bestMappingPerWorkload(ExperimentRunner &runner, std::uint32_t channels)
+{
+    std::map<WorkloadId, MappingScheme> best;
+    for (auto wl : kAllWorkloads) {
+        double bestIpc = -1.0;
+        for (auto scheme : kAllMappingSchemes) {
+            SimConfig cfg = SimConfig::baseline();
+            cfg.dram.channels = channels;
+            cfg.mapping = scheme;
+            const MetricSet m = runner.run(wl, cfg);
+            if (m.userIpc > bestIpc) {
+                bestIpc = m.userIpc;
+                best[wl] = scheme;
+            }
+        }
+    }
+    return best;
+}
+
+std::vector<Series>
+runChannelStudy(ExperimentRunner &runner)
+{
+    std::vector<Series> out;
+    {
+        Series s;
+        s.label = "1_channel";
+        const SimConfig cfg = SimConfig::baseline();
+        for (auto wl : kAllWorkloads)
+            s.results[wl] = runner.run(wl, cfg);
+        out.push_back(std::move(s));
+    }
+    for (std::uint32_t channels : {2u, 4u}) {
+        Series s;
+        s.label = std::to_string(channels) + "_channel";
+        const auto best = bestMappingPerWorkload(runner, channels);
+        for (auto wl : kAllWorkloads) {
+            SimConfig cfg = SimConfig::baseline();
+            cfg.dram.channels = channels;
+            cfg.mapping = best.at(wl);
+            s.results[wl] = runner.run(wl, cfg);
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+namespace {
+
+double
+categoryAverage(const Series &s, const Series *base, MetricFn metric,
+                WorkloadCategory cat)
+{
+    double sum = 0.0;
+    int n = 0;
+    for (auto wl : workloadsInCategory(cat)) {
+        double v = metric(s.results.at(wl));
+        if (base)
+            v /= metric(base->results.at(wl));
+        sum += v;
+        ++n;
+    }
+    return n ? sum / n : 0.0;
+}
+
+} // namespace
+
+void
+printFigure(const std::string &title, const std::string &metricName,
+            const std::vector<Series> &series, MetricFn metric,
+            bool normalizeToFirst, int precision, bool csv)
+{
+    TextTable table;
+    std::vector<std::string> header{"workload"};
+    for (const auto &s : series)
+        header.push_back(s.label);
+    table.setHeader(header);
+
+    const Series *base = normalizeToFirst ? &series.front() : nullptr;
+    for (auto wl : kAllWorkloads) {
+        std::vector<std::string> row{workloadAcronym(wl)};
+        for (const auto &s : series) {
+            double v = metric(s.results.at(wl));
+            if (base)
+                v /= metric(base->results.at(wl));
+            row.push_back(TextTable::num(v, precision));
+        }
+        table.addRow(std::move(row));
+    }
+    for (auto cat :
+         {WorkloadCategory::ScaleOut, WorkloadCategory::Transactional,
+          WorkloadCategory::DecisionSupport}) {
+        std::vector<std::string> row{std::string("Avg_") +
+                                     workloadCategoryAcronym(cat)};
+        for (const auto &s : series) {
+            row.push_back(TextTable::num(
+                categoryAverage(s, base, metric, cat), precision));
+        }
+        table.addRow(std::move(row));
+    }
+
+    if (!csv) {
+        std::printf("%s\n%s%s\n", title.c_str(),
+                    normalizeToFirst ? "(normalized to the first column) "
+                                     : "",
+                    metricName.c_str());
+    }
+    std::printf("%s\n",
+                csv ? table.renderCsv().c_str() : table.render().c_str());
+}
+
+int
+figureMain(int argc, char **argv, const std::string &title,
+           const std::string &metricName,
+           std::vector<Series> (*study)(ExperimentRunner &),
+           MetricFn metric, bool normalizeToFirst, int precision)
+{
+    bool csv = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0)
+            csv = true;
+        else if (std::strcmp(argv[i], "--fast") == 0 && i + 1 < argc)
+            setenv("CLOUDMC_FAST", argv[++i], 1);
+    }
+    ExperimentRunner runner;
+    const auto series = study(runner);
+    printFigure(title, metricName, series, metric, normalizeToFirst,
+                precision, csv);
+    std::fprintf(stderr, "[bench] %llu simulations run, %llu from cache\n",
+                 static_cast<unsigned long long>(runner.simulationsRun()),
+                 static_cast<unsigned long long>(runner.cacheHits()));
+    return 0;
+}
+
+} // namespace mcsim::bench

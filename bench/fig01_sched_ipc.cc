@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 1: User IPC normalized to FR-FCFS.
+ * Regenerates the paper's figure rows; see EXPERIMENTS.md for the
+ * paper-vs-measured comparison. Flags: --csv, --fast N.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcsim;
+    return bench::figureMain(
+        argc, argv, "Figure 1: User IPC normalized to FR-FCFS",
+        "user IPC", bench::runSchedulerStudy,
+        [](const MetricSet &m) { return m.userIpc; }, true, 3);
+}

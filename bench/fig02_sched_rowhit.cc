@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 2: Row-buffer hit rate.
+ * Regenerates the paper's figure rows; see EXPERIMENTS.md for the
+ * paper-vs-measured comparison. Flags: --csv, --fast N.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcsim;
+    return bench::figureMain(
+        argc, argv, "Figure 2: Row-buffer hit rate",
+        "row-buffer hit rate (%)", bench::runSchedulerStudy,
+        [](const MetricSet &m) { return m.rowHitRatePct; }, false, 1);
+}

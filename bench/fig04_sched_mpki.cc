@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 4: L2 misses per kilo user instructions (MPKI).
+ * Regenerates the paper's figure rows; see EXPERIMENTS.md for the
+ * paper-vs-measured comparison. Flags: --csv, --fast N.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcsim;
+    return bench::figureMain(
+        argc, argv, "Figure 4: L2 misses per kilo user instructions (MPKI)",
+        "L2 MPKI", bench::runSchedulerStudy,
+        [](const MetricSet &m) { return m.l2Mpki; }, false, 1);
+}

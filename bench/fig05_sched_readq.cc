@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 5: Average read queue length.
+ * Regenerates the paper's figure rows; see EXPERIMENTS.md for the
+ * paper-vs-measured comparison. Flags: --csv, --fast N.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcsim;
+    return bench::figureMain(
+        argc, argv, "Figure 5: Average read queue length",
+        "avg read queue length", bench::runSchedulerStudy,
+        [](const MetricSet &m) { return m.avgReadQueue; }, false, 2);
+}

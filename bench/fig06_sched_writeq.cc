@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 6: Average write queue length.
+ * Regenerates the paper's figure rows; see EXPERIMENTS.md for the
+ * paper-vs-measured comparison. Flags: --csv, --fast N.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcsim;
+    return bench::figureMain(
+        argc, argv, "Figure 6: Average write queue length",
+        "avg write queue length", bench::runSchedulerStudy,
+        [](const MetricSet &m) { return m.avgWriteQueue; }, false, 2);
+}

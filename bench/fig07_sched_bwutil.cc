@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 7: Memory bandwidth utilization.
+ * Regenerates the paper's figure rows; see EXPERIMENTS.md for the
+ * paper-vs-measured comparison. Flags: --csv, --fast N.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcsim;
+    return bench::figureMain(
+        argc, argv, "Figure 7: Memory bandwidth utilization",
+        "memory BW utilization (%)", bench::runSchedulerStudy,
+        [](const MetricSet &m) { return m.bwUtilPct; }, false, 1);
+}

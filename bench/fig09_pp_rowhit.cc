@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 9: Row-buffer hit rate normalized to OAPM.
+ * Regenerates the paper's figure rows; see EXPERIMENTS.md for the
+ * paper-vs-measured comparison. Flags: --csv, --fast N.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcsim;
+    return bench::figureMain(
+        argc, argv, "Figure 9: Row-buffer hit rate normalized to OAPM",
+        "row-buffer hit rate", bench::runPagePolicyStudy,
+        [](const MetricSet &m) { return m.rowHitRatePct; }, true, 3);
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 10: Average memory access latency normalized to OAPM.
+ * Regenerates the paper's figure rows; see EXPERIMENTS.md for the
+ * paper-vs-measured comparison. Flags: --csv, --fast N.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcsim;
+    return bench::figureMain(
+        argc, argv, "Figure 10: Average memory access latency normalized to OAPM",
+        "avg memory access latency", bench::runPagePolicyStudy,
+        [](const MetricSet &m) { return m.avgReadLatency; }, true, 3);
+}

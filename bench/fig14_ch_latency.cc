@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 14: Normalized memory access latency vs number of memory channels.
+ * Regenerates the paper's figure rows; see EXPERIMENTS.md for the
+ * paper-vs-measured comparison. Flags: --csv, --fast N.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcsim;
+    return bench::figureMain(
+        argc, argv, "Figure 14: Normalized memory access latency vs number of memory channels",
+        "avg memory access latency", bench::runChannelStudy,
+        [](const MetricSet &m) { return m.avgReadLatency; }, true, 3);
+}

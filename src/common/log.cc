@@ -1,0 +1,29 @@
+#include "log.hh"
+
+#include <cstdio>
+
+namespace mcsim {
+namespace log_detail {
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+void
+panicExit(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "[panic] %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalExit(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "[fatal] %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+} // namespace log_detail
+} // namespace mcsim

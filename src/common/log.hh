@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug in
+ *            cloudmc itself); aborts so a debugger or core dump can
+ *            capture the state.
+ * fatal()  — the simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments); exits with status 1.
+ * warn()   — something is off but the simulation can proceed.
+ * inform() — plain status output.
+ */
+
+#ifndef CLOUDMC_COMMON_LOG_HH
+#define CLOUDMC_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mcsim {
+
+namespace log_detail {
+
+/** Build a message from streamable parts. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicExit(const std::string &msg, const char *file,
+                            int line);
+[[noreturn]] void fatalExit(const std::string &msg, const char *file,
+                            int line);
+void emit(const char *tag, const std::string &msg);
+
+} // namespace log_detail
+
+/** Report an internal invariant violation and abort. */
+#define mc_panic(...)                                                       \
+    ::mcsim::log_detail::panicExit(                                         \
+        ::mcsim::log_detail::concat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define mc_fatal(...)                                                       \
+    ::mcsim::log_detail::fatalExit(                                         \
+        ::mcsim::log_detail::concat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Report a recoverable anomaly. */
+#define mc_warn(...)                                                        \
+    ::mcsim::log_detail::emit("warn",                                       \
+                              ::mcsim::log_detail::concat(__VA_ARGS__))
+
+/** Report plain status. */
+#define mc_inform(...)                                                      \
+    ::mcsim::log_detail::emit("info",                                       \
+                              ::mcsim::log_detail::concat(__VA_ARGS__))
+
+/**
+ * Simulation-correctness assertion. Enabled in all build types because
+ * a timing-model violation silently corrupts results; the cost is
+ * negligible next to the model work.
+ */
+#define mc_assert(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::mcsim::log_detail::panicExit(                                 \
+                ::mcsim::log_detail::concat("assertion failed: " #cond " ", \
+                                            ##__VA_ARGS__),                 \
+                __FILE__, __LINE__);                                        \
+        }                                                                   \
+    } while (0)
+
+} // namespace mcsim
+
+#endif // CLOUDMC_COMMON_LOG_HH

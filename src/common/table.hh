@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal ASCII table printer used by the benchmark harness to emit
+ * paper-style result rows, with an optional CSV sink.
+ */
+
+#ifndef CLOUDMC_COMMON_TABLE_HH
+#define CLOUDMC_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace mcsim {
+
+/** Accumulates rows of strings and renders them column-aligned. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; ragged rows are padded when rendering. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns; header separated by dashes. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment padding). */
+    std::string renderCsv() const;
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 3);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_COMMON_TABLE_HH

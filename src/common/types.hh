@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental simulation types and clock-domain constants.
+ *
+ * The simulator runs on a single global tick clock. One tick is 250 ps,
+ * which is the greatest common period of the 2 GHz core clock (500 ps,
+ * 2 ticks) and the 800 MHz DDR3-1600 command clock (1250 ps, 5 ticks).
+ * Keeping both domains on an integer tick grid avoids any rounding in
+ * cross-domain timing arithmetic.
+ */
+
+#ifndef CLOUDMC_COMMON_TYPES_HH
+#define CLOUDMC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mcsim {
+
+/** Global simulation time unit: 1 tick = 250 ps. */
+using Tick = std::uint64_t;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Core (hardware thread) identifier. */
+using CoreId = std::uint32_t;
+
+/** Sentinel for "no tick" / "never". */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+/** Ticks per 2 GHz core cycle. */
+constexpr Tick kTicksPerCoreCycle = 2;
+
+/** Ticks per 800 MHz DRAM command-bus cycle (DDR3-1600). */
+constexpr Tick kTicksPerDramCycle = 5;
+
+/** Convert a count of core cycles to ticks. */
+constexpr Tick
+coreCyclesToTicks(std::uint64_t cycles)
+{
+    return cycles * kTicksPerCoreCycle;
+}
+
+/** Convert a count of DRAM cycles to ticks. */
+constexpr Tick
+dramCyclesToTicks(std::uint64_t cycles)
+{
+    return cycles * kTicksPerDramCycle;
+}
+
+/** Convert ticks to whole core cycles (rounds down). */
+constexpr std::uint64_t
+ticksToCoreCycles(Tick t)
+{
+    return t / kTicksPerCoreCycle;
+}
+
+/** Convert ticks to whole DRAM cycles (rounds down). */
+constexpr std::uint64_t
+ticksToDramCycles(Tick t)
+{
+    return t / kTicksPerDramCycle;
+}
+
+/** Sentinel core id used for non-core requesters (DMA/IO engines). */
+constexpr CoreId kIoCoreId = 0xFFFFu;
+
+} // namespace mcsim
+
+#endif // CLOUDMC_COMMON_TYPES_HH

@@ -1,0 +1,109 @@
+#include "cache.hh"
+
+#include "common/log.hh"
+
+namespace mcsim {
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    mc_assert(isPowerOf2(cfg_.blockBytes), "block size must be 2^n");
+    mc_assert(cfg_.numSets() >= 1 && isPowerOf2(cfg_.numSets()),
+              "cache sets must be a positive power of two; size ",
+              cfg_.sizeBytes, " ways ", cfg_.ways);
+    blockShift_ = floorLog2(cfg_.blockBytes);
+    setMask_ = cfg_.numSets() - 1;
+    lines_.resize(cfg_.numSets() * cfg_.ways);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::size_t>((addr >> blockShift_) & setMask_);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> blockShift_;
+}
+
+bool
+Cache::access(Addr addr, bool isWrite)
+{
+    ++stats_.accesses;
+    const Addr tag = tagOf(addr);
+    Line *set = &lines_[setIndex(addr) * cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++lruClock_;
+            line.dirty = line.dirty || isWrite;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+CacheAccessResult
+Cache::fill(Addr addr, bool dirty)
+{
+    const Addr tag = tagOf(addr);
+    Line *set = &lines_[setIndex(addr) * cfg_.ways];
+    Line *victim = &set[0];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == tag) {
+            // Already present (e.g. racing fills); just update state.
+            line.dirty = line.dirty || dirty;
+            line.lruStamp = ++lruClock_;
+            return {};
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lruStamp < victim->lruStamp) {
+            victim = &line;
+        }
+    }
+    CacheAccessResult res;
+    if (victim->valid) {
+        res.victimValid = true;
+        res.victimDirty = victim->dirty;
+        res.victimAddr = victim->tag << blockShift_;
+        if (victim->dirty)
+            ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = dirty;
+    victim->lruStamp = ++lruClock_;
+    return res;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr tag = tagOf(addr);
+    const Line *set = &lines_[setIndex(addr) * cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const Addr tag = tagOf(addr);
+    Line *set = &lines_[setIndex(addr) * cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].valid = false;
+            return set[w].dirty;
+        }
+    }
+    return false;
+}
+
+} // namespace mcsim

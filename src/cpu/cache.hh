@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A set-associative, write-back, write-allocate cache model with true
+ * LRU replacement. Tag state only — no data values are modeled.
+ */
+
+#ifndef CLOUDMC_CPU_CACHE_HH
+#define CLOUDMC_CPU_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace mcsim {
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 2;
+    std::uint32_t blockBytes = 64;
+
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(ways) * blockBytes);
+    }
+};
+
+/** Result of a cache access or fill. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool victimValid = false; ///< A block was evicted by the fill.
+    bool victimDirty = false; ///< ... and it needs a writeback.
+    Addr victimAddr = 0;      ///< Block address of the victim.
+};
+
+/** Cache statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    void reset() { *this = CacheStats{}; }
+};
+
+/** Tag-array cache model. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Look up @p addr; on a hit, update LRU and dirty state. Does NOT
+     * allocate on miss — callers decide when the fill happens (after
+     * the lower level responds). @p isWrite marks the block dirty.
+     */
+    bool access(Addr addr, bool isWrite);
+
+    /**
+     * Insert the block for @p addr, evicting the LRU way if the set is
+     * full. Returns victim information for writeback handling.
+     */
+    CacheAccessResult fill(Addr addr, bool dirty);
+
+    /** Probe without disturbing LRU or stats. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate the block if present; returns true if it was dirty. */
+    bool invalidate(Addr addr);
+
+    const CacheConfig &config() const { return cfg_; }
+    CacheStats &stats() { return stats_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /** Block-align an address. */
+    Addr
+    blockAlign(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(cfg_.blockBytes - 1);
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheConfig cfg_;
+    unsigned blockShift_;
+    std::uint64_t setMask_;
+    std::uint64_t lruClock_ = 0;
+    std::vector<Line> lines_; ///< sets x ways, flattened.
+    CacheStats stats_;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_CPU_CACHE_HH

@@ -1,0 +1,140 @@
+#include "core.hh"
+
+#include "common/log.hh"
+
+namespace mcsim {
+
+Core::Core(CoreId id, WorkloadGenerator &gen, CacheHierarchy &hierarchy,
+           const CoreConfig &cfg)
+    : id_(id), gen_(gen), hierarchy_(hierarchy), cfg_(cfg)
+{
+    mc_assert(cfg_.mlpWindow >= 1, "MLP window must be >= 1");
+}
+
+void
+Core::commit(std::uint32_t n)
+{
+    stats_.committedInstructions += n;
+    fetchCredits_ = fetchCredits_ > n ? fetchCredits_ - n : 0;
+}
+
+void
+Core::missReturned(MissKind kind)
+{
+    switch (kind) {
+      case MissKind::Load:
+        mc_assert(outstandingLoads_ > 0, "spurious load return");
+        --outstandingLoads_;
+        if (outstandingLoads_ < cfg_.mlpWindow)
+            blockedOnLoads_ = false;
+        break;
+      case MissKind::Store:
+        mc_assert(outstandingStores_ > 0, "spurious store return");
+        --outstandingStores_;
+        if (outstandingStores_ < cfg_.storeBufferEntries)
+            blockedOnStores_ = false;
+        break;
+      case MissKind::Ifetch:
+        blockedOnFetch_ = false;
+        break;
+    }
+}
+
+void
+Core::doFetch()
+{
+    const Addr fa = gen_.nextFetchBlock(id_);
+    switch (hierarchy_.ifetch(id_, fa)) {
+      case AccessOutcome::L1Hit:
+        fetchCredits_ = cfg_.instrsPerFetchBlock;
+        break;
+      case AccessOutcome::L2Hit:
+        fetchCredits_ = cfg_.instrsPerFetchBlock;
+        stallCyclesLeft_ = cfg_.l2HitLatency;
+        break;
+      case AccessOutcome::Miss:
+      case AccessOutcome::MergedMiss:
+        fetchCredits_ = cfg_.instrsPerFetchBlock;
+        blockedOnFetch_ = true;
+        break;
+    }
+}
+
+void
+Core::executeOp()
+{
+    if (computeRemaining_ > 0) {
+        --computeRemaining_;
+        commit();
+        return;
+    }
+    const Op op = gen_.nextOp(id_);
+    switch (op.kind) {
+      case Op::Kind::Compute:
+        mc_assert(op.length >= 1, "empty compute op");
+        computeRemaining_ = op.length - 1;
+        commit();
+        return;
+
+      case Op::Kind::Load:
+        switch (hierarchy_.load(id_, op.addr)) {
+          case AccessOutcome::L1Hit:
+            break;
+          case AccessOutcome::L2Hit:
+            stallCyclesLeft_ = cfg_.l2HitLatency;
+            break;
+          case AccessOutcome::Miss:
+          case AccessOutcome::MergedMiss:
+            ++outstandingLoads_;
+            if (outstandingLoads_ >= cfg_.mlpWindow)
+                blockedOnLoads_ = true;
+            break;
+        }
+        commit();
+        return;
+
+      case Op::Kind::Store:
+        switch (hierarchy_.store(id_, op.addr)) {
+          case AccessOutcome::L1Hit:
+            break;
+          case AccessOutcome::L2Hit:
+            // The store buffer absorbs the LLC round trip.
+            break;
+          case AccessOutcome::Miss:
+          case AccessOutcome::MergedMiss:
+            ++outstandingStores_;
+            if (outstandingStores_ >= cfg_.storeBufferEntries)
+                blockedOnStores_ = true;
+            break;
+        }
+        commit();
+        return;
+    }
+}
+
+void
+Core::tick()
+{
+    ++stats_.cycles;
+    if (stallCyclesLeft_ > 0) {
+        --stallCyclesLeft_;
+        return;
+    }
+    if (blockedOnFetch_) {
+        ++stats_.fetchStallCycles;
+        return;
+    }
+    if (blockedOnLoads_ || blockedOnStores_) {
+        ++stats_.loadMissStallCycles;
+        return;
+    }
+    if (fetchCredits_ == 0) {
+        doFetch();
+        // The fetch itself consumes this cycle if it left L1I.
+        if (blockedOnFetch_ || stallCyclesLeft_ > 0)
+            return;
+    }
+    executeOp();
+}
+
+} // namespace mcsim

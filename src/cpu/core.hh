@@ -1,0 +1,110 @@
+/**
+ * @file
+ * In-order core model, following the scale-out pod design point the
+ * paper adopts from Lotfi-Kamran et al.: single-issue in-order cores
+ * whose memory-level parallelism is limited to a small window of
+ * outstanding load misses (1 for truly blocking cores).
+ *
+ * Timing model per core cycle:
+ *  - instruction fetch: one L1I access per fetch block (blockBytes /
+ *    4-byte instructions); an L1I miss stalls the front end until the
+ *    line returns.
+ *  - L1D hits are pipelined (no stall). LLC hits stall the core for
+ *    the round-trip latency (crossbar + bank access).
+ *  - LLC load misses occupy an MLP window slot; the core stalls when
+ *    the window is full (window = 1 models a blocking core).
+ *  - Stores retire into a finite store buffer and never stall the
+ *    core unless the buffer is full of outstanding fills.
+ */
+
+#ifndef CLOUDMC_CPU_CORE_HH
+#define CLOUDMC_CPU_CORE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "hierarchy.hh"
+#include "workload/workload.hh"
+
+namespace mcsim {
+
+/** Core timing parameters. */
+struct CoreConfig
+{
+    std::uint32_t mlpWindow = 1;          ///< Outstanding load misses.
+    std::uint32_t storeBufferEntries = 8; ///< Outstanding store fills.
+    std::uint32_t l2HitLatency = 15;      ///< Core cycles, incl. xbar.
+    std::uint32_t instrsPerFetchBlock = 16; ///< 64 B / 4 B instructions.
+};
+
+/** Core statistics over a measurement window. */
+struct CoreStats
+{
+    std::uint64_t committedInstructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t loadMissStallCycles = 0;
+    std::uint64_t fetchStallCycles = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committedInstructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    void reset() { *this = CoreStats{}; }
+};
+
+/** One in-order core. */
+class Core
+{
+  public:
+    Core(CoreId id, WorkloadGenerator &gen, CacheHierarchy &hierarchy,
+         const CoreConfig &cfg);
+
+    /** Advance one core cycle. */
+    void tick();
+
+    /** A miss this core was waiting on has been filled. */
+    void missReturned(MissKind kind);
+
+    CoreId id() const { return id_; }
+    CoreStats &stats() { return stats_; }
+    const CoreStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    /** True when the core cannot make progress this cycle (tests). */
+    bool
+    isStalled() const
+    {
+        return blockedOnFetch_ || blockedOnLoads_ || blockedOnStores_ ||
+               stallCyclesLeft_ > 0;
+    }
+
+  private:
+    void commit(std::uint32_t n = 1);
+    void doFetch();
+    void executeOp();
+
+    CoreId id_;
+    WorkloadGenerator &gen_;
+    CacheHierarchy &hierarchy_;
+    CoreConfig cfg_;
+
+    std::uint32_t stallCyclesLeft_ = 0; ///< Fixed-latency stalls.
+    bool blockedOnFetch_ = false;
+    bool blockedOnLoads_ = false;
+    bool blockedOnStores_ = false;
+    std::uint32_t outstandingLoads_ = 0;
+    std::uint32_t outstandingStores_ = 0;
+
+    std::uint32_t fetchCredits_ = 0;    ///< Instructions fetched, uncommitted.
+    std::uint32_t computeRemaining_ = 0;
+
+    CoreStats stats_;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_CPU_CORE_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Per-bank DRAM state machine.
+ *
+ * A bank tracks its open row (if any) and the earliest tick at which
+ * each command class may legally be issued to it. The channel layers
+ * rank- and bus-level constraints on top.
+ */
+
+#ifndef CLOUDMC_DRAM_BANK_HH
+#define CLOUDMC_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mcsim {
+
+/** DRAM bank timing/occupancy state. */
+class Bank
+{
+  public:
+    static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
+
+    bool isOpen() const { return openRow_ != kNoRow; }
+    std::uint64_t openRow() const { return openRow_; }
+
+    Tick actAllowedAt() const { return actAllowedAt_; }
+    Tick rdAllowedAt() const { return rdAllowedAt_; }
+    Tick wrAllowedAt() const { return wrAllowedAt_; }
+    Tick preAllowedAt() const { return preAllowedAt_; }
+
+    /** Number of column accesses to the currently open row. */
+    std::uint32_t accessesThisActivation() const { return accesses_; }
+
+    /** Tick of the most recent column access (for timer policies). */
+    Tick lastAccessAt() const { return lastAccessAt_; }
+
+    /** Tick of the activate that opened the current row. */
+    Tick activatedAt() const { return activatedAt_; }
+
+    /** Apply an activate issued at @p now. */
+    void
+    activate(std::uint64_t row, Tick now, Tick rcdTicks, Tick rasTicks,
+             Tick rcTicks)
+    {
+        openRow_ = row;
+        activatedAt_ = now;
+        lastAccessAt_ = now;
+        accesses_ = 0;
+        rdAllowedAt_ = maxT(rdAllowedAt_, now + rcdTicks);
+        wrAllowedAt_ = maxT(wrAllowedAt_, now + rcdTicks);
+        preAllowedAt_ = maxT(preAllowedAt_, now + rasTicks);
+        actAllowedAt_ = maxT(actAllowedAt_, now + rcTicks);
+    }
+
+    /** Apply a column read issued at @p now. */
+    void
+    read(Tick now, Tick rtpTicks)
+    {
+        ++accesses_;
+        lastAccessAt_ = now;
+        preAllowedAt_ = maxT(preAllowedAt_, now + rtpTicks);
+    }
+
+    /** Apply a column write issued at @p now. */
+    void
+    write(Tick now, Tick writeRecoveryTicks)
+    {
+        ++accesses_;
+        lastAccessAt_ = now;
+        preAllowedAt_ = maxT(preAllowedAt_, now + writeRecoveryTicks);
+    }
+
+    /** Apply a precharge issued at @p now. */
+    void
+    precharge(Tick now, Tick rpTicks)
+    {
+        openRow_ = kNoRow;
+        accesses_ = 0;
+        actAllowedAt_ = maxT(actAllowedAt_, now + rpTicks);
+    }
+
+    /** Push the earliest-activate time forward (refresh). */
+    void
+    blockUntil(Tick t)
+    {
+        actAllowedAt_ = maxT(actAllowedAt_, t);
+    }
+
+  private:
+    static Tick maxT(Tick a, Tick b) { return a > b ? a : b; }
+
+    std::uint64_t openRow_ = kNoRow;
+    std::uint32_t accesses_ = 0;
+    Tick actAllowedAt_ = 0;
+    Tick rdAllowedAt_ = 0;
+    Tick wrAllowedAt_ = 0;
+    Tick preAllowedAt_ = 0;
+    Tick lastAccessAt_ = 0;
+    Tick activatedAt_ = 0;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_DRAM_BANK_HH

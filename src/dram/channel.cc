@@ -1,0 +1,203 @@
+#include "channel.hh"
+
+#include "common/log.hh"
+
+namespace mcsim {
+
+const char *
+dramCommandName(DramCommandType t)
+{
+    switch (t) {
+      case DramCommandType::Activate: return "ACT";
+      case DramCommandType::Read: return "RD";
+      case DramCommandType::Write: return "WR";
+      case DramCommandType::Precharge: return "PRE";
+      case DramCommandType::Refresh: return "REF";
+    }
+    return "???";
+}
+
+Channel::Channel(const DramGeometry &geom, const DramTimings &timings,
+                 bool enableRefresh)
+    : geom_(geom), tm_(timings)
+{
+    geom_.validate();
+    ranks_.reserve(geom_.ranksPerChannel);
+    for (std::uint32_t r = 0; r < geom_.ranksPerChannel; ++r)
+        ranks_.emplace_back(geom_.banksPerRank);
+    rankOpenBanks_.assign(geom_.ranksPerChannel, 0);
+    rankActiveSince_.assign(geom_.ranksPerChannel, 0);
+    if (enableRefresh) {
+        const Tick interval = dramCyclesToTicks(tm_.tREFI);
+        for (std::uint32_t r = 0; r < geom_.ranksPerChannel; ++r) {
+            // Stagger ranks so refreshes do not pile up on one tick.
+            const Tick firstDue =
+                interval + r * (interval / geom_.ranksPerChannel);
+            ranks_[r].scheduleRefresh(firstDue, interval);
+        }
+    }
+}
+
+bool
+Channel::canIssueCas(const DramCommand &cmd, Tick now, bool isRead) const
+{
+    const Rank &rk = ranks_[cmd.rank];
+    const Bank &bk = rk.bank(cmd.bank);
+    if (!bk.isOpen() || bk.openRow() != cmd.row)
+        return false;
+    if (isRead) {
+        if (now < bk.rdAllowedAt() || now < rk.rdAllowedAt() ||
+            now < nextRdAt_) {
+            return false;
+        }
+    } else {
+        if (now < bk.wrAllowedAt() || now < nextWrAt_)
+            return false;
+    }
+    // Data-bus availability, including the rank-switch gap.
+    Tick dataStart = now + (isRead ? ticksRd() : ticksWr());
+    Tick busFree = dataBusFreeAt_;
+    if (lastDataRank_ >= 0 &&
+        lastDataRank_ != static_cast<int>(cmd.rank)) {
+        busFree += dramCyclesToTicks(tm_.tCS);
+    }
+    return dataStart >= busFree;
+}
+
+bool
+Channel::canIssue(const DramCommand &cmd, Tick now) const
+{
+    if (now < cmdBusFreeAt_)
+        return false;
+    mc_assert(cmd.rank < ranks_.size(), "rank out of range");
+    const Rank &rk = ranks_[cmd.rank];
+
+    switch (cmd.type) {
+      case DramCommandType::Activate: {
+        const Bank &bk = rk.bank(cmd.bank);
+        return !bk.isOpen() && now >= bk.actAllowedAt() &&
+               now >= rk.actAllowedAt();
+      }
+      case DramCommandType::Read:
+        return canIssueCas(cmd, now, true);
+      case DramCommandType::Write:
+        return canIssueCas(cmd, now, false);
+      case DramCommandType::Precharge: {
+        const Bank &bk = rk.bank(cmd.bank);
+        return bk.isOpen() && now >= bk.preAllowedAt();
+      }
+      case DramCommandType::Refresh: {
+        if (!rk.allBanksClosed())
+            return false;
+        for (std::uint32_t b = 0; b < rk.numBanks(); ++b) {
+            if (now < rk.bank(b).actAllowedAt())
+                return false;
+        }
+        return true;
+      }
+    }
+    return false;
+}
+
+IssueResult
+Channel::issue(const DramCommand &cmd, Tick now)
+{
+    mc_assert(canIssue(cmd, now), "illegal ", dramCommandName(cmd.type),
+              " to rank ", cmd.rank, " bank ", cmd.bank, " at tick ", now);
+
+    if (hook_)
+        hook_(cmd, now);
+
+    Rank &rk = ranks_[cmd.rank];
+    IssueResult res;
+    cmdBusFreeAt_ = now + dramCyclesToTicks(1);
+
+    switch (cmd.type) {
+      case DramCommandType::Activate:
+        rk.bank(cmd.bank).activate(cmd.row, now,
+                                   dramCyclesToTicks(tm_.tRCD),
+                                   dramCyclesToTicks(tm_.tRAS),
+                                   dramCyclesToTicks(tm_.tRC));
+        rk.activated(now, dramCyclesToTicks(tm_.tRRD),
+                     dramCyclesToTicks(tm_.tFAW));
+        if (rankOpenBanks_[cmd.rank]++ == 0)
+            rankActiveSince_[cmd.rank] = now;
+        ++stats_.activates;
+        break;
+
+      case DramCommandType::Read: {
+        rk.bank(cmd.bank).read(now, dramCyclesToTicks(tm_.tRTP));
+        const Tick dataStart = now + ticksRd();
+        dataBusFreeAt_ = dataStart + ticksBurst();
+        lastDataRank_ = static_cast<int>(cmd.rank);
+        nextRdAt_ = now + dramCyclesToTicks(tm_.tCCD);
+        // tCCD spaces any pair of column commands on the channel; tRTW
+        // covers the read-to-write bus turnaround on top of it.
+        nextWrAt_ = std::max(nextWrAt_,
+                             now + dramCyclesToTicks(
+                                       std::max(tm_.tRTW, tm_.tCCD)));
+        stats_.dataBusBusyTicks += ticksBurst();
+        ++stats_.reads;
+        res.dataReadyAt = dataStart + ticksBurst();
+        break;
+      }
+
+      case DramCommandType::Write: {
+        rk.bank(cmd.bank).write(
+            now, ticksWr() + ticksBurst() + dramCyclesToTicks(tm_.tWR));
+        const Tick dataStart = now + ticksWr();
+        dataBusFreeAt_ = dataStart + ticksBurst();
+        lastDataRank_ = static_cast<int>(cmd.rank);
+        nextWrAt_ = now + dramCyclesToTicks(tm_.tCCD);
+        // Same-rank write-to-read is gated by tWTR inside the rank; the
+        // channel-level tCCD floor covers cross-rank read-after-write.
+        nextRdAt_ = std::max(nextRdAt_, now + dramCyclesToTicks(tm_.tCCD));
+        rk.wrote(now,
+                 ticksWr() + ticksBurst() + dramCyclesToTicks(tm_.tWTR));
+        stats_.dataBusBusyTicks += ticksBurst();
+        ++stats_.writes;
+        break;
+      }
+
+      case DramCommandType::Precharge:
+        rk.bank(cmd.bank).precharge(now, dramCyclesToTicks(tm_.tRP));
+        mc_assert(rankOpenBanks_[cmd.rank] > 0, "PRE with no open bank");
+        if (--rankOpenBanks_[cmd.rank] == 0) {
+            stats_.rankActiveTicks +=
+                now - std::max(rankActiveSince_[cmd.rank],
+                               stats_.statsStartTick);
+        }
+        ++stats_.precharges;
+        break;
+
+      case DramCommandType::Refresh:
+        rk.refresh(now, dramCyclesToTicks(tm_.tRFC));
+        ++stats_.refreshes;
+        break;
+    }
+    return res;
+}
+
+void
+Channel::resetStats(Tick now)
+{
+    stats_.reset(now);
+    // In-flight active periods restart at the window boundary so the
+    // new window's active-standby time never reaches back before it.
+    for (std::uint32_t r = 0; r < rankOpenBanks_.size(); ++r) {
+        if (rankOpenBanks_[r] > 0)
+            rankActiveSince_[r] = now;
+    }
+}
+
+int
+Channel::refreshDueRank(Tick now) const
+{
+    for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
+        if (ranks_[r].refreshEnabled() && now >= ranks_[r].nextRefreshDue())
+            return static_cast<int>(r);
+    }
+    return -1;
+}
+
+} // namespace mcsim

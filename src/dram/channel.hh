@@ -1,0 +1,157 @@
+/**
+ * @file
+ * A DRAM channel: ranks plus the shared command and data buses.
+ *
+ * The channel is the single authority on command legality. The memory
+ * controller proposes a command at the current tick; canIssue() checks
+ * every device- and bus-level constraint and issue() applies the state
+ * transitions. Constraints modeled:
+ *
+ *  - bank: tRCD, tRAS, tRC, tRP, tRTP, write recovery (tCWL+tBURST+tWR)
+ *  - rank: tRRD, tFAW, write-to-read turnaround (tCWL+tBURST+tWTR),
+ *          refresh (tREFI staggered per rank, tRFC)
+ *  - channel: one command per tCK, tCCD CAS spacing, read-to-write
+ *          turnaround (tRTW), data-bus occupancy, rank-to-rank data
+ *          switch penalty (tCS)
+ *
+ * Simplification vs. real devices: the write-to-read turnaround is
+ * applied per rank (correct) while read-after-write to a *different*
+ * rank is gated by the data bus, tCS, and a channel-wide tCCD floor
+ * between any pair of column commands, which matches DDR3 behavior
+ * closely enough for scheduling studies.
+ */
+
+#ifndef CLOUDMC_DRAM_CHANNEL_HH
+#define CLOUDMC_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "commands.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram_params.hh"
+#include "rank.hh"
+
+namespace mcsim {
+
+/** Result of issuing a command. */
+struct IssueResult
+{
+    /** For Read: tick at which the last data beat is on the bus (the
+     *  request's data is complete). Zero for non-read commands. */
+    Tick dataReadyAt = 0;
+};
+
+/** Channel statistics (reset with resetStats()). */
+struct ChannelStats
+{
+    std::uint64_t activates = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t refreshes = 0;
+    Tick dataBusBusyTicks = 0;
+    /** Sum over ranks of time spent with at least one bank open
+     *  (active-standby time, the energy model's background input). */
+    Tick rankActiveTicks = 0;
+    Tick statsStartTick = 0;
+
+    void
+    reset(Tick now)
+    {
+        activates = reads = writes = precharges = refreshes = 0;
+        dataBusBusyTicks = 0;
+        rankActiveTicks = 0;
+        statsStartTick = now;
+    }
+
+    /** Data-bus utilization in [0,1] over the measurement window. */
+    double
+    busUtilization(Tick now) const
+    {
+        const Tick elapsed = now - statsStartTick;
+        return elapsed ? static_cast<double>(dataBusBusyTicks) /
+                             static_cast<double>(elapsed)
+                       : 0.0;
+    }
+};
+
+/** One DRAM channel with its ranks and buses. */
+class Channel
+{
+  public:
+    Channel(const DramGeometry &geom, const DramTimings &timings,
+            bool enableRefresh);
+
+    /** True iff @p cmd satisfies every timing constraint at @p now. */
+    bool canIssue(const DramCommand &cmd, Tick now) const;
+
+    /**
+     * Apply @p cmd at @p now. The caller must have checked canIssue();
+     * violating constraints is a simulator bug and panics.
+     */
+    IssueResult issue(const DramCommand &cmd, Tick now);
+
+    /** Bank accessor used by the controller for open-row queries. */
+    const Bank &
+    bank(std::uint32_t rank, std::uint32_t bankIdx) const
+    {
+        return ranks_[rank].bank(bankIdx);
+    }
+
+    Rank &rank(std::uint32_t r) { return ranks_[r]; }
+    const Rank &rank(std::uint32_t r) const { return ranks_[r]; }
+    std::uint32_t numRanks() const
+    {
+        return static_cast<std::uint32_t>(ranks_.size());
+    }
+
+    /** Rank index whose refresh deadline has passed, or -1. */
+    int refreshDueRank(Tick now) const;
+
+    ChannelStats &stats() { return stats_; }
+    const ChannelStats &stats() const { return stats_; }
+    void resetStats(Tick now);
+
+    /**
+     * Observe every command as it issues (after legality checks, before
+     * state updates). For protocol validation tests and command-trace
+     * debugging; unset in normal operation.
+     */
+    using CommandHook = std::function<void(const DramCommand &, Tick)>;
+    void setCommandHook(CommandHook hook) { hook_ = std::move(hook); }
+
+    const DramTimings &timings() const { return tm_; }
+    const DramGeometry &geometry() const { return geom_; }
+
+  private:
+    Tick ticksRd() const { return dramCyclesToTicks(tm_.tCAS); }
+    Tick ticksWr() const { return dramCyclesToTicks(tm_.tCWL); }
+    Tick ticksBurst() const { return dramCyclesToTicks(tm_.tBURST); }
+
+    bool canIssueCas(const DramCommand &cmd, Tick now, bool isRead) const;
+
+    DramGeometry geom_;
+    DramTimings tm_;
+    std::vector<Rank> ranks_;
+
+    Tick cmdBusFreeAt_ = 0;  ///< One command per tCK.
+    Tick nextRdAt_ = 0;      ///< tCCD spacing between reads.
+    Tick nextWrAt_ = 0;      ///< tCCD spacing + tRTW after reads.
+    Tick dataBusFreeAt_ = 0; ///< End of the burst in flight.
+    int lastDataRank_ = -1;  ///< For the tCS rank-switch penalty.
+
+    // Active-standby accounting for the energy model.
+    std::vector<std::uint32_t> rankOpenBanks_;
+    std::vector<Tick> rankActiveSince_;
+
+    CommandHook hook_;
+
+    ChannelStats stats_;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_DRAM_CHANNEL_HH

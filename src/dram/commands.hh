@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DRAM command vocabulary shared by the controller and device model.
+ */
+
+#ifndef CLOUDMC_DRAM_COMMANDS_HH
+#define CLOUDMC_DRAM_COMMANDS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram_params.hh"
+
+namespace mcsim {
+
+/** The command types a memory controller can issue to a channel. */
+enum class DramCommandType : std::uint8_t {
+    Activate,  ///< Open a row in a bank.
+    Read,      ///< Column read from the open row.
+    Write,     ///< Column write to the open row.
+    Precharge, ///< Close the open row of a bank.
+    Refresh,   ///< Per-rank refresh; all banks must be precharged.
+};
+
+/** Short mnemonic for logs and traces. */
+const char *dramCommandName(DramCommandType t);
+
+/** A fully-specified command. Row/column are ignored where unused. */
+struct DramCommand
+{
+    DramCommandType type = DramCommandType::Activate;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;   ///< Unused for Refresh.
+    std::uint64_t row = 0;    ///< Used by Activate only.
+    std::uint32_t column = 0; ///< Used by Read/Write only.
+
+    static DramCommand
+    activate(const DramCoord &c)
+    {
+        return {DramCommandType::Activate, c.rank, c.bank, c.row, 0};
+    }
+
+    static DramCommand
+    read(const DramCoord &c)
+    {
+        return {DramCommandType::Read, c.rank, c.bank, c.row, c.column};
+    }
+
+    static DramCommand
+    write(const DramCoord &c)
+    {
+        return {DramCommandType::Write, c.rank, c.bank, c.row, c.column};
+    }
+
+    static DramCommand
+    precharge(std::uint32_t rank, std::uint32_t bank)
+    {
+        return {DramCommandType::Precharge, rank, bank, 0, 0};
+    }
+
+    static DramCommand
+    refresh(std::uint32_t rank)
+    {
+        return {DramCommandType::Refresh, rank, 0, 0, 0};
+    }
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_DRAM_COMMANDS_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * DRAM geometry and timing parameters.
+ *
+ * Timing values are expressed in DRAM command-bus cycles (tCK); the
+ * device model converts them to global ticks internally. The default
+ * preset matches the paper's Table 2: DDR3-1600 (800 MHz), 2 ranks,
+ * 8 banks per rank, 8 KB row buffer, 11-11-11-28 primary timings.
+ */
+
+#ifndef CLOUDMC_DRAM_DRAM_PARAMS_HH
+#define CLOUDMC_DRAM_DRAM_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace mcsim {
+
+/** DRAM device timing parameters in DRAM cycles. */
+struct DramTimings
+{
+    std::uint32_t tCAS = 11;  ///< CL: read command to first data.
+    std::uint32_t tRCD = 11;  ///< ACT to internal read/write.
+    std::uint32_t tRP = 11;   ///< PRE to ACT.
+    std::uint32_t tRAS = 28;  ///< ACT to PRE (same bank).
+    std::uint32_t tRC = 39;   ///< ACT to ACT (same bank).
+    std::uint32_t tWR = 12;   ///< Write recovery (end of write data to PRE).
+    std::uint32_t tWTR = 6;   ///< Write-to-read turnaround (same rank).
+    std::uint32_t tRTP = 6;   ///< Read to PRE (same bank).
+    std::uint32_t tRRD = 5;   ///< ACT to ACT (different banks, same rank).
+    std::uint32_t tFAW = 24;  ///< Four-activate window (per rank).
+    std::uint32_t tCWL = 8;   ///< Write command to first data.
+    std::uint32_t tBURST = 4; ///< Data burst length on the bus (BL8, DDR).
+    std::uint32_t tCCD = 4;   ///< CAS to CAS (same channel).
+    std::uint32_t tRTW = 9;   ///< Read cmd to write cmd bus turnaround.
+    std::uint32_t tCS = 2;    ///< Rank-to-rank data bus switch penalty.
+    std::uint32_t tREFI = 6240; ///< Average refresh interval (7.8 us).
+    std::uint32_t tRFC = 208;   ///< Refresh cycle time (260 ns, 4 Gb die).
+
+    /** The paper's DDR3-1600 configuration (Table 2). */
+    static DramTimings ddr3_1600() { return DramTimings{}; }
+};
+
+/** DRAM organization parameters. All counts must be powers of two. */
+struct DramGeometry
+{
+    std::uint32_t channels = 1;
+    std::uint32_t ranksPerChannel = 2;
+    std::uint32_t banksPerRank = 8;
+    std::uint64_t rowsPerBank = 1u << 16; ///< 64 K rows => 16 GB @ 1ch.
+    std::uint32_t rowBufferBytes = 8192;  ///< 8 KB row buffer.
+    std::uint32_t blockBytes = 64;        ///< Cache block / burst payload.
+
+    /** Cache blocks per row (columns at block granularity). */
+    std::uint32_t
+    blocksPerRow() const
+    {
+        return rowBufferBytes / blockBytes;
+    }
+
+    /** Total addressable bytes across all channels. */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(channels) * ranksPerChannel *
+               banksPerRank * rowsPerBank * rowBufferBytes;
+    }
+
+    /** Validate power-of-two-ness; fatal on user error. */
+    void
+    validate() const
+    {
+        mc_assert(isPowerOf2(channels) && isPowerOf2(ranksPerChannel) &&
+                      isPowerOf2(banksPerRank) && isPowerOf2(rowsPerBank) &&
+                      isPowerOf2(rowBufferBytes) && isPowerOf2(blockBytes),
+                  "DRAM geometry fields must be powers of two");
+        mc_assert(rowBufferBytes >= blockBytes,
+                  "row buffer smaller than a block");
+    }
+};
+
+/** Coordinates of a block within the DRAM system. */
+struct DramCoord
+{
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+    std::uint32_t column = 0; ///< Block-granularity column index.
+
+    bool
+    operator==(const DramCoord &o) const
+    {
+        return channel == o.channel && rank == o.rank && bank == o.bank &&
+               row == o.row && column == o.column;
+    }
+
+    /** Flat bank index within the channel. */
+    std::uint32_t
+    flatBank(const DramGeometry &g) const
+    {
+        return rank * g.banksPerRank + bank;
+    }
+
+    /** Geometry-independent (rank, bank) key for maps and sets. */
+    std::uint32_t
+    flatBankKey() const
+    {
+        return (rank << 8) | bank;
+    }
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_DRAM_DRAM_PARAMS_HH

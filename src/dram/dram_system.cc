@@ -1,0 +1,33 @@
+#include "dram_system.hh"
+
+namespace mcsim {
+
+DramSystem::DramSystem(const DramGeometry &geom, const DramTimings &timings,
+                       bool enableRefresh)
+    : geom_(geom), timings_(timings)
+{
+    geom_.validate();
+    channels_.reserve(geom_.channels);
+    for (std::uint32_t c = 0; c < geom_.channels; ++c) {
+        channels_.push_back(
+            std::make_unique<Channel>(geom_, timings_, enableRefresh));
+    }
+}
+
+void
+DramSystem::resetStats(Tick now)
+{
+    for (auto &ch : channels_)
+        ch->resetStats(now);
+}
+
+double
+DramSystem::busUtilization(Tick now) const
+{
+    double sum = 0.0;
+    for (const auto &ch : channels_)
+        sum += ch->stats().busUtilization(now);
+    return channels_.empty() ? 0.0 : sum / channels_.size();
+}
+
+} // namespace mcsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * DramSystem: the set of channels behind one processor chip.
+ *
+ * Each channel is independent; one memory controller instance drives
+ * each channel. This facade owns the channels and exposes aggregate
+ * statistics for the bandwidth-utilization figures.
+ */
+
+#ifndef CLOUDMC_DRAM_DRAM_SYSTEM_HH
+#define CLOUDMC_DRAM_DRAM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "channel.hh"
+#include "dram_params.hh"
+
+namespace mcsim {
+
+/** All DRAM channels of the simulated system. */
+class DramSystem
+{
+  public:
+    DramSystem(const DramGeometry &geom, const DramTimings &timings,
+               bool enableRefresh = true);
+
+    Channel &channel(std::uint32_t c) { return *channels_[c]; }
+    const Channel &channel(std::uint32_t c) const { return *channels_[c]; }
+    std::uint32_t numChannels() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+
+    const DramGeometry &geometry() const { return geom_; }
+    const DramTimings &timings() const { return timings_; }
+
+    void resetStats(Tick now);
+
+    /** Mean data-bus utilization across channels, in [0,1]. */
+    double busUtilization(Tick now) const;
+
+  private:
+    DramGeometry geom_;
+    DramTimings timings_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_DRAM_DRAM_SYSTEM_HH

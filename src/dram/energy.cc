@@ -1,0 +1,61 @@
+#include "energy.hh"
+
+namespace mcsim {
+
+namespace {
+
+/** Nanoseconds per global tick (1 tick = 250 ps). */
+constexpr double kNsPerTick = 0.25;
+
+/** Nanoseconds per DRAM command cycle. */
+constexpr double kNsPerDramCycle = kNsPerTick * kTicksPerDramCycle;
+
+} // namespace
+
+DramEnergyModel::DramEnergyModel(const DramPowerParams &power,
+                                 const DramTimings &tm,
+                                 std::uint32_t ranksPerChannel)
+    : p_(power), ranksPerChannel_(ranksPerChannel)
+{
+    const double devices = static_cast<double>(p_.devicesPerRank);
+    // mA * V = mW; mW * ns = pJ; /1000 = nJ.
+    const auto nj = [&](double ma, double cycles) {
+        return ma * p_.vdd * cycles * kNsPerDramCycle * devices * 1e-3;
+    };
+    actPreNj_ = nj(p_.idd0, tm.tRC) - nj(p_.idd3n, tm.tRAS) -
+                nj(p_.idd2n, tm.tRC - tm.tRAS);
+    readNj_ = nj(p_.idd4r - p_.idd3n, tm.tBURST);
+    writeNj_ = nj(p_.idd4w - p_.idd3n, tm.tBURST);
+    refreshNj_ = nj(p_.idd5b - p_.idd3n, tm.tRFC);
+    activeStandbyMwPerRank_ = p_.idd3n * p_.vdd * devices;
+    prechargeStandbyMwPerRank_ = p_.idd2n * p_.vdd * devices;
+}
+
+DramEnergyBreakdown
+DramEnergyModel::estimate(const ChannelStats &stats, Tick now) const
+{
+    DramEnergyBreakdown e;
+    e.actPreNj = actPreNj_ * static_cast<double>(stats.activates);
+    e.readNj = readNj_ * static_cast<double>(stats.reads);
+    e.writeNj = writeNj_ * static_cast<double>(stats.writes);
+    e.refreshNj = refreshNj_ * static_cast<double>(stats.refreshes);
+
+    const double elapsedNs =
+        static_cast<double>(now - stats.statsStartTick) * kNsPerTick;
+    const double activeNs =
+        static_cast<double>(stats.rankActiveTicks) * kNsPerTick;
+    const double totalRankNs =
+        elapsedNs * static_cast<double>(ranksPerChannel_);
+    // rankActiveTicks only accumulates at the closing precharge, so a
+    // window that ends with banks still open can see active < total by
+    // construction; clamp for safety against ever exceeding it.
+    const double clampedActiveNs =
+        activeNs > totalRankNs ? totalRankNs : activeNs;
+    e.backgroundNj =
+        (activeStandbyMwPerRank_ * clampedActiveNs +
+         prechargeStandbyMwPerRank_ * (totalRankNs - clampedActiveNs)) *
+        1e-3;
+    return e;
+}
+
+} // namespace mcsim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * DRAM energy estimation from channel activity counters.
+ *
+ * The paper's Section 5 defers energy and power to future work while
+ * arguing that the best-performing (simplest) policies would also be
+ * the cheapest; this model lets the repo quantify the DRAM side of
+ * that claim (see bench/ablation_energy.cc).
+ *
+ * The model follows the Micron system-power methodology (TN-41-01),
+ * simplified to the counters the channel keeps:
+ *
+ *   activate/precharge : (IDD0*tRC - IDD3N*tRAS - IDD2N*(tRC-tRAS)) * VDD
+ *   read  burst        : (IDD4R - IDD3N) * tBURST * VDD
+ *   write burst        : (IDD4W - IDD3N) * tBURST * VDD
+ *   refresh            : (IDD5B - IDD3N) * tRFC * VDD
+ *   background         : IDD3N while a rank has an open bank
+ *                        (active standby), IDD2N otherwise
+ *
+ * Currents are per device; a rank multiplies them by devicesPerRank.
+ * I/O and termination power are omitted (they depend on board-level
+ * ODT settings the simulator does not model); treat results as DRAM
+ * core energy, suitable for comparing policies, not for sizing PSUs.
+ */
+
+#ifndef CLOUDMC_DRAM_ENERGY_HH
+#define CLOUDMC_DRAM_ENERGY_HH
+
+#include <cstdint>
+
+#include "channel.hh"
+#include "dram_params.hh"
+
+namespace mcsim {
+
+/** Per-device electrical parameters (DDR3-1600, 4 Gb x8 class). */
+struct DramPowerParams
+{
+    double vdd = 1.5;       ///< Supply voltage (V).
+    double idd0 = 95.0;     ///< ACT-PRE cycling current (mA).
+    double idd2n = 42.0;    ///< Precharge standby current (mA).
+    double idd3n = 45.0;    ///< Active standby current (mA).
+    double idd4r = 180.0;   ///< Read burst current (mA).
+    double idd4w = 185.0;   ///< Write burst current (mA).
+    double idd5b = 215.0;   ///< Burst refresh current (mA).
+    std::uint32_t devicesPerRank = 8; ///< x8 devices on a 64-bit rank.
+
+    /** The defaults; spelled out for call-site readability. */
+    static DramPowerParams ddr3_1600() { return DramPowerParams{}; }
+};
+
+/** Energy totals over a measurement window, in nanojoules. */
+struct DramEnergyBreakdown
+{
+    double actPreNj = 0.0;
+    double readNj = 0.0;
+    double writeNj = 0.0;
+    double refreshNj = 0.0;
+    double backgroundNj = 0.0;
+
+    double
+    totalNj() const
+    {
+        return actPreNj + readNj + writeNj + refreshNj + backgroundNj;
+    }
+
+    /** Average power over @p elapsedNs, in milliwatts (nJ/ns = W). */
+    double
+    avgPowerMw(double elapsedNs) const
+    {
+        return elapsedNs > 0.0 ? totalNj() * 1e3 / elapsedNs : 0.0;
+    }
+};
+
+/** Stateless estimator: counters in, energy out. */
+class DramEnergyModel
+{
+  public:
+    DramEnergyModel(const DramPowerParams &power, const DramTimings &tm,
+                    std::uint32_t ranksPerChannel);
+
+    /**
+     * Estimate the energy behind @p stats, a window ending at @p now.
+     * The window is [stats.statsStartTick, now].
+     */
+    DramEnergyBreakdown estimate(const ChannelStats &stats, Tick now) const;
+
+    /** Per-event energies in nJ (exposed for tests and reports). */
+    double actPreEnergyNj() const { return actPreNj_; }
+    double readEnergyNj() const { return readNj_; }
+    double writeEnergyNj() const { return writeNj_; }
+    double refreshEnergyNj() const { return refreshNj_; }
+
+  private:
+    DramPowerParams p_;
+    std::uint32_t ranksPerChannel_;
+    double actPreNj_;
+    double readNj_;
+    double writeNj_;
+    double refreshNj_;
+    double activeStandbyMwPerRank_;    ///< IDD3N * VDD * devices.
+    double prechargeStandbyMwPerRank_; ///< IDD2N * VDD * devices.
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_DRAM_ENERGY_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-rank DRAM constraints: tRRD activate spacing, the tFAW rolling
+ * four-activate window, write-to-read turnaround, and refresh state.
+ */
+
+#ifndef CLOUDMC_DRAM_RANK_HH
+#define CLOUDMC_DRAM_RANK_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bank.hh"
+#include "common/types.hh"
+
+namespace mcsim {
+
+/** DRAM rank: a set of banks sharing activate-window constraints. */
+class Rank
+{
+  public:
+    explicit Rank(std::uint32_t banks) : banks_(banks) {}
+
+    Bank &bank(std::uint32_t i) { return banks_[i]; }
+    const Bank &bank(std::uint32_t i) const { return banks_[i]; }
+    std::uint32_t numBanks() const
+    {
+        return static_cast<std::uint32_t>(banks_.size());
+    }
+
+    /** Earliest tick an activate may issue to any bank of this rank. */
+    Tick
+    actAllowedAt() const
+    {
+        // tFAW: the 4th-most-recent activate gates the next one.
+        return std::max(rrdAllowedAt_, fawWindow_[fawIdx_]);
+    }
+
+    /** Record an activate at @p now. */
+    void
+    activated(Tick now, Tick rrdTicks, Tick fawTicks)
+    {
+        rrdAllowedAt_ = now + rrdTicks;
+        fawWindow_[fawIdx_] = now + fawTicks;
+        fawIdx_ = (fawIdx_ + 1) % fawWindow_.size();
+    }
+
+    /** Earliest tick a read may issue to this rank (tWTR gating). */
+    Tick rdAllowedAt() const { return rdAllowedAt_; }
+
+    /** Record a write burst; reads blocked until write-to-read done. */
+    void
+    wrote(Tick now, Tick wtrGapTicks)
+    {
+        rdAllowedAt_ = std::max(rdAllowedAt_, now + wtrGapTicks);
+    }
+
+    /** True iff every bank in the rank is precharged. */
+    bool
+    allBanksClosed() const
+    {
+        for (const auto &b : banks_) {
+            if (b.isOpen())
+                return false;
+        }
+        return true;
+    }
+
+    /** Apply a refresh at @p now; banks blocked for tRFC. */
+    void
+    refresh(Tick now, Tick rfcTicks)
+    {
+        for (auto &b : banks_)
+            b.blockUntil(now + rfcTicks);
+        rrdAllowedAt_ = std::max(rrdAllowedAt_, now + rfcTicks);
+        nextRefreshDue_ += refreshInterval_;
+    }
+
+    /** Configure periodic refresh; @p firstDue staggers ranks. */
+    void
+    scheduleRefresh(Tick firstDue, Tick interval)
+    {
+        nextRefreshDue_ = firstDue;
+        refreshInterval_ = interval;
+    }
+
+    Tick nextRefreshDue() const { return nextRefreshDue_; }
+    bool refreshEnabled() const { return refreshInterval_ != 0; }
+
+  private:
+    std::vector<Bank> banks_;
+    Tick rrdAllowedAt_ = 0;
+    Tick rdAllowedAt_ = 0;
+    std::array<Tick, 4> fawWindow_{};
+    std::size_t fawIdx_ = 0;
+    Tick nextRefreshDue_ = kMaxTick;
+    Tick refreshInterval_ = 0;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_DRAM_RANK_HH

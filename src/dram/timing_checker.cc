@@ -1,0 +1,176 @@
+#include "timing_checker.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace mcsim {
+
+TimingChecker::TimingChecker(const DramGeometry &geom, const DramTimings &tm)
+    : geom_(geom), tm_(tm),
+      bankOpen_(geom.ranksPerChannel * geom.banksPerRank, false),
+      lastCasEnd_(1, 0)
+{
+}
+
+const TimingChecker::CmdRecord *
+TimingChecker::lastOf(DramCommandType type, std::uint32_t rank,
+                      std::uint32_t bank, bool anyBank) const
+{
+    for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+        if (it->cmd.type != type || it->cmd.rank != rank)
+            continue;
+        if (anyBank || it->cmd.bank == bank)
+            return &*it;
+    }
+    return nullptr;
+}
+
+std::string
+TimingChecker::check(const DramCommand &cmd, Tick now)
+{
+    std::ostringstream err;
+    const auto bankIdx = cmd.rank * geom_.banksPerRank + cmd.bank;
+    const auto gap = [&](const CmdRecord *rec) -> Tick {
+        return rec ? now - rec->tick : kMaxTick;
+    };
+    const auto cyc = [](std::uint32_t c) { return dramCyclesToTicks(c); };
+
+    // Command-bus spacing: at most one command per tCK.
+    if (!history_.empty() && now < history_.back().tick + cyc(1))
+        err << "command bus conflict; ";
+
+    switch (cmd.type) {
+      case DramCommandType::Activate: {
+        if (bankOpen_[bankIdx])
+            err << "ACT to open bank; ";
+        if (gap(lastOf(DramCommandType::Activate, cmd.rank, cmd.bank)) <
+            cyc(tm_.tRC)) {
+            err << "tRC violated; ";
+        }
+        if (gap(lastOf(DramCommandType::Precharge, cmd.rank, cmd.bank)) <
+            cyc(tm_.tRP)) {
+            err << "tRP violated; ";
+        }
+        if (gap(lastOf(DramCommandType::Activate, cmd.rank, 0, true)) <
+            cyc(tm_.tRRD)) {
+            err << "tRRD violated; ";
+        }
+        if (gap(lastOf(DramCommandType::Refresh, cmd.rank, 0, true)) <
+            cyc(tm_.tRFC)) {
+            err << "tRFC violated; ";
+        }
+        // tFAW: count activates to this rank in the trailing window.
+        unsigned acts = 0;
+        for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+            if (it->cmd.type == DramCommandType::Activate &&
+                it->cmd.rank == cmd.rank &&
+                now - it->tick < cyc(tm_.tFAW)) {
+                ++acts;
+            }
+        }
+        if (acts >= 4)
+            err << "tFAW violated; ";
+        break;
+      }
+
+      case DramCommandType::Read:
+      case DramCommandType::Write: {
+        const bool isRead = cmd.type == DramCommandType::Read;
+        if (!bankOpen_[bankIdx])
+            err << "CAS to closed bank; ";
+        if (gap(lastOf(DramCommandType::Activate, cmd.rank, cmd.bank)) <
+            cyc(tm_.tRCD)) {
+            err << "tRCD violated; ";
+        }
+        // tCCD between CAS commands (any rank/bank, shared channel).
+        for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+            if (it->cmd.type == DramCommandType::Read ||
+                it->cmd.type == DramCommandType::Write) {
+                if (now - it->tick < cyc(tm_.tCCD))
+                    err << "tCCD violated; ";
+                // Read-to-write turnaround on the shared bus.
+                if (!isRead &&
+                    it->cmd.type == DramCommandType::Read &&
+                    now - it->tick < cyc(tm_.tRTW)) {
+                    err << "tRTW violated; ";
+                }
+                break;
+            }
+        }
+        // Write-to-read turnaround within the same rank.
+        if (isRead) {
+            const auto *w =
+                lastOf(DramCommandType::Write, cmd.rank, 0, true);
+            if (w && now - w->tick <
+                         cyc(tm_.tCWL + tm_.tBURST + tm_.tWTR)) {
+                err << "tWTR violated; ";
+            }
+        }
+        // Data-bus overlap.
+        const Tick dataStart =
+            now + cyc(isRead ? tm_.tCAS : tm_.tCWL);
+        if (dataStart < lastCasEnd_[0])
+            err << "data bus overlap; ";
+        break;
+      }
+
+      case DramCommandType::Precharge: {
+        if (!bankOpen_[bankIdx])
+            err << "PRE to closed bank; ";
+        if (gap(lastOf(DramCommandType::Activate, cmd.rank, cmd.bank)) <
+            cyc(tm_.tRAS)) {
+            err << "tRAS violated; ";
+        }
+        if (gap(lastOf(DramCommandType::Read, cmd.rank, cmd.bank)) <
+            cyc(tm_.tRTP)) {
+            err << "tRTP violated; ";
+        }
+        const auto *w = lastOf(DramCommandType::Write, cmd.rank, cmd.bank);
+        if (w && now - w->tick < cyc(tm_.tCWL + tm_.tBURST + tm_.tWR))
+            err << "write recovery violated; ";
+        break;
+      }
+
+      case DramCommandType::Refresh: {
+        for (std::uint32_t b = 0; b < geom_.banksPerRank; ++b) {
+            if (bankOpen_[cmd.rank * geom_.banksPerRank + b])
+                err << "REF with open bank; ";
+        }
+        if (gap(lastOf(DramCommandType::Precharge, cmd.rank, 0, true)) <
+            cyc(tm_.tRP)) {
+            err << "tRP before REF violated; ";
+        }
+        break;
+      }
+    }
+
+    const std::string msg = err.str();
+    if (!msg.empty())
+        return msg;
+
+    // Accept: apply state.
+    switch (cmd.type) {
+      case DramCommandType::Activate:
+        bankOpen_[bankIdx] = true;
+        break;
+      case DramCommandType::Precharge:
+        bankOpen_[bankIdx] = false;
+        break;
+      case DramCommandType::Read:
+        lastCasEnd_[0] = now + dramCyclesToTicks(tm_.tCAS + tm_.tBURST);
+        break;
+      case DramCommandType::Write:
+        lastCasEnd_[0] = now + dramCyclesToTicks(tm_.tCWL + tm_.tBURST);
+        break;
+      case DramCommandType::Refresh:
+        break;
+    }
+    history_.push_back({cmd, now});
+    if (history_.size() > kHistoryDepth)
+        history_.pop_front();
+    ++accepted_;
+    return {};
+}
+
+} // namespace mcsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Independent DRAM protocol checker.
+ *
+ * Validates a stream of (tick, command) pairs against the JEDEC-style
+ * constraints, implemented separately from the Channel model so tests
+ * can cross-check the two. Used by the integration tests and available
+ * as an always-on tripwire in debug runs.
+ */
+
+#ifndef CLOUDMC_DRAM_TIMING_CHECKER_HH
+#define CLOUDMC_DRAM_TIMING_CHECKER_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "commands.hh"
+#include "dram_params.hh"
+
+namespace mcsim {
+
+/** Replay-style constraint checker for one channel's command stream. */
+class TimingChecker
+{
+  public:
+    TimingChecker(const DramGeometry &geom, const DramTimings &tm);
+
+    /**
+     * Check and record a command.
+     * @return empty string when legal; otherwise a human-readable
+     *         description of the violated constraint.
+     */
+    std::string check(const DramCommand &cmd, Tick now);
+
+    /** Total commands accepted. */
+    std::uint64_t accepted() const { return accepted_; }
+
+  private:
+    struct CmdRecord
+    {
+        DramCommand cmd;
+        Tick tick;
+    };
+
+    /** Most recent command of @p type to (rank, bank); null if none. */
+    const CmdRecord *lastOf(DramCommandType type, std::uint32_t rank,
+                            std::uint32_t bank, bool anyBank = false) const;
+
+    DramGeometry geom_;
+    DramTimings tm_;
+    std::deque<CmdRecord> history_;
+    std::vector<bool> bankOpen_;   ///< [rank*banks + bank]
+    std::vector<Tick> lastCasEnd_; ///< data-bus end per channel (size 1)
+    std::uint64_t accepted_ = 0;
+
+    static constexpr std::size_t kHistoryDepth = 256;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_DRAM_TIMING_CHECKER_HH

@@ -1,0 +1,142 @@
+#include "address_mapping.hh"
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace mcsim {
+
+const char *
+mappingSchemeName(MappingScheme s)
+{
+    switch (s) {
+      case MappingScheme::RoRaBaCoCh: return "RoRaBaCoCh";
+      case MappingScheme::RoRaBaChCo: return "RoRaBaChCo";
+      case MappingScheme::RoRaChBaCo: return "RoRaChBaCo";
+      case MappingScheme::RoChRaBaCo: return "RoChRaBaCo";
+      case MappingScheme::PermBaXor: return "PermBaXor";
+      case MappingScheme::PermChBaXor: return "PermChBaXor";
+    }
+    return "???";
+}
+
+MappingScheme
+mappingSchemeFromName(const std::string &name)
+{
+    for (auto s : kExtendedMappingSchemes) {
+        if (name == mappingSchemeName(s))
+            return s;
+    }
+    mc_fatal("unknown mapping scheme '", name, "'");
+}
+
+AddressMapper::AddressMapper(const DramGeometry &geom, MappingScheme scheme)
+    : geom_(geom), scheme_(scheme)
+{
+    geom_.validate();
+    blockShift_ = floorLog2(geom_.blockBytes);
+
+    const unsigned chW = floorLog2(geom_.channels);
+    const unsigned raW = floorLog2(geom_.ranksPerChannel);
+    const unsigned baW = floorLog2(geom_.banksPerRank);
+    const unsigned coW = floorLog2(geom_.blocksPerRow());
+    const unsigned roW = floorLog2(geom_.rowsPerBank);
+
+    // Scheme names are MSB-first; lay fields out LSB-first (reversed).
+    struct Item
+    {
+        Field *field;
+        unsigned width;
+    };
+    std::array<Item, 5> order{};
+    Field *ch = &chField_, *ra = &raField_, *ba = &baField_,
+          *ro = &roField_, *co = &coField_;
+    switch (scheme_) {
+      case MappingScheme::RoRaBaCoCh:
+        order = {{{ch, chW}, {co, coW}, {ba, baW}, {ra, raW}, {ro, roW}}};
+        break;
+      case MappingScheme::RoRaBaChCo:
+        order = {{{co, coW}, {ch, chW}, {ba, baW}, {ra, raW}, {ro, roW}}};
+        break;
+      case MappingScheme::RoRaChBaCo:
+        order = {{{co, coW}, {ba, baW}, {ch, chW}, {ra, raW}, {ro, roW}}};
+        break;
+      case MappingScheme::RoChRaBaCo:
+        order = {{{co, coW}, {ba, baW}, {ra, raW}, {ch, chW}, {ro, roW}}};
+        break;
+      case MappingScheme::PermBaXor:
+        order = {{{co, coW}, {ch, chW}, {ba, baW}, {ra, raW}, {ro, roW}}};
+        xorBank_ = true;
+        break;
+      case MappingScheme::PermChBaXor:
+        order = {{{co, coW}, {ba, baW}, {ch, chW}, {ra, raW}, {ro, roW}}};
+        xorBank_ = true;
+        xorChannel_ = true;
+        break;
+    }
+    unsigned lsb = 0;
+    for (auto &item : order) {
+        item.field->lsb = lsb;
+        item.field->width = item.width;
+        lsb += item.width;
+    }
+}
+
+unsigned
+AddressMapper::mappedBits() const
+{
+    return chField_.width + raField_.width + baField_.width +
+           roField_.width + coField_.width;
+}
+
+DramCoord
+AddressMapper::decode(Addr addr) const
+{
+    const Addr blk = addr >> blockShift_;
+    DramCoord c;
+    c.channel = static_cast<std::uint32_t>(
+        extractBits(blk, chField_.lsb, chField_.width));
+    c.rank = static_cast<std::uint32_t>(
+        extractBits(blk, raField_.lsb, raField_.width));
+    c.bank = static_cast<std::uint32_t>(
+        extractBits(blk, baField_.lsb, baField_.width));
+    c.row = extractBits(blk, roField_.lsb, roField_.width);
+    c.column = static_cast<std::uint32_t>(
+        extractBits(blk, coField_.lsb, coField_.width));
+    // XOR permutation: the stored bank/channel bits are the logical
+    // index XORed with (disjoint slices of) the row; XOR again to
+    // recover. Involutive, so encode() applies the same operation.
+    if (xorBank_ && baField_.width) {
+        c.bank ^= static_cast<std::uint32_t>(c.row) &
+                  ((1u << baField_.width) - 1);
+    }
+    if (xorChannel_ && chField_.width) {
+        c.channel ^= static_cast<std::uint32_t>(c.row >> baField_.width) &
+                     ((1u << chField_.width) - 1);
+    }
+    return c;
+}
+
+Addr
+AddressMapper::encode(const DramCoord &coord) const
+{
+    std::uint32_t bank = coord.bank;
+    std::uint32_t channel = coord.channel;
+    if (xorBank_ && baField_.width) {
+        bank ^= static_cast<std::uint32_t>(coord.row) &
+                ((1u << baField_.width) - 1);
+    }
+    if (xorChannel_ && chField_.width) {
+        channel ^=
+            static_cast<std::uint32_t>(coord.row >> baField_.width) &
+            ((1u << chField_.width) - 1);
+    }
+    Addr blk = 0;
+    blk = insertBits(blk, chField_.lsb, chField_.width, channel);
+    blk = insertBits(blk, raField_.lsb, raField_.width, coord.rank);
+    blk = insertBits(blk, baField_.lsb, baField_.width, bank);
+    blk = insertBits(blk, roField_.lsb, roField_.width, coord.row);
+    blk = insertBits(blk, coField_.lsb, coField_.width, coord.column);
+    return blk << blockShift_;
+}
+
+} // namespace mcsim

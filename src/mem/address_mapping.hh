@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Physical-address-to-DRAM-coordinate mapping schemes.
+ *
+ * Scheme names list fields from most-significant to least-significant
+ * address bits, after removing the block offset: e.g. RoRaBaCoCh puts
+ * the channel-select bits at the lowest position (consecutive cache
+ * blocks alternate between channels) and the row bits at the top.
+ * These are the four schemes the paper studies (Section 4.3).
+ */
+
+#ifndef CLOUDMC_MEM_ADDRESS_MAPPING_HH
+#define CLOUDMC_MEM_ADDRESS_MAPPING_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "dram/dram_params.hh"
+
+namespace mcsim {
+
+/**
+ * The address interleaving schemes studied in the paper, plus two
+ * permutation-based (XOR) extensions. The paper's Section 5 lists
+ * permutation-based interleaving as unexplored future work; the XOR
+ * schemes fold low row bits into the bank (and channel) index the way
+ * Zhang et al.'s permutation-based page interleaving does, spreading
+ * row-conflicting streams over banks without hurting row locality.
+ */
+enum class MappingScheme : std::uint8_t {
+    RoRaBaCoCh, ///< Baseline: block interleave across channels.
+    RoRaBaChCo, ///< Row-buffer-sized stripes per channel.
+    RoRaChBaCo, ///< Channel above bank bits.
+    RoChRaBaCo, ///< Channel just below row bits.
+    PermBaXor,  ///< Extension: RoRaBaChCo with bank ^= low row bits.
+    PermChBaXor, ///< Extension: RoRaChBaCo with ch and bank XOR-permuted.
+};
+
+/** The four schemes the paper's Section 4.3 studies, for sweeps. */
+constexpr std::array<MappingScheme, 4> kAllMappingSchemes = {
+    MappingScheme::RoRaBaCoCh, MappingScheme::RoRaBaChCo,
+    MappingScheme::RoRaChBaCo, MappingScheme::RoChRaBaCo};
+
+/** Every scheme including the XOR extensions (ablation sweeps). */
+constexpr std::array<MappingScheme, 6> kExtendedMappingSchemes = {
+    MappingScheme::RoRaBaCoCh, MappingScheme::RoRaBaChCo,
+    MappingScheme::RoRaChBaCo, MappingScheme::RoChRaBaCo,
+    MappingScheme::PermBaXor,  MappingScheme::PermChBaXor};
+
+const char *mappingSchemeName(MappingScheme s);
+
+/** Parse a scheme name; fatal on unknown names. */
+MappingScheme mappingSchemeFromName(const std::string &name);
+
+/**
+ * Bidirectional mapper between physical block addresses and DRAM
+ * coordinates for a given geometry and scheme.
+ */
+class AddressMapper
+{
+  public:
+    AddressMapper(const DramGeometry &geom, MappingScheme scheme);
+
+    /** Decode a byte address (block-aligned or not) to coordinates. */
+    DramCoord decode(Addr addr) const;
+
+    /** Inverse of decode(); returns the block-aligned byte address. */
+    Addr encode(const DramCoord &coord) const;
+
+    MappingScheme scheme() const { return scheme_; }
+    const DramGeometry &geometry() const { return geom_; }
+
+    /** Number of address bits consumed above the block offset. */
+    unsigned mappedBits() const;
+
+  private:
+    /** One field's position in the block-granular address. */
+    struct Field
+    {
+        unsigned lsb = 0;
+        unsigned width = 0;
+    };
+
+    DramGeometry geom_;
+    MappingScheme scheme_;
+    Field chField_, raField_, baField_, roField_, coField_;
+    unsigned blockShift_;
+    bool xorBank_ = false;    ///< bank ^= row[0 .. baW)
+    bool xorChannel_ = false; ///< channel ^= row[baW .. baW+chW)
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_MEM_ADDRESS_MAPPING_HH

@@ -1,0 +1,122 @@
+#include "factory.hh"
+
+#include "common/log.hh"
+#include "page_policies.hh"
+#include "sched_basic.hh"
+#include "sched_fqm.hh"
+
+namespace mcsim {
+
+const char *
+schedulerKindName(SchedulerKind k)
+{
+    switch (k) {
+      case SchedulerKind::FrFcfs: return "FR-FCFS";
+      case SchedulerKind::FcfsBanks: return "FCFS_banks";
+      case SchedulerKind::ParBs: return "PAR-BS";
+      case SchedulerKind::Atlas: return "ATLAS";
+      case SchedulerKind::Rl: return "RL";
+      case SchedulerKind::Fcfs: return "FCFS";
+      case SchedulerKind::Fqm: return "FQM";
+      case SchedulerKind::Tcm: return "TCM";
+      case SchedulerKind::Stfm: return "STFM";
+    }
+    return "???";
+}
+
+SchedulerKind
+schedulerKindFromName(const std::string &name)
+{
+    for (auto k : {SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks,
+                   SchedulerKind::ParBs, SchedulerKind::Atlas,
+                   SchedulerKind::Rl, SchedulerKind::Fcfs,
+                   SchedulerKind::Fqm, SchedulerKind::Tcm,
+                   SchedulerKind::Stfm}) {
+        if (name == schedulerKindName(k))
+            return k;
+    }
+    mc_fatal("unknown scheduler '", name, "'");
+}
+
+const char *
+pagePolicyKindName(PagePolicyKind k)
+{
+    switch (k) {
+      case PagePolicyKind::OpenAdaptive: return "OpenAdaptive";
+      case PagePolicyKind::CloseAdaptive: return "CloseAdaptive";
+      case PagePolicyKind::Rbpp: return "RBPP";
+      case PagePolicyKind::Abpp: return "ABPP";
+      case PagePolicyKind::Open: return "Open";
+      case PagePolicyKind::Close: return "Close";
+      case PagePolicyKind::Timer: return "Timer";
+      case PagePolicyKind::History: return "History";
+    }
+    return "???";
+}
+
+PagePolicyKind
+pagePolicyKindFromName(const std::string &name)
+{
+    for (auto k : {PagePolicyKind::OpenAdaptive,
+                   PagePolicyKind::CloseAdaptive, PagePolicyKind::Rbpp,
+                   PagePolicyKind::Abpp, PagePolicyKind::Open,
+                   PagePolicyKind::Close, PagePolicyKind::Timer,
+                   PagePolicyKind::History}) {
+        if (name == pagePolicyKindName(k))
+            return k;
+    }
+    mc_fatal("unknown page policy '", name, "'");
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerKind kind, std::uint32_t numCores,
+              const SchedulerParams &params)
+{
+    switch (kind) {
+      case SchedulerKind::FrFcfs:
+        return std::make_unique<FrFcfsScheduler>();
+      case SchedulerKind::FcfsBanks:
+        return std::make_unique<FcfsBanksScheduler>();
+      case SchedulerKind::ParBs:
+        return std::make_unique<ParBsScheduler>(numCores, params.parBs);
+      case SchedulerKind::Atlas:
+        return std::make_unique<AtlasScheduler>(numCores, params.atlas);
+      case SchedulerKind::Rl:
+        return std::make_unique<RlScheduler>(params.rl);
+      case SchedulerKind::Fcfs:
+        return std::make_unique<FcfsScheduler>();
+      case SchedulerKind::Fqm:
+        return std::make_unique<FqmScheduler>(numCores);
+      case SchedulerKind::Tcm:
+        return std::make_unique<TcmScheduler>(numCores, params.tcm);
+      case SchedulerKind::Stfm:
+        return std::make_unique<StfmScheduler>(numCores, params.stfm);
+    }
+    mc_panic("unreachable scheduler kind");
+}
+
+std::unique_ptr<PagePolicy>
+makePagePolicy(PagePolicyKind kind)
+{
+    switch (kind) {
+      case PagePolicyKind::OpenAdaptive:
+        return std::make_unique<OpenAdaptivePolicy>();
+      case PagePolicyKind::CloseAdaptive:
+        return std::make_unique<CloseAdaptivePolicy>();
+      case PagePolicyKind::Rbpp:
+        return std::make_unique<RbppPolicy>();
+      case PagePolicyKind::Abpp:
+        return std::make_unique<AbppPolicy>();
+      case PagePolicyKind::Open:
+        return std::make_unique<OpenPolicy>();
+      case PagePolicyKind::Close:
+        return std::make_unique<ClosePolicy>();
+      case PagePolicyKind::Timer:
+        return std::make_unique<TimerPolicy>();
+      case PagePolicyKind::History:
+        return std::make_unique<HistoryPolicy>();
+    }
+    mc_panic("unreachable page policy kind");
+}
+
+} // namespace mcsim

@@ -1,0 +1,365 @@
+#include "mem_controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mcsim {
+
+MemController::MemController(Channel &channel,
+                             std::unique_ptr<Scheduler> scheduler,
+                             std::unique_ptr<PagePolicy> pagePolicy,
+                             std::uint32_t numCores,
+                             MemControllerConfig cfg)
+    : channel_(channel), scheduler_(std::move(scheduler)),
+      pagePolicy_(std::move(pagePolicy)), numCores_(numCores),
+      cfg_(std::move(cfg))
+{
+    mc_assert(scheduler_ && pagePolicy_,
+              "controller needs a scheduler and a page policy");
+    mc_assert(cfg_.writeDrainLow < cfg_.writeDrainHigh,
+              "write drain watermarks inverted");
+    stats_.perCoreReads.assign(numCores_ + 1, 0);
+    stats_.perCoreLatencyTicks.assign(numCores_ + 1, 0);
+}
+
+void
+MemController::resetStats(Tick now)
+{
+    MemControllerStats fresh;
+    fresh.perCoreReads.assign(numCores_ + 1, 0);
+    fresh.perCoreLatencyTicks.assign(numCores_ + 1, 0);
+    fresh.readQueueLen.reset(now);
+    fresh.writeQueueLen.reset(now);
+    fresh.readQueueLen.update(now, static_cast<double>(readQ_.size()));
+    fresh.writeQueueLen.update(now, static_cast<double>(writeQ_.size()));
+    stats_ = std::move(fresh);
+    channel_.resetStats(now);
+}
+
+void
+MemController::enqueue(Request *req, Tick now)
+{
+    req->arrivedAt = now;
+    if (!req->isWrite) {
+        // Read-around-write forwarding: a read that matches a queued
+        // write is satisfied from the write queue.
+        for (const Request *w : writeQ_) {
+            if (w->addr == req->addr) {
+                ++stats_.forwardedReads;
+                req->completedAt =
+                    now + dramCyclesToTicks(cfg_.forwardLatencyCycles);
+                responses_.push({req->completedAt, req});
+                return;
+            }
+        }
+        readQ_.push_back(req);
+        stats_.readQueueLen.update(now, static_cast<double>(readQ_.size()));
+    } else {
+        writeQ_.push_back(req);
+        stats_.writeQueueLen.update(now,
+                                    static_cast<double>(writeQ_.size()));
+    }
+    scheduler_->onRequestArrived(*req);
+}
+
+void
+MemController::deliverResponses(Tick now)
+{
+    while (!responses_.empty() && responses_.top().readyAt <= now) {
+        Request *req = responses_.top().req;
+        responses_.pop();
+        const Tick latency = req->completedAt - req->arrivedAt;
+        ++stats_.readLatencySamples;
+        stats_.readLatencyTicks += latency;
+        stats_.readLatencyHist.sample(ticksToCoreCycles(latency));
+        const auto slot =
+            req->core >= numCores_ ? numCores_ : req->core;
+        ++stats_.perCoreReads[slot];
+        stats_.perCoreLatencyTicks[slot] += latency;
+        if (onComplete_)
+            onComplete_(req);
+    }
+}
+
+void
+MemController::updateDrainMode(Tick now)
+{
+    if (!readQ_.empty())
+        lastReadPendingAt_ = now;
+    const bool readsLongIdle =
+        readQ_.empty() &&
+        now - lastReadPendingAt_ >=
+            dramCyclesToTicks(cfg_.writeIdleDrainCycles);
+
+    if (drainingWrites_) {
+        // The long-idle drain keeps going; the watermark drain stops at
+        // the low mark so arriving reads see a short write burst at most.
+        if (!readsLongIdle &&
+            (writeQ_.size() <= cfg_.writeDrainLow || writeQ_.empty())) {
+            drainingWrites_ = false;
+        }
+    } else {
+        if (writeQ_.size() >= cfg_.writeDrainHigh ||
+            (readQ_.empty() && writeQ_.size() >= cfg_.writeDrainIdle) ||
+            (readsLongIdle && !writeQ_.empty())) {
+            drainingWrites_ = true;
+        }
+    }
+    if (writeQ_.empty())
+        drainingWrites_ = false;
+}
+
+bool
+MemController::tryRefresh(Tick now)
+{
+    const int rankIdx = channel_.refreshDueRank(now);
+    if (rankIdx < 0)
+        return false;
+    const auto r = static_cast<std::uint32_t>(rankIdx);
+    const Rank &rank = channel_.rank(r);
+
+    // Close any open bank in the rank first.
+    for (std::uint32_t b = 0; b < rank.numBanks(); ++b) {
+        if (!rank.bank(b).isOpen())
+            continue;
+        const auto pre = DramCommand::precharge(r, b);
+        if (channel_.canIssue(pre, now)) {
+            recordPrecharge(r, b, rank.bank(b).openRow(),
+                            rank.bank(b).accessesThisActivation());
+            channel_.issue(pre, now);
+            return true;
+        }
+        return false; // Open bank not yet precharge-able; wait.
+    }
+    const auto ref = DramCommand::refresh(r);
+    if (channel_.canIssue(ref, now)) {
+        channel_.issue(ref, now);
+        return true;
+    }
+    return false;
+}
+
+void
+MemController::scanBankPool(std::uint32_t rank, std::uint32_t bank,
+                            std::uint64_t openRow, bool &pendingHit,
+                            bool &pendingConflict) const
+{
+    // Page policies see the *active* transaction pool: the read queue
+    // in read mode, the write queue while draining. Parked writes are
+    // not serviceable, so treating them as pending conflicts would
+    // collapse open-adaptive into close-adaptive whenever the write
+    // queue holds a few random writebacks.
+    pendingHit = false;
+    pendingConflict = false;
+    auto scan = [&](const std::vector<Request *> &q) {
+        for (const Request *req : q) {
+            if (req->coord.rank != rank || req->coord.bank != bank)
+                continue;
+            if (req->coord.row == openRow)
+                pendingHit = true;
+            else
+                pendingConflict = true;
+        }
+    };
+    if (scheduler_->unifiedQueues()) {
+        scan(readQ_);
+        scan(writeQ_);
+    } else if (drainingWrites_) {
+        scan(writeQ_);
+    } else {
+        scan(readQ_);
+    }
+}
+
+void
+MemController::buildCandidates(Tick now)
+{
+    cands_.clear();
+    auto addPool = [&](std::vector<Request *> &q) {
+        for (Request *req : q) {
+            const Bank &bank =
+                channel_.bank(req->coord.rank, req->coord.bank);
+            Candidate c;
+            c.req = req;
+            if (!bank.isOpen()) {
+                c.cmd = DramCommandType::Activate;
+                c.issuableNow = channel_.canIssue(
+                    DramCommand::activate(req->coord), now);
+            } else if (bank.openRow() == req->coord.row) {
+                c.cmd = req->isWrite ? DramCommandType::Write
+                                     : DramCommandType::Read;
+                c.isRowHit = true;
+                const auto cmd = req->isWrite
+                                     ? DramCommand::write(req->coord)
+                                     : DramCommand::read(req->coord);
+                c.issuableNow = channel_.canIssue(cmd, now);
+            } else {
+                c.cmd = DramCommandType::Precharge;
+                c.issuableNow = channel_.canIssue(
+                    DramCommand::precharge(req->coord.rank,
+                                           req->coord.bank),
+                    now);
+            }
+            cands_.push_back(c);
+        }
+    };
+    if (scheduler_->unifiedQueues()) {
+        addPool(readQ_);
+        addPool(writeQ_);
+    } else if (drainingWrites_) {
+        addPool(writeQ_);
+    } else {
+        addPool(readQ_);
+    }
+}
+
+void
+MemController::removeFromQueue(std::vector<Request *> &q, Request *req)
+{
+    auto it = std::find(q.begin(), q.end(), req);
+    mc_assert(it != q.end(), "request not in its queue");
+    q.erase(it);
+}
+
+void
+MemController::serviceCas(Request *req, Tick now, Tick dataReadyAt)
+{
+    // Classify the row outcome for the hit-rate statistics.
+    if (req->preIssued) {
+        req->outcome = RowOutcome::Conflict;
+        ++stats_.rowConflicts;
+    } else if (req->actIssued) {
+        req->outcome = RowOutcome::Miss;
+        ++stats_.rowMisses;
+    } else {
+        req->outcome = RowOutcome::Hit;
+        ++stats_.rowHits;
+    }
+
+    scheduler_->onRequestServiced(*req);
+    if (req->isWrite) {
+        removeFromQueue(writeQ_, req);
+        stats_.writeQueueLen.update(now,
+                                    static_cast<double>(writeQ_.size()));
+        ++stats_.servedWrites;
+        req->completedAt = now;
+        if (onComplete_)
+            onComplete_(req);
+    } else {
+        removeFromQueue(readQ_, req);
+        stats_.readQueueLen.update(now, static_cast<double>(readQ_.size()));
+        ++stats_.servedReads;
+        req->completedAt = dataReadyAt;
+        responses_.push({dataReadyAt, req});
+    }
+}
+
+void
+MemController::recordPrecharge(std::uint32_t rank, std::uint32_t bank,
+                               std::uint64_t row, std::uint32_t accesses)
+{
+    stats_.activationAccesses.sample(accesses);
+    pagePolicy_->onPrecharge(rank, bank, row, accesses);
+}
+
+bool
+MemController::issueCandidate(const Candidate &cand, Tick now)
+{
+    Request *req = cand.req;
+    switch (cand.cmd) {
+      case DramCommandType::Precharge: {
+        const Bank &bank = channel_.bank(req->coord.rank, req->coord.bank);
+        recordPrecharge(req->coord.rank, req->coord.bank, bank.openRow(),
+                        bank.accessesThisActivation());
+        channel_.issue(
+            DramCommand::precharge(req->coord.rank, req->coord.bank), now);
+        req->preIssued = true;
+        return true;
+      }
+      case DramCommandType::Activate:
+        channel_.issue(DramCommand::activate(req->coord), now);
+        pagePolicy_->onActivate(req->coord.rank, req->coord.bank,
+                                req->coord.row);
+        req->actIssued = true;
+        return true;
+      case DramCommandType::Read: {
+        const auto res = channel_.issue(DramCommand::read(req->coord), now);
+        serviceCas(req, now, res.dataReadyAt);
+        return true;
+      }
+      case DramCommandType::Write:
+        channel_.issue(DramCommand::write(req->coord), now);
+        serviceCas(req, now, 0);
+        return true;
+      default:
+        mc_panic("unexpected candidate command");
+    }
+    return false;
+}
+
+bool
+MemController::tryPolicyPrecharge(Tick now)
+{
+    for (std::uint32_t r = 0; r < channel_.numRanks(); ++r) {
+        const Rank &rank = channel_.rank(r);
+        for (std::uint32_t b = 0; b < rank.numBanks(); ++b) {
+            const Bank &bank = rank.bank(b);
+            if (!bank.isOpen())
+                continue;
+            PageQuery q;
+            q.rank = r;
+            q.bank = b;
+            q.openRow = bank.openRow();
+            q.accessesThisActivation = bank.accessesThisActivation();
+            q.now = now;
+            q.lastAccessAt = bank.lastAccessAt();
+            scanBankPool(r, b, q.openRow, q.pendingHit, q.pendingConflict);
+            if (!pagePolicy_->shouldClose(q))
+                continue;
+            const auto pre = DramCommand::precharge(r, b);
+            if (!channel_.canIssue(pre, now))
+                continue;
+            recordPrecharge(r, b, q.openRow, q.accessesThisActivation);
+            channel_.issue(pre, now);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+MemController::tick(Tick now)
+{
+    deliverResponses(now);
+    updateDrainMode(now);
+
+    SchedulerContext ctx;
+    ctx.numCores = numCores_;
+    ctx.readQueueLen = readQ_.size();
+    ctx.writeQueueLen = writeQ_.size();
+    ctx.drainingWrites = drainingWrites_;
+    scheduler_->tick(now, ctx);
+
+    // Time-weighted queue statistics observe every cycle.
+    stats_.readQueueLen.update(now, static_cast<double>(readQ_.size()));
+    stats_.writeQueueLen.update(now, static_cast<double>(writeQ_.size()));
+
+    if (tryRefresh(now))
+        return;
+
+    buildCandidates(now);
+    if (!cands_.empty()) {
+        const int pick = scheduler_->choose(cands_, now, ctx);
+        if (pick >= 0) {
+            mc_assert(pick < static_cast<int>(cands_.size()) &&
+                          cands_[pick].issuableNow,
+                      "scheduler chose an illegal candidate");
+            issueCandidate(cands_[pick], now);
+            return;
+        }
+    }
+    tryPolicyPrecharge(now);
+}
+
+} // namespace mcsim

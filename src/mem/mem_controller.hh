@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The memory controller: request queues, write-drain state machine,
+ * refresh handling, command generation under a pluggable scheduling
+ * algorithm and page management policy, and the statistics behind
+ * every figure in the paper.
+ *
+ * One controller instance drives one DRAM channel. tick() must be
+ * called once per DRAM command cycle; at most one DRAM command issues
+ * per tick, with priority: refresh bookkeeping > the scheduler's pick
+ * > an idle page-policy precharge.
+ */
+
+#ifndef CLOUDMC_MEM_MEM_CONTROLLER_HH
+#define CLOUDMC_MEM_MEM_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/channel.hh"
+#include "page_policy.hh"
+#include "request.hh"
+#include "scheduler.hh"
+
+namespace mcsim {
+
+/** Controller tuning knobs. */
+struct MemControllerConfig
+{
+    /** Enter write-drain mode when the write queue reaches this. */
+    std::size_t writeDrainHigh = 24;
+    /** Leave write-drain mode when the write queue falls to this. */
+    std::size_t writeDrainLow = 12;
+    /** Drain opportunistically when reads are idle and writes exceed
+     *  this (avoids hoarding writes forever on read-light phases). */
+    std::size_t writeDrainIdle = 16;
+    /** With no pending reads for this many DRAM cycles, drain writes
+     *  regardless of queue depth so parked writes cannot starve. */
+    std::uint32_t writeIdleDrainCycles = 128;
+    /** Latency of read-from-write-queue forwarding, in DRAM cycles. */
+    std::uint32_t forwardLatencyCycles = 2;
+};
+
+/** Aggregated controller statistics over a measurement window. */
+struct MemControllerStats
+{
+    std::uint64_t servedReads = 0;
+    std::uint64_t servedWrites = 0;
+    std::uint64_t forwardedReads = 0;
+
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t rowConflicts = 0;
+
+    std::uint64_t readLatencyTicks = 0; ///< Sum over delivered reads.
+    std::uint64_t readLatencySamples = 0;
+
+    /** Read latency distribution in core cycles (tail reporting). */
+    LogHistogram readLatencyHist{24};
+
+    TimeWeightedStat readQueueLen;
+    TimeWeightedStat writeQueueLen;
+
+    /** Column accesses per activation, sampled at each precharge. */
+    SmallHistogram activationAccesses{32};
+
+    std::vector<std::uint64_t> perCoreReads;
+    std::vector<std::uint64_t> perCoreLatencyTicks;
+
+    /** Row-buffer hit rate in [0,1] over all serviced CAS requests. */
+    double
+    rowHitRate() const
+    {
+        const auto total = rowHits + rowMisses + rowConflicts;
+        return total ? static_cast<double>(rowHits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Mean read latency in core cycles. */
+    double
+    avgReadLatencyCycles() const
+    {
+        return readLatencySamples
+                   ? static_cast<double>(readLatencyTicks) /
+                         static_cast<double>(readLatencySamples) /
+                         static_cast<double>(kTicksPerCoreCycle)
+                   : 0.0;
+    }
+
+    /** Fraction of activations receiving exactly one access. */
+    double
+    singleAccessFraction() const
+    {
+        return activationAccesses.fractionAt(1);
+    }
+};
+
+/** Memory controller for one channel. */
+class MemController
+{
+  public:
+    using CompletionFn = std::function<void(Request *)>;
+
+    MemController(Channel &channel, std::unique_ptr<Scheduler> scheduler,
+                  std::unique_ptr<PagePolicy> pagePolicy,
+                  std::uint32_t numCores,
+                  MemControllerConfig cfg = MemControllerConfig{});
+
+    /**
+     * Hand a request to the controller. The controller keeps the
+     * pointer until the completion callback fires (reads: when the
+     * last data beat returns; writes: when the CAS issues).
+     */
+    void enqueue(Request *req, Tick now);
+
+    /** Advance one DRAM command cycle. */
+    void tick(Tick now);
+
+    /** Called for every completed request (reads and writes). */
+    void setCompletionCallback(CompletionFn fn) { onComplete_ = std::move(fn); }
+
+    std::size_t readQueueLen() const { return readQ_.size(); }
+    std::size_t writeQueueLen() const { return writeQ_.size(); }
+    bool drainingWrites() const { return drainingWrites_; }
+
+    Scheduler &scheduler() { return *scheduler_; }
+    PagePolicy &pagePolicy() { return *pagePolicy_; }
+    Channel &channel() { return channel_; }
+
+    MemControllerStats &stats() { return stats_; }
+    const MemControllerStats &stats() const { return stats_; }
+    void resetStats(Tick now);
+
+  private:
+    void deliverResponses(Tick now);
+    void updateDrainMode(Tick now);
+    bool tryRefresh(Tick now);
+    void buildCandidates(Tick now);
+    bool issueCandidate(const Candidate &cand, Tick now);
+    bool tryPolicyPrecharge(Tick now);
+    void serviceCas(Request *req, Tick now, Tick dataReadyAt);
+    void recordPrecharge(std::uint32_t rank, std::uint32_t bank,
+                         std::uint64_t row, std::uint32_t accesses);
+    void scanBankPool(std::uint32_t rank, std::uint32_t bank,
+                      std::uint64_t openRow, bool &pendingHit,
+                      bool &pendingConflict) const;
+    void removeFromQueue(std::vector<Request *> &q, Request *req);
+
+    Channel &channel_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::unique_ptr<PagePolicy> pagePolicy_;
+    std::uint32_t numCores_;
+    MemControllerConfig cfg_;
+
+    std::vector<Request *> readQ_;
+    std::vector<Request *> writeQ_;
+    std::vector<Candidate> cands_; ///< Reused each cycle.
+
+    struct PendingResponse
+    {
+        Tick readyAt;
+        Request *req;
+        bool operator>(const PendingResponse &o) const
+        {
+            return readyAt > o.readyAt;
+        }
+    };
+    std::priority_queue<PendingResponse, std::vector<PendingResponse>,
+                        std::greater<PendingResponse>> responses_;
+
+    bool drainingWrites_ = false;
+    Tick lastReadPendingAt_ = 0; ///< Last tick the read queue was non-empty.
+    CompletionFn onComplete_;
+    MemControllerStats stats_;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_MEM_MEM_CONTROLLER_HH

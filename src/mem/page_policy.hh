@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DRAM page (row-buffer) management policy interface.
+ *
+ * The policy decides when an open row should be *proactively* closed.
+ * Conflict-driven closure (a PRE issued because a queued request needs
+ * a different row) is part of request service and happens regardless
+ * of the policy; the policy's shouldClose() controls idle closure.
+ */
+
+#ifndef CLOUDMC_MEM_PAGE_POLICY_HH
+#define CLOUDMC_MEM_PAGE_POLICY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mcsim {
+
+/** Snapshot of one open bank's state for a closure decision. */
+struct PageQuery
+{
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t openRow = 0;
+    std::uint32_t accessesThisActivation = 0;
+    bool pendingHit = false;      ///< Pool has a request for the open row.
+    bool pendingConflict = false; ///< Pool has a request for another row.
+    Tick now = 0;
+    Tick lastAccessAt = 0;
+};
+
+/** Abstract page management policy. */
+class PagePolicy
+{
+  public:
+    virtual ~PagePolicy() = default;
+
+    /** Short policy name used in result tables. */
+    virtual const char *name() const = 0;
+
+    /** Should the controller issue an idle PRE to this bank now? */
+    virtual bool shouldClose(const PageQuery &q) = 0;
+
+    /** A row was activated in (rank, bank). */
+    virtual void onActivate(std::uint32_t, std::uint32_t, std::uint64_t) {}
+
+    /**
+     * A row was closed after @p accesses column accesses (>= 1 unless
+     * the activation was wasted).
+     */
+    virtual void
+    onPrecharge(std::uint32_t, std::uint32_t, std::uint64_t,
+                std::uint32_t)
+    {
+    }
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_MEM_PAGE_POLICY_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The memory request type exchanged between the cache hierarchy and
+ * the memory controller.
+ */
+
+#ifndef CLOUDMC_MEM_REQUEST_HH
+#define CLOUDMC_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/dram_params.hh"
+
+namespace mcsim {
+
+/** How a serviced request found its target row. */
+enum class RowOutcome : std::uint8_t {
+    Unknown,  ///< Not yet serviced.
+    Hit,      ///< Row already open; CAS only.
+    Miss,     ///< Bank was precharged; ACT + CAS.
+    Conflict, ///< Another row was open; PRE + ACT + CAS.
+};
+
+/** A block-granularity memory request at the controller. */
+struct Request
+{
+    std::uint64_t id = 0;
+    CoreId core = 0;
+    bool isWrite = false;
+    bool isIo = false; ///< Issued by a DMA/IO engine, not a core.
+
+    Addr addr = 0;       ///< Block-aligned physical address.
+    DramCoord coord;     ///< Decoded channel/rank/bank/row/column.
+
+    Tick arrivedAt = 0;   ///< Enqueue tick at the controller.
+    Tick completedAt = 0; ///< Read: last data beat; write: CAS issue.
+
+    RowOutcome outcome = RowOutcome::Unknown;
+
+    // --- scheduler scratch state ---
+    bool marked = false;   ///< PAR-BS batch membership.
+    bool preIssued = false; ///< A conflict PRE was issued for us.
+    bool actIssued = false; ///< An ACT was issued for us.
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_MEM_REQUEST_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ATLAS: Adaptive per-Thread Least-Attained-Service scheduling
+ * (Kim et al., HPCA 2010).
+ *
+ * Time is divided into quanta. During a quantum each core accumulates
+ * attained service (AS); at quantum boundaries cores are ranked by an
+ * exponentially-weighted total attained service, least first. Priority
+ * order during scheduling: over-threshold (starved) requests first,
+ * then higher-ranked cores, then row hits, then age.
+ *
+ * The paper's Table 3 configuration uses a 10 M-cycle quantum with
+ * alpha = 0.875 and a 50 K-cycle starvation threshold. Because this
+ * reproduction runs measurement windows that are ~100x shorter than
+ * the paper's 5 B-instruction samples, the default quantum here is
+ * scaled to keep the number of quanta per run comparable; the
+ * starvation threshold is an absolute latency bound and is kept as-is.
+ */
+
+#ifndef CLOUDMC_MEM_SCHED_ATLAS_HH
+#define CLOUDMC_MEM_SCHED_ATLAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "scheduler.hh"
+
+namespace mcsim {
+
+/** ATLAS configuration (quantum/threshold in core cycles). */
+struct AtlasConfig
+{
+    std::uint64_t quantumCycles = 100'000; ///< Scaled; paper uses 10 M.
+    double alpha = 0.875;                  ///< Bias to current quantum.
+    std::uint64_t starvationCycles = 50'000;
+    double serviceUnitsPerCas = 1.0; ///< AS added per serviced CAS.
+};
+
+/** ATLAS scheduler. */
+class AtlasScheduler : public Scheduler
+{
+  public:
+    AtlasScheduler(std::uint32_t numCores, AtlasConfig cfg = AtlasConfig{});
+
+    const char *name() const override { return "ATLAS"; }
+    int choose(const std::vector<Candidate> &cands, Tick now,
+               const SchedulerContext &ctx) override;
+    void onRequestServiced(const Request &req) override;
+    void tick(Tick now, const SchedulerContext &ctx) override;
+
+    /** Rank of a core (0 = highest priority); for tests. */
+    std::uint32_t coreRank(CoreId c) const { return rank_[slot(c)]; }
+
+    /** Smoothed total attained service of a core; for tests. */
+    double totalService(CoreId c) const { return totalAs_[slot(c)]; }
+
+    std::uint64_t quantaElapsed() const { return quanta_; }
+
+  private:
+    std::uint32_t slot(CoreId c) const
+    {
+        return c >= numCores_ ? numCores_ : c;
+    }
+    void newQuantum();
+
+    std::uint32_t numCores_;
+    AtlasConfig cfg_;
+    Tick quantumEndsAt_;
+    std::uint64_t quanta_ = 0;
+    std::vector<double> quantumAs_; ///< AS in the current quantum.
+    std::vector<double> totalAs_;   ///< Smoothed across quanta.
+    std::vector<std::uint32_t> rank_;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_MEM_SCHED_ATLAS_HH

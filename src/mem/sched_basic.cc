@@ -1,0 +1,78 @@
+#include "sched_basic.hh"
+
+#include <unordered_map>
+
+namespace mcsim {
+
+int
+FcfsScheduler::choose(const std::vector<Candidate> &cands, Tick,
+                      const SchedulerContext &)
+{
+    // Find the globally oldest request; issue only its command.
+    int oldest = -1;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (oldest < 0 ||
+            cands[i].req->arrivedAt < cands[oldest].req->arrivedAt) {
+            oldest = static_cast<int>(i);
+        }
+    }
+    if (oldest >= 0 && cands[oldest].issuableNow)
+        return oldest;
+    return -1;
+}
+
+int
+FcfsBanksScheduler::choose(const std::vector<Candidate> &cands, Tick,
+                           const SchedulerContext &)
+{
+    // Oldest request per (rank, bank) is eligible; among the eligible
+    // and issuable ones, pick the oldest overall (age fairness across
+    // banks; the bank queues themselves are strictly in order).
+    std::unordered_map<std::uint32_t, int> headOfBank;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const auto key = (cands[i].req->coord.rank << 8) |
+                         cands[i].req->coord.bank;
+        auto it = headOfBank.find(key);
+        if (it == headOfBank.end() ||
+            cands[i].req->arrivedAt < cands[it->second].req->arrivedAt) {
+            headOfBank[key] = static_cast<int>(i);
+        }
+    }
+    int best = -1;
+    for (const auto &[key, idx] : headOfBank) {
+        (void)key;
+        if (!cands[idx].issuableNow)
+            continue;
+        if (best < 0 ||
+            cands[idx].req->arrivedAt < cands[best].req->arrivedAt) {
+            best = idx;
+        }
+    }
+    return best;
+}
+
+int
+FrFcfsScheduler::choose(const std::vector<Candidate> &cands, Tick,
+                        const SchedulerContext &)
+{
+    int bestHit = -1;
+    int bestAny = -1;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (!cands[i].issuableNow)
+            continue;
+        const int idx = static_cast<int>(i);
+        if (cands[i].isRowHit) {
+            if (bestHit < 0 ||
+                cands[i].req->arrivedAt < cands[bestHit].req->arrivedAt) {
+                bestHit = idx;
+            }
+        }
+        if (bestAny < 0 ||
+            cands[i].req->arrivedAt < cands[bestAny].req->arrivedAt) {
+            bestAny = idx;
+        }
+    }
+    return bestHit >= 0 ? bestHit : bestAny;
+}
+
+} // namespace mcsim

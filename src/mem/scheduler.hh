@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Memory scheduling algorithm (MSA) interface.
+ *
+ * Each DRAM-clock cycle the controller enumerates, for every request
+ * in the active pool (read queue, or write queue while draining), the
+ * next DRAM command that request needs given current bank state, and
+ * flags whether that command is issuable this cycle. The scheduler
+ * picks one issuable candidate (or none). This factoring lets request-
+ * level policies (FCFS, FR-FCFS, PAR-BS, ATLAS) and command-level
+ * policies (RL) share one interface.
+ */
+
+#ifndef CLOUDMC_MEM_SCHEDULER_HH
+#define CLOUDMC_MEM_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/commands.hh"
+#include "request.hh"
+
+namespace mcsim {
+
+/** One service option the scheduler may pick this cycle. */
+struct Candidate
+{
+    Request *req = nullptr;      ///< The request this command advances.
+    DramCommandType cmd = DramCommandType::Activate;
+    bool issuableNow = false;    ///< Legal per all DRAM constraints.
+    bool isRowHit = false;       ///< CAS to an already-open row.
+};
+
+/** Controller state visible to schedulers (beyond the candidates). */
+struct SchedulerContext
+{
+    std::uint32_t numCores = 16;
+    std::size_t readQueueLen = 0;
+    std::size_t writeQueueLen = 0;
+    bool drainingWrites = false;
+};
+
+/**
+ * Abstract memory scheduling algorithm.
+ *
+ * Implementations must be deterministic given their seed and the call
+ * sequence; all randomness comes from an internal Pcg32.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Short policy name used in result tables. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Pick a candidate index to issue this cycle, or -1 to stay idle.
+     * Only candidates with issuableNow set may be returned.
+     */
+    virtual int choose(const std::vector<Candidate> &cands, Tick now,
+                       const SchedulerContext &ctx) = 0;
+
+    /** A request entered the controller queues. */
+    virtual void onRequestArrived(const Request &) {}
+
+    /** The request's CAS was issued (it left the pool). */
+    virtual void onRequestServiced(const Request &) {}
+
+    /** Per controller-cycle bookkeeping (quantum counters etc.). */
+    virtual void tick(Tick, const SchedulerContext &) {}
+
+    /**
+     * True if the policy selects from reads and writes together every
+     * cycle instead of using read/write drain phases. The paper notes
+     * this for RL (Section 4.1.3): it "considers both reads and writes
+     * when it selects the memory request to serve next".
+     */
+    virtual bool unifiedQueues() const { return false; }
+
+  protected:
+    /** Oldest issuable candidate; shared tie-break helper. -1 if none. */
+    static int
+    oldestIssuable(const std::vector<Candidate> &cands)
+    {
+        int best = -1;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (!cands[i].issuableNow)
+                continue;
+            if (best < 0 ||
+                cands[i].req->arrivedAt < cands[best].req->arrivedAt) {
+                best = static_cast<int>(i);
+            }
+        }
+        return best;
+    }
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_MEM_SCHEDULER_HH

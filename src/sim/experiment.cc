@@ -1,0 +1,124 @@
+#include "experiment.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "system.hh"
+
+namespace mcsim {
+
+ExperimentRunner::ExperimentRunner(std::string cachePath)
+    : cachePath_(std::move(cachePath))
+{
+    if (cachePath_.empty()) {
+        const char *env = std::getenv("CLOUDMC_CACHE");
+        cachePath_ = env ? env : "cloudmc_results_cache.csv";
+    }
+    if (cachePath_ != "-")
+        loadCache();
+}
+
+std::uint64_t
+ExperimentRunner::fastDivisor()
+{
+    const char *env = std::getenv("CLOUDMC_FAST");
+    if (!env)
+        return 1;
+    const auto v = std::strtoull(env, nullptr, 10);
+    return v >= 1 ? v : 1;
+}
+
+std::string
+ExperimentRunner::configKey(WorkloadId workload, const SimConfig &cfg)
+{
+    std::ostringstream key;
+    key << workloadAcronym(workload) << '|'
+        << schedulerKindName(cfg.scheduler) << '|'
+        << pagePolicyKindName(cfg.pagePolicy) << '|'
+        << mappingSchemeName(cfg.mapping) << '|' << cfg.dram.channels
+        << "ch|" << cfg.numCores << "c|" << cfg.warmupCoreCycles / 1000
+        << '+' << cfg.measureCoreCycles / 1000 << "k|s" << cfg.seed
+        << "|q" << cfg.schedulerParams.atlas.quantumCycles / 1000 << "|f"
+        << fastDivisor();
+    if (cfg.coreMlpOverride)
+        key << "|mlp" << cfg.coreMlpOverride;
+    return key.str();
+}
+
+void
+ExperimentRunner::loadCache()
+{
+    std::ifstream in(cachePath_);
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string key;
+        if (!std::getline(ls, key, ','))
+            continue;
+        MetricSet m;
+        char comma;
+        ls >> m.userIpc >> comma >> m.avgReadLatency >> comma >>
+            m.rowHitRatePct >> comma >> m.l2Mpki >> comma >>
+            m.avgReadQueue >> comma >> m.avgWriteQueue >> comma >>
+            m.bwUtilPct >> comma >> m.singleAccessPct >> comma >>
+            m.committedInstructions >> comma >> m.measuredCycles >>
+            comma >> m.memReads >> comma >> m.memWrites >> comma >>
+            m.ipcDisparity >> comma >> m.dramEnergyNj >> comma >>
+            m.dramAvgPowerMw;
+        if (ls)
+            cache_[key] = m;
+    }
+}
+
+void
+ExperimentRunner::appendToCache(const std::string &key, const MetricSet &m)
+{
+    std::ofstream out(cachePath_, std::ios::app);
+    if (!out) {
+        mc_warn("cannot append to results cache '", cachePath_, "'");
+        return;
+    }
+    out << key << ',' << m.userIpc << ',' << m.avgReadLatency << ','
+        << m.rowHitRatePct << ',' << m.l2Mpki << ',' << m.avgReadQueue
+        << ',' << m.avgWriteQueue << ',' << m.bwUtilPct << ','
+        << m.singleAccessPct << ',' << m.committedInstructions << ','
+        << m.measuredCycles << ',' << m.memReads << ',' << m.memWrites
+        << ',' << m.ipcDisparity << ',' << m.dramEnergyNj << ','
+        << m.dramAvgPowerMw << '\n';
+}
+
+MetricSet
+ExperimentRunner::run(WorkloadId workload, const SimConfig &cfg)
+{
+    const std::string key = configKey(workload, cfg);
+    if (cachePath_ != "-") {
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++cacheHits_;
+            return it->second;
+        }
+    }
+
+    SimConfig effective = cfg;
+    const std::uint64_t divisor = fastDivisor();
+    effective.warmupCoreCycles = cfg.warmupCoreCycles / divisor;
+    effective.measureCoreCycles =
+        std::max<std::uint64_t>(cfg.measureCoreCycles / divisor, 100'000);
+
+    System system(effective, workloadPreset(workload));
+    const MetricSet m = system.run();
+    ++simulationsRun_;
+
+    if (cachePath_ != "-") {
+        cache_[key] = m;
+        appendToCache(key, m);
+    }
+    return m;
+}
+
+} // namespace mcsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Experiment harness: runs (workload, configuration) points and
+ * memoizes the results in an on-disk CSV cache so the fourteen
+ * per-figure bench binaries can share one set of simulations.
+ */
+
+#ifndef CLOUDMC_SIM_EXPERIMENT_HH
+#define CLOUDMC_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+
+#include "metrics.hh"
+#include "sim_config.hh"
+#include "workload/presets.hh"
+
+namespace mcsim {
+
+/** Memoizing simulation runner. */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param cachePath CSV cache location; empty selects the
+     *        CLOUDMC_CACHE environment variable or, failing that,
+     *        "cloudmc_results_cache.csv" in the working directory.
+     *        Pass "-" to disable caching entirely.
+     */
+    explicit ExperimentRunner(std::string cachePath = "");
+
+    /**
+     * Run (or recall) one simulation of @p workload under @p cfg.
+     * Honors CLOUDMC_FAST=<divisor> by dividing the warmup/measure
+     * windows, for quick smoke runs.
+     */
+    MetricSet run(WorkloadId workload, const SimConfig &cfg);
+
+    /** Stable fingerprint of a (workload, config) point. */
+    static std::string configKey(WorkloadId workload, const SimConfig &cfg);
+
+    std::uint64_t cacheHits() const { return cacheHits_; }
+    std::uint64_t simulationsRun() const { return simulationsRun_; }
+
+  private:
+    void loadCache();
+    void appendToCache(const std::string &key, const MetricSet &m);
+    static std::uint64_t fastDivisor();
+
+    std::string cachePath_;
+    std::map<std::string, MetricSet> cache_;
+    std::uint64_t cacheHits_ = 0;
+    std::uint64_t simulationsRun_ = 0;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_SIM_EXPERIMENT_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The measured quantities behind every figure in the paper, collected
+ * over one measurement window.
+ */
+
+#ifndef CLOUDMC_SIM_METRICS_HH
+#define CLOUDMC_SIM_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mcsim {
+
+/** One simulation run's results. */
+struct MetricSet
+{
+    /** Aggregate committed instructions per cycle over all cores. */
+    double userIpc = 0.0;
+    /** Mean DRAM read latency (controller arrival to last data beat),
+     *  in core cycles. Figure 3's quantity. */
+    double avgReadLatency = 0.0;
+    /** Read latency tail, in core cycles (log-bucket estimates).
+     *  Computed on live System runs; not stored in the experiment
+     *  results cache (recalled entries report 0 here). */
+    double readLatencyP50 = 0.0;
+    double readLatencyP95 = 0.0;
+    double readLatencyP99 = 0.0;
+    /** Row-buffer hit rate, percent. Figure 2's quantity. */
+    double rowHitRatePct = 0.0;
+    /** LLC demand misses per kilo committed instructions. Figure 4. */
+    double l2Mpki = 0.0;
+    /** Mean read/write queue occupancy summed over controllers.
+     *  Figures 5 and 6. */
+    double avgReadQueue = 0.0;
+    double avgWriteQueue = 0.0;
+    /** DRAM data-bus utilization, percent of peak. Figure 7. */
+    double bwUtilPct = 0.0;
+    /** Activations receiving exactly one access, percent. Figure 8. */
+    double singleAccessPct = 0.0;
+
+    /** Per-core IPC (for the ATLAS disparity analysis). */
+    std::vector<double> perCoreIpc;
+
+    /** Lowest per-core IPC divided by the highest, in [0,1]. The
+     *  paper's Section 4.1.1 fairness quantity ("the lowest per core
+     *  IPC with FR-FCFS is within 85% of the highest"). */
+    double ipcDisparity = 1.0;
+
+    /** Estimated DRAM core energy over the window (Micron TN-41-01
+     *  style model; see dram/energy.hh), and its average power. */
+    double dramEnergyNj = 0.0;
+    double dramAvgPowerMw = 0.0;
+
+    std::uint64_t committedInstructions = 0;
+    std::uint64_t measuredCycles = 0;
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+
+    /** Total DRAM accesses (the Web Frontend channel analysis). */
+    std::uint64_t
+    totalMemAccesses() const
+    {
+        return memReads + memWrites;
+    }
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_SIM_METRICS_HH

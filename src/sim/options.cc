@@ -1,0 +1,192 @@
+#include "options.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace mcsim {
+
+namespace {
+
+/** Non-fatal name lookups (the factory variants are fatal-on-error). */
+
+bool
+findWorkload(const std::string &name, WorkloadId &out)
+{
+    for (auto w : kAllWorkloads) {
+        if (name == workloadAcronym(w)) {
+            out = w;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+findScheduler(const std::string &name, SchedulerKind &out)
+{
+    for (auto k : {SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks,
+                   SchedulerKind::ParBs, SchedulerKind::Atlas,
+                   SchedulerKind::Rl, SchedulerKind::Fcfs,
+                   SchedulerKind::Fqm, SchedulerKind::Tcm,
+                   SchedulerKind::Stfm}) {
+        if (name == schedulerKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+findPolicy(const std::string &name, PagePolicyKind &out)
+{
+    for (auto k : {PagePolicyKind::OpenAdaptive,
+                   PagePolicyKind::CloseAdaptive, PagePolicyKind::Rbpp,
+                   PagePolicyKind::Abpp, PagePolicyKind::Open,
+                   PagePolicyKind::Close, PagePolicyKind::Timer,
+                   PagePolicyKind::History}) {
+        if (name == pagePolicyKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+findMapping(const std::string &name, MappingScheme &out)
+{
+    for (auto s : kExtendedMappingSchemes) {
+        if (name == mappingSchemeName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseUint(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+} // namespace
+
+std::string
+ExperimentOptions::parse(int argc, char **argv)
+{
+    const auto need = [&](int &i) -> const char * {
+        return i + 1 < argc ? argv[++i] : nullptr;
+    };
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            helpRequested = true;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--workload") {
+            const char *v = need(i);
+            if (!v || !findWorkload(v, workload))
+                return "unknown workload for --workload";
+        } else if (arg == "--scheduler") {
+            const char *v = need(i);
+            if (!v || !findScheduler(v, config.scheduler))
+                return "unknown scheduler for --scheduler";
+        } else if (arg == "--policy") {
+            const char *v = need(i);
+            if (!v || !findPolicy(v, config.pagePolicy))
+                return "unknown page policy for --policy";
+        } else if (arg == "--mapping") {
+            const char *v = need(i);
+            if (!v || !findMapping(v, config.mapping))
+                return "unknown mapping scheme for --mapping";
+        } else if (arg == "--channels") {
+            const char *v = need(i);
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n) || n == 0 || !isPowerOf2(n))
+                return "--channels needs a power-of-two count";
+            config.dram.channels = static_cast<std::uint32_t>(n);
+        } else if (arg == "--warmup") {
+            const char *v = need(i);
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n))
+                return "--warmup needs a cycle count";
+            config.warmupCoreCycles = n;
+        } else if (arg == "--measure") {
+            const char *v = need(i);
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n) || n == 0)
+                return "--measure needs a nonzero cycle count";
+            config.measureCoreCycles = n;
+        } else if (arg == "--seed") {
+            const char *v = need(i);
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n))
+                return "--seed needs a number";
+            config.seed = n;
+        } else if (arg == "--fast") {
+            const char *v = need(i);
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n) || n == 0)
+                return "--fast needs a nonzero divisor";
+            config.warmupCoreCycles /= n;
+            config.measureCoreCycles =
+                std::max<std::uint64_t>(config.measureCoreCycles / n,
+                                        100'000);
+        } else if (arg.rfind("--", 0) == 0) {
+            return "unknown flag '" + arg + "'";
+        } else {
+            // A bare acronym selects the workload; anything else stays
+            // positional for the tool to interpret.
+            WorkloadId w;
+            if (findWorkload(arg, w))
+                workload = w;
+            else
+                positional.push_back(arg);
+        }
+    }
+    return {};
+}
+
+std::string
+ExperimentOptions::usage(const std::string &tool)
+{
+    std::ostringstream out;
+    out << "usage: " << tool
+        << " [workload] [--workload W] [--scheduler S] [--policy P]\n"
+        << "       [--mapping M] [--channels N] [--warmup C] "
+           "[--measure C]\n"
+        << "       [--seed N] [--fast D] [--csv]\n\n";
+    out << "workloads:";
+    for (auto w : kAllWorkloads)
+        out << ' ' << workloadAcronym(w);
+    out << "\nschedulers:";
+    for (auto k : {SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks,
+                   SchedulerKind::ParBs, SchedulerKind::Atlas,
+                   SchedulerKind::Rl, SchedulerKind::Fcfs,
+                   SchedulerKind::Fqm, SchedulerKind::Tcm,
+                   SchedulerKind::Stfm}) {
+        out << ' ' << schedulerKindName(k);
+    }
+    out << "\npolicies:";
+    for (auto k : {PagePolicyKind::OpenAdaptive,
+                   PagePolicyKind::CloseAdaptive, PagePolicyKind::Rbpp,
+                   PagePolicyKind::Abpp, PagePolicyKind::Open,
+                   PagePolicyKind::Close, PagePolicyKind::Timer,
+                   PagePolicyKind::History}) {
+        out << ' ' << pagePolicyKindName(k);
+    }
+    out << "\nmappings:";
+    for (auto s : kExtendedMappingSchemes)
+        out << ' ' << mappingSchemeName(s);
+    out << '\n';
+    return out.str();
+}
+
+} // namespace mcsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Command-line configuration for the examples and one-off experiment
+ * runs: parse `--scheduler/--policy/--channels/--mapping/--workload/
+ * --warmup/--measure/--seed/--fast` style arguments onto a SimConfig
+ * and a workload selection, with a generated usage string. Keeps every
+ * tool's flag vocabulary identical.
+ */
+
+#ifndef CLOUDMC_SIM_OPTIONS_HH
+#define CLOUDMC_SIM_OPTIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim_config.hh"
+#include "workload/presets.hh"
+
+namespace mcsim {
+
+/** Parsed command line for an experiment-style tool. */
+struct ExperimentOptions
+{
+    SimConfig config = SimConfig::baseline();
+    WorkloadId workload = WorkloadId::DS;
+    bool csv = false;
+    /** Leftover positional arguments, in order. */
+    std::vector<std::string> positional;
+    /** Set when --help was requested; the caller should print usage. */
+    bool helpRequested = false;
+
+    /**
+     * Parse argv (excluding argv[0]). Returns an empty string on
+     * success, or a one-line error describing the offending argument.
+     * Recognized flags:
+     *   --workload <acronym>      (also accepted as a positional)
+     *   --scheduler <name>        FR-FCFS, FCFS, FCFS_banks, PAR-BS,
+     *                             ATLAS, RL, FQM, TCM, STFM
+     *   --policy <name>           OpenAdaptive, CloseAdaptive, RBPP,
+     *                             ABPP, Open, Close, Timer, History
+     *   --mapping <name>          RoRaBaCoCh, ..., PermBaXor, ...
+     *   --channels <1|2|4|...>
+     *   --warmup <core cycles>    --measure <core cycles>
+     *   --seed <n>                --fast <divisor>   --csv   --help
+     */
+    std::string parse(int argc, char **argv);
+
+    /** Usage text listing every flag and legal value. */
+    static std::string usage(const std::string &tool);
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_SIM_OPTIONS_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Full-system configuration: the paper's Table 2 baseline plus every
+ * knob the evaluation sweeps.
+ */
+
+#ifndef CLOUDMC_SIM_SIM_CONFIG_HH
+#define CLOUDMC_SIM_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "cpu/core.hh"
+#include "cpu/hierarchy.hh"
+#include "dram/dram_params.hh"
+#include "mem/address_mapping.hh"
+#include "mem/factory.hh"
+#include "mem/mem_controller.hh"
+
+namespace mcsim {
+
+/** Complete simulated-system configuration. */
+struct SimConfig
+{
+    std::uint32_t numCores = 16; ///< Overridden by the workload for WF.
+
+    HierarchyConfig hierarchy;
+    CoreConfig core;
+
+    DramGeometry dram;
+    DramTimings timings = DramTimings::ddr3_1600();
+    bool refreshEnabled = true;
+
+    MappingScheme mapping = MappingScheme::RoRaBaCoCh;
+    SchedulerKind scheduler = SchedulerKind::FrFcfs;
+    SchedulerParams schedulerParams;
+    PagePolicyKind pagePolicy = PagePolicyKind::OpenAdaptive;
+    MemControllerConfig controller;
+
+    /** One-way crossbar/LLC-to-MC traversal, in core cycles. */
+    std::uint32_t xbarLatencyCycles = 4;
+
+    /**
+     * When nonzero, overrides the workload preset's MLP window (the
+     * outstanding-load-miss budget per core). The paper's Section 5
+     * hypothesizes that more aggressive (out-of-order-like) cores
+     * would raise MLP and change the multi-channel conclusion;
+     * bench/ablation_ooo sweeps this knob to test that.
+     */
+    std::uint32_t coreMlpOverride = 0;
+
+    std::uint64_t warmupCoreCycles = 2'000'000;
+    std::uint64_t measureCoreCycles = 8'000'000;
+
+    std::uint64_t seed = 1;
+
+    /**
+     * The paper's Table 2 baseline: 16 in-order cores at 2 GHz, 32 KB
+     * 2-way L1s, 4 MB 16-way 4-bank shared L2, FR-FCFS, open-adaptive
+     * paging, 1 channel of DDR3-1600 with 2 ranks x 8 banks and 8 KB
+     * rows, RoRaBaCoCh mapping.
+     */
+    static SimConfig
+    baseline()
+    {
+        return SimConfig{};
+    }
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_SIM_SIM_CONFIG_HH

@@ -1,0 +1,311 @@
+#include "system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "dram/energy.hh"
+
+namespace mcsim {
+
+namespace {
+
+constexpr std::uint32_t kBlockBytes = 64;
+
+/** Fixed IO buffer placement: below the 1-channel capacity so DMA
+ *  addresses are identical across channel-count sweeps. */
+constexpr Addr kIoBufferBase = 7ull << 30;          // 7 GiB
+constexpr std::uint64_t kIoBufferBytes = 512 << 20; // 512 MiB
+
+} // namespace
+
+System::System(const SimConfig &cfg, const WorkloadParams &workload)
+    : cfg_(cfg), toMem_(coreCyclesToTicks(cfg.xbarLatencyCycles)),
+      toCpu_(coreCyclesToTicks(cfg.xbarLatencyCycles))
+{
+    cfg_.numCores = workload.cores;
+    cfg_.core.mlpWindow = cfg_.coreMlpOverride ? cfg_.coreMlpOverride
+                                               : workload.mlpWindow;
+    cfg_.core.storeBufferEntries = workload.storeBufferEntries;
+
+    build(cfg_, cfg_.numCores);
+    ownedGenerator_ = std::make_unique<SyntheticWorkload>(
+        workload, dram_->geometry().capacityBytes());
+    generator_ = ownedGenerator_.get();
+
+    if (workload.ioWindow > 0) {
+        io_.enabled = true;
+        io_.window = workload.ioWindow;
+        io_.burstBlocks = workload.ioBurstBlocks;
+        io_.writeFrac = workload.ioWriteFrac;
+        io_.thinkTicks = dramCyclesToTicks(workload.ioThinkDramCycles);
+        io_.bufferBase = kIoBufferBase;
+        io_.bufferBlocks = kIoBufferBytes / kBlockBytes;
+        io_.rng.reseed(workload.seed * 7919 + 17, 0x10);
+        mc_assert(kIoBufferBase + kIoBufferBytes <=
+                      dram_->geometry().capacityBytes(),
+                  "IO buffer does not fit in DRAM");
+    }
+
+    for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
+        cores_.push_back(std::make_unique<Core>(c, *generator_,
+                                                *hierarchy_, cfg_.core));
+    }
+}
+
+System::System(const SimConfig &cfg, WorkloadGenerator &generator,
+               std::uint32_t numCores)
+    : cfg_(cfg), toMem_(coreCyclesToTicks(cfg.xbarLatencyCycles)),
+      toCpu_(coreCyclesToTicks(cfg.xbarLatencyCycles))
+{
+    cfg_.numCores = numCores;
+    build(cfg_, numCores);
+    generator_ = &generator;
+    for (std::uint32_t c = 0; c < numCores; ++c) {
+        cores_.push_back(std::make_unique<Core>(c, *generator_,
+                                                *hierarchy_, cfg_.core));
+    }
+}
+
+System::~System() = default;
+
+void
+System::build(const SimConfig &cfg, std::uint32_t numCores)
+{
+    mapper_ = std::make_unique<AddressMapper>(cfg.dram, cfg.mapping);
+    dram_ = std::make_unique<DramSystem>(cfg.dram, cfg.timings,
+                                         cfg.refreshEnabled);
+    for (std::uint32_t ch = 0; ch < cfg.dram.channels; ++ch) {
+        auto mc = std::make_unique<MemController>(
+            dram_->channel(ch),
+            makeScheduler(cfg.scheduler, numCores, cfg.schedulerParams),
+            makePagePolicy(cfg.pagePolicy), numCores, cfg.controller);
+        mc->setCompletionCallback(
+            [this](Request *req) { onMemComplete(req); });
+        controllers_.push_back(std::move(mc));
+    }
+    hierarchy_ = std::make_unique<CacheHierarchy>(numCores, cfg.hierarchy);
+    hierarchy_->setSendMemRead(
+        [this](CoreId core, Addr addr) { sendMemRead(core, addr); });
+    hierarchy_->setSendMemWrite(
+        [this](CoreId core, Addr addr) { sendMemWrite(core, addr); });
+    hierarchy_->setWake([this](CoreId core, MissKind kind) {
+        cores_[core]->missReturned(kind);
+    });
+}
+
+Request *
+System::allocRequest(CoreId core, Addr addr, bool isWrite, bool isIo)
+{
+    Request *req;
+    if (!freeRequests_.empty()) {
+        req = freeRequests_.back();
+        freeRequests_.pop_back();
+    } else {
+        requestStorage_.push_back(std::make_unique<Request>());
+        req = requestStorage_.back().get();
+    }
+    *req = Request{};
+    req->id = ++nextRequestId_;
+    req->core = core;
+    req->addr = addr;
+    req->isWrite = isWrite;
+    req->isIo = isIo;
+    req->coord = mapper_->decode(addr);
+    return req;
+}
+
+void
+System::freeRequest(Request *req)
+{
+    freeRequests_.push_back(req);
+}
+
+void
+System::sendMemRead(CoreId core, Addr blockAddr)
+{
+    toMem_.push(now_, allocRequest(core, blockAddr, false, false));
+}
+
+void
+System::sendMemWrite(CoreId core, Addr blockAddr)
+{
+    toMem_.push(now_, allocRequest(core, blockAddr, true, false));
+}
+
+void
+System::onMemComplete(Request *req)
+{
+    if (req->isIo && !req->isWrite) {
+        // IO reads are closed-loop; IO writes are posted (the device
+        // got its ack at issue time and never held a window slot).
+        mc_assert(io_.outstanding > 0, "spurious IO completion");
+        --io_.outstanding;
+        io_.nextIssueAt = now_ + io_.thinkTicks;
+    } else if (!req->isIo && !req->isWrite) {
+        toCpu_.push(now_, {req->core, req->addr});
+    }
+    freeRequest(req);
+}
+
+void
+System::ioStep()
+{
+    if (!io_.enabled || io_.outstanding >= io_.window ||
+        now_ < io_.nextIssueAt) {
+        return;
+    }
+    if (io_.burstLeft == 0) {
+        io_.streamPos = io_.rng.below64(io_.bufferBlocks);
+        io_.burstLeft = io_.burstBlocks;
+    }
+    const Addr addr = io_.bufferBase + io_.streamPos * kBlockBytes;
+    io_.streamPos = (io_.streamPos + 1) % io_.bufferBlocks;
+    --io_.burstLeft;
+    const bool isWrite = io_.rng.chance(io_.writeFrac);
+    toMem_.push(now_, allocRequest(kIoCoreId, addr, isWrite, true));
+    if (isWrite) {
+        // Posted: the device paces itself on the ack, not on DRAM.
+        io_.nextIssueAt = now_ + io_.thinkTicks;
+    } else {
+        ++io_.outstanding;
+    }
+}
+
+void
+System::coreStep()
+{
+    while (toCpu_.ready(now_)) {
+        const CpuResponse resp = toCpu_.pop();
+        hierarchy_->onMemResponse(resp.core, resp.addr);
+    }
+    for (auto &core : cores_)
+        core->tick();
+    ++coreCycles_;
+}
+
+void
+System::memStep()
+{
+    while (toMem_.ready(now_)) {
+        Request *req = toMem_.pop();
+        controllers_[req->coord.channel]->enqueue(req, now_);
+    }
+    ioStep();
+    for (auto &mc : controllers_)
+        mc->tick(now_);
+}
+
+void
+System::advance(std::uint64_t coreCycles)
+{
+    const Tick end = now_ + coreCyclesToTicks(coreCycles);
+    while (now_ < end) {
+        if (now_ % kTicksPerCoreCycle == 0)
+            coreStep();
+        if (now_ % kTicksPerDramCycle == 0)
+            memStep();
+        ++now_;
+    }
+}
+
+void
+System::resetStats()
+{
+    statsStartCycle_ = coreCycles_;
+    for (auto &core : cores_)
+        core->resetStats();
+    hierarchy_->resetStats();
+    for (auto &mc : controllers_)
+        mc->resetStats(now_);
+}
+
+MetricSet
+System::collect() const
+{
+    MetricSet m;
+    m.measuredCycles = coreCycles_ - statsStartCycle_;
+
+    std::uint64_t committed = 0;
+    for (const auto &core : cores_) {
+        committed += core->stats().committedInstructions;
+        m.perCoreIpc.push_back(core->stats().ipc());
+    }
+    if (!m.perCoreIpc.empty()) {
+        const auto [lo, hi] = std::minmax_element(m.perCoreIpc.begin(),
+                                                  m.perCoreIpc.end());
+        m.ipcDisparity = *hi > 0.0 ? *lo / *hi : 1.0;
+    }
+    m.committedInstructions = committed;
+    m.userIpc = m.measuredCycles
+                    ? static_cast<double>(committed) /
+                          static_cast<double>(m.measuredCycles)
+                    : 0.0;
+    m.l2Mpki = committed ? 1000.0 *
+                               static_cast<double>(
+                                   hierarchy_->stats().l2DemandMisses) /
+                               static_cast<double>(committed)
+                         : 0.0;
+
+    std::uint64_t hits = 0, misses = 0, conflicts = 0;
+    std::uint64_t latTicks = 0, latSamples = 0;
+    std::uint64_t singles = 0, activations = 0;
+    LogHistogram latencyHist{24};
+    for (const auto &mc : controllers_) {
+        latencyHist.merge(mc->stats().readLatencyHist);
+    }
+    m.readLatencyP50 = latencyHist.percentile(0.50);
+    m.readLatencyP95 = latencyHist.percentile(0.95);
+    m.readLatencyP99 = latencyHist.percentile(0.99);
+    for (const auto &mc : controllers_) {
+        const auto &s = mc->stats();
+        hits += s.rowHits;
+        misses += s.rowMisses;
+        conflicts += s.rowConflicts;
+        latTicks += s.readLatencyTicks;
+        latSamples += s.readLatencySamples;
+        singles += s.activationAccesses.bucket(1);
+        activations += s.activationAccesses.count();
+        m.avgReadQueue += s.readQueueLen.mean(now_);
+        m.avgWriteQueue += s.writeQueueLen.mean(now_);
+        m.memReads += s.servedReads + s.forwardedReads;
+        m.memWrites += s.servedWrites;
+    }
+    const std::uint64_t cas = hits + misses + conflicts;
+    m.rowHitRatePct =
+        cas ? 100.0 * static_cast<double>(hits) / static_cast<double>(cas)
+            : 0.0;
+    m.avgReadLatency =
+        latSamples ? static_cast<double>(latTicks) /
+                         static_cast<double>(latSamples) /
+                         static_cast<double>(kTicksPerCoreCycle)
+                   : 0.0;
+    m.singleAccessPct = activations
+                            ? 100.0 * static_cast<double>(singles) /
+                                  static_cast<double>(activations)
+                            : 0.0;
+    m.bwUtilPct = 100.0 * dram_->busUtilization(now_);
+
+    const DramEnergyModel energyModel(DramPowerParams::ddr3_1600(),
+                                      cfg_.timings,
+                                      cfg_.dram.ranksPerChannel);
+    double elapsedNs = 0.0;
+    for (const auto &mc : controllers_) {
+        const ChannelStats &cs = mc->channel().stats();
+        m.dramEnergyNj += energyModel.estimate(cs, now_).totalNj();
+        elapsedNs = static_cast<double>(now_ - cs.statsStartTick) * 0.25;
+    }
+    m.dramAvgPowerMw =
+        elapsedNs > 0.0 ? m.dramEnergyNj * 1e3 / elapsedNs : 0.0;
+    return m;
+}
+
+MetricSet
+System::run()
+{
+    advance(cfg_.warmupCoreCycles);
+    resetStats();
+    advance(cfg_.measureCoreCycles);
+    return collect();
+}
+
+} // namespace mcsim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * System: assembles cores, caches, crossbar links, memory controllers
+ * and DRAM into one simulated scale-out pod and runs the clock.
+ *
+ * Clocking: the global tick is 250 ps. Cores and the cache side step
+ * every 2 ticks (2 GHz); controllers and DRAM step every 5 ticks
+ * (800 MHz). run() interleaves the two domains on the common grid.
+ */
+
+#ifndef CLOUDMC_SIM_SYSTEM_HH
+#define CLOUDMC_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "cpu/core.hh"
+#include "cpu/crossbar.hh"
+#include "cpu/hierarchy.hh"
+#include "dram/dram_system.hh"
+#include "mem/address_mapping.hh"
+#include "mem/mem_controller.hh"
+#include "metrics.hh"
+#include "sim_config.hh"
+#include "workload/synthetic.hh"
+
+namespace mcsim {
+
+/** The whole simulated machine. */
+class System
+{
+  public:
+    /** Build a system running the given synthetic workload preset. */
+    System(const SimConfig &cfg, const WorkloadParams &workload);
+
+    /**
+     * Build a system around an externally-owned generator (e.g. trace
+     * replay). @p ioParams may still describe a DMA engine.
+     */
+    System(const SimConfig &cfg, WorkloadGenerator &generator,
+           std::uint32_t numCores);
+
+    ~System();
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Warm up, measure, and return the collected metrics. */
+    MetricSet run();
+
+    /** Advance the clock by @p coreCycles (for tests / custom loops). */
+    void advance(std::uint64_t coreCycles);
+
+    /** Zero all statistics at the current time. */
+    void resetStats();
+
+    /** Collect metrics for the window since the last resetStats(). */
+    MetricSet collect() const;
+
+    Tick now() const { return now_; }
+    MemController &controller(std::uint32_t ch) { return *controllers_[ch]; }
+    std::uint32_t numControllers() const
+    {
+        return static_cast<std::uint32_t>(controllers_.size());
+    }
+    CacheHierarchy &hierarchy() { return *hierarchy_; }
+    Core &core(std::uint32_t i) { return *cores_[i]; }
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+
+  private:
+    /** Closed-loop DMA/IO traffic source (Section "substitutions"). */
+    struct IoEngine
+    {
+        bool enabled = false;
+        std::uint32_t window = 0;
+        std::uint32_t burstBlocks = 64;
+        double writeFrac = 0.3;
+        Tick thinkTicks = 0;
+        Addr bufferBase = 0;
+        std::uint64_t bufferBlocks = 0;
+        std::uint64_t streamPos = 0;
+        std::uint32_t burstLeft = 0;
+        std::uint32_t outstanding = 0;
+        Tick nextIssueAt = 0;
+        Pcg32 rng;
+    };
+
+    void build(const SimConfig &cfg, std::uint32_t numCores);
+    void coreStep();
+    void memStep();
+    void ioStep();
+    Request *allocRequest(CoreId core, Addr addr, bool isWrite, bool isIo);
+    void freeRequest(Request *req);
+    void sendMemRead(CoreId core, Addr blockAddr);
+    void sendMemWrite(CoreId core, Addr blockAddr);
+    void onMemComplete(Request *req);
+
+    SimConfig cfg_;
+    Tick now_ = 0;
+    std::uint64_t statsStartCycle_ = 0;
+    std::uint64_t coreCycles_ = 0;
+
+    std::unique_ptr<SyntheticWorkload> ownedGenerator_;
+    WorkloadGenerator *generator_ = nullptr;
+
+    std::unique_ptr<CacheHierarchy> hierarchy_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::unique_ptr<AddressMapper> mapper_;
+    std::unique_ptr<DramSystem> dram_;
+    std::vector<std::unique_ptr<MemController>> controllers_;
+
+    CrossbarLink<Request *> toMem_;
+    struct CpuResponse
+    {
+        CoreId core;
+        Addr addr;
+    };
+    CrossbarLink<CpuResponse> toCpu_;
+
+    IoEngine io_;
+
+    // Request pool.
+    std::vector<std::unique_ptr<Request>> requestStorage_;
+    std::vector<Request *> freeRequests_;
+    std::uint64_t nextRequestId_ = 0;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_SIM_SYSTEM_HH

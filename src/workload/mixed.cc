@@ -1,0 +1,61 @@
+#include "mixed.hh"
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace mcsim {
+
+MixedWorkload::MixedWorkload(const std::vector<MixPart> &parts,
+                             Addr addressSpace, std::uint64_t seedSalt)
+{
+    mc_assert(!parts.empty(), "a mix needs at least one part");
+
+    // Equal power-of-two slices keep every inner address in-bounds and
+    // the partition arithmetic exact.
+    Addr slice = addressSpace / parts.size();
+    while (!isPowerOf2(slice))
+        slice &= slice - 1; // Clear lowest set bit until one remains.
+    mc_assert(slice > 0, "address space too small for the mix");
+
+    name_ = "Mix(";
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+        WorkloadParams params = workloadPreset(parts[p].workload);
+        params.cores = parts[p].cores;
+        // Distinct streams per part even when presets repeat.
+        params.seed += 7919 * (p + 1) + seedSalt;
+        inner_.push_back(
+            std::make_unique<SyntheticWorkload>(params, slice));
+        bases_.push_back(static_cast<Addr>(p) * slice);
+
+        for (CoreId c = 0; c < parts[p].cores; ++c) {
+            route_.push_back({static_cast<std::uint32_t>(p), c});
+        }
+        name_ += workloadAcronym(parts[p].workload);
+        name_ += ':';
+        name_ += std::to_string(parts[p].cores);
+        name_ += p + 1 < parts.size() ? "," : "";
+    }
+    name_ += ')';
+    totalCores_ = static_cast<std::uint32_t>(route_.size());
+}
+
+Op
+MixedWorkload::nextOp(CoreId core)
+{
+    mc_assert(core < totalCores_, "mix core out of range");
+    const Route &r = route_[core];
+    Op op = inner_[r.part]->nextOp(r.localCore);
+    if (op.kind != Op::Kind::Compute)
+        op.addr += bases_[r.part];
+    return op;
+}
+
+Addr
+MixedWorkload::nextFetchBlock(CoreId core)
+{
+    mc_assert(core < totalCores_, "mix core out of range");
+    const Route &r = route_[core];
+    return inner_[r.part]->nextFetchBlock(r.localCore) + bases_[r.part];
+}
+
+} // namespace mcsim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Trace capture and replay.
+ *
+ * A trace records the per-core op stream a generator produced so runs
+ * can be repeated exactly across configurations or exported for
+ * offline analysis. The format is a simple packed binary: a small
+ * header followed by fixed-width records.
+ */
+
+#ifndef CLOUDMC_WORKLOAD_TRACE_HH
+#define CLOUDMC_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload.hh"
+
+namespace mcsim {
+
+/** One serialized trace record. */
+struct TraceRecord
+{
+    enum class Type : std::uint8_t { Op, Fetch };
+
+    Type type = Type::Op;
+    std::uint8_t kind = 0; ///< Op::Kind for Op records.
+    CoreId core = 0;
+    std::uint32_t length = 1;
+    Addr addr = 0;
+};
+
+/** Streams records to a binary trace file. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path, std::uint32_t numCores);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void record(const TraceRecord &rec);
+    std::uint64_t recordsWritten() const { return written_; }
+
+  private:
+    std::FILE *file_;
+    std::uint64_t written_ = 0;
+};
+
+/**
+ * Wraps another generator and records everything it produces, so a
+ * live synthetic run can be captured for later replay.
+ */
+class RecordingWorkload : public WorkloadGenerator
+{
+  public:
+    RecordingWorkload(WorkloadGenerator &inner, TraceWriter &writer)
+        : inner_(inner), writer_(writer)
+    {
+    }
+
+    const char *name() const override { return inner_.name(); }
+
+    Op
+    nextOp(CoreId core) override
+    {
+        const Op op = inner_.nextOp(core);
+        TraceRecord rec;
+        rec.type = TraceRecord::Type::Op;
+        rec.kind = static_cast<std::uint8_t>(op.kind);
+        rec.core = core;
+        rec.length = op.length;
+        rec.addr = op.addr;
+        writer_.record(rec);
+        return op;
+    }
+
+    Addr
+    nextFetchBlock(CoreId core) override
+    {
+        const Addr a = inner_.nextFetchBlock(core);
+        TraceRecord rec;
+        rec.type = TraceRecord::Type::Fetch;
+        rec.core = core;
+        rec.addr = a;
+        writer_.record(rec);
+        return rec.addr;
+    }
+
+  private:
+    WorkloadGenerator &inner_;
+    TraceWriter &writer_;
+};
+
+/**
+ * Replays a trace file as a generator. Each core consumes its own
+ * record sub-stream; the trace loops when exhausted so replays can be
+ * longer than the capture.
+ */
+class TraceWorkload : public WorkloadGenerator
+{
+  public:
+    explicit TraceWorkload(const std::string &path);
+
+    const char *name() const override { return name_.c_str(); }
+    Op nextOp(CoreId core) override;
+    Addr nextFetchBlock(CoreId core) override;
+
+    std::uint32_t numCores() const { return numCores_; }
+    std::uint64_t numRecords() const { return totalRecords_; }
+
+  private:
+    struct PerCore
+    {
+        std::vector<TraceRecord> ops;
+        std::vector<Addr> fetches;
+        std::size_t opCursor = 0;
+        std::size_t fetchCursor = 0;
+    };
+
+    std::string name_ = "TraceReplay";
+    std::uint32_t numCores_ = 0;
+    std::uint64_t totalRecords_ = 0;
+    std::vector<PerCore> cores_;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_WORKLOAD_TRACE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Workload generator interface: the instruction/address stream a core
+ * executes. Generators are shared objects holding per-core state so
+ * cores can be driven independently.
+ */
+
+#ifndef CLOUDMC_WORKLOAD_WORKLOAD_HH
+#define CLOUDMC_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mcsim {
+
+/** One dynamic operation in a core's instruction stream. */
+struct Op
+{
+    enum class Kind : std::uint8_t { Compute, Load, Store };
+
+    Kind kind = Kind::Compute;
+    /** Data address for Load/Store. */
+    Addr addr = 0;
+    /** For Compute: number of back-to-back non-memory instructions. */
+    std::uint32_t length = 1;
+};
+
+/** Abstract instruction-stream generator. */
+class WorkloadGenerator
+{
+  public:
+    virtual ~WorkloadGenerator() = default;
+
+    /** Workload display name. */
+    virtual const char *name() const = 0;
+
+    /** Produce the next operation for @p core. */
+    virtual Op nextOp(CoreId core) = 0;
+
+    /**
+     * Produce the next instruction-fetch block address for @p core.
+     * Called by the core each time it consumes a fetch block's worth
+     * of instructions.
+     */
+    virtual Addr nextFetchBlock(CoreId core) = 0;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit and property tests for bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+
+using namespace mcsim;
+
+TEST(BitUtils, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(BitUtils, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(BitUtils, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1ull << 20), 20u);
+}
+
+TEST(BitUtils, ExtractBasic)
+{
+    EXPECT_EQ(extractBits(0xFF00, 8, 8), 0xFFu);
+    EXPECT_EQ(extractBits(0xABCD, 4, 4), 0xCu);
+    EXPECT_EQ(extractBits(0xABCD, 0, 0), 0u);
+    EXPECT_EQ(extractBits(~0ull, 0, 64), ~0ull);
+}
+
+TEST(BitUtils, InsertBasic)
+{
+    EXPECT_EQ(insertBits(0, 8, 8, 0xFF), 0xFF00u);
+    EXPECT_EQ(insertBits(0xFFFF, 4, 4, 0), 0xFF0Fu);
+    EXPECT_EQ(insertBits(0x1234, 0, 0, 0xF), 0x1234u);
+}
+
+/** Property: insert-then-extract returns the inserted field. */
+class BitFieldRoundtrip
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(BitFieldRoundtrip, InsertExtract)
+{
+    const auto [lsb, width] = GetParam();
+    const std::uint64_t pattern = 0xA5A5A5A5A5A5A5A5ull;
+    const std::uint64_t field = pattern >> (64 - std::min(width, 63u));
+    const std::uint64_t v = insertBits(0xDEADBEEFCAFEF00Dull, lsb, width,
+                                       field);
+    if (width > 0)
+        EXPECT_EQ(extractBits(v, lsb, width),
+                  field & ((width >= 64 ? ~0ull
+                                        : ((1ull << width) - 1))));
+    // Bits outside the field are untouched.
+    if (lsb > 0) {
+        EXPECT_EQ(extractBits(v, 0, lsb),
+                  extractBits(0xDEADBEEFCAFEF00Dull, 0, lsb));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitFieldRoundtrip,
+    ::testing::Combine(::testing::Values(0u, 1u, 6u, 13u, 31u, 47u),
+                       ::testing::Values(1u, 3u, 8u, 16u)));

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Cache model tests: hit/miss behavior, LRU replacement, write-back
+ * state, and fill/victim mechanics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cache.hh"
+
+using namespace mcsim;
+
+namespace {
+
+CacheConfig
+tiny()
+{
+    // 2 sets x 2 ways x 64 B = 256 B.
+    return CacheConfig{256, 2, 64};
+}
+
+} // namespace
+
+TEST(Cache, MissThenFillThenHit)
+{
+    Cache c(tiny());
+    EXPECT_FALSE(c.access(0x0, false));
+    c.fill(0x0, false);
+    EXPECT_TRUE(c.access(0x0, false));
+    EXPECT_EQ(c.stats().accesses, 2u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, SetIndexingSeparatesSets)
+{
+    Cache c(tiny());
+    c.fill(0x00, false); // Set 0.
+    c.fill(0x40, false); // Set 1.
+    EXPECT_TRUE(c.contains(0x00));
+    EXPECT_TRUE(c.contains(0x40));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(tiny());
+    // Set 0 holds blocks whose addresses differ by 2 blocks (0x80).
+    c.fill(0x000, false);
+    c.fill(0x080, false);
+    c.access(0x000, false); // Touch; 0x080 becomes LRU.
+    const auto res = c.fill(0x100, false);
+    EXPECT_TRUE(res.victimValid);
+    EXPECT_EQ(res.victimAddr, 0x080u);
+    EXPECT_TRUE(c.contains(0x000));
+    EXPECT_FALSE(c.contains(0x080));
+}
+
+TEST(Cache, DirtyVictimReportsWriteback)
+{
+    Cache c(tiny());
+    c.fill(0x000, true); // Dirty.
+    c.fill(0x080, false);
+    const auto res = c.fill(0x100, false); // Evicts dirty 0x000.
+    EXPECT_TRUE(res.victimValid);
+    EXPECT_TRUE(res.victimDirty);
+    EXPECT_EQ(res.victimAddr, 0x000u);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteAccessMarksDirty)
+{
+    Cache c(tiny());
+    c.fill(0x000, false);
+    c.access(0x000, true); // Store hit dirties the line.
+    c.fill(0x080, false);
+    const auto res = c.fill(0x100, false);
+    EXPECT_TRUE(res.victimDirty);
+}
+
+TEST(Cache, FillExistingBlockUpdatesInsteadOfDuplicating)
+{
+    Cache c(tiny());
+    c.fill(0x000, false);
+    const auto res = c.fill(0x000, true); // Racing fill.
+    EXPECT_FALSE(res.victimValid);
+    c.fill(0x080, false);
+    const auto evict = c.fill(0x100, false);
+    // The single 0x000 line is dirty from the second fill.
+    EXPECT_TRUE(evict.victimDirty);
+}
+
+TEST(Cache, InvalidateReturnsDirtiness)
+{
+    Cache c(tiny());
+    c.fill(0x000, true);
+    EXPECT_TRUE(c.invalidate(0x000));
+    EXPECT_FALSE(c.contains(0x000));
+    EXPECT_FALSE(c.invalidate(0x000)); // Already gone.
+}
+
+TEST(Cache, BlockAlignMasksOffset)
+{
+    Cache c(tiny());
+    EXPECT_EQ(c.blockAlign(0x7F), 0x40u);
+    EXPECT_EQ(c.blockAlign(0x40), 0x40u);
+}
+
+TEST(Cache, SubBlockAddressesHitSameLine)
+{
+    Cache c(tiny());
+    c.fill(0x40, false);
+    EXPECT_TRUE(c.access(0x47, false));
+    EXPECT_TRUE(c.access(0x7F, false));
+}
+
+/** Property: working sets up to the cache size never self-evict. */
+class CacheCapacity : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CacheCapacity, ResidentWorkingSetAlwaysHits)
+{
+    const std::uint32_t ways = GetParam();
+    CacheConfig cfg{8192, ways, 64};
+    Cache c(cfg);
+    const std::uint64_t blocks = cfg.sizeBytes / cfg.blockBytes;
+    for (std::uint64_t b = 0; b < blocks; ++b)
+        c.fill(b * 64, false);
+    for (std::uint64_t b = 0; b < blocks; ++b)
+        EXPECT_TRUE(c.access(b * 64, false)) << "block " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheCapacity,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));

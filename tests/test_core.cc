@@ -1,0 +1,232 @@
+/**
+ * @file
+ * In-order core model tests: commit rate, blocking on load misses,
+ * the MLP window, store buffer limits, and fetch stalls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "cpu/core.hh"
+
+using namespace mcsim;
+
+namespace {
+
+/** Scripted generator: hands out a fixed op sequence, then computes. */
+class ScriptedWorkload : public WorkloadGenerator
+{
+  public:
+    const char *name() const override { return "scripted"; }
+
+    Op
+    nextOp(CoreId) override
+    {
+        if (!ops.empty()) {
+            const Op op = ops.front();
+            ops.pop_front();
+            return op;
+        }
+        Op op;
+        op.kind = Op::Kind::Compute;
+        op.length = 64;
+        return op;
+    }
+
+    Addr
+    nextFetchBlock(CoreId) override
+    {
+        fetchAddr += 64;
+        return fetchAddr;
+    }
+
+    static Op
+    load(Addr a)
+    {
+        Op op;
+        op.kind = Op::Kind::Load;
+        op.addr = a;
+        return op;
+    }
+
+    static Op
+    store(Addr a)
+    {
+        Op op;
+        op.kind = Op::Kind::Store;
+        op.addr = a;
+        return op;
+    }
+
+    std::deque<Op> ops;
+    Addr fetchAddr = 0x100000;
+};
+
+struct Harness
+{
+    explicit Harness(CoreConfig cfg = CoreConfig{})
+        : hierarchy(1, config()), core(0, gen, hierarchy, cfg)
+    {
+        hierarchy.setSendMemRead(
+            [this](CoreId, Addr a) { pendingReads.push_back(a); });
+        hierarchy.setSendMemWrite([](CoreId, Addr) {});
+        hierarchy.setWake(
+            [this](CoreId, MissKind k) { core.missReturned(k); });
+        // Pre-fill the whole code region so fetch always hits by
+        // default; tests that want fetch misses skip this.
+        for (Addr a = 0x100000; a < 0x140000; a += 64)
+            hierarchy.l1i(0).fill(a, false);
+    }
+
+    static HierarchyConfig
+    config()
+    {
+        HierarchyConfig cfg;
+        cfg.l1i = {256 * 1024, 4, 64}; // Big enough to pre-fill.
+        cfg.l1d = {1024, 2, 64};
+        cfg.l2 = {8192, 4, 64};
+        return cfg;
+    }
+
+    void
+    respondOldest()
+    {
+        ASSERT_FALSE(pendingReads.empty());
+        const Addr a = pendingReads.front();
+        pendingReads.erase(pendingReads.begin());
+        hierarchy.onMemResponse(0, a);
+    }
+
+    ScriptedWorkload gen;
+    CacheHierarchy hierarchy;
+    Core core;
+    std::vector<Addr> pendingReads;
+};
+
+} // namespace
+
+TEST(Core, CommitsOneInstructionPerCycleOnCompute)
+{
+    Harness h;
+    for (int i = 0; i < 100; ++i)
+        h.core.tick();
+    // One cycle per fetch block goes to the (L1-hit) fetch itself.
+    EXPECT_GT(h.core.stats().committedInstructions, 80u);
+    EXPECT_LE(h.core.stats().committedInstructions, 100u);
+}
+
+TEST(Core, BlockingLoadMissStallsCore)
+{
+    Harness h;
+    h.gen.ops.push_back(ScriptedWorkload::load(0x5000));
+    for (int i = 0; i < 50; ++i)
+        h.core.tick();
+    EXPECT_TRUE(h.core.isStalled());
+    const auto committedWhileBlocked =
+        h.core.stats().committedInstructions;
+    // No progress while blocked.
+    for (int i = 0; i < 50; ++i)
+        h.core.tick();
+    EXPECT_EQ(h.core.stats().committedInstructions,
+              committedWhileBlocked);
+    h.respondOldest();
+    h.core.tick();
+    h.core.tick();
+    EXPECT_GT(h.core.stats().committedInstructions,
+              committedWhileBlocked);
+}
+
+TEST(Core, MlpWindowAllowsOverlap)
+{
+    CoreConfig cfg;
+    cfg.mlpWindow = 4;
+    Harness h(cfg);
+    for (int i = 0; i < 3; ++i)
+        h.gen.ops.push_back(ScriptedWorkload::load(0x5000 + i * 0x1000));
+    for (int i = 0; i < 50; ++i)
+        h.core.tick();
+    // All three misses are outstanding concurrently; window not full.
+    EXPECT_EQ(h.pendingReads.size(), 3u);
+    EXPECT_FALSE(h.core.isStalled());
+}
+
+TEST(Core, MlpWindowFullStalls)
+{
+    CoreConfig cfg;
+    cfg.mlpWindow = 2;
+    Harness h(cfg);
+    for (int i = 0; i < 3; ++i)
+        h.gen.ops.push_back(ScriptedWorkload::load(0x5000 + i * 0x1000));
+    for (int i = 0; i < 50; ++i)
+        h.core.tick();
+    EXPECT_EQ(h.pendingReads.size(), 2u); // Third never issued.
+    EXPECT_TRUE(h.core.isStalled());
+    h.respondOldest();
+    for (int i = 0; i < 20; ++i)
+        h.core.tick();
+    EXPECT_EQ(h.pendingReads.size(), 2u); // Third issued after wake.
+}
+
+TEST(Core, StoresDoNotBlock)
+{
+    Harness h;
+    for (int i = 0; i < 4; ++i)
+        h.gen.ops.push_back(ScriptedWorkload::store(0x6000 + i * 0x1000));
+    for (int i = 0; i < 50; ++i)
+        h.core.tick();
+    EXPECT_FALSE(h.core.isStalled());
+    EXPECT_EQ(h.pendingReads.size(), 4u); // Write-allocate fills.
+}
+
+TEST(Core, StoreBufferFullStalls)
+{
+    CoreConfig cfg;
+    cfg.storeBufferEntries = 2;
+    Harness h(cfg);
+    for (int i = 0; i < 4; ++i)
+        h.gen.ops.push_back(ScriptedWorkload::store(0x6000 + i * 0x1000));
+    for (int i = 0; i < 50; ++i)
+        h.core.tick();
+    EXPECT_EQ(h.pendingReads.size(), 2u);
+    EXPECT_TRUE(h.core.isStalled());
+}
+
+TEST(Core, FetchMissStallsFrontEnd)
+{
+    Harness h;
+    h.gen.fetchAddr = 0x900000; // Outside the pre-filled region.
+    Core cold(0, h.gen, h.hierarchy, CoreConfig{});
+    std::vector<Addr> &reads = h.pendingReads;
+    h.hierarchy.setWake(
+        [&cold](CoreId, MissKind k) { cold.missReturned(k); });
+    for (int i = 0; i < 30; ++i)
+        cold.tick();
+    EXPECT_TRUE(cold.isStalled());
+    EXPECT_GT(cold.stats().fetchStallCycles, 20u);
+    ASSERT_FALSE(reads.empty());
+    h.hierarchy.onMemResponse(0, reads.front());
+    for (int i = 0; i < 20; ++i)
+        cold.tick();
+    EXPECT_GT(cold.stats().committedInstructions, 0u);
+}
+
+TEST(Core, IpcReflectsStalls)
+{
+    Harness h;
+    for (int i = 0; i < 500; ++i)
+        h.core.tick();
+    const double ipc = h.core.stats().ipc();
+    EXPECT_GT(ipc, 0.5);
+    EXPECT_LE(ipc, 1.0);
+}
+
+TEST(Core, ResetStatsZeroes)
+{
+    Harness h;
+    for (int i = 0; i < 50; ++i)
+        h.core.tick();
+    h.core.resetStats();
+    EXPECT_EQ(h.core.stats().committedInstructions, 0u);
+    EXPECT_EQ(h.core.stats().cycles, 0u);
+}

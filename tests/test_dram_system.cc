@@ -1,0 +1,98 @@
+/**
+ * @file
+ * DramSystem facade tests: channel ownership, aggregate bus
+ * utilization, and stats reset across channels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_system.hh"
+
+using namespace mcsim;
+
+namespace {
+
+DramGeometry
+geomWithChannels(std::uint32_t channels)
+{
+    DramGeometry g;
+    g.channels = channels;
+    g.rowsPerBank = 1u << 12;
+    return g;
+}
+
+/** Issue ACT+RD on (rank 0, bank 0) of @p ch starting at @p start. */
+Tick
+driveOneRead(Channel &ch, Tick start)
+{
+    DramCoord c;
+    c.row = 1;
+    Tick t = start;
+    for (const DramCommand &cmd :
+         {DramCommand::activate(c), DramCommand::read(c)}) {
+        while (!ch.canIssue(cmd, t))
+            t += kTicksPerDramCycle;
+        ch.issue(cmd, t);
+        t += kTicksPerDramCycle;
+    }
+    return t;
+}
+
+} // namespace
+
+TEST(DramSystem, OwnsRequestedChannelCount)
+{
+    DramSystem sys(geomWithChannels(4), DramTimings::ddr3_1600(), false);
+    EXPECT_EQ(sys.numChannels(), 4u);
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(sys.channel(c).geometry().ranksPerChannel, 2u);
+        EXPECT_EQ(sys.channel(c).stats().reads, 0u);
+    }
+}
+
+TEST(DramSystem, ChannelsAreIndependent)
+{
+    DramSystem sys(geomWithChannels(2), DramTimings::ddr3_1600(), false);
+    driveOneRead(sys.channel(0), 0);
+    EXPECT_EQ(sys.channel(0).stats().reads, 1u);
+    EXPECT_EQ(sys.channel(1).stats().reads, 0u);
+    // Channel 1's buses are untouched by channel 0's traffic: an
+    // immediate command is legal there.
+    DramCoord c;
+    c.row = 7;
+    EXPECT_TRUE(sys.channel(1).canIssue(DramCommand::activate(c), 0));
+}
+
+TEST(DramSystem, BusUtilizationAveragesChannels)
+{
+    DramSystem sys(geomWithChannels(2), DramTimings::ddr3_1600(), false);
+    const Tick end = driveOneRead(sys.channel(0), 0);
+    const Tick window = end + dramCyclesToTicks(100);
+    const double oneBusy = sys.channel(0).stats().busUtilization(window);
+    ASSERT_GT(oneBusy, 0.0);
+    // The idle second channel halves the average.
+    EXPECT_DOUBLE_EQ(sys.busUtilization(window), oneBusy / 2.0);
+}
+
+TEST(DramSystem, ResetStatsClearsEveryChannel)
+{
+    DramSystem sys(geomWithChannels(2), DramTimings::ddr3_1600(), false);
+    driveOneRead(sys.channel(0), 0);
+    driveOneRead(sys.channel(1), 0);
+    sys.resetStats(dramCyclesToTicks(1'000));
+    for (std::uint32_t c = 0; c < 2; ++c) {
+        EXPECT_EQ(sys.channel(c).stats().reads, 0u);
+        EXPECT_EQ(sys.channel(c).stats().activates, 0u);
+        EXPECT_EQ(sys.channel(c).stats().dataBusBusyTicks, 0u);
+    }
+}
+
+TEST(DramSystem, GeometryAndTimingsExposed)
+{
+    const auto g = geomWithChannels(1);
+    const auto tm = DramTimings::ddr3_1600();
+    DramSystem sys(g, tm, true);
+    EXPECT_EQ(sys.geometry().banksPerRank, g.banksPerRank);
+    EXPECT_EQ(sys.timings().tCAS, tm.tCAS);
+    EXPECT_EQ(sys.geometry().capacityBytes(), g.capacityBytes());
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * DRAM energy model tests: per-event energies, background accounting
+ * against the channel's rank-active tracking, and policy-level
+ * invariants (close-page spends more activate energy but less
+ * active-standby energy than open-page on single-access streams).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dram/channel.hh"
+#include "dram/energy.hh"
+
+using namespace mcsim;
+
+namespace {
+
+DramEnergyModel
+model()
+{
+    return DramEnergyModel(DramPowerParams::ddr3_1600(),
+                           DramTimings::ddr3_1600(), 2);
+}
+
+/** Issue ACT(row) + RD + PRE on (rank 0, bank 0), waiting as needed. */
+Tick
+actReadPre(Channel &ch, Tick start, std::uint64_t row)
+{
+    Tick t = start;
+    const auto step = [&](const DramCommand &cmd) {
+        while (!ch.canIssue(cmd, t))
+            t += kTicksPerDramCycle;
+        ch.issue(cmd, t);
+        t += kTicksPerDramCycle;
+    };
+    DramCoord c;
+    c.row = row;
+    step(DramCommand::activate(c));
+    step(DramCommand::read(c));
+    step(DramCommand::precharge(0, 0));
+    return t;
+}
+
+} // namespace
+
+TEST(Energy, PerEventEnergiesArePositiveAndOrdered)
+{
+    const DramEnergyModel m = model();
+    EXPECT_GT(m.actPreEnergyNj(), 0.0);
+    EXPECT_GT(m.readEnergyNj(), 0.0);
+    EXPECT_GT(m.writeEnergyNj(), 0.0);
+    EXPECT_GT(m.refreshEnergyNj(), 0.0);
+    // A refresh (all banks, tRFC long) dwarfs one CAS burst.
+    EXPECT_GT(m.refreshEnergyNj(), m.readEnergyNj());
+    // An ACT/PRE pair costs more than one CAS burst on DDR3.
+    EXPECT_GT(m.actPreEnergyNj(), m.readEnergyNj());
+}
+
+TEST(Energy, ZeroActivityIsPureBackground)
+{
+    const DramEnergyModel m = model();
+    ChannelStats s;
+    const Tick window = dramCyclesToTicks(10'000);
+    const DramEnergyBreakdown e = m.estimate(s, window);
+    EXPECT_EQ(e.actPreNj, 0.0);
+    EXPECT_EQ(e.readNj, 0.0);
+    EXPECT_EQ(e.writeNj, 0.0);
+    EXPECT_EQ(e.refreshNj, 0.0);
+    EXPECT_GT(e.backgroundNj, 0.0);
+    EXPECT_DOUBLE_EQ(e.totalNj(), e.backgroundNj);
+}
+
+TEST(Energy, CommandCountsScaleLinearly)
+{
+    const DramEnergyModel m = model();
+    ChannelStats s;
+    s.activates = 10;
+    s.reads = 20;
+    s.writes = 5;
+    s.refreshes = 2;
+    const Tick window = dramCyclesToTicks(100'000);
+    const DramEnergyBreakdown e1 = m.estimate(s, window);
+    s.activates *= 3;
+    s.reads *= 3;
+    s.writes *= 3;
+    s.refreshes *= 3;
+    const DramEnergyBreakdown e3 = m.estimate(s, window);
+    EXPECT_DOUBLE_EQ(e3.actPreNj, 3.0 * e1.actPreNj);
+    EXPECT_DOUBLE_EQ(e3.readNj, 3.0 * e1.readNj);
+    EXPECT_DOUBLE_EQ(e3.writeNj, 3.0 * e1.writeNj);
+    EXPECT_DOUBLE_EQ(e3.refreshNj, 3.0 * e1.refreshNj);
+    EXPECT_DOUBLE_EQ(e3.backgroundNj, e1.backgroundNj);
+}
+
+TEST(Energy, ActiveStandbyCostsMoreThanPrechargeStandby)
+{
+    const DramEnergyModel m = model();
+    ChannelStats idle;
+    ChannelStats active;
+    const Tick window = dramCyclesToTicks(50'000);
+    active.rankActiveTicks = window; // One rank open the whole time.
+    EXPECT_GT(m.estimate(active, window).backgroundNj,
+              m.estimate(idle, window).backgroundNj);
+}
+
+TEST(Energy, BackgroundClampsAtFullActiveTime)
+{
+    const DramEnergyModel m = model();
+    ChannelStats s;
+    const Tick window = dramCyclesToTicks(1'000);
+    s.rankActiveTicks = window * 100; // Corrupt input: beyond 2 ranks.
+    ChannelStats full;
+    full.rankActiveTicks = window * 2; // Both ranks open throughout.
+    EXPECT_DOUBLE_EQ(m.estimate(s, window).backgroundNj,
+                     m.estimate(full, window).backgroundNj);
+}
+
+TEST(Energy, AvgPowerMatchesEnergyOverTime)
+{
+    DramEnergyBreakdown e;
+    e.actPreNj = 500.0;
+    e.backgroundNj = 500.0;
+    // 1000 nJ = 1 uJ over 1 ms is 1 mW.
+    EXPECT_DOUBLE_EQ(e.avgPowerMw(1e6), 1.0);
+    // 1000 nJ over 1 us is 1 W = 1000 mW.
+    EXPECT_DOUBLE_EQ(e.avgPowerMw(1e3), 1000.0);
+    EXPECT_DOUBLE_EQ(e.avgPowerMw(0.0), 0.0);
+}
+
+TEST(Energy, ChannelTracksRankActiveTime)
+{
+    Channel ch(DramGeometry{}, DramTimings::ddr3_1600(), false);
+    const Tick end = actReadPre(ch, 0, 3);
+    // The bank was open from the ACT to the PRE: a nonzero, bounded
+    // active-standby interval must be recorded.
+    EXPECT_GT(ch.stats().rankActiveTicks, 0u);
+    EXPECT_LE(ch.stats().rankActiveTicks, end);
+    EXPECT_EQ(ch.stats().activates, 1u);
+    EXPECT_EQ(ch.stats().precharges, 1u);
+}
+
+TEST(Energy, ResetStatsRestartsActivePeriods)
+{
+    Channel ch(DramGeometry{}, DramTimings::ddr3_1600(), false);
+    DramCoord c;
+    c.row = 9;
+    Tick t = 0;
+    while (!ch.canIssue(DramCommand::activate(c), t))
+        t += kTicksPerDramCycle;
+    ch.issue(DramCommand::activate(c), t);
+
+    // Reset mid-activation: the active period must restart at the
+    // window boundary, not reach back to the ACT.
+    const Tick resetAt = t + dramCyclesToTicks(1'000);
+    ch.resetStats(resetAt);
+    Tick u = resetAt;
+    const auto pre = DramCommand::precharge(0, 0);
+    while (!ch.canIssue(pre, u))
+        u += kTicksPerDramCycle;
+    ch.issue(pre, u);
+    EXPECT_LE(ch.stats().rankActiveTicks, u - resetAt);
+}
+
+TEST(Energy, MoreActivationsMoreTotalEnergy)
+{
+    // Eight single-access activations versus one: the energy model
+    // must charge visibly more for the activation-heavy stream.
+    const DramEnergyModel m = model();
+    Channel one(DramGeometry{}, DramTimings::ddr3_1600(), false);
+    Channel eight(DramGeometry{}, DramTimings::ddr3_1600(), false);
+    Tick tEnd1 = actReadPre(one, 0, 1);
+    Tick tEnd8 = 0;
+    for (std::uint64_t r = 0; r < 8; ++r)
+        tEnd8 = actReadPre(eight, tEnd8, r);
+    const Tick horizon = std::max(tEnd1, tEnd8);
+    EXPECT_GT(m.estimate(eight.stats(), horizon).totalNj(),
+              m.estimate(one.stats(), horizon).totalNj());
+}

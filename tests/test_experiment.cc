@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Experiment harness robustness: the on-disk results cache must
+ * survive corruption, format drift and concurrent-ish appends without
+ * ever returning garbage — a corrupt row re-simulates, it never
+ * poisons a figure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sim/experiment.hh"
+
+using namespace mcsim;
+
+namespace {
+
+std::string
+tempCachePath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/cloudmc_expcache_" +
+           tag + ".csv";
+}
+
+SimConfig
+tinyConfig()
+{
+    SimConfig cfg = SimConfig::baseline();
+    cfg.warmupCoreCycles = 50'000;
+    cfg.measureCoreCycles = 100'000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ExperimentCache, CorruptLinesAreIgnored)
+{
+    const std::string path = tempCachePath("corrupt");
+    {
+        std::ofstream out(path);
+        out << "not a csv line at all\n";
+        out << "key-without-values,\n";
+        out << "half,1.0,2.0\n";
+        out << "\n";
+    }
+    ExperimentRunner runner(path);
+    const MetricSet m = runner.run(WorkloadId::WS, tinyConfig());
+    // The corrupt rows never match; a real simulation ran.
+    EXPECT_EQ(runner.simulationsRun(), 1u);
+    EXPECT_EQ(runner.cacheHits(), 0u);
+    EXPECT_GT(m.userIpc, 0.0);
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentCache, OldFormatRowsResimulate)
+{
+    // A row with the key of a current configuration but too few value
+    // fields (a pre-energy-model cache) must be dropped, not half-read.
+    const std::string path = tempCachePath("oldformat");
+    const SimConfig cfg = tinyConfig();
+    const std::string key = ExperimentRunner::configKey(WorkloadId::WS, cfg);
+    {
+        std::ofstream out(path);
+        out << key << ",1.5,100,30,5,1,10,20,80,1000,2000,30,40\n";
+    }
+    ExperimentRunner runner(path);
+    (void)runner.run(WorkloadId::WS, cfg);
+    EXPECT_EQ(runner.simulationsRun(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentCache, EnergyFieldsRoundtrip)
+{
+    const std::string path = tempCachePath("energy");
+    std::remove(path.c_str());
+    const SimConfig cfg = tinyConfig();
+    MetricSet fresh;
+    {
+        ExperimentRunner runner(path);
+        fresh = runner.run(WorkloadId::MS, cfg);
+        EXPECT_GT(fresh.dramEnergyNj, 0.0);
+        EXPECT_GT(fresh.dramAvgPowerMw, 0.0);
+        EXPECT_GT(fresh.ipcDisparity, 0.0);
+        EXPECT_LE(fresh.ipcDisparity, 1.0);
+    }
+    {
+        ExperimentRunner runner(path);
+        const MetricSet cached = runner.run(WorkloadId::MS, cfg);
+        EXPECT_EQ(runner.simulationsRun(), 0u);
+        // The CSV stores ~6 significant digits; compare relatively.
+        EXPECT_NEAR(cached.dramEnergyNj, fresh.dramEnergyNj,
+                    1e-5 * fresh.dramEnergyNj);
+        EXPECT_NEAR(cached.dramAvgPowerMw, fresh.dramAvgPowerMw,
+                    1e-5 * fresh.dramAvgPowerMw);
+        EXPECT_NEAR(cached.ipcDisparity, fresh.ipcDisparity, 1e-5);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentCache, MissingFileStartsEmpty)
+{
+    const std::string path = tempCachePath("missing");
+    std::remove(path.c_str());
+    ExperimentRunner runner(path);
+    EXPECT_EQ(runner.cacheHits(), 0u);
+    EXPECT_EQ(runner.simulationsRun(), 0u);
+}
+
+TEST(ExperimentCache, KeyEncodesEveryStudiedDimension)
+{
+    // Beyond the basic distinctions (covered in test_system.cc), the
+    // key must separate the extension dimensions too.
+    const SimConfig a = SimConfig::baseline();
+    SimConfig tcm = a;
+    tcm.scheduler = SchedulerKind::Tcm;
+    SimConfig hist = a;
+    hist.pagePolicy = PagePolicyKind::History;
+    SimConfig perm = a;
+    perm.mapping = MappingScheme::PermBaXor;
+    const auto ka = ExperimentRunner::configKey(WorkloadId::DS, a);
+    EXPECT_NE(ka, ExperimentRunner::configKey(WorkloadId::DS, tcm));
+    EXPECT_NE(ka, ExperimentRunner::configKey(WorkloadId::DS, hist));
+    EXPECT_NE(ka, ExperimentRunner::configKey(WorkloadId::DS, perm));
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Cache hierarchy tests: L1/L2 interaction, MSHR miss merging,
+ * writeback generation, and wake delivery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/hierarchy.hh"
+
+using namespace mcsim;
+
+namespace {
+
+struct Harness
+{
+    Harness()
+        : hierarchy(4, smallConfig())
+    {
+        hierarchy.setSendMemRead(
+            [this](CoreId c, Addr a) { reads.emplace_back(c, a); });
+        hierarchy.setSendMemWrite(
+            [this](CoreId c, Addr a) { writes.emplace_back(c, a); });
+        hierarchy.setWake([this](CoreId c, MissKind k) {
+            wakes.emplace_back(c, k);
+        });
+    }
+
+    static HierarchyConfig
+    smallConfig()
+    {
+        HierarchyConfig cfg;
+        cfg.l1i = {1024, 2, 64};
+        cfg.l1d = {1024, 2, 64};
+        cfg.l2 = {8192, 4, 64};
+        return cfg;
+    }
+
+    CacheHierarchy hierarchy;
+    std::vector<std::pair<CoreId, Addr>> reads;
+    std::vector<std::pair<CoreId, Addr>> writes;
+    std::vector<std::pair<CoreId, MissKind>> wakes;
+};
+
+} // namespace
+
+TEST(Hierarchy, ColdLoadGoesToMemory)
+{
+    Harness h;
+    EXPECT_EQ(h.hierarchy.load(0, 0x1000), AccessOutcome::Miss);
+    ASSERT_EQ(h.reads.size(), 1u);
+    EXPECT_EQ(h.reads[0].second, 0x1000u);
+    EXPECT_EQ(h.hierarchy.stats().l2DemandMisses, 1u);
+}
+
+TEST(Hierarchy, ResponseFillsAndWakes)
+{
+    Harness h;
+    h.hierarchy.load(0, 0x1000);
+    h.hierarchy.onMemResponse(0, 0x1000);
+    ASSERT_EQ(h.wakes.size(), 1u);
+    EXPECT_EQ(h.wakes[0].second, MissKind::Load);
+    // Now both L1D and L2 hold the block.
+    EXPECT_EQ(h.hierarchy.load(0, 0x1000), AccessOutcome::L1Hit);
+}
+
+TEST(Hierarchy, L2HitAfterOtherCoreFetched)
+{
+    Harness h;
+    h.hierarchy.load(0, 0x1000);
+    h.hierarchy.onMemResponse(0, 0x1000);
+    // Core 1 misses its own L1 but hits the shared L2.
+    EXPECT_EQ(h.hierarchy.load(1, 0x1000), AccessOutcome::L2Hit);
+    // And its L1 was filled by the L2 hit path.
+    EXPECT_EQ(h.hierarchy.load(1, 0x1000), AccessOutcome::L1Hit);
+}
+
+TEST(Hierarchy, MshrMergesConcurrentMisses)
+{
+    Harness h;
+    EXPECT_EQ(h.hierarchy.load(0, 0x2000), AccessOutcome::Miss);
+    EXPECT_EQ(h.hierarchy.load(1, 0x2000), AccessOutcome::MergedMiss);
+    EXPECT_EQ(h.reads.size(), 1u); // Single memory read.
+    EXPECT_EQ(h.hierarchy.stats().l2DemandMisses, 2u);
+    h.hierarchy.onMemResponse(0, 0x2000);
+    EXPECT_EQ(h.wakes.size(), 2u); // Both cores wake.
+    EXPECT_EQ(h.hierarchy.outstandingMisses(), 0u);
+}
+
+TEST(Hierarchy, IfetchUsesInstructionCache)
+{
+    Harness h;
+    EXPECT_EQ(h.hierarchy.ifetch(0, 0x3000), AccessOutcome::Miss);
+    h.hierarchy.onMemResponse(0, 0x3000);
+    EXPECT_EQ(h.hierarchy.ifetch(0, 0x3000), AccessOutcome::L1Hit);
+    // The data path does not see instruction fills in L1D.
+    EXPECT_EQ(h.hierarchy.load(0, 0x3000), AccessOutcome::L2Hit);
+}
+
+TEST(Hierarchy, StoreMissAllocatesDirty)
+{
+    Harness h;
+    EXPECT_EQ(h.hierarchy.store(0, 0x4000), AccessOutcome::Miss);
+    h.hierarchy.onMemResponse(0, 0x4000);
+    ASSERT_EQ(h.wakes.size(), 1u);
+    EXPECT_EQ(h.wakes[0].second, MissKind::Store);
+    EXPECT_TRUE(h.hierarchy.l1d(0).contains(0x4000));
+}
+
+TEST(Hierarchy, L2EvictionWritesBackToMemory)
+{
+    Harness h;
+    // Dirty a block, then stream enough distinct blocks through one
+    // L2 set to evict it. L2: 8192/4w/64B = 32 sets; same set every
+    // 32 blocks (0x800 stride).
+    h.hierarchy.store(0, 0x0);
+    h.hierarchy.onMemResponse(0, 0x0);
+    // Force the dirty L1 line down into L2 by thrashing L1 set 0
+    // (L1: 1024/2w = 8 sets, stride 0x200).
+    h.hierarchy.load(0, 0x200);
+    h.hierarchy.onMemResponse(0, 0x200);
+    h.hierarchy.load(0, 0x400);
+    h.hierarchy.onMemResponse(0, 0x400);
+    // Now thrash L2 set 0 to evict the dirty block.
+    for (Addr a = 0x800; a <= 0x800 * 5; a += 0x800) {
+        h.hierarchy.load(1, a);
+        h.hierarchy.onMemResponse(1, a);
+    }
+    EXPECT_GE(h.writes.size(), 1u);
+    EXPECT_EQ(h.hierarchy.stats().memWritebacks, h.writes.size());
+}
+
+TEST(Hierarchy, ResetStatsClears)
+{
+    Harness h;
+    h.hierarchy.load(0, 0x1000);
+    h.hierarchy.resetStats();
+    EXPECT_EQ(h.hierarchy.stats().l2DemandMisses, 0u);
+    EXPECT_EQ(h.hierarchy.stats().memReads, 0u);
+    EXPECT_EQ(h.hierarchy.l2().stats().accesses, 0u);
+}

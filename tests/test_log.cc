@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Logging and error-exit tests. panic/fatal paths use gtest death
+ * tests: the error channels that guard every timing-model invariant
+ * must themselves be known to fire.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+using namespace mcsim;
+
+TEST(Log, ConcatStreamsAllParts)
+{
+    EXPECT_EQ(log_detail::concat("a", 1, '-', 2.5), "a1-2.5");
+    EXPECT_EQ(log_detail::concat(), "");
+    EXPECT_EQ(log_detail::concat(42), "42");
+}
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(mc_panic("broken invariant ", 7), "broken invariant 7");
+}
+
+TEST(LogDeathTest, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(mc_fatal("bad config ", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(LogDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(mc_assert(1 == 2, "math still works"),
+                 "assertion failed.*math still works");
+}
+
+TEST(LogDeathTest, AssertPassesOnTrue)
+{
+    mc_assert(2 + 2 == 4, "unreachable");
+    SUCCEED();
+}
+
+TEST(LogDeathTest, AssertMessageNamesCondition)
+{
+    EXPECT_DEATH(mc_assert(false), "assertion failed: false");
+}
+
+TEST(Log, WarnAndInformDoNotTerminate)
+{
+    mc_warn("just a warning ", 1);
+    mc_inform("status ", 2);
+    SUCCEED();
+}

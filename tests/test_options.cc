@@ -1,0 +1,164 @@
+/**
+ * @file
+ * ExperimentOptions tests: flag parsing, every name table, error
+ * reporting, and usage generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/options.hh"
+
+using namespace mcsim;
+
+namespace {
+
+/** Run parse() over a list of string arguments. */
+std::string
+parseArgs(ExperimentOptions &opts, std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    argv.reserve(args.size());
+    for (auto &a : args)
+        argv.push_back(a.data());
+    return opts.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(Options, DefaultsMatchBaseline)
+{
+    ExperimentOptions opts;
+    EXPECT_EQ(parseArgs(opts, {}), "");
+    EXPECT_EQ(opts.workload, WorkloadId::DS);
+    EXPECT_EQ(opts.config.scheduler, SchedulerKind::FrFcfs);
+    EXPECT_EQ(opts.config.pagePolicy, PagePolicyKind::OpenAdaptive);
+    EXPECT_EQ(opts.config.dram.channels, 1u);
+    EXPECT_FALSE(opts.csv);
+    EXPECT_FALSE(opts.helpRequested);
+}
+
+TEST(Options, ParsesFullConfiguration)
+{
+    ExperimentOptions opts;
+    const std::string err = parseArgs(
+        opts, {"--workload", "TPCH-Q6", "--scheduler", "TCM", "--policy",
+               "History", "--mapping", "PermBaXor", "--channels", "4",
+               "--warmup", "123000", "--measure", "456000", "--seed",
+               "42", "--csv"});
+    EXPECT_EQ(err, "");
+    EXPECT_EQ(opts.workload, WorkloadId::TPCHQ6);
+    EXPECT_EQ(opts.config.scheduler, SchedulerKind::Tcm);
+    EXPECT_EQ(opts.config.pagePolicy, PagePolicyKind::History);
+    EXPECT_EQ(opts.config.mapping, MappingScheme::PermBaXor);
+    EXPECT_EQ(opts.config.dram.channels, 4u);
+    EXPECT_EQ(opts.config.warmupCoreCycles, 123'000u);
+    EXPECT_EQ(opts.config.measureCoreCycles, 456'000u);
+    EXPECT_EQ(opts.config.seed, 42u);
+    EXPECT_TRUE(opts.csv);
+}
+
+TEST(Options, BareAcronymSelectsWorkload)
+{
+    ExperimentOptions opts;
+    EXPECT_EQ(parseArgs(opts, {"WSPEC99"}), "");
+    EXPECT_EQ(opts.workload, WorkloadId::WSPEC99);
+    EXPECT_TRUE(opts.positional.empty());
+}
+
+TEST(Options, UnknownPositionalIsKept)
+{
+    ExperimentOptions opts;
+    EXPECT_EQ(parseArgs(opts, {"some-file.trace"}), "");
+    ASSERT_EQ(opts.positional.size(), 1u);
+    EXPECT_EQ(opts.positional[0], "some-file.trace");
+}
+
+TEST(Options, EveryNameTableRoundtrips)
+{
+    for (auto w : kAllWorkloads) {
+        ExperimentOptions opts;
+        EXPECT_EQ(parseArgs(opts, {"--workload", workloadAcronym(w)}),
+                  "");
+        EXPECT_EQ(opts.workload, w);
+    }
+    for (auto k : {SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks,
+                   SchedulerKind::ParBs, SchedulerKind::Atlas,
+                   SchedulerKind::Rl, SchedulerKind::Fcfs,
+                   SchedulerKind::Fqm, SchedulerKind::Tcm}) {
+        ExperimentOptions opts;
+        EXPECT_EQ(parseArgs(opts, {"--scheduler", schedulerKindName(k)}),
+                  "");
+        EXPECT_EQ(opts.config.scheduler, k);
+    }
+    for (auto s : kExtendedMappingSchemes) {
+        ExperimentOptions opts;
+        EXPECT_EQ(parseArgs(opts, {"--mapping", mappingSchemeName(s)}),
+                  "");
+        EXPECT_EQ(opts.config.mapping, s);
+    }
+}
+
+TEST(Options, RejectsBadValues)
+{
+    const std::array<std::vector<std::string>, 7> bad = {{
+        {"--workload", "NOPE"},
+        {"--scheduler", "LRU"},
+        {"--policy", "YOLO"},
+        {"--mapping", "RoWrong"},
+        {"--channels", "3"},
+        {"--measure", "0"},
+        {"--flag-that-does-not-exist"},
+    }};
+    for (const auto &args : bad) {
+        ExperimentOptions opts;
+        EXPECT_NE(parseArgs(opts, args), "") << args[0];
+    }
+}
+
+TEST(Options, RejectsMissingValues)
+{
+    for (const char *flag : {"--workload", "--scheduler", "--policy",
+                             "--mapping", "--channels", "--seed"}) {
+        ExperimentOptions opts;
+        EXPECT_NE(parseArgs(opts, {flag}), "") << flag;
+    }
+}
+
+TEST(Options, FastDividesWindows)
+{
+    ExperimentOptions opts;
+    const auto warm = opts.config.warmupCoreCycles;
+    const auto meas = opts.config.measureCoreCycles;
+    EXPECT_EQ(parseArgs(opts, {"--fast", "4"}), "");
+    EXPECT_EQ(opts.config.warmupCoreCycles, warm / 4);
+    EXPECT_EQ(opts.config.measureCoreCycles, meas / 4);
+}
+
+TEST(Options, FastClampsMeasureFloor)
+{
+    ExperimentOptions opts;
+    EXPECT_EQ(parseArgs(opts, {"--fast", "1000000"}), "");
+    EXPECT_EQ(opts.config.measureCoreCycles, 100'000u);
+}
+
+TEST(Options, HelpFlagSetsRequest)
+{
+    ExperimentOptions opts;
+    EXPECT_EQ(parseArgs(opts, {"--help"}), "");
+    EXPECT_TRUE(opts.helpRequested);
+}
+
+TEST(Options, UsageListsEverything)
+{
+    const std::string u = ExperimentOptions::usage("tool");
+    EXPECT_NE(u.find("tool"), std::string::npos);
+    for (auto w : kAllWorkloads)
+        EXPECT_NE(u.find(workloadAcronym(w)), std::string::npos);
+    EXPECT_NE(u.find("TCM"), std::string::npos);
+    EXPECT_NE(u.find("History"), std::string::npos);
+    EXPECT_NE(u.find("PermChBaXor"), std::string::npos);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Full-system protocol validation: attach the independent
+ * TimingChecker to every channel of a complete System run (cores +
+ * caches + controller + refresh + every scheduler) and assert that
+ * not one of the tens of thousands of issued DRAM commands violates a
+ * JEDEC constraint. This closes the loop the unit fuzz test opens:
+ * the fuzz drives the channel with synthetic traffic; this drives it
+ * with the real controller under real workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dram/timing_checker.hh"
+#include "sim/system.hh"
+#include "workload/presets.hh"
+
+using namespace mcsim;
+
+namespace {
+
+struct Referee
+{
+    explicit Referee(System &sys, const SimConfig &cfg)
+    {
+        for (std::uint32_t ch = 0; ch < sys.numControllers(); ++ch) {
+            checkers.push_back(std::make_unique<TimingChecker>(
+                cfg.dram, cfg.timings));
+            Channel &channel = sys.controller(ch).channel();
+            TimingChecker *chk = checkers.back().get();
+            channel.setCommandHook(
+                [this, chk](const DramCommand &cmd, Tick now) {
+                    const std::string err = chk->check(cmd, now);
+                    if (!err.empty() && violations < 5) {
+                        ++violations;
+                        firstError = err;
+                    }
+                });
+        }
+    }
+
+    std::vector<std::unique_ptr<TimingChecker>> checkers;
+    int violations = 0;
+    std::string firstError;
+};
+
+} // namespace
+
+class ProtocolValidation
+    : public ::testing::TestWithParam<SchedulerKind>
+{
+};
+
+TEST_P(ProtocolValidation, SystemRunIssuesOnlyLegalCommands)
+{
+    SimConfig cfg = SimConfig::baseline();
+    cfg.scheduler = GetParam();
+    cfg.warmupCoreCycles = 50'000;
+    cfg.measureCoreCycles = 250'000;
+    System sys(cfg, workloadPreset(WorkloadId::DS));
+    Referee referee(sys, cfg);
+    (void)sys.run();
+
+    std::uint64_t accepted = 0;
+    for (const auto &chk : referee.checkers)
+        accepted += chk->accepted();
+    EXPECT_GT(accepted, 1000u) << "run produced too few commands";
+    EXPECT_EQ(referee.violations, 0) << referee.firstError;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, ProtocolValidation,
+    ::testing::Values(SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks,
+                      SchedulerKind::ParBs, SchedulerKind::Atlas,
+                      SchedulerKind::Rl, SchedulerKind::Fqm,
+                      SchedulerKind::Tcm, SchedulerKind::Stfm));
+
+TEST(ProtocolValidationMultiChannel, FourChannelsAllLegal)
+{
+    SimConfig cfg = SimConfig::baseline();
+    cfg.dram.channels = 4;
+    cfg.mapping = MappingScheme::RoChRaBaCo;
+    cfg.warmupCoreCycles = 50'000;
+    cfg.measureCoreCycles = 250'000;
+    System sys(cfg, workloadPreset(WorkloadId::TPCHQ6));
+    Referee referee(sys, cfg);
+    (void)sys.run();
+    EXPECT_EQ(referee.violations, 0) << referee.firstError;
+    // Every channel saw traffic.
+    for (const auto &chk : referee.checkers)
+        EXPECT_GT(chk->accepted(), 100u);
+}
+
+TEST(ProtocolValidationPolicies, ClosePolicyStillLegal)
+{
+    // Close-page issues the most precharges; validate it separately.
+    SimConfig cfg = SimConfig::baseline();
+    cfg.pagePolicy = PagePolicyKind::Close;
+    cfg.warmupCoreCycles = 50'000;
+    cfg.measureCoreCycles = 200'000;
+    System sys(cfg, workloadPreset(WorkloadId::MS));
+    Referee referee(sys, cfg);
+    (void)sys.run();
+    EXPECT_EQ(referee.violations, 0) << referee.firstError;
+}

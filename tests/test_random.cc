@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the deterministic RNG and Zipfian sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+
+using namespace mcsim;
+
+TEST(Pcg32, DeterministicAcrossInstances)
+{
+    Pcg32 a(42, 7), b(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.nextU32() == b.nextU32();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, BelowRespectsBound)
+{
+    Pcg32 rng(123);
+    for (std::uint32_t bound : {1u, 2u, 7u, 100u, 1u << 30}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Pcg32, Below64RespectsBound)
+{
+    Pcg32 rng(321);
+    for (std::uint64_t bound :
+         {1ull, 3ull, 1ull << 33, (1ull << 40) + 12345}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below64(bound), bound);
+    }
+}
+
+TEST(Pcg32, DoubleInUnitInterval)
+{
+    Pcg32 rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+TEST(Pcg32, ChanceExtremes)
+{
+    Pcg32 rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Pcg32, BelowIsRoughlyUniform)
+{
+    Pcg32 rng(77);
+    constexpr int kBuckets = 8;
+    constexpr int kSamples = 80000;
+    std::vector<int> counts(kBuckets, 0);
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[rng.below(kBuckets)];
+    for (int c : counts) {
+        EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+    }
+}
+
+TEST(Zipfian, UniformWhenThetaZero)
+{
+    ZipfianGenerator zipf(16, 0.0);
+    Pcg32 rng(4);
+    std::vector<int> counts(16, 0);
+    for (int i = 0; i < 64000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 4000, 600);
+}
+
+TEST(Zipfian, HotItemDominatesWithHighTheta)
+{
+    ZipfianGenerator zipf(1024, 0.99);
+    Pcg32 rng(4);
+    std::vector<int> counts(1024, 0);
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[zipf.sample(rng)];
+    // Item 0 is the hottest and far above the uniform share.
+    EXPECT_GT(counts[0], kSamples / 1024 * 20);
+    EXPECT_GT(counts[0], counts[512]);
+}
+
+TEST(Zipfian, SamplesInRange)
+{
+    for (double theta : {0.0, 0.5, 0.9, 0.99}) {
+        ZipfianGenerator zipf(37, theta); // Non-power-of-two n.
+        Pcg32 rng(11);
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_LT(zipf.sample(rng), 37u);
+    }
+}
+
+TEST(Zipfian, SingleItem)
+{
+    ZipfianGenerator zipf(1, 0.9);
+    Pcg32 rng(2);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+/** Property sweep: skew increases head concentration monotonically. */
+class ZipfSkew : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkew, HeadShareGrowsWithTheta)
+{
+    const double theta = GetParam();
+    ZipfianGenerator zipf(4096, theta);
+    ZipfianGenerator flat(4096, 0.0);
+    Pcg32 rng(31);
+    int zipfHead = 0, flatHead = 0;
+    for (int i = 0; i < 20000; ++i) {
+        zipfHead += zipf.sample(rng) < 64;
+        flatHead += flat.sample(rng) < 64;
+    }
+    EXPECT_GT(zipfHead, flatHead);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZipfSkew,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9, 0.99));

@@ -1,0 +1,670 @@
+/**
+ * @file
+ * Scheduling algorithm unit tests: selection rules, ranking math,
+ * starvation guards, and learning updates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mem/factory.hh"
+#include "mem/sched_atlas.hh"
+#include "mem/sched_basic.hh"
+#include "mem/sched_fqm.hh"
+#include "mem/sched_parbs.hh"
+#include "mem/sched_rl.hh"
+
+using namespace mcsim;
+
+namespace {
+
+/** Test fixture helper: owns requests and builds candidates. */
+class Pool
+{
+  public:
+    Candidate &
+    add(Tick arrived, CoreId core, std::uint32_t bank, bool issuable,
+        bool rowHit, DramCommandType cmd = DramCommandType::Read)
+    {
+        auto req = std::make_unique<Request>();
+        req->id = storage_.size();
+        req->core = core;
+        req->arrivedAt = arrived;
+        req->coord.rank = 0;
+        req->coord.bank = bank;
+        req->coord.row = 1;
+        Candidate c;
+        c.req = req.get();
+        c.cmd = cmd;
+        c.issuableNow = issuable;
+        c.isRowHit = rowHit;
+        storage_.push_back(std::move(req));
+        cands_.push_back(c);
+        return cands_.back();
+    }
+
+    std::vector<Candidate> &all() { return cands_; }
+
+  private:
+    std::vector<std::unique_ptr<Request>> storage_;
+    std::vector<Candidate> cands_;
+};
+
+SchedulerContext
+ctx16()
+{
+    SchedulerContext c;
+    c.numCores = 16;
+    return c;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- FCFS
+
+TEST(Fcfs, PicksOldestOnly)
+{
+    FcfsScheduler s;
+    Pool p;
+    p.add(100, 0, 0, true, true);
+    p.add(50, 1, 1, true, false); // Oldest.
+    p.add(200, 2, 2, true, true);
+    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+}
+
+TEST(Fcfs, IdlesWhenOldestNotIssuable)
+{
+    FcfsScheduler s;
+    Pool p;
+    p.add(50, 0, 0, false, false); // Oldest but blocked.
+    p.add(100, 1, 1, true, true);  // Issuable but younger.
+    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), -1);
+}
+
+TEST(Fcfs, EmptyPool)
+{
+    FcfsScheduler s;
+    std::vector<Candidate> none;
+    EXPECT_EQ(s.choose(none, 0, ctx16()), -1);
+}
+
+// ---------------------------------------------------------- FCFS_banks
+
+TEST(FcfsBanks, ServesOldestPerBank)
+{
+    FcfsBanksScheduler s;
+    Pool p;
+    p.add(50, 0, 0, false, false); // Bank 0 head, blocked.
+    p.add(100, 1, 0, true, true);  // Bank 0, younger: NOT eligible.
+    p.add(200, 2, 1, true, false); // Bank 1 head, issuable.
+    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 2);
+}
+
+TEST(FcfsBanks, NoReorderingWithinBank)
+{
+    FcfsBanksScheduler s;
+    Pool p;
+    p.add(50, 0, 0, false, false); // Head of bank 0 blocked.
+    p.add(100, 1, 0, true, true);  // Row hit behind it.
+    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), -1);
+}
+
+TEST(FcfsBanks, AgeBreaksTiesAcrossBanks)
+{
+    FcfsBanksScheduler s;
+    Pool p;
+    p.add(80, 0, 0, true, false);
+    p.add(20, 1, 1, true, false); // Older head.
+    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+}
+
+// -------------------------------------------------------------- FR-FCFS
+
+TEST(FrFcfs, PrefersRowHits)
+{
+    FrFcfsScheduler s;
+    Pool p;
+    p.add(50, 0, 0, true, false);  // Oldest, not a hit.
+    p.add(100, 1, 1, true, true);  // Younger hit: wins.
+    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+}
+
+TEST(FrFcfs, OldestHitAmongHits)
+{
+    FrFcfsScheduler s;
+    Pool p;
+    p.add(100, 0, 0, true, true);
+    p.add(60, 1, 1, true, true); // Older hit.
+    p.add(10, 2, 2, true, false);
+    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+}
+
+TEST(FrFcfs, FallsBackToOldest)
+{
+    FrFcfsScheduler s;
+    Pool p;
+    p.add(100, 0, 0, true, false);
+    p.add(60, 1, 1, true, false);
+    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+}
+
+TEST(FrFcfs, SkipsNonIssuable)
+{
+    FrFcfsScheduler s;
+    Pool p;
+    p.add(100, 0, 0, false, true);
+    p.add(200, 1, 1, true, false);
+    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+}
+
+// --------------------------------------------------------------- PAR-BS
+
+TEST(ParBs, MarkedRequestsBeatUnmarked)
+{
+    ParBsScheduler s(16);
+    Pool p;
+    p.add(10, 0, 0, true, false);
+    p.add(20, 0, 0, true, false);
+    // First choose() forms a batch over current pool.
+    const int first = s.choose(p.all(), 100, ctx16());
+    ASSERT_GE(first, 0);
+    EXPECT_TRUE(p.all()[first].req->marked);
+    EXPECT_EQ(s.batchesFormed(), 1u);
+    // A new arrival after batch formation is unmarked and loses.
+    auto &young = p.add(30, 1, 1, true, true);
+    const int second = s.choose(p.all(), 100, ctx16());
+    ASSERT_GE(second, 0);
+    EXPECT_TRUE(p.all()[second].req->marked);
+    EXPECT_NE(p.all()[second].req, young.req);
+}
+
+TEST(ParBs, BatchingCapLimitsPerCoreBankMarks)
+{
+    ParBsScheduler s(16, ParBsConfig{2});
+    Pool p;
+    for (int i = 0; i < 5; ++i)
+        p.add(10 + i, 0, 0, true, false); // Same core, same bank.
+    (void)s.choose(p.all(), 100, ctx16());
+    int marked = 0;
+    for (const auto &c : p.all())
+        marked += c.req->marked;
+    EXPECT_EQ(marked, 2);
+}
+
+TEST(ParBs, ShortestJobRanksFirst)
+{
+    ParBsScheduler s(16);
+    Pool p;
+    // Core 0: 3 requests to one bank (long job). Core 1: 1 request.
+    p.add(10, 0, 0, true, false);
+    p.add(11, 0, 0, true, false);
+    p.add(12, 0, 0, true, false);
+    p.add(20, 1, 1, true, false);
+    (void)s.choose(p.all(), 100, ctx16());
+    EXPECT_LT(s.coreRank(1), s.coreRank(0));
+}
+
+TEST(ParBs, NewBatchWhenDrained)
+{
+    ParBsScheduler s(16, ParBsConfig{5});
+    Pool p;
+    p.add(10, 0, 0, true, false);
+    const int idx = s.choose(p.all(), 100, ctx16());
+    ASSERT_EQ(idx, 0);
+    s.onRequestServiced(*p.all()[0].req);
+    // Pool for the next cycle: a fresh request; batch is empty so a
+    // new one forms and it gets marked.
+    Pool p2;
+    p2.add(50, 2, 3, true, false);
+    (void)s.choose(p2.all(), 200, ctx16());
+    EXPECT_EQ(s.batchesFormed(), 2u);
+    EXPECT_TRUE(p2.all()[0].req->marked);
+}
+
+// ---------------------------------------------------------------- ATLAS
+
+TEST(Atlas, RanksLeastAttainedServiceFirst)
+{
+    AtlasConfig cfg;
+    cfg.quantumCycles = 1000;
+    AtlasScheduler s(4, cfg);
+    // Core 0 consumes lots of service, core 1 little.
+    Request heavy;
+    heavy.core = 0;
+    for (int i = 0; i < 50; ++i)
+        s.onRequestServiced(heavy);
+    Request light;
+    light.core = 1;
+    s.onRequestServiced(light);
+    // Advance past a quantum boundary.
+    s.tick(coreCyclesToTicks(1001), ctx16());
+    EXPECT_EQ(s.quantaElapsed(), 1u);
+    EXPECT_LT(s.coreRank(1), s.coreRank(0));
+    EXPECT_GT(s.totalService(0), s.totalService(1));
+}
+
+TEST(Atlas, ExponentialSmoothingBiasesCurrentQuantum)
+{
+    AtlasConfig cfg;
+    cfg.quantumCycles = 1000;
+    cfg.alpha = 0.875;
+    AtlasScheduler s(2, cfg);
+    Request r;
+    r.core = 0;
+    for (int i = 0; i < 8; ++i)
+        s.onRequestServiced(r);
+    s.tick(coreCyclesToTicks(1001), ctx16());
+    EXPECT_DOUBLE_EQ(s.totalService(0), 0.875 * 8.0);
+    // Next quantum with no service decays it.
+    s.tick(coreCyclesToTicks(2002), ctx16());
+    EXPECT_DOUBLE_EQ(s.totalService(0), 0.125 * 0.875 * 8.0);
+}
+
+TEST(Atlas, HigherRankedCoreWins)
+{
+    AtlasConfig cfg;
+    cfg.quantumCycles = 100;
+    AtlasScheduler s(4, cfg);
+    Request heavy;
+    heavy.core = 2;
+    for (int i = 0; i < 10; ++i)
+        s.onRequestServiced(heavy);
+    s.tick(coreCyclesToTicks(101), ctx16());
+    Pool p;
+    p.add(coreCyclesToTicks(90), 2, 0, true, true);  // Heavy core, hit.
+    p.add(coreCyclesToTicks(95), 0, 1, true, false); // Light core.
+    EXPECT_EQ(s.choose(p.all(), coreCyclesToTicks(110), ctx16()), 1);
+}
+
+TEST(Atlas, StarvedRequestOverridesRank)
+{
+    AtlasConfig cfg;
+    cfg.quantumCycles = 100;
+    cfg.starvationCycles = 1000;
+    AtlasScheduler s(4, cfg);
+    Request heavy;
+    heavy.core = 2;
+    for (int i = 0; i < 10; ++i)
+        s.onRequestServiced(heavy);
+    s.tick(coreCyclesToTicks(101), ctx16());
+    Pool p;
+    p.add(coreCyclesToTicks(10), 2, 0, true, false); // Starved heavy.
+    p.add(coreCyclesToTicks(1500), 0, 1, true, true);
+    EXPECT_EQ(s.choose(p.all(), coreCyclesToTicks(1600), ctx16()), 0);
+}
+
+TEST(Atlas, RowHitBreaksTiesWithinRank)
+{
+    AtlasScheduler s(4);
+    Pool p;
+    p.add(10, 0, 0, true, false);
+    p.add(20, 0, 1, true, true);
+    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+}
+
+// ------------------------------------------------------------------- RL
+
+TEST(Rl, OnlyPicksLegalCandidates)
+{
+    RlConfig cfg;
+    cfg.epsilon = 0.0; // Greedy only; exploration is tested below.
+    RlScheduler s(cfg);
+    Pool p;
+    p.add(10, 0, 0, false, true);
+    p.add(20, 1, 1, true, false);
+    for (int i = 0; i < 200; ++i) {
+        const int idx = s.choose(p.all(), 1000 + i, ctx16());
+        ASSERT_EQ(idx, 1);
+    }
+}
+
+TEST(Rl, ExplorationNeverPicksIllegalCandidates)
+{
+    RlConfig cfg;
+    cfg.epsilon = 1.0; // Every decision explores.
+    cfg.starvationCycles = 100'000'000;
+    RlScheduler s(cfg);
+    Pool p;
+    p.add(10, 0, 0, false, true);
+    p.add(20, 1, 1, true, false);
+    bool sawNoAction = false;
+    for (int i = 0; i < 300; ++i) {
+        const int idx = s.choose(p.all(), 1000 + i, ctx16());
+        ASSERT_TRUE(idx == 1 || idx == -1) << idx;
+        sawNoAction = sawNoAction || idx == -1;
+    }
+    // The action vocabulary includes no-action.
+    EXPECT_TRUE(sawNoAction);
+}
+
+TEST(Rl, ReturnsMinusOneWhenNothingLegal)
+{
+    RlScheduler s;
+    Pool p;
+    p.add(10, 0, 0, false, true);
+    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), -1);
+}
+
+TEST(Rl, LearnsFromRewards)
+{
+    RlScheduler s;
+    Pool p;
+    p.add(10, 0, 0, true, true, DramCommandType::Read);
+    // Repeated data-transferring actions earn reward; the chosen
+    // feature vector's Q-value must rise above its initial zero.
+    Tick now = 1000;
+    for (int i = 0; i < 500; ++i) {
+        (void)s.choose(p.all(), now, ctx16());
+        now += kTicksPerDramCycle;
+    }
+    EXPECT_GT(s.updates(), 400u);
+}
+
+TEST(Rl, ExploresAtConfiguredRate)
+{
+    RlConfig cfg;
+    cfg.epsilon = 0.2;
+    // Starvation must not kick in: the pool is never serviced, and a
+    // starved pick would bypass (and undercount) exploration.
+    cfg.starvationCycles = 100'000'000;
+    RlScheduler s(cfg);
+    Pool p;
+    p.add(10, 0, 0, true, true);
+    p.add(20, 1, 1, true, false);
+    Tick now = 1000;
+    for (int i = 0; i < 5000; ++i) {
+        (void)s.choose(p.all(), now, ctx16());
+        now += kTicksPerDramCycle;
+    }
+    // ~20% of 5000 decisions should be exploratory.
+    EXPECT_NEAR(static_cast<double>(s.explorations()), 1000.0, 200.0);
+}
+
+TEST(Rl, StarvationGuardServicesOldRequests)
+{
+    RlConfig cfg;
+    cfg.starvationCycles = 100;
+    cfg.epsilon = 0.0;
+    RlScheduler s(cfg);
+    Pool p;
+    p.add(coreCyclesToTicks(0), 0, 0, true, false);  // Ancient.
+    p.add(coreCyclesToTicks(190), 1, 1, true, true); // Fresh hit.
+    EXPECT_EQ(s.choose(p.all(), coreCyclesToTicks(200), ctx16()), 0);
+}
+
+TEST(Rl, DeterministicGivenSeed)
+{
+    RlConfig cfg;
+    cfg.seed = 42;
+    RlScheduler a(cfg), b(cfg);
+    Pool p;
+    p.add(10, 0, 0, true, true);
+    p.add(20, 1, 1, true, false);
+    Tick now = 1000;
+    for (int i = 0; i < 300; ++i) {
+        ASSERT_EQ(a.choose(p.all(), now, ctx16()),
+                  b.choose(p.all(), now, ctx16()));
+        now += kTicksPerDramCycle;
+    }
+}
+
+TEST(Rl, UsesUnifiedQueues)
+{
+    RlScheduler s;
+    EXPECT_TRUE(s.unifiedQueues());
+    FrFcfsScheduler f;
+    EXPECT_FALSE(f.unifiedQueues());
+}
+
+// ------------------------------------------------------------------ FQM
+
+TEST(Fqm, EqualizesServiceAcrossCores)
+{
+    FqmScheduler s(4);
+    // Core 0 already got service at bank 0.
+    Request served;
+    served.core = 0;
+    served.coord.bank = 0;
+    s.onRequestServiced(served);
+    s.onRequestServiced(served);
+    Pool p;
+    p.add(10, 0, 0, true, true);  // Core 0, much virtual time.
+    p.add(20, 1, 0, true, false); // Core 1, none: wins.
+    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+    EXPECT_EQ(s.virtualTime(0, p.all()[0].req->coord.flatBankKey()), 2u);
+}
+
+TEST(Fqm, RowHitBreaksVirtualTimeTies)
+{
+    FqmScheduler s(4);
+    Pool p;
+    p.add(10, 0, 0, true, false);
+    p.add(20, 1, 1, true, true);
+    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+}
+
+// ------------------------------------------------------------------ TCM
+
+namespace {
+
+/** A TCM with one elapsed quantum shaped by the given per-core loads. */
+TcmScheduler
+tcmAfterQuantum(const std::vector<std::uint64_t> &arrivals,
+                const std::vector<std::uint64_t> &services,
+                TcmConfig cfg = TcmConfig{})
+{
+    TcmScheduler s(static_cast<std::uint32_t>(arrivals.size()), cfg);
+    Request req;
+    for (CoreId c = 0; c < arrivals.size(); ++c) {
+        req.core = c;
+        for (std::uint64_t i = 0; i < arrivals[c]; ++i)
+            s.onRequestArrived(req);
+        for (std::uint64_t i = 0; i < services[c]; ++i)
+            s.onRequestServiced(req);
+    }
+    s.tick(coreCyclesToTicks(cfg.quantumCycles) + 1, SchedulerContext{});
+    return s;
+}
+
+} // namespace
+
+TEST(Tcm, StartsAsAllLatencyCluster)
+{
+    TcmScheduler s(4);
+    for (CoreId c = 0; c < 4; ++c) {
+        EXPECT_TRUE(s.inLatencyCluster(c));
+        EXPECT_EQ(s.corePriority(c), 0u);
+    }
+    EXPECT_EQ(s.quantaElapsed(), 0u);
+}
+
+TEST(Tcm, ClustersLightCoresAsLatencySensitive)
+{
+    // Core 0 is light, cores 1-3 are heavy; with clusterFrac = 0.2 the
+    // latency budget is 0.2 * 310 = 62 >= core 0's 10 serviced.
+    TcmScheduler s = tcmAfterQuantum({5, 100, 100, 100},
+                                     {10, 100, 100, 100});
+    EXPECT_EQ(s.quantaElapsed(), 1u);
+    EXPECT_TRUE(s.inLatencyCluster(0));
+    EXPECT_FALSE(s.inLatencyCluster(1));
+    EXPECT_FALSE(s.inLatencyCluster(2));
+    EXPECT_FALSE(s.inLatencyCluster(3));
+}
+
+TEST(Tcm, LatencyClusterBeatsBandwidthCluster)
+{
+    TcmScheduler s = tcmAfterQuantum({5, 100, 100, 100},
+                                     {10, 100, 100, 100});
+    Pool p;
+    p.add(10, 1, 0, true, true);  // Heavy core, older, row hit.
+    p.add(90, 0, 1, true, false); // Light core: still wins.
+    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+}
+
+TEST(Tcm, RowHitBreaksTiesWithinCluster)
+{
+    TcmScheduler s(4);
+    Pool p;
+    p.add(10, 0, 0, true, false);
+    p.add(20, 1, 1, true, true);
+    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+}
+
+TEST(Tcm, StarvedRequestOverridesClusters)
+{
+    TcmConfig cfg;
+    cfg.starvationCycles = 1'000;
+    TcmScheduler s = tcmAfterQuantum({5, 100, 100, 100},
+                                     {10, 100, 100, 100}, cfg);
+    Pool p;
+    p.add(coreCyclesToTicks(10), 1, 0, true, false); // Starved heavy.
+    p.add(coreCyclesToTicks(2900), 0, 1, true, true);
+    EXPECT_EQ(s.choose(p.all(), coreCyclesToTicks(3000), ctx16()), 0);
+}
+
+TEST(Tcm, ShuffleReordersOnlyBandwidthCluster)
+{
+    TcmConfig cfg;
+    cfg.shuffleCycles = 10;
+    TcmScheduler s = tcmAfterQuantum({5, 100, 100, 100},
+                                     {10, 100, 100, 100}, cfg);
+    const auto lightPrio = s.corePriority(0);
+    // Drive several shuffle intervals; the latency core's priority is
+    // stable while the bandwidth cores' priorities stay a permutation
+    // of the remaining slots.
+    const Tick start = coreCyclesToTicks(cfg.quantumCycles) + 100;
+    for (int i = 1; i <= 50; ++i) {
+        s.tick(start + coreCyclesToTicks(10) * i, SchedulerContext{});
+        EXPECT_EQ(s.corePriority(0), lightPrio);
+        std::vector<bool> seen(4, false);
+        for (CoreId c = 1; c < 4; ++c) {
+            const auto pr = s.corePriority(c);
+            ASSERT_GE(pr, 1u);
+            ASSERT_LT(pr, 4u);
+            ASSERT_FALSE(seen[pr]) << "duplicate priority " << pr;
+            seen[pr] = true;
+        }
+    }
+    EXPECT_GE(s.shufflesDone(), 40u);
+}
+
+TEST(Tcm, OnlyPicksIssuableCandidates)
+{
+    TcmScheduler s(4);
+    Pool p;
+    p.add(10, 0, 0, false, true);
+    p.add(20, 1, 1, true, false);
+    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+    std::vector<Candidate> none;
+    EXPECT_EQ(s.choose(none, 100, ctx16()), -1);
+}
+
+TEST(Tcm, IoRequestsRankBelowAllCores)
+{
+    TcmScheduler s = tcmAfterQuantum({50, 50, 50, 50},
+                                     {50, 50, 50, 50});
+    Pool p;
+    p.add(10, kIoCoreId, 0, true, true); // Old IO request.
+    p.add(90, 2, 1, true, false);        // Younger core request: wins.
+    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+}
+
+// ----------------------------------------------------------------- STFM
+
+TEST(Stfm, BehavesLikeFrFcfsWhenFair)
+{
+    StfmScheduler s(4);
+    Pool p;
+    p.add(50, 0, 0, true, false); // Oldest non-hit.
+    p.add(100, 1, 1, true, true); // Younger hit: wins under FR-FCFS.
+    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+    EXPECT_DOUBLE_EQ(s.unfairness(), 1.0);
+}
+
+TEST(Stfm, SlowdownTracksWaitingTime)
+{
+    StfmScheduler s(4);
+    Pool p;
+    // Core 0's CAS waited a long time relative to its alone-service
+    // estimate: slowdown rises above 1.
+    p.add(0, 0, 0, true, true);
+    (void)s.choose(p.all(), dramCyclesToTicks(500), ctx16());
+    EXPECT_GT(s.slowdownOf(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.slowdownOf(1), 1.0); // Idle core.
+}
+
+TEST(Stfm, ElevatesMostSlowedCoreWhenUnfair)
+{
+    StfmConfig cfg;
+    cfg.alpha = 1.05;
+    StfmScheduler s(4, cfg);
+    // Train: core 0's requests wait ~20x service, core 1's none.
+    for (int i = 0; i < 4; ++i) {
+        Pool waitP;
+        waitP.add(0, 0, 0, true, true);
+        (void)s.choose(waitP.all(),
+                       dramCyclesToTicks(400 * (i + 1)), ctx16());
+        Pool fastP;
+        fastP.add(dramCyclesToTicks(400 * (i + 1)) - 10, 1, 1, true,
+                  true);
+        (void)s.choose(fastP.all(), dramCyclesToTicks(400 * (i + 1)),
+                       ctx16());
+    }
+    EXPECT_GT(s.unfairness(), 1.05);
+    // Now core 0's non-hit must beat core 1's younger row hit.
+    Pool p;
+    p.add(coreCyclesToTicks(5000), 1, 1, true, true);
+    p.add(coreCyclesToTicks(4000), 0, 0, true, false);
+    EXPECT_EQ(s.choose(p.all(), coreCyclesToTicks(5100), ctx16()), 1);
+}
+
+TEST(Stfm, DecayForgetsOldImbalance)
+{
+    StfmConfig cfg;
+    cfg.decayCycles = 100;
+    cfg.decayFactor = 0.0; // Full forget at each interval.
+    StfmScheduler s(4, cfg);
+    Pool p;
+    p.add(0, 0, 0, true, true);
+    (void)s.choose(p.all(), dramCyclesToTicks(500), ctx16());
+    EXPECT_GT(s.slowdownOf(0), 1.0);
+    s.tick(coreCyclesToTicks(200), ctx16());
+    EXPECT_DOUBLE_EQ(s.slowdownOf(0), 1.0);
+}
+
+TEST(Stfm, StarvedRequestBeatsEverything)
+{
+    StfmConfig cfg;
+    cfg.starvationCycles = 1'000;
+    StfmScheduler s(4, cfg);
+    Pool p;
+    p.add(coreCyclesToTicks(0), 2, 0, true, false);  // Ancient.
+    p.add(coreCyclesToTicks(1900), 0, 1, true, true);
+    EXPECT_EQ(s.choose(p.all(), coreCyclesToTicks(2000), ctx16()), 0);
+}
+
+TEST(Stfm, OnlyPicksIssuable)
+{
+    StfmScheduler s(4);
+    Pool p;
+    p.add(10, 0, 0, false, true);
+    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), -1);
+}
+
+// -------------------------------------------------------------- Factory
+
+TEST(Factory, AllSchedulersConstructible)
+{
+    for (auto kind : {SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks,
+                      SchedulerKind::ParBs, SchedulerKind::Atlas,
+                      SchedulerKind::Rl, SchedulerKind::Fcfs,
+                      SchedulerKind::Fqm, SchedulerKind::Tcm,
+                      SchedulerKind::Stfm}) {
+        auto s = makeScheduler(kind, 16);
+        ASSERT_NE(s, nullptr);
+        EXPECT_STREQ(s->name(), schedulerKindName(kind));
+        EXPECT_EQ(schedulerKindFromName(s->name()), kind);
+    }
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace mcsim;
+
+TEST(AverageStat, Empty)
+{
+    AverageStat s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(AverageStat, Mean)
+{
+    AverageStat s;
+    s.sample(1.0);
+    s.sample(2.0);
+    s.sample(6.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_EQ(s.count(), 3u);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(TimeWeightedStat, ConstantValue)
+{
+    TimeWeightedStat s;
+    s.update(0, 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(100), 5.0);
+}
+
+TEST(TimeWeightedStat, StepChange)
+{
+    TimeWeightedStat s;
+    s.update(0, 0.0);
+    s.update(50, 10.0); // 0 for [0,50), 10 for [50,100).
+    EXPECT_DOUBLE_EQ(s.mean(100), 5.0);
+}
+
+TEST(TimeWeightedStat, MeanIsIdempotent)
+{
+    TimeWeightedStat s;
+    s.update(0, 2.0);
+    s.update(10, 4.0);
+    const double m1 = s.mean(20);
+    const double m2 = s.mean(20);
+    EXPECT_DOUBLE_EQ(m1, m2);
+    EXPECT_DOUBLE_EQ(m1, 3.0);
+}
+
+TEST(TimeWeightedStat, ResetRestartsWindow)
+{
+    TimeWeightedStat s;
+    s.update(0, 100.0);
+    s.reset(50);
+    s.update(50, 2.0);
+    EXPECT_DOUBLE_EQ(s.mean(100), 2.0);
+}
+
+TEST(SmallHistogram, BucketsAndOverflow)
+{
+    SmallHistogram h(4);
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(3);
+    h.sample(9); // Overflow.
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.fractionAt(1), 0.4);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 1 + 1 + 3 + 9) / 5.0);
+}
+
+TEST(SmallHistogram, ResetClears)
+{
+    SmallHistogram h(4);
+    h.sample(2);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.fractionAt(2), 0.0);
+}
+
+TEST(LogHistogram, EmptyReportsZero)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, MeanIsExact)
+{
+    LogHistogram h;
+    h.sample(10);
+    h.sample(20);
+    h.sample(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(LogHistogram, PercentileBoundsSample)
+{
+    LogHistogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.sample(100); // Bucket [64, 128).
+    for (double q : {0.01, 0.5, 0.99}) {
+        const double p = h.percentile(q);
+        EXPECT_GE(p, 64.0);
+        EXPECT_LE(p, 128.0);
+    }
+}
+
+TEST(LogHistogram, TailSeparatesFromBody)
+{
+    LogHistogram h;
+    for (int i = 0; i < 990; ++i)
+        h.sample(100);
+    for (int i = 0; i < 10; ++i)
+        h.sample(100'000); // 1% extreme tail.
+    EXPECT_LT(h.percentile(0.50), 200.0);
+    EXPECT_GT(h.percentile(0.995), 60'000.0);
+}
+
+TEST(LogHistogram, PercentilesAreMonotonic)
+{
+    LogHistogram h;
+    for (std::uint64_t v = 1; v < 4000; v = v * 3 / 2 + 1)
+        h.sample(v);
+    double prev = 0.0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const double p = h.percentile(q);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(LogHistogram, MergeCombinesCounts)
+{
+    LogHistogram a, b;
+    for (int i = 0; i < 100; ++i)
+        a.sample(10);
+    for (int i = 0; i < 100; ++i)
+        b.sample(10'000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_LT(a.percentile(0.25), 20.0);
+    EXPECT_GT(a.percentile(0.75), 8'000.0);
+}
+
+TEST(LogHistogram, ResetClears)
+{
+    LogHistogram h;
+    h.sample(5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.9), 0.0);
+}
+
+TEST(TextTable, AlignedRender)
+{
+    TextTable t;
+    t.setHeader({"a", "bbbb"});
+    t.addRow({"xx", "1"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("xx"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, CsvRender)
+{
+    TextTable t;
+    t.setHeader({"h1", "h2"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "h1,h2\n1,2\n");
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TextTable::num(3.0, 0), "3");
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TextTable tests: alignment, ragged rows, CSV output, and number
+ * formatting — the harness output every figure depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+using namespace mcsim;
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t;
+    t.setHeader({"workload", "ipc"});
+    t.addRow({"DS", "1.0"});
+    t.addRow({"MapReduce", "0.95"});
+    const std::string out = t.render();
+    // Each line is equally wide up to trailing content; the header
+    // separator exists and every cell appears.
+    EXPECT_NE(out.find("workload"), std::string::npos);
+    EXPECT_NE(out.find("MapReduce"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    // Columns align: "ipc" starts at the same offset in each line.
+    const auto headerPos = out.find("ipc");
+    const auto line2 = out.find("1.0");
+    ASSERT_NE(headerPos, std::string::npos);
+    ASSERT_NE(line2, std::string::npos);
+    const auto col = headerPos - out.rfind('\n', headerPos) - 1;
+    const auto col2 = line2 - out.rfind('\n', line2) - 1;
+    EXPECT_EQ(col, col2);
+}
+
+TEST(Table, PadsRaggedRows)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    t.addRow({"1", "2", "3"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find('3'), std::string::npos);
+}
+
+TEST(Table, CsvHasNoPadding)
+{
+    TextTable t;
+    t.setHeader({"w", "v"});
+    t.addRow({"DS", "1.25"});
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("w,v"), std::string::npos);
+    EXPECT_NE(csv.find("DS,1.25"), std::string::npos);
+    EXPECT_EQ(csv.find("  "), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(1.0, 3), "1.000");
+    EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, EmptyTableRendersHeaderOnly)
+{
+    TextTable t;
+    t.setHeader({"only", "header"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("only"), std::string::npos);
+    EXPECT_NE(out.find("header"), std::string::npos);
+}

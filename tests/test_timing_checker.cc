@@ -1,0 +1,163 @@
+/**
+ * @file
+ * TimingChecker tests, including the cross-model property test: any
+ * command stream the Channel model accepts must also satisfy the
+ * independently-implemented protocol checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "dram/channel.hh"
+#include "dram/timing_checker.hh"
+
+using namespace mcsim;
+
+namespace {
+
+DramGeometry
+geom()
+{
+    DramGeometry g;
+    g.rowsPerBank = 1u << 12;
+    return g;
+}
+
+} // namespace
+
+TEST(TimingChecker, AcceptsLegalSequence)
+{
+    const auto tm = DramTimings::ddr3_1600();
+    TimingChecker chk(geom(), tm);
+    DramCoord c{0, 0, 0, 5, 0};
+    EXPECT_EQ(chk.check(DramCommand::activate(c), 0), "");
+    EXPECT_EQ(chk.check(DramCommand::read(c), dramCyclesToTicks(tm.tRCD)),
+              "");
+    EXPECT_EQ(chk.accepted(), 2u);
+}
+
+TEST(TimingChecker, RejectsTrcdViolation)
+{
+    const auto tm = DramTimings::ddr3_1600();
+    TimingChecker chk(geom(), tm);
+    DramCoord c{0, 0, 0, 5, 0};
+    EXPECT_EQ(chk.check(DramCommand::activate(c), 0), "");
+    const std::string err =
+        chk.check(DramCommand::read(c), dramCyclesToTicks(tm.tRCD) - 5);
+    EXPECT_NE(err.find("tRCD"), std::string::npos);
+}
+
+TEST(TimingChecker, RejectsCasToClosedBank)
+{
+    TimingChecker chk(geom(), DramTimings::ddr3_1600());
+    DramCoord c{0, 0, 0, 5, 0};
+    const std::string err = chk.check(DramCommand::read(c), 100);
+    EXPECT_NE(err.find("closed bank"), std::string::npos);
+}
+
+TEST(TimingChecker, RejectsActToOpenBank)
+{
+    TimingChecker chk(geom(), DramTimings::ddr3_1600());
+    DramCoord c{0, 0, 0, 5, 0};
+    EXPECT_EQ(chk.check(DramCommand::activate(c), 0), "");
+    const std::string err =
+        chk.check(DramCommand::activate(c), dramCyclesToTicks(100));
+    EXPECT_NE(err.find("open bank"), std::string::npos);
+}
+
+TEST(TimingChecker, RejectsRefreshWithOpenBank)
+{
+    TimingChecker chk(geom(), DramTimings::ddr3_1600());
+    DramCoord c{0, 0, 0, 5, 0};
+    EXPECT_EQ(chk.check(DramCommand::activate(c), 0), "");
+    const std::string err =
+        chk.check(DramCommand::refresh(0), dramCyclesToTicks(100));
+    EXPECT_NE(err.find("open bank"), std::string::npos);
+}
+
+/**
+ * Cross-model property: drive random request traffic through the
+ * Channel, issuing whatever it deems legal; every issued command must
+ * pass the independent checker. Parameterized by RNG seed.
+ */
+class ChannelCheckerFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ChannelCheckerFuzz, ChannelNeverViolatesProtocol)
+{
+    const auto tm = DramTimings::ddr3_1600();
+    const auto g = geom();
+    Channel chan(g, tm, true);
+    TimingChecker chk(g, tm);
+    Pcg32 rng(GetParam());
+
+    std::uint64_t issued = 0;
+    for (Tick t = 0; t < dramCyclesToTicks(20000);
+         t += kTicksPerDramCycle) {
+        // Refresh first, mirroring the controller's priority.
+        const int refRank = chan.refreshDueRank(t);
+        bool didIssue = false;
+        if (refRank >= 0) {
+            const auto r = static_cast<std::uint32_t>(refRank);
+            for (std::uint32_t b = 0;
+                 b < g.banksPerRank && !didIssue; ++b) {
+                if (chan.rank(r).bank(b).isOpen()) {
+                    const auto pre = DramCommand::precharge(r, b);
+                    if (chan.canIssue(pre, t)) {
+                        ASSERT_EQ(chk.check(pre, t), "");
+                        chan.issue(pre, t);
+                        didIssue = true;
+                    }
+                }
+            }
+            const auto ref = DramCommand::refresh(r);
+            if (!didIssue && chan.canIssue(ref, t)) {
+                ASSERT_EQ(chk.check(ref, t), "");
+                chan.issue(ref, t);
+                didIssue = true;
+            }
+        }
+        // Then a random legal command.
+        for (int attempt = 0; attempt < 8 && !didIssue; ++attempt) {
+            DramCoord c;
+            c.rank = rng.below(g.ranksPerChannel);
+            c.bank = rng.below(g.banksPerRank);
+            const Bank &bank = chan.bank(c.rank, c.bank);
+            c.row = bank.isOpen() && rng.chance(0.7)
+                        ? bank.openRow()
+                        : rng.below(256);
+            c.column = rng.below(16);
+            DramCommand cmd = DramCommand::activate(c);
+            switch (rng.below(4)) {
+              case 0:
+                cmd = DramCommand::activate(c);
+                break;
+              case 1:
+                cmd = DramCommand::read(c);
+                break;
+              case 2:
+                cmd = DramCommand::write(c);
+                break;
+              case 3:
+                cmd = DramCommand::precharge(c.rank, c.bank);
+                break;
+            }
+            if (chan.canIssue(cmd, t)) {
+                const std::string err = chk.check(cmd, t);
+                ASSERT_EQ(err, "")
+                    << dramCommandName(cmd.type) << " at tick " << t;
+                chan.issue(cmd, t);
+                ++issued;
+                didIssue = true;
+            }
+        }
+    }
+    // The fuzz must exercise a meaningful number of commands.
+    EXPECT_GT(issued, 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelCheckerFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

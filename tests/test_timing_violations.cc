@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Failure injection for the DRAM protocol referee: one deliberately
+ * illegal command sequence per JEDEC constraint class. The fuzz test
+ * (test_timing_checker.cc) proves the Channel never produces illegal
+ * sequences; this suite proves the checker would actually catch them
+ * if it did — without it, a permanently silent referee and a correct
+ * device model are indistinguishable.
+ *
+ * Each test drives the TimingChecker with a minimal legal prefix, then
+ * injects one command exactly one cycle too early (or in the wrong
+ * bank state) and asserts the specific violation is named.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dram/timing_checker.hh"
+
+using namespace mcsim;
+
+namespace {
+
+DramGeometry
+geom()
+{
+    DramGeometry g;
+    g.rowsPerBank = 1u << 12;
+    return g;
+}
+
+const DramTimings kTm = DramTimings::ddr3_1600();
+
+Tick
+cyc(std::uint32_t c)
+{
+    return dramCyclesToTicks(c);
+}
+
+/** A checker with row 5 opened in (rank 0, bank 0) at tick 0. */
+struct OpenRowFixture
+{
+    OpenRowFixture() : chk(geom(), kTm)
+    {
+        EXPECT_EQ(chk.check(DramCommand::activate(c00), 0), "");
+    }
+
+    TimingChecker chk;
+    DramCoord c00{0, 0, 0, 5, 0};
+};
+
+} // namespace
+
+TEST(TimingViolation, TrcActToActSameBank)
+{
+    OpenRowFixture f;
+    // Close the row legally so a second ACT is plausible.
+    EXPECT_EQ(f.chk.check(DramCommand::precharge(0, 0), cyc(kTm.tRAS)),
+              "");
+    const std::string err =
+        f.chk.check(DramCommand::activate(f.c00), cyc(kTm.tRC) - 1);
+    EXPECT_NE(err.find("tRC"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, TrpPrechargeToActivate)
+{
+    OpenRowFixture f;
+    const Tick preAt = cyc(kTm.tRAS);
+    EXPECT_EQ(f.chk.check(DramCommand::precharge(0, 0), preAt), "");
+    // One cycle short of tRP after the precharge.
+    const Tick actAt = preAt + cyc(kTm.tRP) - 1;
+    const std::string err =
+        f.chk.check(DramCommand::activate(f.c00), actAt);
+    EXPECT_NE(err.find("tRP"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, TrrdActToActAcrossBanks)
+{
+    OpenRowFixture f;
+    DramCoord other{0, 0, 1, 9, 0};
+    const std::string err =
+        f.chk.check(DramCommand::activate(other), cyc(kTm.tRRD) - 1);
+    EXPECT_NE(err.find("tRRD"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, TfawFifthActivateInWindow)
+{
+    TimingChecker chk(geom(), kTm);
+    // Four activates to distinct banks, spaced exactly tRRD apart —
+    // all legal, all inside one tFAW window (4 * tRRD < tFAW).
+    ASSERT_LT(3 * kTm.tRRD, kTm.tFAW);
+    for (std::uint32_t b = 0; b < 4; ++b) {
+        DramCoord c{0, 0, b, 1, 0};
+        ASSERT_EQ(chk.check(DramCommand::activate(c), b * cyc(kTm.tRRD)),
+                  "");
+    }
+    DramCoord fifth{0, 0, 4, 1, 0};
+    const Tick at = 4 * cyc(kTm.tRRD); // Legal for tRRD, not for tFAW.
+    ASSERT_LT(at, cyc(kTm.tFAW));
+    const std::string err = chk.check(DramCommand::activate(fifth), at);
+    EXPECT_NE(err.find("tFAW"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, TccdBackToBackReads)
+{
+    OpenRowFixture f;
+    const Tick rd1 = cyc(kTm.tRCD);
+    EXPECT_EQ(f.chk.check(DramCommand::read(f.c00), rd1), "");
+    const std::string err =
+        f.chk.check(DramCommand::read(f.c00), rd1 + cyc(kTm.tCCD) - 1);
+    EXPECT_NE(err.find("tCCD"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, TrtwReadThenWriteTooSoon)
+{
+    OpenRowFixture f;
+    const Tick rd = cyc(kTm.tRCD);
+    EXPECT_EQ(f.chk.check(DramCommand::read(f.c00), rd), "");
+    // Past tCCD but short of the read-to-write turnaround.
+    ASSERT_GT(kTm.tRTW, kTm.tCCD);
+    const std::string err =
+        f.chk.check(DramCommand::write(f.c00), rd + cyc(kTm.tRTW) - 1);
+    EXPECT_NE(err.find("tRTW"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, TwtrWriteThenReadTooSoon)
+{
+    OpenRowFixture f;
+    const Tick wr = cyc(kTm.tRCD);
+    EXPECT_EQ(f.chk.check(DramCommand::write(f.c00), wr), "");
+    const Tick gap = cyc(kTm.tCWL + kTm.tBURST + kTm.tWTR);
+    const std::string err =
+        f.chk.check(DramCommand::read(f.c00), wr + gap - 1);
+    EXPECT_NE(err.find("tWTR"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, TrasPrechargeTooEarly)
+{
+    OpenRowFixture f;
+    const std::string err =
+        f.chk.check(DramCommand::precharge(0, 0), cyc(kTm.tRAS) - 1);
+    EXPECT_NE(err.find("tRAS"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, TrtpReadToPrechargeTooEarly)
+{
+    OpenRowFixture f;
+    // Read late enough that tRAS is already satisfied at the PRE.
+    const Tick rd = cyc(kTm.tRAS);
+    EXPECT_EQ(f.chk.check(DramCommand::read(f.c00), rd), "");
+    const std::string err =
+        f.chk.check(DramCommand::precharge(0, 0), rd + cyc(kTm.tRTP) - 1);
+    EXPECT_NE(err.find("tRTP"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, WriteRecoveryBeforePrecharge)
+{
+    OpenRowFixture f;
+    const Tick wr = cyc(kTm.tRAS);
+    EXPECT_EQ(f.chk.check(DramCommand::write(f.c00), wr), "");
+    const Tick gap = cyc(kTm.tCWL + kTm.tBURST + kTm.tWR);
+    const std::string err =
+        f.chk.check(DramCommand::precharge(0, 0), wr + gap - 1);
+    EXPECT_NE(err.find("write recovery"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, CommandBusOnePerCycle)
+{
+    OpenRowFixture f;
+    DramCoord other{0, 1, 0, 2, 0};
+    const std::string err =
+        f.chk.check(DramCommand::activate(other), cyc(1) - 1);
+    EXPECT_NE(err.find("command bus"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, PrechargeToClosedBank)
+{
+    TimingChecker chk(geom(), kTm);
+    const std::string err = chk.check(DramCommand::precharge(0, 0), 100);
+    EXPECT_NE(err.find("closed bank"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, RefreshBeforeTrpAfterPrecharge)
+{
+    OpenRowFixture f;
+    const Tick preAt = cyc(kTm.tRAS);
+    EXPECT_EQ(f.chk.check(DramCommand::precharge(0, 0), preAt), "");
+    const std::string err =
+        f.chk.check(DramCommand::refresh(0), preAt + cyc(kTm.tRP) - 1);
+    EXPECT_NE(err.find("tRP"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, ActivateDuringTrfc)
+{
+    TimingChecker chk(geom(), kTm);
+    EXPECT_EQ(chk.check(DramCommand::refresh(0), 0), "");
+    DramCoord c{0, 0, 0, 5, 0};
+    const std::string err =
+        chk.check(DramCommand::activate(c), cyc(kTm.tRFC) - 1);
+    EXPECT_NE(err.find("tRFC"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, ViolatingCommandDoesNotCorruptState)
+{
+    // A rejected command must leave the checker's state untouched: the
+    // same command at a legal time is then accepted.
+    OpenRowFixture f;
+    const std::string err =
+        f.chk.check(DramCommand::read(f.c00), cyc(kTm.tRCD) - 1);
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(f.chk.accepted(), 1u); // Only the ACT.
+    EXPECT_EQ(f.chk.check(DramCommand::read(f.c00), cyc(kTm.tRCD)), "");
+    EXPECT_EQ(f.chk.accepted(), 2u);
+}
+
+TEST(TimingViolation, MessagesAccumulatePerCheck)
+{
+    // One command can break several constraints at once; the checker
+    // reports all of them.
+    OpenRowFixture f;
+    EXPECT_EQ(f.chk.check(DramCommand::read(f.c00), cyc(kTm.tRCD)), "");
+    // Immediately-following read: command bus + tCCD both violated.
+    const std::string err =
+        f.chk.check(DramCommand::read(f.c00), cyc(kTm.tRCD) + 1);
+    EXPECT_NE(err.find("command bus"), std::string::npos) << err;
+    EXPECT_NE(err.find("tCCD"), std::string::npos) << err;
+}
