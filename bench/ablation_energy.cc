@@ -23,38 +23,28 @@ namespace {
 std::vector<Series>
 runSchedulerEnergy(ExperimentRunner &runner)
 {
-    std::vector<Series> series;
+    std::vector<LabeledConfig> configs;
     for (auto kind : kPaperSchedulers) {
-        Series s;
-        s.label = schedulerKindName(kind);
-        for (auto wl : kAllWorkloads) {
-            SimConfig cfg = SimConfig::baseline();
-            cfg.scheduler = kind;
-            s.results[wl] = runner.run(wl, cfg);
-        }
-        series.push_back(std::move(s));
+        SimConfig cfg = SimConfig::baseline();
+        cfg.scheduler = kind;
+        configs.push_back({schedulerKindName(kind), cfg});
     }
-    return series;
+    return runConfigStudy(runner, configs);
 }
 
 std::vector<Series>
 runPolicyEnergy(ExperimentRunner &runner)
 {
-    std::vector<Series> series;
+    std::vector<LabeledConfig> configs;
     for (auto kind :
          {PagePolicyKind::OpenAdaptive, PagePolicyKind::CloseAdaptive,
           PagePolicyKind::Rbpp, PagePolicyKind::Abpp,
           PagePolicyKind::Timer, PagePolicyKind::History}) {
-        Series s;
-        s.label = pagePolicyKindName(kind);
-        for (auto wl : kAllWorkloads) {
-            SimConfig cfg = SimConfig::baseline();
-            cfg.pagePolicy = kind;
-            s.results[wl] = runner.run(wl, cfg);
-        }
-        series.push_back(std::move(s));
+        SimConfig cfg = SimConfig::baseline();
+        cfg.pagePolicy = kind;
+        configs.push_back({pagePolicyKindName(kind), cfg});
     }
-    return series;
+    return runConfigStudy(runner, configs);
 }
 
 } // namespace

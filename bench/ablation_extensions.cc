@@ -33,6 +33,14 @@ printStudy(const char *title,
            const std::vector<std::pair<std::string, SimConfig>> &configs,
            ExperimentRunner &runner)
 {
+    // Simulate the whole study in one parallel batch; the reporting
+    // loop below then resolves every point from the memo cache.
+    std::vector<SimConfig> sweep;
+    for (const auto &[label, cfg] : configs)
+        sweep.push_back(cfg);
+    bench::prefetchSweep(runner, sweep,
+                         {kRepWorkloads.begin(), kRepWorkloads.end()});
+
     TextTable table;
     std::vector<std::string> header{"workload"};
     for (const auto &[label, cfg] : configs)
@@ -59,6 +67,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--fast") == 0 && i + 1 < argc)
             setenv("CLOUDMC_FAST", argv[++i], 1);
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            setenv("CLOUDMC_THREADS", argv[++i], 1);
     }
     ExperimentRunner runner;
 

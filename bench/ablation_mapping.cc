@@ -20,31 +20,21 @@ namespace {
 std::vector<Series>
 runPermutationStudy(ExperimentRunner &runner)
 {
-    std::vector<Series> series;
-
-    Series base;
-    base.label = "1ch baseline";
-    for (auto wl : kAllWorkloads)
-        base.results[wl] = runner.run(wl, SimConfig::baseline());
-    series.push_back(std::move(base));
-
+    std::vector<LabeledConfig> configs;
+    configs.push_back({"1ch baseline", SimConfig::baseline()});
     for (std::uint32_t channels : {2u, 4u}) {
         for (auto scheme :
              {MappingScheme::RoChRaBaCo, MappingScheme::PermBaXor,
               MappingScheme::PermChBaXor}) {
-            Series s;
-            s.label = std::to_string(channels) + "ch " +
-                      mappingSchemeName(scheme);
-            for (auto wl : kAllWorkloads) {
-                SimConfig cfg = SimConfig::baseline();
-                cfg.dram.channels = channels;
-                cfg.mapping = scheme;
-                s.results[wl] = runner.run(wl, cfg);
-            }
-            series.push_back(std::move(s));
+            SimConfig cfg = SimConfig::baseline();
+            cfg.dram.channels = channels;
+            cfg.mapping = scheme;
+            configs.push_back({std::to_string(channels) + "ch " +
+                                   mappingSchemeName(scheme),
+                               cfg});
         }
     }
-    return series;
+    return runConfigStudy(runner, configs);
 }
 
 } // namespace

@@ -39,8 +39,33 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--fast") == 0 && i + 1 < argc)
             setenv("CLOUDMC_FAST", argv[++i], 1);
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            setenv("CLOUDMC_THREADS", argv[++i], 1);
     }
     ExperimentRunner runner;
+
+    // Simulate every point of both parts in one parallel batch; the
+    // reporting loops below then resolve from the memo cache.
+    {
+        std::vector<SimConfig> sweep;
+        for (auto mlp : kMlpWindows) {
+            SimConfig one = SimConfig::baseline();
+            one.coreMlpOverride = mlp;
+            sweep.push_back(one);
+            SimConfig four = one;
+            four.dram.channels = 4;
+            four.mapping = MappingScheme::RoChRaBaCo;
+            sweep.push_back(four);
+            SimConfig fb = one;
+            fb.scheduler = SchedulerKind::FcfsBanks;
+            sweep.push_back(fb);
+            SimConfig pb = one;
+            pb.scheduler = SchedulerKind::ParBs;
+            sweep.push_back(pb);
+        }
+        bench::prefetchSweep(runner, sweep,
+                             {kScaleOut.begin(), kScaleOut.end()});
+    }
 
     // (a) Channel-count benefit as MLP grows.
     {

@@ -23,20 +23,15 @@ namespace {
 std::vector<Series>
 runTcmStudy(ExperimentRunner &runner)
 {
-    std::vector<Series> series;
+    std::vector<LabeledConfig> configs;
     for (auto kind : {SchedulerKind::FrFcfs, SchedulerKind::ParBs,
                       SchedulerKind::Atlas, SchedulerKind::Tcm,
                       SchedulerKind::Stfm}) {
-        Series s;
-        s.label = schedulerKindName(kind);
-        for (auto wl : kAllWorkloads) {
-            SimConfig cfg = SimConfig::baseline();
-            cfg.scheduler = kind;
-            s.results[wl] = runner.run(wl, cfg);
-        }
-        series.push_back(std::move(s));
+        SimConfig cfg = SimConfig::baseline();
+        cfg.scheduler = kind;
+        configs.push_back({schedulerKindName(kind), cfg});
     }
-    return series;
+    return runConfigStudy(runner, configs);
 }
 
 } // namespace

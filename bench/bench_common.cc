@@ -6,79 +6,122 @@
 
 namespace mcsim::bench {
 
+using Point = ExperimentRunner::Point;
+
 std::vector<Series>
-runSchedulerStudy(ExperimentRunner &runner)
+runConfigStudy(ExperimentRunner &runner,
+               const std::vector<LabeledConfig> &configs,
+               const std::vector<WorkloadId> &workloads)
 {
+    std::vector<Point> points;
+    points.reserve(configs.size() * workloads.size());
+    for (const auto &lc : configs) {
+        for (auto wl : workloads)
+            points.push_back({wl, lc.cfg});
+    }
+    const auto metrics = runner.runAll(points);
+
     std::vector<Series> out;
-    for (auto kind : kPaperSchedulers) {
+    std::size_t i = 0;
+    for (const auto &lc : configs) {
         Series s;
-        s.label = schedulerKindName(kind);
-        SimConfig cfg = SimConfig::baseline();
-        cfg.scheduler = kind;
-        for (auto wl : kAllWorkloads)
-            s.results[wl] = runner.run(wl, cfg);
+        s.label = lc.label;
+        for (auto wl : workloads)
+            s.results[wl] = metrics[i++];
         out.push_back(std::move(s));
     }
     return out;
+}
+
+void
+prefetchSweep(ExperimentRunner &runner,
+              const std::vector<SimConfig> &configs,
+              const std::vector<WorkloadId> &workloads)
+{
+    // With caching disabled there is no memo cache to warm: the
+    // batch's work would be thrown away and re-simulated by the
+    // caller's run() loop.
+    if (!runner.cachingEnabled())
+        return;
+    std::vector<Point> points;
+    points.reserve(configs.size() * workloads.size());
+    for (const auto &cfg : configs) {
+        for (auto wl : workloads)
+            points.push_back({wl, cfg});
+    }
+    (void)runner.runAll(points);
+}
+
+std::vector<Series>
+runSchedulerStudy(ExperimentRunner &runner)
+{
+    std::vector<LabeledConfig> configs;
+    for (auto kind : kPaperSchedulers) {
+        SimConfig cfg = SimConfig::baseline();
+        cfg.scheduler = kind;
+        configs.push_back({schedulerKindName(kind), cfg});
+    }
+    return runConfigStudy(runner, configs);
 }
 
 std::vector<Series>
 runPagePolicyStudy(ExperimentRunner &runner)
 {
-    std::vector<Series> out;
+    std::vector<LabeledConfig> configs;
     for (auto kind : kPaperPagePolicies) {
-        Series s;
-        s.label = pagePolicyKindName(kind);
         SimConfig cfg = SimConfig::baseline();
         cfg.pagePolicy = kind;
-        for (auto wl : kAllWorkloads)
-            s.results[wl] = runner.run(wl, cfg);
-        out.push_back(std::move(s));
+        configs.push_back({pagePolicyKindName(kind), cfg});
     }
-    return out;
-}
-
-std::map<WorkloadId, MappingScheme>
-bestMappingPerWorkload(ExperimentRunner &runner, std::uint32_t channels)
-{
-    std::map<WorkloadId, MappingScheme> best;
-    for (auto wl : kAllWorkloads) {
-        double bestIpc = -1.0;
-        for (auto scheme : kAllMappingSchemes) {
-            SimConfig cfg = SimConfig::baseline();
-            cfg.dram.channels = channels;
-            cfg.mapping = scheme;
-            const MetricSet m = runner.run(wl, cfg);
-            if (m.userIpc > bestIpc) {
-                bestIpc = m.userIpc;
-                best[wl] = scheme;
-            }
-        }
-    }
-    return best;
+    return runConfigStudy(runner, configs);
 }
 
 std::vector<Series>
 runChannelStudy(ExperimentRunner &runner)
 {
+    // One batch covers the whole study: the 1-channel baseline plus
+    // every (workload, scheme) point at 2 and 4 channels. The
+    // per-workload best columns are then assembled from the batch
+    // results without further simulation.
+    std::vector<Point> points;
+    for (auto wl : kAllWorkloads)
+        points.push_back({wl, SimConfig::baseline()});
+    for (std::uint32_t channels : {2u, 4u}) {
+        for (auto wl : kAllWorkloads) {
+            for (auto scheme : kAllMappingSchemes) {
+                SimConfig cfg = SimConfig::baseline();
+                cfg.dram.channels = channels;
+                cfg.mapping = scheme;
+                points.push_back({wl, cfg});
+            }
+        }
+    }
+    const auto metrics = runner.runAll(points);
+
     std::vector<Series> out;
+    std::size_t i = 0;
     {
         Series s;
         s.label = "1_channel";
-        const SimConfig cfg = SimConfig::baseline();
         for (auto wl : kAllWorkloads)
-            s.results[wl] = runner.run(wl, cfg);
+            s.results[wl] = metrics[i++];
         out.push_back(std::move(s));
     }
     for (std::uint32_t channels : {2u, 4u}) {
         Series s;
         s.label = std::to_string(channels) + "_channel";
-        const auto best = bestMappingPerWorkload(runner, channels);
         for (auto wl : kAllWorkloads) {
-            SimConfig cfg = SimConfig::baseline();
-            cfg.dram.channels = channels;
-            cfg.mapping = best.at(wl);
-            s.results[wl] = runner.run(wl, cfg);
+            double bestIpc = -1.0;
+            MetricSet bestMetrics;
+            for (auto scheme : kAllMappingSchemes) {
+                (void)scheme;
+                const MetricSet &m = metrics[i++];
+                if (m.userIpc > bestIpc) {
+                    bestIpc = m.userIpc;
+                    bestMetrics = m;
+                }
+            }
+            s.results[wl] = bestMetrics;
         }
         out.push_back(std::move(s));
     }
@@ -161,6 +204,8 @@ figureMain(int argc, char **argv, const std::string &title,
             csv = true;
         else if (std::strcmp(argv[i], "--fast") == 0 && i + 1 < argc)
             setenv("CLOUDMC_FAST", argv[++i], 1);
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            setenv("CLOUDMC_THREADS", argv[++i], 1);
     }
     ExperimentRunner runner;
     const auto series = study(runner);

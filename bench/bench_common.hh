@@ -33,6 +33,33 @@ struct Series
     std::map<WorkloadId, MetricSet> results;
 };
 
+/** One column of a custom study: a label and its configuration. */
+struct LabeledConfig
+{
+    std::string label;
+    SimConfig cfg;
+};
+
+/**
+ * Run one series per labeled configuration across @p workloads,
+ * submitting the whole sweep as a single parallel batch.
+ */
+std::vector<Series>
+runConfigStudy(ExperimentRunner &runner,
+               const std::vector<LabeledConfig> &configs,
+               const std::vector<WorkloadId> &workloads = {
+                   kAllWorkloads.begin(), kAllWorkloads.end()});
+
+/**
+ * Warm the runner's memo cache with every (workload, config) point of
+ * a sweep in one parallel batch, so subsequent serial run() calls all
+ * hit the cache. For benches whose reporting loops are clearer serial.
+ */
+void prefetchSweep(ExperimentRunner &runner,
+                   const std::vector<SimConfig> &configs,
+                   const std::vector<WorkloadId> &workloads = {
+                       kAllWorkloads.begin(), kAllWorkloads.end()});
+
 /** Run the paper's scheduler sweep (Figures 1-7): 5 schedulers x 12
  *  workloads on the Table 2 baseline. First series is FR-FCFS. */
 std::vector<Series> runSchedulerStudy(ExperimentRunner &runner);
@@ -49,10 +76,6 @@ std::vector<Series> runPagePolicyStudy(ExperimentRunner &runner);
  */
 std::vector<Series> runChannelStudy(ExperimentRunner &runner);
 
-/** Best mapping scheme per workload at a channel count (Table 4). */
-std::map<WorkloadId, MappingScheme>
-bestMappingPerWorkload(ExperimentRunner &runner, std::uint32_t channels);
-
 /**
  * Print a figure: one row per workload plus the three category
  * averages, one column per series. When @p normalizeToFirst is set,
@@ -65,7 +88,12 @@ void printFigure(const std::string &title, const std::string &metricName,
                  bool normalizeToFirst, int precision = 3,
                  bool csv = false);
 
-/** Standard main() body: handles --csv and --fast N flags. */
+/**
+ * Standard main() body: handles --csv, --fast N and --threads N
+ * flags. Studies submit their whole sweep as one ExperimentRunner
+ * batch, so uncached points run on a worker pool (CLOUDMC_THREADS or
+ * the hardware concurrency by default).
+ */
 int figureMain(int argc, char **argv, const std::string &title,
                const std::string &metricName,
                std::vector<Series> (*study)(ExperimentRunner &),

@@ -22,16 +22,24 @@ main(int argc, char **argv)
             csv = true;
         else if (std::strcmp(argv[i], "--fast") == 0 && i + 1 < argc)
             setenv("CLOUDMC_FAST", argv[++i], 1);
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            setenv("CLOUDMC_THREADS", argv[++i], 1);
     }
 
     ExperimentRunner runner;
     const SimConfig cfg = SimConfig::baseline();
 
+    std::vector<ExperimentRunner::Point> points;
+    for (auto wl : kAllWorkloads)
+        points.push_back({wl, cfg});
+    const auto metrics = runner.runAll(points);
+
     TextTable table;
     table.setHeader({"workload", "1-access activations (%)"});
     double lo = 100.0, hi = 0.0;
+    std::size_t i = 0;
     for (auto wl : kAllWorkloads) {
-        const MetricSet m = runner.run(wl, cfg);
+        const MetricSet &m = metrics[i++];
         lo = std::min(lo, m.singleAccessPct);
         hi = std::max(hi, m.singleAccessPct);
         table.addRow({workloadAcronym(wl),

@@ -21,9 +21,26 @@ main(int argc, char **argv)
             csv = true;
         else if (std::strcmp(argv[i], "--fast") == 0 && i + 1 < argc)
             setenv("CLOUDMC_FAST", argv[++i], 1);
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            setenv("CLOUDMC_THREADS", argv[++i], 1);
     }
 
     ExperimentRunner runner;
+
+    // Simulate the full (channels, scheme, workload) matrix in one
+    // parallel batch; the table loops below hit the memo cache.
+    {
+        std::vector<SimConfig> sweep;
+        for (std::uint32_t channels : {2u, 4u}) {
+            for (auto scheme : kAllMappingSchemes) {
+                SimConfig cfg = SimConfig::baseline();
+                cfg.dram.channels = channels;
+                cfg.mapping = scheme;
+                sweep.push_back(cfg);
+            }
+        }
+        bench::prefetchSweep(runner, sweep);
+    }
 
     // Full IPC matrix per channel count.
     for (std::uint32_t channels : {2u, 4u}) {

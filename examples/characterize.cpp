@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/table.hh"
 #include "sim/experiment.hh"
@@ -56,12 +57,19 @@ main(int argc, char **argv)
     ExperimentRunner runner;
     const SimConfig cfg = SimConfig::baseline();
 
+    // Uncached workloads simulate concurrently as one batch.
+    std::vector<ExperimentRunner::Point> points;
+    for (auto id : kAllWorkloads)
+        points.push_back({id, cfg});
+    const auto metrics = runner.runAll(points);
+
     TextTable table;
     table.setHeader({"workload", "IPC", "rowhit%", "(tgt)", "MPKI",
                      "(tgt)", "1acc%", "(tgt)", "bw%", "(tgt)", "lat",
                      "rdQ", "wrQ"});
+    std::size_t idx = 0;
     for (auto id : kAllWorkloads) {
-        const MetricSet m = runner.run(id, cfg);
+        const MetricSet m = metrics[idx++];
         const Target t = targetFor(id);
         table.addRow({workloadAcronym(id), TextTable::num(m.userIpc, 2),
                       TextTable::num(m.rowHitRatePct, 1),

@@ -70,6 +70,21 @@ main(int argc, char **argv)
     SimConfig base = SimConfig::baseline();
     const double baseIpc = runner.run(id, base).userIpc;
 
+    // Simulate the whole scheduler x policy grid as one parallel
+    // batch; the table loop below resolves from the memo cache.
+    if (runner.cachingEnabled()) {
+        std::vector<ExperimentRunner::Point> points;
+        for (auto sched : kSchedulers) {
+            for (auto pp : kPolicies) {
+                SimConfig cfg = base;
+                cfg.scheduler = sched;
+                cfg.pagePolicy = pp;
+                points.push_back({id, cfg});
+            }
+        }
+        (void)runner.runAll(points);
+    }
+
     TextTable table;
     std::vector<std::string> header{"scheduler \\ policy"};
     for (auto pp : kPolicies)

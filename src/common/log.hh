@@ -29,7 +29,7 @@ std::string
 concat(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << args);
+    static_cast<void>((os << ... << args));
     return os.str();
 }
 

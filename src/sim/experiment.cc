@@ -1,9 +1,11 @@
 #include "experiment.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/log.hh"
 #include "system.hh"
@@ -17,7 +19,8 @@ ExperimentRunner::ExperimentRunner(std::string cachePath)
         const char *env = std::getenv("CLOUDMC_CACHE");
         cachePath_ = env ? env : "cloudmc_results_cache.csv";
     }
-    if (cachePath_ != "-")
+    cachingEnabled_ = cachePath_ != "-";
+    if (cachingEnabled_)
         loadCache();
 }
 
@@ -29,6 +32,18 @@ ExperimentRunner::fastDivisor()
         return 1;
     const auto v = std::strtoull(env, nullptr, 10);
     return v >= 1 ? v : 1;
+}
+
+unsigned
+ExperimentRunner::defaultThreads()
+{
+    if (const char *env = std::getenv("CLOUDMC_THREADS")) {
+        const auto v = std::strtoul(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
 }
 
 std::string
@@ -48,6 +63,60 @@ ExperimentRunner::configKey(WorkloadId workload, const SimConfig &cfg)
     return key.str();
 }
 
+namespace {
+
+/** The 15 numeric CSV columns behind one cache record. */
+constexpr std::size_t kCacheFields = 15;
+
+/** Split one CSV line; returns false unless it has key + 15 fields. */
+bool
+parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            fields.push_back(line.substr(start));
+            break;
+        }
+        fields.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+    if (fields.size() != kCacheFields + 1 || fields[0].empty())
+        return false;
+
+    double v[kCacheFields];
+    for (std::size_t i = 0; i < kCacheFields; ++i) {
+        const std::string &f = fields[i + 1];
+        char *end = nullptr;
+        v[i] = std::strtod(f.c_str(), &end);
+        if (f.empty() || end != f.c_str() + f.size())
+            return false;
+    }
+
+    key = fields[0];
+    m = MetricSet{};
+    m.userIpc = v[0];
+    m.avgReadLatency = v[1];
+    m.rowHitRatePct = v[2];
+    m.l2Mpki = v[3];
+    m.avgReadQueue = v[4];
+    m.avgWriteQueue = v[5];
+    m.bwUtilPct = v[6];
+    m.singleAccessPct = v[7];
+    m.committedInstructions = static_cast<std::uint64_t>(v[8]);
+    m.measuredCycles = static_cast<std::uint64_t>(v[9]);
+    m.memReads = static_cast<std::uint64_t>(v[10]);
+    m.memWrites = static_cast<std::uint64_t>(v[11]);
+    m.ipcDisparity = v[12];
+    m.dramEnergyNj = v[13];
+    m.dramAvgPowerMw = v[14];
+    return true;
+}
+
+} // namespace
+
 void
 ExperimentRunner::loadCache()
 {
@@ -56,21 +125,9 @@ ExperimentRunner::loadCache()
         return;
     std::string line;
     while (std::getline(in, line)) {
-        std::istringstream ls(line);
         std::string key;
-        if (!std::getline(ls, key, ','))
-            continue;
         MetricSet m;
-        char comma;
-        ls >> m.userIpc >> comma >> m.avgReadLatency >> comma >>
-            m.rowHitRatePct >> comma >> m.l2Mpki >> comma >>
-            m.avgReadQueue >> comma >> m.avgWriteQueue >> comma >>
-            m.bwUtilPct >> comma >> m.singleAccessPct >> comma >>
-            m.committedInstructions >> comma >> m.measuredCycles >>
-            comma >> m.memReads >> comma >> m.memWrites >> comma >>
-            m.ipcDisparity >> comma >> m.dramEnergyNj >> comma >>
-            m.dramAvgPowerMw;
-        if (ls)
+        if (parseCacheLine(line, key, m))
             cache_[key] = m;
     }
 }
@@ -78,32 +135,33 @@ ExperimentRunner::loadCache()
 void
 ExperimentRunner::appendToCache(const std::string &key, const MetricSet &m)
 {
-    std::ofstream out(cachePath_, std::ios::app);
-    if (!out) {
-        mc_warn("cannot append to results cache '", cachePath_, "'");
-        return;
-    }
-    out << key << ',' << m.userIpc << ',' << m.avgReadLatency << ','
+    std::ostringstream rec;
+    rec << key << ',' << m.userIpc << ',' << m.avgReadLatency << ','
         << m.rowHitRatePct << ',' << m.l2Mpki << ',' << m.avgReadQueue
         << ',' << m.avgWriteQueue << ',' << m.bwUtilPct << ','
         << m.singleAccessPct << ',' << m.committedInstructions << ','
         << m.measuredCycles << ',' << m.memReads << ',' << m.memWrites
         << ',' << m.ipcDisparity << ',' << m.dramEnergyNj << ','
         << m.dramAvgPowerMw << '\n';
+    const std::string line = rec.str();
+
+    // One fwrite on an O_APPEND stream keeps the record contiguous
+    // even when several processes share the cache file.
+    std::FILE *f = std::fopen(cachePath_.c_str(), "ae");
+    if (!f)
+        f = std::fopen(cachePath_.c_str(), "a");
+    if (!f) {
+        mc_warn("cannot append to results cache '", cachePath_, "'");
+        return;
+    }
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size())
+        mc_warn("short write to results cache '", cachePath_, "'");
+    std::fclose(f);
 }
 
 MetricSet
-ExperimentRunner::run(WorkloadId workload, const SimConfig &cfg)
+ExperimentRunner::simulate(WorkloadId workload, const SimConfig &cfg)
 {
-    const std::string key = configKey(workload, cfg);
-    if (cachePath_ != "-") {
-        auto it = cache_.find(key);
-        if (it != cache_.end()) {
-            ++cacheHits_;
-            return it->second;
-        }
-    }
-
     SimConfig effective = cfg;
     const std::uint64_t divisor = fastDivisor();
     effective.warmupCoreCycles = cfg.warmupCoreCycles / divisor;
@@ -111,14 +169,128 @@ ExperimentRunner::run(WorkloadId workload, const SimConfig &cfg)
         std::max<std::uint64_t>(cfg.measureCoreCycles / divisor, 100'000);
 
     System system(effective, workloadPreset(workload));
-    const MetricSet m = system.run();
-    ++simulationsRun_;
+    return system.run();
+}
 
-    if (cachePath_ != "-") {
+MetricSet
+ExperimentRunner::run(WorkloadId workload, const SimConfig &cfg)
+{
+    const std::string key = configKey(workload, cfg);
+    if (cachingEnabled_) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++cacheHits_;
+            return it->second;
+        }
+    }
+
+    const MetricSet m = simulate(workload, cfg);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++simulationsRun_;
+    if (cachingEnabled_) {
         cache_[key] = m;
         appendToCache(key, m);
     }
     return m;
+}
+
+std::vector<MetricSet>
+ExperimentRunner::runAll(const std::vector<Point> &points)
+{
+    return runAll(points, defaultThreads());
+}
+
+std::vector<MetricSet>
+ExperimentRunner::runAll(const std::vector<Point> &points, unsigned threads)
+{
+    std::vector<MetricSet> out(points.size());
+
+    // One job per simulation that must actually run. With caching on,
+    // duplicate uncached keys collapse into one job and the repeats
+    // resolve from the memo cache afterwards — exactly what a serial
+    // run() loop would do (first occurrence simulates, the rest hit).
+    struct Job
+    {
+        std::size_t pointIdx;
+        std::string key;
+    };
+    std::vector<Job> jobs;
+    std::vector<std::size_t> jobOf(points.size(), SIZE_MAX);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::map<std::string, std::size_t> pendingByKey;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            std::string key =
+                configKey(points[i].workload, points[i].cfg);
+            if (!cachingEnabled_) {
+                jobOf[i] = jobs.size();
+                jobs.push_back({i, std::move(key)});
+                continue;
+            }
+            auto it = cache_.find(key);
+            if (it != cache_.end()) {
+                ++cacheHits_;
+                out[i] = it->second;
+                continue;
+            }
+            auto pending = pendingByKey.find(key);
+            if (pending != pendingByKey.end()) {
+                // Will hit the memo cache once its job completes.
+                ++cacheHits_;
+                jobOf[i] = pending->second;
+                continue;
+            }
+            pendingByKey.emplace(key, jobs.size());
+            jobOf[i] = jobs.size();
+            jobs.push_back({i, std::move(key)});
+        }
+    }
+
+    if (jobs.empty())
+        return out;
+
+    std::vector<MetricSet> jobResults(jobs.size());
+    std::atomic<std::size_t> next{0};
+    auto workerLoop = [&]() {
+        while (true) {
+            const std::size_t j =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (j >= jobs.size())
+                return;
+            const Point &p = points[jobs[j].pointIdx];
+            const MetricSet m = simulate(p.workload, p.cfg);
+            jobResults[j] = m;
+
+            std::lock_guard<std::mutex> lock(mu_);
+            ++simulationsRun_;
+            if (cachingEnabled_) {
+                cache_[jobs[j].key] = m;
+                appendToCache(jobs[j].key, m);
+            }
+        }
+    };
+
+    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+        threads >= 1 ? threads : 1, jobs.size()));
+    if (workers <= 1) {
+        workerLoop();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(workerLoop);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (jobOf[i] != SIZE_MAX)
+            out[i] = jobResults[jobOf[i]];
+    }
+    return out;
 }
 
 } // namespace mcsim

@@ -3,13 +3,20 @@
  * Experiment harness: runs (workload, configuration) points and
  * memoizes the results in an on-disk CSV cache so the fourteen
  * per-figure bench binaries can share one set of simulations.
+ *
+ * Independent points can be executed concurrently through runAll():
+ * simulations are deterministic and self-contained, so a batch runs on
+ * a thread pool with only the memo cache and the CSV append path
+ * behind a mutex. Results are identical to the serial loop.
  */
 
 #ifndef CLOUDMC_SIM_EXPERIMENT_HH
 #define CLOUDMC_SIM_EXPERIMENT_HH
 
 #include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "metrics.hh"
 #include "sim_config.hh"
@@ -21,6 +28,13 @@ namespace mcsim {
 class ExperimentRunner
 {
   public:
+    /** One simulation point of a sweep. */
+    struct Point
+    {
+        WorkloadId workload;
+        SimConfig cfg;
+    };
+
     /**
      * @param cachePath CSV cache location; empty selects the
      *        CLOUDMC_CACHE environment variable or, failing that,
@@ -36,18 +50,51 @@ class ExperimentRunner
      */
     MetricSet run(WorkloadId workload, const SimConfig &cfg);
 
+    /**
+     * Run (or recall) a whole sweep, executing uncached points on up
+     * to @p threads worker threads. Points are independent, so the
+     * returned metrics (ordered like @p points) are identical to
+     * calling run() in a serial loop, and the cacheHits() /
+     * simulationsRun() counters advance exactly as the serial loop
+     * would advance them: duplicate uncached points simulate once and
+     * count the repeats as hits.
+     */
+    std::vector<MetricSet> runAll(const std::vector<Point> &points,
+                                  unsigned threads);
+
+    /** runAll() with the defaultThreads() worker count. */
+    std::vector<MetricSet> runAll(const std::vector<Point> &points);
+
+    /**
+     * Worker count used by the single-argument runAll():
+     * CLOUDMC_THREADS when set, else std::thread::hardware_concurrency
+     * (at least 1).
+     */
+    static unsigned defaultThreads();
+
     /** Stable fingerprint of a (workload, config) point. */
     static std::string configKey(WorkloadId workload, const SimConfig &cfg);
 
     std::uint64_t cacheHits() const { return cacheHits_; }
     std::uint64_t simulationsRun() const { return simulationsRun_; }
 
+    /** False when constructed with "-": results are never memoized. */
+    bool cachingEnabled() const { return cachingEnabled_; }
+
   private:
     void loadCache();
+    /**
+     * Append one record as a single flushed write so concurrent
+     * processes sharing the cache file cannot interleave partial
+     * lines. Caller holds mu_.
+     */
     void appendToCache(const std::string &key, const MetricSet &m);
     static std::uint64_t fastDivisor();
+    static MetricSet simulate(WorkloadId workload, const SimConfig &cfg);
 
     std::string cachePath_;
+    bool cachingEnabled_ = true;
+    std::mutex mu_; ///< Guards cache_, the counters, and the CSV append.
     std::map<std::string, MetricSet> cache_;
     std::uint64_t cacheHits_ = 0;
     std::uint64_t simulationsRun_ = 0;

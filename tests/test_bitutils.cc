@@ -65,10 +65,11 @@ TEST_P(BitFieldRoundtrip, InsertExtract)
     const std::uint64_t field = pattern >> (64 - std::min(width, 63u));
     const std::uint64_t v = insertBits(0xDEADBEEFCAFEF00Dull, lsb, width,
                                        field);
-    if (width > 0)
+    if (width > 0) {
         EXPECT_EQ(extractBits(v, lsb, width),
                   field & ((width >= 64 ? ~0ull
                                         : ((1ull << width) - 1))));
+    }
     // Bits outside the field are untouched.
     if (lsb > 0) {
         EXPECT_EQ(extractBits(v, 0, lsb),

@@ -109,6 +109,151 @@ TEST(ExperimentCache, MissingFileStartsEmpty)
     EXPECT_EQ(runner.simulationsRun(), 0u);
 }
 
+namespace {
+
+/** Field-by-field equality, including the per-core vector. */
+void
+expectIdentical(const MetricSet &a, const MetricSet &b)
+{
+    EXPECT_EQ(a.userIpc, b.userIpc);
+    EXPECT_EQ(a.avgReadLatency, b.avgReadLatency);
+    EXPECT_EQ(a.readLatencyP50, b.readLatencyP50);
+    EXPECT_EQ(a.readLatencyP95, b.readLatencyP95);
+    EXPECT_EQ(a.readLatencyP99, b.readLatencyP99);
+    EXPECT_EQ(a.rowHitRatePct, b.rowHitRatePct);
+    EXPECT_EQ(a.l2Mpki, b.l2Mpki);
+    EXPECT_EQ(a.avgReadQueue, b.avgReadQueue);
+    EXPECT_EQ(a.avgWriteQueue, b.avgWriteQueue);
+    EXPECT_EQ(a.bwUtilPct, b.bwUtilPct);
+    EXPECT_EQ(a.singleAccessPct, b.singleAccessPct);
+    EXPECT_EQ(a.perCoreIpc, b.perCoreIpc);
+    EXPECT_EQ(a.ipcDisparity, b.ipcDisparity);
+    EXPECT_EQ(a.dramEnergyNj, b.dramEnergyNj);
+    EXPECT_EQ(a.dramAvgPowerMw, b.dramAvgPowerMw);
+    EXPECT_EQ(a.committedInstructions, b.committedInstructions);
+    EXPECT_EQ(a.measuredCycles, b.measuredCycles);
+    EXPECT_EQ(a.memReads, b.memReads);
+    EXPECT_EQ(a.memWrites, b.memWrites);
+}
+
+/** A 2-scheduler x 2-workload sweep of tiny simulation points. */
+std::vector<ExperimentRunner::Point>
+tinySweep()
+{
+    std::vector<ExperimentRunner::Point> points;
+    for (auto kind : {SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks}) {
+        for (auto wl : {WorkloadId::WS, WorkloadId::TPCC1}) {
+            SimConfig cfg = tinyConfig();
+            cfg.scheduler = kind;
+            points.push_back({wl, cfg});
+        }
+    }
+    return points;
+}
+
+} // namespace
+
+TEST(ExperimentParallel, RunAllMatchesSerialLoop)
+{
+    const auto points = tinySweep();
+
+    // Serial reference: independent runner, caching disabled so every
+    // point actually simulates.
+    ExperimentRunner serial("-");
+    std::vector<MetricSet> expected;
+    for (const auto &p : points)
+        expected.push_back(serial.run(p.workload, p.cfg));
+
+    ExperimentRunner parallel("-");
+    const auto got = parallel.runAll(points, 4);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectIdentical(got[i], expected[i]);
+    }
+    EXPECT_EQ(parallel.simulationsRun(), points.size());
+    EXPECT_EQ(parallel.cacheHits(), 0u);
+}
+
+TEST(ExperimentParallel, CountersConsistentUnderConcurrency)
+{
+    const std::string path = tempCachePath("parallel");
+    std::remove(path.c_str());
+
+    const auto sweep = tinySweep();
+    // Submit each point twice in one batch: 4 unique simulations, 4
+    // duplicate references that must resolve as cache hits — exactly
+    // what a serial run() loop over the same list would count.
+    std::vector<ExperimentRunner::Point> points = sweep;
+    points.insert(points.end(), sweep.begin(), sweep.end());
+
+    {
+        ExperimentRunner runner(path);
+        const auto got = runner.runAll(points, 4);
+        ASSERT_EQ(got.size(), points.size());
+        EXPECT_EQ(runner.simulationsRun(), sweep.size());
+        EXPECT_EQ(runner.cacheHits(), sweep.size());
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
+            SCOPED_TRACE(i);
+            expectIdentical(got[i], got[i + sweep.size()]);
+        }
+    }
+
+    // A fresh runner replays the whole batch from the on-disk cache.
+    {
+        ExperimentRunner runner(path);
+        const auto got = runner.runAll(points, 4);
+        EXPECT_EQ(runner.simulationsRun(), 0u);
+        EXPECT_EQ(runner.cacheHits(), points.size());
+        ASSERT_EQ(got.size(), points.size());
+        for (const auto &m : got)
+            EXPECT_GT(m.userIpc, 0.0);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentParallel, CacheFileHasNoPartialLines)
+{
+    const std::string path = tempCachePath("lines");
+    std::remove(path.c_str());
+    {
+        ExperimentRunner runner(path);
+        (void)runner.runAll(tinySweep(), 4);
+    }
+    // Every record must parse back; a fresh runner recalls all four.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::size_t lines = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_NE(line.find(','), std::string::npos);
+    }
+    EXPECT_EQ(lines, 4u);
+
+    ExperimentRunner runner(path);
+    (void)runner.runAll(tinySweep(), 2);
+    EXPECT_EQ(runner.simulationsRun(), 0u);
+    EXPECT_EQ(runner.cacheHits(), 4u);
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentParallel, SingleThreadAndZeroThreadsStillWork)
+{
+    const auto points = tinySweep();
+    ExperimentRunner one("-");
+    const auto a = one.runAll(points, 1);
+    ExperimentRunner zero("-");
+    const auto b = zero.runAll(points, 0);
+    ASSERT_EQ(a.size(), points.size());
+    ASSERT_EQ(b.size(), points.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectIdentical(a[i], b[i]);
+    }
+}
+
 TEST(ExperimentCache, KeyEncodesEveryStudiedDimension)
 {
     // Beyond the basic distinctions (covered in test_system.cc), the

@@ -120,8 +120,9 @@ TEST(Synthetic, AddressesStayInBounds)
         SyntheticWorkload w(workloadPreset(id), kSpace);
         for (int i = 0; i < 5000; ++i) {
             const Op op = w.nextOp(i % w.params().cores);
-            if (op.kind != Op::Kind::Compute)
+            if (op.kind != Op::Kind::Compute) {
                 ASSERT_LT(op.addr, kSpace) << w.name();
+            }
             ASSERT_LT(w.nextFetchBlock(i % w.params().cores), kSpace);
         }
     }
