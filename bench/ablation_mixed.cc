@@ -11,7 +11,13 @@
  * paper's "fairness is a non-issue for scale-out" claim is supported
  * by implementations that demonstrably work as designed.
  *
+ * The whole (mix, scheduler) matrix is submitted as one
+ * ExperimentRunner::runAll batch of custom-generator points, so the
+ * simulations run on the worker pool like every other bench sweep.
+ * Mixed workloads are not memoized (no preset acronym to key them by).
+ *
  * Usage: ablation_mixed [--measure M] (measured core cycles, default 4M)
+ *                       [--threads N]
  */
 
 #include <cstdio>
@@ -21,7 +27,7 @@
 #include <vector>
 
 #include "common/table.hh"
-#include "sim/system.hh"
+#include "sim/experiment.hh"
 #include "workload/mixed.hh"
 
 using namespace mcsim;
@@ -44,6 +50,15 @@ avgIpc(const std::vector<double> &perCore, std::uint32_t from,
     return sum / static_cast<double>(to - from);
 }
 
+std::uint32_t
+totalCoresOf(const MixCase &mixCase)
+{
+    std::uint32_t cores = 0;
+    for (const MixPart &part : mixCase.parts)
+        cores += part.cores;
+    return cores;
+}
+
 } // namespace
 
 int
@@ -53,6 +68,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--measure") == 0 && i + 1 < argc)
             measure = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            setenv("CLOUDMC_THREADS", argv[++i], 1);
     }
 
     const std::vector<MixCase> mixes = {
@@ -67,24 +84,41 @@ main(int argc, char **argv)
         SchedulerKind::FrFcfs, SchedulerKind::ParBs, SchedulerKind::Atlas,
         SchedulerKind::Tcm, SchedulerKind::Stfm};
 
+    // One batch covers every (mix, scheduler) point.
+    ExperimentRunner runner("-");
+    std::vector<ExperimentRunner::Point> points;
     for (const MixCase &mixCase : mixes) {
+        const std::uint32_t totalCores = totalCoresOf(mixCase);
+        for (auto sched : schedulers) {
+            ExperimentRunner::Point p;
+            p.cfg = SimConfig::baseline();
+            p.cfg.scheduler = sched;
+            p.cfg.warmupCoreCycles = 1'000'000;
+            p.cfg.measureCoreCycles = measure;
+            const auto parts = mixCase.parts;
+            p.makeGenerator = [parts] {
+                return std::make_unique<MixedWorkload>(parts, 16ull << 30);
+            };
+            p.customCores = totalCores;
+            points.push_back(std::move(p));
+        }
+    }
+    const auto metrics = runner.runAll(points);
+
+    std::size_t i = 0;
+    for (const MixCase &mixCase : mixes) {
+        const std::uint32_t totalCores = totalCoresOf(mixCase);
         TextTable table;
         table.setHeader({"scheduler", "total IPC", "light-part IPC",
                          "heavy-part IPC", "min/max fairness"});
         for (auto sched : schedulers) {
-            MixedWorkload mix(mixCase.parts, 16ull << 30);
-            SimConfig cfg = SimConfig::baseline();
-            cfg.scheduler = sched;
-            cfg.warmupCoreCycles = 1'000'000;
-            cfg.measureCoreCycles = measure;
-            System sys(cfg, mix, mix.totalCores());
-            const MetricSet m = sys.run();
+            const MetricSet &m = metrics[i++];
             table.addRow(
                 {schedulerKindName(sched), TextTable::num(m.userIpc, 3),
                  TextTable::num(
                      avgIpc(m.perCoreIpc, 0, mixCase.lightCores), 3),
                  TextTable::num(avgIpc(m.perCoreIpc, mixCase.lightCores,
-                                       mix.totalCores()),
+                                       totalCores),
                                 3),
                  TextTable::num(m.ipcDisparity, 3)});
         }

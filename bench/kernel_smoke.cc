@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Event-kernel throughput smoke: runs the Figure 1 configuration (the
+ * Table 2 baseline under FR-FCFS) for a fixed cycle budget on both
+ * simulation kernels and writes the self-reported throughput to a
+ * JSON file, so the bench trajectory accumulates comparable
+ * simulated-Mticks/s numbers over time.
+ *
+ * Two numbers are reported per run:
+ *  - event_kernel:     the event-scheduled kernel with idle-skip
+ *  - reference_kernel: the pre-refactor tick-by-tick loop (kept in
+ *    System as the golden model), i.e. the pre-refactor throughput
+ *    measured on the same build, host and config
+ *
+ * The smoke also cross-checks that both kernels produce bit-identical
+ * metrics, the event kernel's core contract.
+ *
+ * Usage: kernel_smoke [--cycles N] [--workload ACR] [--json PATH]
+ *        (defaults: 2M measured core cycles, WS, BENCH_kernel.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/system.hh"
+#include "workload/presets.hh"
+
+using namespace mcsim;
+
+namespace {
+
+struct KernelRun
+{
+    double wallS = 0.0;
+    double mticksPerS = 0.0;
+    double coreTicksFrac = 0.0; ///< Core ticks run / eager core ticks.
+    double ctlTicksFrac = 0.0;  ///< Controller ticks run / DRAM cycles.
+    MetricSet metrics;
+    Tick endTick = 0;
+};
+
+KernelRun
+runOnce(WorkloadId wl, std::uint64_t measureCycles, bool reference)
+{
+    SimConfig cfg = SimConfig::baseline();
+    cfg.warmupCoreCycles = measureCycles / 4;
+    cfg.measureCoreCycles = measureCycles;
+    System sys(cfg, workloadPreset(wl));
+    sys.useReferenceKernel(reference);
+    const auto t0 = std::chrono::steady_clock::now();
+    KernelRun r;
+    r.metrics = sys.run();
+    r.wallS = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    r.endTick = sys.now();
+    r.mticksPerS = static_cast<double>(sys.now()) / r.wallS / 1e6;
+    const KernelStats &k = sys.kernelStats();
+    const double coreCycles =
+        static_cast<double>(ticksToCoreCycles(sys.now()));
+    const double dramCycles =
+        static_cast<double>(ticksToDramCycles(sys.now()));
+    r.coreTicksFrac = coreCycles > 0.0
+                          ? static_cast<double>(k.coreTicksRun) /
+                                (coreCycles * sys.numCores())
+                          : 0.0;
+    r.ctlTicksFrac =
+        dramCycles > 0.0 ? static_cast<double>(k.ctlTicksRun) /
+                               (dramCycles * sys.numControllers())
+                         : 0.0;
+    return r;
+}
+
+WorkloadId
+workloadByAcronym(const std::string &acr)
+{
+    for (auto wl : kAllWorkloads) {
+        if (acr == workloadAcronym(wl))
+            return wl;
+    }
+    std::fprintf(stderr, "unknown workload '%s', using WS\n",
+                 acr.c_str());
+    return WorkloadId::WS;
+}
+
+bool
+identical(const MetricSet &a, const MetricSet &b)
+{
+    return a.userIpc == b.userIpc && a.avgReadLatency == b.avgReadLatency &&
+           a.readLatencyP50 == b.readLatencyP50 &&
+           a.readLatencyP95 == b.readLatencyP95 &&
+           a.readLatencyP99 == b.readLatencyP99 &&
+           a.rowHitRatePct == b.rowHitRatePct && a.l2Mpki == b.l2Mpki &&
+           a.avgReadQueue == b.avgReadQueue &&
+           a.avgWriteQueue == b.avgWriteQueue &&
+           a.bwUtilPct == b.bwUtilPct &&
+           a.singleAccessPct == b.singleAccessPct &&
+           a.ipcDisparity == b.ipcDisparity &&
+           a.dramEnergyNj == b.dramEnergyNj &&
+           a.dramAvgPowerMw == b.dramAvgPowerMw &&
+           a.committedInstructions == b.committedInstructions &&
+           a.measuredCycles == b.measuredCycles &&
+           a.memReads == b.memReads && a.memWrites == b.memWrites &&
+           a.perCoreIpc == b.perCoreIpc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t cycles = 2'000'000;
+    std::string workload = "WS";
+    std::string jsonPath = "BENCH_kernel.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc)
+            cycles = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc)
+            workload = argv[++i];
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+    }
+    const WorkloadId wl = workloadByAcronym(workload);
+
+    const KernelRun ref = runOnce(wl, cycles, true);
+    const KernelRun ev = runOnce(wl, cycles, false);
+    const bool bitIdentical =
+        identical(ev.metrics, ref.metrics) && ev.endTick == ref.endTick;
+    const double speedup =
+        ref.mticksPerS > 0.0 ? ev.mticksPerS / ref.mticksPerS : 0.0;
+
+    std::printf("kernel_smoke: fig01 baseline, workload %s, %llu "
+                "measured core cycles\n",
+                workload.c_str(),
+                static_cast<unsigned long long>(cycles));
+    std::printf("  event kernel:     %7.2f Mticks/s (%.3f s, core ticks "
+                "run %.1f%%, ctl ticks run %.1f%%)\n",
+                ev.mticksPerS, ev.wallS, 100.0 * ev.coreTicksFrac,
+                100.0 * ev.ctlTicksFrac);
+    std::printf("  reference kernel: %7.2f Mticks/s (%.3f s)\n",
+                ref.mticksPerS, ref.wallS);
+    std::printf("  speedup %.2fx, metrics bit-identical: %s\n", speedup,
+                bitIdentical ? "yes" : "NO");
+
+    std::FILE *f = std::fopen(jsonPath.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"kernel_smoke\",\n"
+        "  \"config\": \"fig01-baseline-frfcfs\",\n"
+        "  \"workload\": \"%s\",\n"
+        "  \"measure_core_cycles\": %llu,\n"
+        "  \"sim_ticks\": %llu,\n"
+        "  \"event_kernel\": {\n"
+        "    \"mticks_per_s\": %.3f,\n"
+        "    \"wall_s\": %.4f,\n"
+        "    \"core_ticks_run_frac\": %.4f,\n"
+        "    \"ctl_ticks_run_frac\": %.4f\n"
+        "  },\n"
+        "  \"reference_kernel\": {\n"
+        "    \"mticks_per_s\": %.3f,\n"
+        "    \"wall_s\": %.4f\n"
+        "  },\n"
+        "  \"speedup_vs_reference\": %.3f,\n"
+        "  \"metrics_bit_identical\": %s\n"
+        "}\n",
+        workload.c_str(), static_cast<unsigned long long>(cycles),
+        static_cast<unsigned long long>(ev.endTick), ev.mticksPerS,
+        ev.wallS, ev.coreTicksFrac, ev.ctlTicksFrac, ref.mticksPerS,
+        ref.wallS, speedup, bitIdentical ? "true" : "false");
+    std::fclose(f);
+    return bitIdentical ? 0 : 2;
+}

@@ -10,6 +10,7 @@ ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
     mc_assert(n >= 1, "Zipfian needs at least one item");
     mc_assert(theta >= 0.0 && theta < 1.0,
               "Zipfian theta must be in [0,1), got ", theta);
+    halfPowTheta_ = std::pow(0.5, theta_);
     if (theta_ == 0.0) {
         alpha_ = zetan_ = eta_ = 0.0;
         return;
@@ -52,7 +53,7 @@ ZipfianGenerator::sample(Pcg32 &rng) const
     const double uz = u * zetan_;
     if (uz < 1.0)
         return 0;
-    if (uz < 1.0 + std::pow(0.5, theta_))
+    if (uz < 1.0 + halfPowTheta_)
         return 1;
     const auto idx = static_cast<std::uint64_t>(
         static_cast<double>(n_) *

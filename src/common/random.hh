@@ -140,6 +140,7 @@ class ZipfianGenerator
     double alpha_;
     double zetan_;
     double eta_;
+    double halfPowTheta_; ///< pow(0.5, theta), hoisted out of sample().
 };
 
 } // namespace mcsim

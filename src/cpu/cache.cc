@@ -12,7 +12,69 @@ Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
               cfg_.sizeBytes, " ways ", cfg_.ways);
     blockShift_ = floorLog2(cfg_.blockBytes);
     setMask_ = cfg_.numSets() - 1;
-    lines_.resize(cfg_.numSets() * cfg_.ways);
+    const std::size_t n = cfg_.numSets() * cfg_.ways;
+    tags_.assign(n, kNoTag);
+    dirty_.assign(n, 0);
+    if (cfg_.ways == 2)
+        mru_.assign(cfg_.numSets(), 0); // Unobservable until both ways
+                                        // fill; invalid ways are always
+                                        // preferred victims.
+    else
+        stamps_.assign(n, 0);
+}
+
+bool
+Cache::access2Way(Addr tag, std::size_t base, bool isWrite)
+{
+    const std::size_t set = base >> 1;
+    if (tags_[base] == tag) {
+        mru_[set] = 0;
+        dirty_[base] |= static_cast<std::uint8_t>(isWrite);
+        return true;
+    }
+    if (tags_[base + 1] == tag) {
+        mru_[set] = 1;
+        dirty_[base + 1] |= static_cast<std::uint8_t>(isWrite);
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+CacheAccessResult
+Cache::fill2Way(Addr tag, std::size_t base, bool dirty)
+{
+    const std::size_t set = base >> 1;
+    for (std::size_t w = 0; w < 2; ++w) {
+        if (tags_[base + w] == tag) {
+            // Already present (e.g. racing fills); just update state.
+            dirty_[base + w] |= static_cast<std::uint8_t>(dirty);
+            mru_[set] = static_cast<std::uint8_t>(w);
+            return {};
+        }
+    }
+    // Victim: an invalid way first (way 1 preferred, matching the
+    // stamp scan's last-invalid-wins order), else the non-MRU way —
+    // which for two ways is exactly the least recently used.
+    std::size_t victim;
+    if (tags_[base + 1] == kNoTag)
+        victim = base + 1;
+    else if (tags_[base] == kNoTag)
+        victim = base;
+    else
+        victim = base + (mru_[set] ^ 1u);
+    CacheAccessResult res;
+    if (tags_[victim] != kNoTag) {
+        res.victimValid = true;
+        res.victimDirty = dirty_[victim] != 0;
+        res.victimAddr = tags_[victim] << blockShift_;
+        if (res.victimDirty)
+            ++stats_.writebacks;
+    }
+    tags_[victim] = tag;
+    dirty_[victim] = static_cast<std::uint8_t>(dirty);
+    mru_[set] = static_cast<std::uint8_t>(victim - base);
+    return res;
 }
 
 std::size_t
@@ -32,12 +94,13 @@ Cache::access(Addr addr, bool isWrite)
 {
     ++stats_.accesses;
     const Addr tag = tagOf(addr);
-    Line *set = &lines_[setIndex(addr) * cfg_.ways];
+    const std::size_t base = setIndex(addr) * cfg_.ways;
+    if (cfg_.ways == 2)
+        return access2Way(tag, base, isWrite);
     for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        Line &line = set[w];
-        if (line.valid && line.tag == tag) {
-            line.lruStamp = ++lruClock_;
-            line.dirty = line.dirty || isWrite;
+        if (tags_[base + w] == tag) {
+            stamps_[base + w] = ++lruClock_;
+            dirty_[base + w] |= static_cast<std::uint8_t>(isWrite);
             return true;
         }
     }
@@ -49,34 +112,37 @@ CacheAccessResult
 Cache::fill(Addr addr, bool dirty)
 {
     const Addr tag = tagOf(addr);
-    Line *set = &lines_[setIndex(addr) * cfg_.ways];
-    Line *victim = &set[0];
+    mc_assert(tag != kNoTag, "address collides with the invalid tag");
+    const std::size_t base = setIndex(addr) * cfg_.ways;
+    if (cfg_.ways == 2)
+        return fill2Way(tag, base, dirty);
+    std::size_t victim = base;
     for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        Line &line = set[w];
-        if (line.valid && line.tag == tag) {
+        const std::size_t i = base + w;
+        if (tags_[i] == tag) {
             // Already present (e.g. racing fills); just update state.
-            line.dirty = line.dirty || dirty;
-            line.lruStamp = ++lruClock_;
+            dirty_[i] |= static_cast<std::uint8_t>(dirty);
+            stamps_[i] = ++lruClock_;
             return {};
         }
-        if (!line.valid) {
-            victim = &line;
-        } else if (victim->valid && line.lruStamp < victim->lruStamp) {
-            victim = &line;
+        if (tags_[i] == kNoTag) {
+            victim = i;
+        } else if (tags_[victim] != kNoTag &&
+                   stamps_[i] < stamps_[victim]) {
+            victim = i;
         }
     }
     CacheAccessResult res;
-    if (victim->valid) {
+    if (tags_[victim] != kNoTag) {
         res.victimValid = true;
-        res.victimDirty = victim->dirty;
-        res.victimAddr = victim->tag << blockShift_;
-        if (victim->dirty)
+        res.victimDirty = dirty_[victim] != 0;
+        res.victimAddr = tags_[victim] << blockShift_;
+        if (res.victimDirty)
             ++stats_.writebacks;
     }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->dirty = dirty;
-    victim->lruStamp = ++lruClock_;
+    tags_[victim] = tag;
+    dirty_[victim] = static_cast<std::uint8_t>(dirty);
+    stamps_[victim] = ++lruClock_;
     return res;
 }
 
@@ -84,9 +150,9 @@ bool
 Cache::contains(Addr addr) const
 {
     const Addr tag = tagOf(addr);
-    const Line *set = &lines_[setIndex(addr) * cfg_.ways];
+    const std::size_t base = setIndex(addr) * cfg_.ways;
     for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        if (set[w].valid && set[w].tag == tag)
+        if (tags_[base + w] == tag)
             return true;
     }
     return false;
@@ -96,11 +162,12 @@ bool
 Cache::invalidate(Addr addr)
 {
     const Addr tag = tagOf(addr);
-    Line *set = &lines_[setIndex(addr) * cfg_.ways];
+    const std::size_t base = setIndex(addr) * cfg_.ways;
     for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        if (set[w].valid && set[w].tag == tag) {
-            set[w].valid = false;
-            return set[w].dirty;
+        const std::size_t i = base + w;
+        if (tags_[i] == tag) {
+            tags_[i] = kNoTag;
+            return dirty_[i] != 0;
         }
     }
     return false;

@@ -94,22 +94,30 @@ class Cache
     }
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        std::uint64_t lruStamp = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+    /** Tag value marking an invalid way. Real tags are block numbers
+     *  of modelable addresses and can never reach it. */
+    static constexpr Addr kNoTag = ~Addr{0};
 
     std::size_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
+
+    bool access2Way(Addr tag, std::size_t base, bool isWrite);
+    CacheAccessResult fill2Way(Addr tag, std::size_t base, bool dirty);
 
     CacheConfig cfg_;
     unsigned blockShift_;
     std::uint64_t setMask_;
     std::uint64_t lruClock_ = 0;
-    std::vector<Line> lines_; ///< sets x ways, flattened.
+    // Structure-of-arrays tag store: the hit path touches only the
+    // contiguous tag array (2 cache lines for 16 ways instead of 6
+    // with an array-of-structs layout), which matters because the
+    // simulated hierarchy is far bigger than the host's caches.
+    std::vector<Addr> tags_;            ///< sets x ways; kNoTag = invalid.
+    std::vector<std::uint64_t> stamps_; ///< LRU stamps, same indexing.
+    std::vector<std::uint8_t> dirty_;   ///< Dirty flags, same indexing.
+    /** 2-way fast path: for two ways, true LRU is one MRU bit per set
+     *  (the stamp array is not allocated). mru_[set] = last-touched way. */
+    std::vector<std::uint8_t> mru_;
     CacheStats stats_;
 };
 

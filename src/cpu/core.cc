@@ -113,8 +113,45 @@ Core::executeOp()
 }
 
 void
+Core::catchUpTo(std::uint64_t cycle)
+{
+    if (cycle <= synced_)
+        return;
+    std::uint64_t n = cycle - synced_;
+    synced_ = cycle;
+    stats_.cycles += n;
+    // Replicate tick()'s inactive paths in bulk, in tick() order:
+    // fixed-latency stall cycles drain first, then blocked cycles
+    // count against the stall statistics.
+    const std::uint64_t stallPart =
+        stallCyclesLeft_ < n ? stallCyclesLeft_ : n;
+    stallCyclesLeft_ -= static_cast<std::uint32_t>(stallPart);
+    n -= stallPart;
+    if (n == 0)
+        return;
+    if (blockedOnFetch_) {
+        stats_.fetchStallCycles += n;
+        return;
+    }
+    if (blockedOnLoads_ || blockedOnStores_) {
+        stats_.loadMissStallCycles += n;
+        return;
+    }
+    // Committing tail of a compute run: each cycle decrements the op,
+    // commits one instruction, and consumes one fetch credit.
+    const std::uint64_t run = computeRemaining_ < fetchCredits_
+                                  ? computeRemaining_
+                                  : fetchCredits_;
+    mc_assert(n <= run, "catch-up spans cycles where the core could act");
+    computeRemaining_ -= static_cast<std::uint32_t>(n);
+    fetchCredits_ -= static_cast<std::uint32_t>(n);
+    stats_.committedInstructions += n;
+}
+
+void
 Core::tick()
 {
+    ++synced_;
     ++stats_.cycles;
     if (stallCyclesLeft_ > 0) {
         --stallCyclesLeft_;

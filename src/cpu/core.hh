@@ -56,6 +56,9 @@ struct CoreStats
     void reset() { *this = CoreStats{}; }
 };
 
+/** Cycle-index sentinel: the core only wakes via missReturned(). */
+constexpr std::uint64_t kNeverCycle = ~std::uint64_t{0};
+
 /** One in-order core. */
 class Core
 {
@@ -65,6 +68,40 @@ class Core
 
     /** Advance one core cycle. */
     void tick();
+
+    /**
+     * Account the cycles in [syncedCycles(), cycle) during which this
+     * core was provably inactive — pure stall-counter decrements or
+     * blocked-on-miss bookkeeping, exactly as tick() would have done.
+     * The event kernel calls this instead of ticking idle cores; it
+     * must run before any state change (missReturned) or real tick.
+     */
+    void catchUpTo(std::uint64_t cycle);
+
+    /**
+     * First cycle index >= syncedCycles() at which tick() would do
+     * anything beyond deterministic bookkeeping: stall-counter
+     * decrements, blocked-on-miss accounting, or the committing tail
+     * of a compute run (which touches neither the workload generator
+     * nor the caches until the run or the fetch credits are spent).
+     * kNeverCycle while the core can only be unblocked by a returning
+     * miss.
+     */
+    std::uint64_t
+    nextActCycle() const
+    {
+        if (blockedOnFetch_ || blockedOnLoads_ || blockedOnStores_)
+            return kNeverCycle;
+        std::uint64_t run = 0;
+        if (computeRemaining_ > 0) {
+            run = computeRemaining_ < fetchCredits_ ? computeRemaining_
+                                                    : fetchCredits_;
+        }
+        return synced_ + stallCyclesLeft_ + run;
+    }
+
+    /** Cycles executed or accounted so far (the catch-up frontier). */
+    std::uint64_t syncedCycles() const { return synced_; }
 
     /** A miss this core was waiting on has been filled. */
     void missReturned(MissKind kind);
@@ -101,6 +138,8 @@ class Core
 
     std::uint32_t fetchCredits_ = 0;    ///< Instructions fetched, uncommitted.
     std::uint32_t computeRemaining_ = 0;
+
+    std::uint64_t synced_ = 0; ///< Cycles executed or lazily accounted.
 
     CoreStats stats_;
 };

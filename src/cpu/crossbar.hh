@@ -50,6 +50,17 @@ class CrossbarLink
         return p;
     }
 
+    /**
+     * Tick at which the next payload becomes deliverable; kMaxTick
+     * when the link is empty. Delivery is in-order, so the head entry
+     * is always the earliest.
+     */
+    Tick
+    nextReadyAt() const
+    {
+        return fifo_.empty() ? kMaxTick : fifo_.front().first;
+    }
+
     std::size_t size() const { return fifo_.size(); }
     Tick latency() const { return latency_; }
 

@@ -190,6 +190,76 @@ Channel::resetStats(Tick now)
     }
 }
 
+Tick
+Channel::nextRefreshDueAt() const
+{
+    Tick due = kMaxTick;
+    for (const Rank &rk : ranks_) {
+        if (rk.refreshEnabled() && rk.nextRefreshDue() < due)
+            due = rk.nextRefreshDue();
+    }
+    return due;
+}
+
+Tick
+Channel::nextLegalAt(const DramCommand &cmd, Tick now) const
+{
+    // Mirrors canIssue() constraint for constraint; keep the two in
+    // sync (test_event_kernel cross-checks them).
+    const auto maxT = [](Tick a, Tick b) { return a > b ? a : b; };
+    Tick t = cmdBusFreeAt_;
+    const Rank &rk = ranks_[cmd.rank];
+
+    switch (cmd.type) {
+      case DramCommandType::Activate: {
+        const Bank &bk = rk.bank(cmd.bank);
+        if (bk.isOpen())
+            return kMaxTick;
+        t = maxT(t, maxT(bk.actAllowedAt(), rk.actAllowedAt()));
+        break;
+      }
+      case DramCommandType::Read:
+      case DramCommandType::Write: {
+        const bool isRead = cmd.type == DramCommandType::Read;
+        const Bank &bk = rk.bank(cmd.bank);
+        if (!bk.isOpen() || bk.openRow() != cmd.row)
+            return kMaxTick;
+        if (isRead) {
+            t = maxT(t, maxT(bk.rdAllowedAt(), rk.rdAllowedAt()));
+            t = maxT(t, nextRdAt_);
+        } else {
+            t = maxT(t, maxT(bk.wrAllowedAt(), nextWrAt_));
+        }
+        // Data-bus availability: dataStart(t) = t + CAS lead must be
+        // at or past the (rank-switch adjusted) bus-free tick.
+        Tick busFree = dataBusFreeAt_;
+        if (lastDataRank_ >= 0 &&
+            lastDataRank_ != static_cast<int>(cmd.rank)) {
+            busFree += dramCyclesToTicks(tm_.tCS);
+        }
+        const Tick lead = isRead ? ticksRd() : ticksWr();
+        if (busFree > lead)
+            t = maxT(t, busFree - lead);
+        break;
+      }
+      case DramCommandType::Precharge: {
+        const Bank &bk = rk.bank(cmd.bank);
+        if (!bk.isOpen())
+            return kMaxTick;
+        t = maxT(t, bk.preAllowedAt());
+        break;
+      }
+      case DramCommandType::Refresh: {
+        if (!rk.allBanksClosed())
+            return kMaxTick;
+        for (std::uint32_t b = 0; b < rk.numBanks(); ++b)
+            t = maxT(t, rk.bank(b).actAllowedAt());
+        break;
+      }
+    }
+    return maxT(t, now);
+}
+
 int
 Channel::refreshDueRank(Tick now) const
 {

@@ -111,6 +111,22 @@ class Channel
     /** Rank index whose refresh deadline has passed, or -1. */
     int refreshDueRank(Tick now) const;
 
+    /** Earliest refresh deadline over all ranks; kMaxTick when
+     *  refresh is disabled. */
+    Tick nextRefreshDueAt() const;
+
+    /**
+     * Event-kernel contract: the earliest tick >= now at which
+     * canIssue(cmd, ·) would hold, assuming no further command issues
+     * on this channel in between. Every constraint canIssue() checks
+     * is a "now >= threshold" comparison against state that only
+     * command issues move, so the result is exact under that
+     * assumption. Returns kMaxTick when the command needs a bank state
+     * change first (e.g. an activate to an open bank), which during an
+     * idle-skip window cannot happen.
+     */
+    Tick nextLegalAt(const DramCommand &cmd, Tick now) const;
+
     ChannelStats &stats() { return stats_; }
     const ChannelStats &stats() const { return stats_; }
     void resetStats(Tick now);

@@ -184,7 +184,7 @@ MemController::buildCandidates(Tick now)
             c.req = req;
             if (!bank.isOpen()) {
                 c.cmd = DramCommandType::Activate;
-                c.issuableNow = channel_.canIssue(
+                c.legalAt = channel_.nextLegalAt(
                     DramCommand::activate(req->coord), now);
             } else if (bank.openRow() == req->coord.row) {
                 c.cmd = req->isWrite ? DramCommandType::Write
@@ -193,14 +193,17 @@ MemController::buildCandidates(Tick now)
                 const auto cmd = req->isWrite
                                      ? DramCommand::write(req->coord)
                                      : DramCommand::read(req->coord);
-                c.issuableNow = channel_.canIssue(cmd, now);
+                c.legalAt = channel_.nextLegalAt(cmd, now);
             } else {
                 c.cmd = DramCommandType::Precharge;
-                c.issuableNow = channel_.canIssue(
+                c.legalAt = channel_.nextLegalAt(
                     DramCommand::precharge(req->coord.rank,
                                            req->coord.bank),
                     now);
             }
+            // nextLegalAt clamps to now, so legality now is equivalent
+            // to canIssue() (test_event_kernel cross-checks the two).
+            c.issuableNow = c.legalAt <= now;
             cands_.push_back(c);
         }
     };
@@ -298,9 +301,65 @@ MemController::issueCandidate(const Candidate &cand, Tick now)
     return false;
 }
 
-bool
-MemController::tryPolicyPrecharge(Tick now)
+MemController::BankPending
+MemController::gatherBankPending() const
 {
+    BankPending bp;
+    const std::uint32_t banksPerRank =
+        channel_.numRanks() ? channel_.rank(0).numBanks() : 0;
+    if (static_cast<std::uint64_t>(channel_.numRanks()) * banksPerRank >
+        64) {
+        return bp; // Fall back to per-bank scans.
+    }
+    auto scan = [&](const std::vector<Request *> &q) {
+        for (const Request *req : q) {
+            const Bank &bank =
+                channel_.bank(req->coord.rank, req->coord.bank);
+            if (!bank.isOpen())
+                continue;
+            const std::uint64_t bit =
+                1ull << (req->coord.rank * banksPerRank + req->coord.bank);
+            if (req->coord.row == bank.openRow())
+                bp.hit |= bit;
+            else
+                bp.conflict |= bit;
+        }
+    };
+    if (scheduler_->unifiedQueues()) {
+        scan(readQ_);
+        scan(writeQ_);
+    } else if (drainingWrites_) {
+        scan(writeQ_);
+    } else {
+        scan(readQ_);
+    }
+    bp.valid = true;
+    return bp;
+}
+
+void
+MemController::pendingOf(const BankPending &bp, std::uint32_t rank,
+                         std::uint32_t bank, std::uint64_t openRow,
+                         bool &pendingHit, bool &pendingConflict) const
+{
+    if (!bp.valid) {
+        scanBankPool(rank, bank, openRow, pendingHit, pendingConflict);
+        return;
+    }
+    const std::uint64_t bit =
+        1ull << (rank * channel_.rank(0).numBanks() + bank);
+    pendingHit = (bp.hit & bit) != 0;
+    pendingConflict = (bp.conflict & bit) != 0;
+}
+
+bool
+MemController::tryPolicyPrecharge(Tick now, Tick *nextCloseEvent)
+{
+    const BankPending bp = gatherBankPending();
+    const auto consider = [nextCloseEvent](Tick t) {
+        if (nextCloseEvent && t < *nextCloseEvent)
+            *nextCloseEvent = t;
+    };
     for (std::uint32_t r = 0; r < channel_.numRanks(); ++r) {
         const Rank &rank = channel_.rank(r);
         for (std::uint32_t b = 0; b < rank.numBanks(); ++b) {
@@ -314,12 +373,16 @@ MemController::tryPolicyPrecharge(Tick now)
             q.accessesThisActivation = bank.accessesThisActivation();
             q.now = now;
             q.lastAccessAt = bank.lastAccessAt();
-            scanBankPool(r, b, q.openRow, q.pendingHit, q.pendingConflict);
-            if (!pagePolicy_->shouldClose(q))
-                continue;
+            pendingOf(bp, r, b, q.openRow, q.pendingHit, q.pendingConflict);
             const auto pre = DramCommand::precharge(r, b);
-            if (!channel_.canIssue(pre, now))
+            if (!pagePolicy_->shouldClose(q)) {
+                consider(pagePolicy_->nextCloseEventAt(q));
                 continue;
+            }
+            if (!channel_.canIssue(pre, now)) {
+                consider(channel_.nextLegalAt(pre, now));
+                continue;
+            }
             recordPrecharge(r, b, q.openRow, q.accessesThisActivation);
             channel_.issue(pre, now);
             return true;
@@ -328,9 +391,10 @@ MemController::tryPolicyPrecharge(Tick now)
     return false;
 }
 
-void
+Tick
 MemController::tick(Tick now)
 {
+    const Tick nextCycle = now + dramCyclesToTicks(1);
     deliverResponses(now);
     updateDrainMode(now);
 
@@ -341,12 +405,14 @@ MemController::tick(Tick now)
     ctx.drainingWrites = drainingWrites_;
     scheduler_->tick(now, ctx);
 
-    // Time-weighted queue statistics observe every cycle.
+    // Time-weighted queue statistics observe every executed cycle;
+    // skipped cycles leave the piecewise-constant value untouched, so
+    // the next update accrues the identical area.
     stats_.readQueueLen.update(now, static_cast<double>(readQ_.size()));
     stats_.writeQueueLen.update(now, static_cast<double>(writeQ_.size()));
 
     if (tryRefresh(now))
-        return;
+        return nextCycle;
 
     buildCandidates(now);
     if (!cands_.empty()) {
@@ -356,10 +422,56 @@ MemController::tick(Tick now)
                           cands_[pick].issuableNow,
                       "scheduler chose an illegal candidate");
             issueCandidate(cands_[pick], now);
-            return;
+            return nextCycle;
         }
     }
-    tryPolicyPrecharge(now);
+    Tick policyCloseEvent = kMaxTick;
+    if (tryPolicyPrecharge(now, &policyCloseEvent))
+        return nextCycle;
+
+    // Quiescent cycle: nothing issued and nothing can issue before the
+    // next event. Ticks in between would be exact no-ops.
+    const Tick ev = nextEventAt(now, policyCloseEvent);
+    return ev > nextCycle ? ev : nextCycle;
+}
+
+Tick
+MemController::nextEventAt(Tick now, Tick policyCloseEvent)
+{
+    Tick ev = kMaxTick;
+    const auto consider = [&ev](Tick t) {
+        if (t < ev)
+            ev = t;
+    };
+
+    if (!responses_.empty())
+        consider(responses_.top().readyAt);
+
+    consider(scheduler_->nextEventAt(now));
+
+    // A refresh already due but blocked (open bank awaiting its
+    // precharge window) must retry every cycle.
+    if (channel_.refreshDueRank(now) >= 0)
+        return now + dramCyclesToTicks(1);
+    consider(channel_.nextRefreshDueAt());
+
+    // First tick any queued request's next command becomes legal —
+    // already computed by this cycle's buildCandidates() pass.
+    for (const Candidate &c : cands_)
+        consider(c.legalAt);
+
+    // Parked writes enter the idle drain once reads have been absent
+    // for writeIdleDrainCycles (the only time-driven drain flip).
+    if (!drainingWrites_ && readQ_.empty() && !writeQ_.empty()) {
+        consider(lastReadPendingAt_ +
+                 dramCyclesToTicks(cfg_.writeIdleDrainCycles));
+    }
+
+    // Page-policy closures of open banks: a close already wanted waits
+    // on precharge legality, otherwise on the policy's own deadline —
+    // computed by this cycle's tryPolicyPrecharge() scan.
+    consider(policyCloseEvent);
+    return ev;
 }
 
 } // namespace mcsim

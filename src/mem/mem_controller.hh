@@ -119,8 +119,20 @@ class MemController
      */
     void enqueue(Request *req, Tick now);
 
-    /** Advance one DRAM command cycle. */
-    void tick(Tick now);
+    /**
+     * Advance one DRAM command cycle.
+     *
+     * Returns the next tick at which tick() must run again for the
+     * simulation to stay cycle-exact: the next command cycle when this
+     * one did (or could soon do) any work, otherwise the earliest
+     * upcoming event — pending response delivery, a scheduler quantum
+     * deadline, a refresh deadline, the first tick a queued request's
+     * next command becomes timing-legal, a write-drain idle flip, or a
+     * page-policy closure. Skipping the cycles in between is a no-op:
+     * the event kernel relies on that, and enqueue() re-arms the
+     * controller on arrivals. May be conservative (early), never late.
+     */
+    Tick tick(Tick now);
 
     /** Called for every completed request (reads and writes). */
     void setCompletionCallback(CompletionFn fn) { onComplete_ = std::move(fn); }
@@ -138,12 +150,42 @@ class MemController
     void resetStats(Tick now);
 
   private:
+    /**
+     * Per-bank pending-row summary of the active transaction pool,
+     * computed in one pass instead of one queue scan per bank. Banks
+     * beyond 64 fall back to scanBankPool (no modeled geometry gets
+     * there today).
+     */
+    struct BankPending
+    {
+        std::uint64_t hit = 0;      ///< Bit per bank: open-row match.
+        std::uint64_t conflict = 0; ///< Bit per bank: other-row request.
+        bool valid = false;
+    };
+    BankPending gatherBankPending() const;
+    void pendingOf(const BankPending &bp, std::uint32_t rank,
+                   std::uint32_t bank, std::uint64_t openRow,
+                   bool &pendingHit, bool &pendingConflict) const;
+
+    /**
+     * Earliest upcoming event for a quiescent controller (see tick()).
+     * @p policyCloseEvent is the page-policy closure event computed by
+     * this cycle's tryPolicyPrecharge() pass, so the bank scan is not
+     * repeated.
+     */
+    Tick nextEventAt(Tick now, Tick policyCloseEvent);
     void deliverResponses(Tick now);
     void updateDrainMode(Tick now);
     bool tryRefresh(Tick now);
     void buildCandidates(Tick now);
     bool issueCandidate(const Candidate &cand, Tick now);
-    bool tryPolicyPrecharge(Tick now);
+    /**
+     * Issue a page-policy precharge if one is wanted and legal.
+     * When nothing issues, @p nextCloseEvent (if non-null) receives
+     * the earliest tick a closure could fire: a wanted-but-illegal
+     * precharge's next-legal tick or the policy's own deadline.
+     */
+    bool tryPolicyPrecharge(Tick now, Tick *nextCloseEvent = nullptr);
     void serviceCas(Request *req, Tick now, Tick dataReadyAt);
     void recordPrecharge(std::uint32_t rank, std::uint32_t bank,
                          std::uint64_t row, std::uint32_t accesses);

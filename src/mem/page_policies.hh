@@ -157,6 +157,11 @@ class TimerPolicy : public PagePolicy
     {
         return !q.pendingHit && q.now - q.lastAccessAt >= idleTicks_;
     }
+    Tick
+    nextCloseEventAt(const PageQuery &q) const override
+    {
+        return q.pendingHit ? kMaxTick : q.lastAccessAt + idleTicks_;
+    }
 
   private:
     Tick idleTicks_;

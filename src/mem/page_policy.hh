@@ -42,6 +42,22 @@ class PagePolicy
     /** Should the controller issue an idle PRE to this bank now? */
     virtual bool shouldClose(const PageQuery &q) = 0;
 
+    /**
+     * Event-kernel contract: the earliest tick > q.now at which
+     * shouldClose() could flip from false to true with the bank and
+     * queue state in @p q unchanged. Policies that decide purely on
+     * state (every policy except the timer) can only flip on a state
+     * change, which re-arms the kernel anyway, so the default returns
+     * kMaxTick. Time-driven policies return their deadline; an early
+     * (conservative) answer is always safe, a late one is not.
+     */
+    virtual Tick
+    nextCloseEventAt(const PageQuery &q) const
+    {
+        (void)q;
+        return kMaxTick;
+    }
+
     /** A row was activated in (rank, bank). */
     virtual void onActivate(std::uint32_t, std::uint32_t, std::uint64_t) {}
 

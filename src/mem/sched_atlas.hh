@@ -47,6 +47,8 @@ class AtlasScheduler : public Scheduler
                const SchedulerContext &ctx) override;
     void onRequestServiced(const Request &req) override;
     void tick(Tick now, const SchedulerContext &ctx) override;
+    /** Next quantum boundary (the only time-driven state change). */
+    Tick nextEventAt(Tick) const override { return quantumEndsAt_; }
 
     /** Rank of a core (0 = highest priority); for tests. */
     std::uint32_t coreRank(CoreId c) const { return rank_[slot(c)]; }

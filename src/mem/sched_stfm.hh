@@ -49,6 +49,8 @@ class StfmScheduler : public Scheduler
     int choose(const std::vector<Candidate> &cands, Tick now,
                const SchedulerContext &ctx) override;
     void tick(Tick now, const SchedulerContext &ctx) override;
+    /** Next service-estimate decay (the only time-driven change). */
+    Tick nextEventAt(Tick) const override { return nextDecayAt_; }
 
     /** Estimated slowdown of @p core (1.0 when idle); for tests. */
     double slowdownOf(CoreId core) const;

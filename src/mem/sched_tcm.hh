@@ -61,6 +61,13 @@ class TcmScheduler : public Scheduler
     void onRequestArrived(const Request &req) override;
     void onRequestServiced(const Request &req) override;
     void tick(Tick now, const SchedulerContext &ctx) override;
+    /** Next quantum or bandwidth-cluster shuffle deadline. */
+    Tick
+    nextEventAt(Tick) const override
+    {
+        return quantumEndsAt_ < nextShuffleAt_ ? quantumEndsAt_
+                                               : nextShuffleAt_;
+    }
 
     /** True if the core is in the latency-sensitive cluster. */
     bool inLatencyCluster(CoreId c) const { return latency_[slot(c)]; }

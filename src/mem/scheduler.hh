@@ -30,6 +30,9 @@ struct Candidate
     DramCommandType cmd = DramCommandType::Activate;
     bool issuableNow = false;    ///< Legal per all DRAM constraints.
     bool isRowHit = false;       ///< CAS to an already-open row.
+    /** Earliest tick the command becomes legal absent further issues
+     *  (== now when issuableNow); the event kernel's wake-up hint. */
+    Tick legalAt = 0;
 };
 
 /** Controller state visible to schedulers (beyond the candidates). */
@@ -70,6 +73,23 @@ class Scheduler
 
     /** Per controller-cycle bookkeeping (quantum counters etc.). */
     virtual void tick(Tick, const SchedulerContext &) {}
+
+    /**
+     * Event-kernel contract: the earliest tick > now at which tick()
+     * would do anything, assuming no requests arrive or get serviced
+     * in between. Policies whose tick() is a no-op (the default) or
+     * whose state advances only on request events return kMaxTick;
+     * quantum/decay/shuffle policies return their next deadline. The
+     * kernel guarantees a tick() call at the first controller cycle at
+     * or after the returned tick, which is exactly when the per-cycle
+     * reference loop would have observed the deadline.
+     */
+    virtual Tick
+    nextEventAt(Tick now) const
+    {
+        (void)now;
+        return kMaxTick;
+    }
 
     /**
      * True if the policy selects from reads and writes together every

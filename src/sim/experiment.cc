@@ -65,10 +65,15 @@ ExperimentRunner::configKey(WorkloadId workload, const SimConfig &cfg)
 
 namespace {
 
-/** The 15 numeric CSV columns behind one cache record. */
-constexpr std::size_t kCacheFields = 15;
+/** The v1 record's 15 numeric CSV columns. */
+constexpr std::size_t kCacheFieldsV1 = 15;
+/** Schema v2 appends the read-latency percentiles (P50/P95/P99). */
+constexpr std::size_t kCacheFieldsV2 = 18;
 
-/** Split one CSV line; returns false unless it has key + 15 fields. */
+/**
+ * Split one CSV line; accepts key + 15 fields (v1, written before the
+ * percentiles were persisted — they load as 0) or key + 18 fields (v2).
+ */
 bool
 parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
 {
@@ -83,11 +88,15 @@ parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
         fields.push_back(line.substr(start, comma - start));
         start = comma + 1;
     }
-    if (fields.size() != kCacheFields + 1 || fields[0].empty())
+    if ((fields.size() != kCacheFieldsV1 + 1 &&
+         fields.size() != kCacheFieldsV2 + 1) ||
+        fields[0].empty()) {
         return false;
+    }
+    const std::size_t numFields = fields.size() - 1;
 
-    double v[kCacheFields];
-    for (std::size_t i = 0; i < kCacheFields; ++i) {
+    double v[kCacheFieldsV2] = {};
+    for (std::size_t i = 0; i < numFields; ++i) {
         const std::string &f = fields[i + 1];
         char *end = nullptr;
         v[i] = std::strtod(f.c_str(), &end);
@@ -112,6 +121,11 @@ parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
     m.ipcDisparity = v[12];
     m.dramEnergyNj = v[13];
     m.dramAvgPowerMw = v[14];
+    if (numFields == kCacheFieldsV2) {
+        m.readLatencyP50 = v[15];
+        m.readLatencyP95 = v[16];
+        m.readLatencyP99 = v[17];
+    }
     return true;
 }
 
@@ -142,7 +156,8 @@ ExperimentRunner::appendToCache(const std::string &key, const MetricSet &m)
         << m.singleAccessPct << ',' << m.committedInstructions << ','
         << m.measuredCycles << ',' << m.memReads << ',' << m.memWrites
         << ',' << m.ipcDisparity << ',' << m.dramEnergyNj << ','
-        << m.dramAvgPowerMw << '\n';
+        << m.dramAvgPowerMw << ',' << m.readLatencyP50 << ','
+        << m.readLatencyP95 << ',' << m.readLatencyP99 << '\n';
     const std::string line = rec.str();
 
     // One fwrite on an O_APPEND stream keeps the record contiguous
@@ -169,6 +184,25 @@ ExperimentRunner::simulate(WorkloadId workload, const SimConfig &cfg)
         std::max<std::uint64_t>(cfg.measureCoreCycles / divisor, 100'000);
 
     System system(effective, workloadPreset(workload));
+    return system.run();
+}
+
+MetricSet
+ExperimentRunner::simulatePoint(const Point &p)
+{
+    if (!p.makeGenerator)
+        return simulate(p.workload, p.cfg);
+
+    SimConfig effective = p.cfg;
+    const std::uint64_t divisor = fastDivisor();
+    effective.warmupCoreCycles = p.cfg.warmupCoreCycles / divisor;
+    effective.measureCoreCycles = std::max<std::uint64_t>(
+        p.cfg.measureCoreCycles / divisor, 100'000);
+
+    const auto generator = p.makeGenerator();
+    mc_assert(generator && p.customCores >= 1,
+              "custom experiment point needs a generator and cores");
+    System system(effective, *generator, p.customCores);
     return system.run();
 }
 
@@ -224,8 +258,11 @@ ExperimentRunner::runAll(const std::vector<Point> &points, unsigned threads)
         std::map<std::string, std::size_t> pendingByKey;
         for (std::size_t i = 0; i < points.size(); ++i) {
             std::string key =
-                configKey(points[i].workload, points[i].cfg);
-            if (!cachingEnabled_) {
+                points[i].makeGenerator
+                    ? points[i].customKey
+                    : configKey(points[i].workload, points[i].cfg);
+            // Keyless custom points are never memoized: each runs.
+            if (!cachingEnabled_ || key.empty()) {
                 jobOf[i] = jobs.size();
                 jobs.push_back({i, std::move(key)});
                 continue;
@@ -261,12 +298,12 @@ ExperimentRunner::runAll(const std::vector<Point> &points, unsigned threads)
             if (j >= jobs.size())
                 return;
             const Point &p = points[jobs[j].pointIdx];
-            const MetricSet m = simulate(p.workload, p.cfg);
+            const MetricSet m = simulatePoint(p);
             jobResults[j] = m;
 
             std::lock_guard<std::mutex> lock(mu_);
             ++simulationsRun_;
-            if (cachingEnabled_) {
+            if (cachingEnabled_ && !jobs[j].key.empty()) {
                 cache_[jobs[j].key] = m;
                 appendToCache(jobs[j].key, m);
             }

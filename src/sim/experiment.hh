@@ -13,7 +13,9 @@
 #ifndef CLOUDMC_SIM_EXPERIMENT_HH
 #define CLOUDMC_SIM_EXPERIMENT_HH
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "metrics.hh"
 #include "sim_config.hh"
 #include "workload/presets.hh"
+#include "workload/workload.hh"
 
 namespace mcsim {
 
@@ -31,8 +34,23 @@ class ExperimentRunner
     /** One simulation point of a sweep. */
     struct Point
     {
-        WorkloadId workload;
+        Point() = default;
+        Point(WorkloadId wl, const SimConfig &c) : workload(wl), cfg(c) {}
+
+        WorkloadId workload = WorkloadId::DS;
         SimConfig cfg;
+
+        /**
+         * Custom-generator point (mixed workloads, traces): when set,
+         * the simulation builds a fresh generator from the factory and
+         * runs it on @p customCores cores instead of the preset. Such
+         * points are memoized under @p customKey, or never cached when
+         * it is empty — the key must then fingerprint the generator as
+         * faithfully as configKey() fingerprints a preset.
+         */
+        std::function<std::unique_ptr<WorkloadGenerator>()> makeGenerator;
+        std::uint32_t customCores = 0;
+        std::string customKey;
     };
 
     /**
@@ -91,6 +109,7 @@ class ExperimentRunner
     void appendToCache(const std::string &key, const MetricSet &m);
     static std::uint64_t fastDivisor();
     static MetricSet simulate(WorkloadId workload, const SimConfig &cfg);
+    static MetricSet simulatePoint(const Point &p);
 
     std::string cachePath_;
     bool cachingEnabled_ = true;

@@ -21,8 +21,8 @@ struct MetricSet
      *  in core cycles. Figure 3's quantity. */
     double avgReadLatency = 0.0;
     /** Read latency tail, in core cycles (log-bucket estimates).
-     *  Computed on live System runs; not stored in the experiment
-     *  results cache (recalled entries report 0 here). */
+     *  Persisted in the experiment results cache since schema v2;
+     *  entries recalled from v1-era caches report 0 here. */
     double readLatencyP50 = 0.0;
     double readLatencyP95 = 0.0;
     double readLatencyP99 = 0.0;

@@ -89,8 +89,14 @@ System::build(const SimConfig &cfg, std::uint32_t numCores)
     hierarchy_->setSendMemWrite(
         [this](CoreId core, Addr addr) { sendMemWrite(core, addr); });
     hierarchy_->setWake([this](CoreId core, MissKind kind) {
+        // Account the blocked stretch under the pre-wake flags before
+        // the unblock mutates them.
+        cores_[core]->catchUpTo(coreCycles_);
         cores_[core]->missReturned(kind);
+        coreDueCycle_[core] = cores_[core]->nextActCycle();
     });
+    ctlDueAt_.assign(controllers_.size(), 0);
+    coreDueCycle_.assign(numCores, 0);
 }
 
 Request *
@@ -172,40 +178,167 @@ System::ioStep()
 }
 
 void
-System::coreStep()
+System::coreStep(bool eager)
 {
     while (toCpu_.ready(now_)) {
         const CpuResponse resp = toCpu_.pop();
         hierarchy_->onMemResponse(resp.core, resp.addr);
     }
-    for (auto &core : cores_)
-        core->tick();
+    const std::uint64_t cycle = coreCycles_;
+    std::uint64_t minAct = kNeverCycle;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        if (eager || coreDueCycle_[i] <= cycle) {
+            Core &core = *cores_[i];
+            core.catchUpTo(cycle);
+            core.tick();
+            coreDueCycle_[i] = core.nextActCycle();
+            ++kernelStats_.coreTicksRun;
+        }
+        if (coreDueCycle_[i] < minAct)
+            minAct = coreDueCycle_[i];
+    }
     ++coreCycles_;
+    ++kernelStats_.coreStepsRun;
+    coreActEventAt_ =
+        minAct == kNeverCycle ? kMaxTick : coreCyclesToTicks(minAct);
 }
 
 void
-System::memStep()
+System::memStep(bool eager)
 {
     while (toMem_.ready(now_)) {
         Request *req = toMem_.pop();
-        controllers_[req->coord.channel]->enqueue(req, now_);
+        const auto ch = req->coord.channel;
+        controllers_[ch]->enqueue(req, now_);
+        ctlDueAt_[ch] = now_; // Arrivals re-arm a sleeping controller.
     }
     ioStep();
-    for (auto &mc : controllers_)
-        mc->tick(now_);
+    for (std::size_t i = 0; i < controllers_.size(); ++i) {
+        if (eager || ctlDueAt_[i] <= now_) {
+            ctlDueAt_[i] = controllers_[i]->tick(now_);
+            ++kernelStats_.ctlTicksRun;
+        }
+    }
+    ++kernelStats_.memStepsRun;
+}
+
+void
+System::syncCores()
+{
+    for (auto &core : cores_)
+        core->catchUpTo(coreCycles_);
+}
+
+Tick
+System::coreEventAt() const
+{
+    const Tick latch = toCpu_.nextReadyAt();
+    return latch < coreActEventAt_ ? latch : coreActEventAt_;
+}
+
+Tick
+System::ioEventAt() const
+{
+    if (!io_.enabled || io_.outstanding >= io_.window)
+        return kMaxTick;
+    return io_.nextIssueAt;
+}
+
+Tick
+System::memEventAt() const
+{
+    Tick ev = toMem_.nextReadyAt();
+    const Tick io = ioEventAt();
+    if (io < ev)
+        ev = io;
+    for (const Tick due : ctlDueAt_) {
+        if (due < ev)
+            ev = due;
+    }
+    return ev;
+}
+
+namespace {
+
+/** Round @p t up to the next multiple of @p step, saturating. */
+Tick
+alignUp(Tick t, Tick step)
+{
+    if (t > kMaxTick - step)
+        return kMaxTick;
+    return (t + step - 1) / step * step;
+}
+
+} // namespace
+
+void
+System::referenceAdvance(Tick end)
+{
+    while (now_ < end) {
+        if (now_ % kTicksPerCoreCycle == 0)
+            coreStep(true);
+        if (now_ % kTicksPerDramCycle == 0)
+            memStep(true);
+        ++now_;
+    }
 }
 
 void
 System::advance(std::uint64_t coreCycles)
 {
     const Tick end = now_ + coreCyclesToTicks(coreCycles);
-    while (now_ < end) {
-        if (now_ % kTicksPerCoreCycle == 0)
-            coreStep();
-        if (now_ % kTicksPerDramCycle == 0)
-            memStep();
-        ++now_;
+    if (referenceKernel_) {
+        referenceAdvance(end);
+        syncCores();
+        return;
     }
+
+    // Pending step boundaries: the first tick of each domain's grid at
+    // or after now_ that has not executed yet.
+    Tick nextCore = alignUp(now_, kTicksPerCoreCycle);
+    Tick nextMem = alignUp(now_, kTicksPerDramCycle);
+    while (true) {
+        // Earliest boundary of each domain that must actually execute.
+        // Events are computed from post-step state, and nothing runs
+        // between here and that boundary, so every boundary before it
+        // is a provable no-op.
+        const Tick tCore =
+            std::max(nextCore, alignUp(coreEventAt(), kTicksPerCoreCycle));
+        const Tick tMem =
+            std::max(nextMem, alignUp(memEventAt(), kTicksPerDramCycle));
+        const Tick t = std::min(std::min(tCore, tMem), end);
+
+        // Skipped core boundaries still elapse simulated core cycles;
+        // the cores account theirs lazily against coreCycles_.
+        if (nextCore < t) {
+            const Tick skipped =
+                (t - 1 - nextCore) / kTicksPerCoreCycle + 1;
+            coreCycles_ += skipped;
+            nextCore += skipped * kTicksPerCoreCycle;
+        }
+        if (nextMem < t)
+            nextMem += ((t - 1 - nextMem) / kTicksPerDramCycle + 1) *
+                       kTicksPerDramCycle;
+
+        now_ = t;
+        if (t == end)
+            break;
+        // A boundary shared with the other domain may itself be idle
+        // (tCore/tMem past t); it still elapses but needs no step.
+        if (t == nextCore) {
+            if (tCore <= t)
+                coreStep(false);
+            else
+                ++coreCycles_;
+            nextCore += kTicksPerCoreCycle;
+        }
+        if (t == nextMem) {
+            if (tMem <= t)
+                memStep(false);
+            nextMem += kTicksPerDramCycle;
+        }
+    }
+    syncCores();
 }
 
 void
@@ -288,11 +421,18 @@ System::collect() const
     const DramEnergyModel energyModel(DramPowerParams::ddr3_1600(),
                                       cfg_.timings,
                                       cfg_.dram.ranksPerChannel);
-    double elapsedNs = 0.0;
+    // Every channel's stats window starts at the same resetStats()
+    // tick, so the elapsed time is one number, not per-controller.
+    const double elapsedNs =
+        controllers_.empty()
+            ? 0.0
+            : static_cast<double>(
+                  now_ -
+                  controllers_.front()->channel().stats().statsStartTick) *
+                  0.25;
     for (const auto &mc : controllers_) {
-        const ChannelStats &cs = mc->channel().stats();
-        m.dramEnergyNj += energyModel.estimate(cs, now_).totalNj();
-        elapsedNs = static_cast<double>(now_ - cs.statsStartTick) * 0.25;
+        m.dramEnergyNj +=
+            energyModel.estimate(mc->channel().stats(), now_).totalNj();
     }
     m.dramAvgPowerMw =
         elapsedNs > 0.0 ? m.dramEnergyNj * 1e3 / elapsedNs : 0.0;

@@ -6,6 +6,16 @@
  * Clocking: the global tick is 250 ps. Cores and the cache side step
  * every 2 ticks (2 GHz); controllers and DRAM step every 5 ticks
  * (800 MHz). run() interleaves the two domains on the common grid.
+ *
+ * The clock is event-scheduled: advance() walks the clock-domain
+ * boundaries directly (the core/DRAM pattern repeats every
+ * LCM(2,5) = 10 ticks) and consults each component's next-event
+ * report — blocked cores, crossbar latch ready times, the IO engine's
+ * next issue tick, and each controller's tick() return value — to
+ * fast-forward now_ across provably idle stretches. Skipped work is
+ * accounted lazily (Core::catchUpTo) or is a true no-op, so results
+ * are bit-identical to the per-tick reference loop, which is kept
+ * behind useReferenceKernel(true) as the golden model for tests.
  */
 
 #ifndef CLOUDMC_SIM_SYSTEM_HH
@@ -26,6 +36,18 @@
 #include "workload/synthetic.hh"
 
 namespace mcsim {
+
+/**
+ * Event-kernel execution counters: how much stepping the idle-skip
+ * machinery actually avoided. Feeds the bench-layer throughput meter.
+ */
+struct KernelStats
+{
+    std::uint64_t coreStepsRun = 0;  ///< Core-domain boundaries stepped.
+    std::uint64_t coreTicksRun = 0;  ///< Individual Core::tick calls.
+    std::uint64_t memStepsRun = 0;   ///< DRAM-domain boundaries stepped.
+    std::uint64_t ctlTicksRun = 0;   ///< MemController::tick calls.
+};
 
 /** The whole simulated machine. */
 class System
@@ -51,6 +73,14 @@ class System
     /** Advance the clock by @p coreCycles (for tests / custom loops). */
     void advance(std::uint64_t coreCycles);
 
+    /**
+     * Run the original tick-by-tick loop instead of the event kernel:
+     * every core and controller steps on every cycle of its domain.
+     * Slow; exists as the golden reference the equivalence tests pit
+     * the event kernel against.
+     */
+    void useReferenceKernel(bool ref) { referenceKernel_ = ref; }
+
     /** Zero all statistics at the current time. */
     void resetStats();
 
@@ -58,6 +88,7 @@ class System
     MetricSet collect() const;
 
     Tick now() const { return now_; }
+    const KernelStats &kernelStats() const { return kernelStats_; }
     MemController &controller(std::uint32_t ch) { return *controllers_[ch]; }
     std::uint32_t numControllers() const
     {
@@ -89,9 +120,18 @@ class System
     };
 
     void build(const SimConfig &cfg, std::uint32_t numCores);
-    void coreStep();
-    void memStep();
+    void coreStep(bool eager);
+    void memStep(bool eager);
     void ioStep();
+    void referenceAdvance(Tick end);
+    /** Flush every core's lazy cycle accounting up to coreCycles_. */
+    void syncCores();
+    /** Earliest tick the core domain must step (latch or core event). */
+    Tick coreEventAt() const;
+    /** Earliest tick the memory domain must step. */
+    Tick memEventAt() const;
+    /** Next tick the IO engine could issue; kMaxTick when it cannot. */
+    Tick ioEventAt() const;
     Request *allocRequest(CoreId core, Addr addr, bool isWrite, bool isIo);
     void freeRequest(Request *req);
     void sendMemRead(CoreId core, Addr blockAddr);
@@ -100,8 +140,21 @@ class System
 
     SimConfig cfg_;
     Tick now_ = 0;
+    bool referenceKernel_ = false;
     std::uint64_t statsStartCycle_ = 0;
     std::uint64_t coreCycles_ = 0;
+
+    /** Per-controller next-due ticks (tick() return; arrivals re-arm). */
+    std::vector<Tick> ctlDueAt_;
+    /**
+     * Per-core next-act cycles, mirrored from Core::nextActCycle()
+     * into one contiguous array so the hot due-scan never touches the
+     * idle cores themselves. Updated after every tick and wake.
+     */
+    std::vector<std::uint64_t> coreDueCycle_;
+    /** Cached min over coreDueCycle_ in ticks (kMaxTick: all blocked). */
+    Tick coreActEventAt_ = 0;
+    KernelStats kernelStats_;
 
     std::unique_ptr<SyntheticWorkload> ownedGenerator_;
     WorkloadGenerator *generator_ = nullptr;

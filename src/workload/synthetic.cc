@@ -117,6 +117,7 @@ SyntheticWorkload::SyntheticWorkload(const WorkloadParams &params,
         cs.rng.reseed(params_.seed * 0x51ed27f1ULL + c, c + 1);
         cs.baseMemProb = params_.memRefPerInstr * intensityOf(c);
         cs.memProb = std::min(0.95, std::max(0.001, cs.baseMemProb));
+        cs.log1mMemProb = std::log1p(-cs.memProb);
         // Stagger initial phases across cores.
         cs.phaseIsHigh = (c % 2) == 0;
         cs.phaseInstrsLeft =
@@ -213,6 +214,7 @@ SyntheticWorkload::advancePhase(CoreState &cs, std::uint32_t instrs)
         (cs.phaseIsHigh ? params_.phaseHigh : params_.phaseLow) / norm;
     cs.memProb =
         std::min(0.95, std::max(0.001, cs.baseMemProb * factor));
+    cs.log1mMemProb = std::log1p(-cs.memProb);
 }
 
 Op
@@ -226,7 +228,7 @@ SyntheticWorkload::nextOp(CoreId core)
         // length is geometric.
         const double u = cs.rng.nextDouble();
         const auto run = static_cast<std::uint32_t>(
-            std::log1p(-u) / std::log1p(-cs.memProb));
+            std::log1p(-u) / cs.log1mMemProb);
         if (run > 0) {
             cs.pendingMem = true;
             Op op;

@@ -155,6 +155,9 @@ class SyntheticWorkload : public WorkloadGenerator
     {
         Pcg32 rng;
         double memProb = 0.3;
+        /** log1p(-memProb), hoisted out of the per-op run-length draw
+         *  (it only changes on phase transitions). */
+        double log1mMemProb = 0.0;
         bool pendingMem = false;
         // Per-region streaming cursors.
         std::vector<std::uint64_t> streamPos;

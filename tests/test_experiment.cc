@@ -13,6 +13,8 @@
 #include <string>
 
 #include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "workload/synthetic.hh"
 
 using namespace mcsim;
 
@@ -100,6 +102,96 @@ TEST(ExperimentCache, EnergyFieldsRoundtrip)
     std::remove(path.c_str());
 }
 
+TEST(ExperimentCache, LatencyPercentilesRoundtrip)
+{
+    // Schema v2 persists the read-latency percentiles; a reloaded
+    // entry must carry them instead of silently reporting 0.
+    const std::string path = tempCachePath("percentiles");
+    std::remove(path.c_str());
+    const SimConfig cfg = tinyConfig();
+    MetricSet fresh;
+    {
+        ExperimentRunner runner(path);
+        fresh = runner.run(WorkloadId::DS, cfg);
+        EXPECT_GT(fresh.readLatencyP50, 0.0);
+        EXPECT_GE(fresh.readLatencyP95, fresh.readLatencyP50);
+        EXPECT_GE(fresh.readLatencyP99, fresh.readLatencyP95);
+    }
+    {
+        ExperimentRunner runner(path);
+        const MetricSet cached = runner.run(WorkloadId::DS, cfg);
+        EXPECT_EQ(runner.simulationsRun(), 0u);
+        EXPECT_NEAR(cached.readLatencyP50, fresh.readLatencyP50,
+                    1e-5 * fresh.readLatencyP50);
+        EXPECT_NEAR(cached.readLatencyP95, fresh.readLatencyP95,
+                    1e-5 * fresh.readLatencyP95);
+        EXPECT_NEAR(cached.readLatencyP99, fresh.readLatencyP99,
+                    1e-5 * fresh.readLatencyP99);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentCache, V1RowsStillLoadWithZeroPercentiles)
+{
+    // Pre-percentile (15-field) rows remain valid cache entries; only
+    // the percentile fields default to 0.
+    const std::string path = tempCachePath("v1row");
+    const SimConfig cfg = tinyConfig();
+    const std::string key =
+        ExperimentRunner::configKey(WorkloadId::WS, cfg);
+    {
+        std::ofstream out(path);
+        out << key
+            << ",1.5,100,30,5,1,2,10,20,1000,2000,30,40,0.9,5000,120\n";
+    }
+    ExperimentRunner runner(path);
+    const MetricSet m = runner.run(WorkloadId::WS, cfg);
+    EXPECT_EQ(runner.simulationsRun(), 0u);
+    EXPECT_EQ(runner.cacheHits(), 1u);
+    EXPECT_DOUBLE_EQ(m.userIpc, 1.5);
+    EXPECT_DOUBLE_EQ(m.dramAvgPowerMw, 120.0);
+    EXPECT_DOUBLE_EQ(m.readLatencyP50, 0.0);
+    EXPECT_DOUBLE_EQ(m.readLatencyP95, 0.0);
+    EXPECT_DOUBLE_EQ(m.readLatencyP99, 0.0);
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentParallel, CustomGeneratorPointsRunUncached)
+{
+    // Custom-generator points (mixed workloads) go through the same
+    // batch machinery; with an empty customKey they are never
+    // memoized, and their results match a direct System run. The
+    // runner scales windows by CLOUDMC_FAST but the direct System
+    // does not, so pin the divisor for the comparison.
+    const char *fastEnv = std::getenv("CLOUDMC_FAST");
+    const std::string savedFast = fastEnv ? fastEnv : "";
+    unsetenv("CLOUDMC_FAST");
+
+    ExperimentRunner runner("-");
+    ExperimentRunner::Point p;
+    p.cfg = tinyConfig();
+    p.makeGenerator = [] {
+        return std::make_unique<SyntheticWorkload>(
+            workloadPreset(WorkloadId::WS), 8ull << 30);
+    };
+    p.customCores = workloadPreset(WorkloadId::WS).cores;
+    const auto batch =
+        runner.runAll({p, p}, 2); // Same point twice: both simulate.
+    EXPECT_EQ(runner.simulationsRun(), 2u);
+    EXPECT_EQ(runner.cacheHits(), 0u);
+
+    SimConfig cfg = tinyConfig();
+    SyntheticWorkload gen(workloadPreset(WorkloadId::WS), 8ull << 30);
+    System direct(cfg, gen, p.customCores);
+    const MetricSet md = direct.run();
+    EXPECT_EQ(batch[0].committedInstructions, md.committedInstructions);
+    EXPECT_EQ(batch[0].memReads, md.memReads);
+    EXPECT_EQ(batch[1].committedInstructions, md.committedInstructions);
+
+    if (!savedFast.empty())
+        setenv("CLOUDMC_FAST", savedFast.c_str(), 1);
+}
+
 TEST(ExperimentCache, MissingFileStartsEmpty)
 {
     const std::string path = tempCachePath("missing");
@@ -145,7 +237,10 @@ tinySweep()
         for (auto wl : {WorkloadId::WS, WorkloadId::TPCC1}) {
             SimConfig cfg = tinyConfig();
             cfg.scheduler = kind;
-            points.push_back({wl, cfg});
+            ExperimentRunner::Point p;
+            p.workload = wl;
+            p.cfg = cfg;
+            points.push_back(std::move(p));
         }
     }
     return points;
