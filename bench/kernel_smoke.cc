@@ -15,15 +15,24 @@
  * The smoke also cross-checks that both kernels produce bit-identical
  * metrics, the event kernel's core contract.
  *
- * Usage: kernel_smoke [--cycles N] [--workload ACR] [--json PATH]
- *        (defaults: 2M measured core cycles, WS, BENCH_kernel.json)
+ * Usage: kernel_smoke [--cycles N] [--workload ACR] [--device DEV]
+ *                     [--json PATH]
+ *        (defaults: 2M measured core cycles, WS, DDR3-1600,
+ *        BENCH_kernel.json)
+ *
+ * Entries are stamped with the git SHA (CLOUDMC_GIT_SHA or GITHUB_SHA
+ * environment variable, "unknown" otherwise) and the device name, so
+ * the accumulated perf trajectory is attributable to a commit and a
+ * clock-ratio configuration.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "dram/devices.hh"
 #include "sim/system.hh"
 #include "workload/presets.hh"
 
@@ -39,12 +48,15 @@ struct KernelRun
     double ctlTicksFrac = 0.0;  ///< Controller ticks run / DRAM cycles.
     MetricSet metrics;
     Tick endTick = 0;
+    ClockDomains clk; ///< The grid the system actually ran.
 };
 
 KernelRun
-runOnce(WorkloadId wl, std::uint64_t measureCycles, bool reference)
+runOnce(WorkloadId wl, const DramDevice &dev,
+        std::uint64_t measureCycles, bool reference)
 {
     SimConfig cfg = SimConfig::baseline();
+    cfg.applyDevice(dev);
     cfg.warmupCoreCycles = measureCycles / 4;
     cfg.measureCoreCycles = measureCycles;
     System sys(cfg, workloadPreset(wl));
@@ -56,12 +68,13 @@ runOnce(WorkloadId wl, std::uint64_t measureCycles, bool reference)
                   std::chrono::steady_clock::now() - t0)
                   .count();
     r.endTick = sys.now();
+    r.clk = sys.clocks();
     r.mticksPerS = static_cast<double>(sys.now()) / r.wallS / 1e6;
     const KernelStats &k = sys.kernelStats();
     const double coreCycles =
-        static_cast<double>(ticksToCoreCycles(sys.now()));
+        static_cast<double>(sys.clocks().ticksToCore(sys.now()));
     const double dramCycles =
-        static_cast<double>(ticksToDramCycles(sys.now()));
+        static_cast<double>(sys.clocks().ticksToDram(sys.now()));
     r.coreTicksFrac = coreCycles > 0.0
                           ? static_cast<double>(k.coreTicksRun) /
                                 (coreCycles * sys.numCores())
@@ -106,6 +119,17 @@ identical(const MetricSet &a, const MetricSet &b)
            a.perCoreIpc == b.perCoreIpc;
 }
 
+/** Commit fingerprint for the perf trajectory (CI exports it). */
+const char *
+gitSha()
+{
+    if (const char *sha = std::getenv("CLOUDMC_GIT_SHA"))
+        return sha;
+    if (const char *sha = std::getenv("GITHUB_SHA"))
+        return sha;
+    return "unknown";
+}
+
 } // namespace
 
 int
@@ -113,27 +137,31 @@ main(int argc, char **argv)
 {
     std::uint64_t cycles = 2'000'000;
     std::string workload = "WS";
+    std::string device = "DDR3-1600";
     std::string jsonPath = "BENCH_kernel.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc)
             cycles = std::strtoull(argv[++i], nullptr, 10);
         else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc)
             workload = argv[++i];
+        else if (std::strcmp(argv[i], "--device") == 0 && i + 1 < argc)
+            device = argv[++i];
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
     }
     const WorkloadId wl = workloadByAcronym(workload);
+    const DramDevice &dev = dramDeviceOrDie(device);
 
-    const KernelRun ref = runOnce(wl, cycles, true);
-    const KernelRun ev = runOnce(wl, cycles, false);
+    const KernelRun ref = runOnce(wl, dev, cycles, true);
+    const KernelRun ev = runOnce(wl, dev, cycles, false);
     const bool bitIdentical =
         identical(ev.metrics, ref.metrics) && ev.endTick == ref.endTick;
     const double speedup =
         ref.mticksPerS > 0.0 ? ev.mticksPerS / ref.mticksPerS : 0.0;
 
-    std::printf("kernel_smoke: fig01 baseline, workload %s, %llu "
-                "measured core cycles\n",
-                workload.c_str(),
+    std::printf("kernel_smoke: fig01 config, workload %s, device %s, "
+                "%llu measured core cycles\n",
+                workload.c_str(), dev.name.c_str(),
                 static_cast<unsigned long long>(cycles));
     std::printf("  event kernel:     %7.2f Mticks/s (%.3f s, core ticks "
                 "run %.1f%%, ctl ticks run %.1f%%)\n",
@@ -144,6 +172,7 @@ main(int argc, char **argv)
     std::printf("  speedup %.2fx, metrics bit-identical: %s\n", speedup,
                 bitIdentical ? "yes" : "NO");
 
+    const ClockDomains &clk = ev.clk;
     std::FILE *f = std::fopen(jsonPath.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
@@ -154,7 +183,10 @@ main(int argc, char **argv)
         "{\n"
         "  \"bench\": \"kernel_smoke\",\n"
         "  \"config\": \"fig01-baseline-frfcfs\",\n"
+        "  \"git_sha\": \"%s\",\n"
         "  \"workload\": \"%s\",\n"
+        "  \"device\": \"%s\",\n"
+        "  \"clock_ratios\": \"%llu:%llu\",\n"
         "  \"measure_core_cycles\": %llu,\n"
         "  \"sim_ticks\": %llu,\n"
         "  \"event_kernel\": {\n"
@@ -170,7 +202,10 @@ main(int argc, char **argv)
         "  \"speedup_vs_reference\": %.3f,\n"
         "  \"metrics_bit_identical\": %s\n"
         "}\n",
-        workload.c_str(), static_cast<unsigned long long>(cycles),
+        gitSha(), workload.c_str(), dev.name.c_str(),
+        static_cast<unsigned long long>(clk.ticksPerCore),
+        static_cast<unsigned long long>(clk.ticksPerDram),
+        static_cast<unsigned long long>(cycles),
         static_cast<unsigned long long>(ev.endTick), ev.mticksPerS,
         ev.wallS, ev.coreTicksFrac, ev.ctlTicksFrac, ref.mticksPerS,
         ref.wallS, speedup, bitIdentical ? "true" : "false");

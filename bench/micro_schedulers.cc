@@ -55,7 +55,7 @@ schedulerChoose(benchmark::State &state, SchedulerKind kind)
     Tick now = 100000;
     for (auto _ : state) {
         benchmark::DoNotOptimize(scheduler->choose(cands, now, ctx));
-        now += kTicksPerDramCycle;
+        now += kBaselineClocks.ticksPerDram;
     }
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "sim/options.hh"
 #include "sim/experiment.hh"
 
 using namespace mcsim;
@@ -51,6 +52,12 @@ targetFor(WorkloadId id)
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && (std::string(argv[1]) == "--help" ||
+                     std::string(argv[1]) == "--list")) {
+        std::printf("usage: characterize [--fast N]\n\n%s",
+                    ExperimentOptions::listText().c_str());
+        return 0;
+    }
     if (argc > 2 && std::string(argv[1]) == "--fast")
         setenv("CLOUDMC_FAST", argv[2], 1);
 

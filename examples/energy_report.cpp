@@ -16,6 +16,7 @@
 
 #include "common/table.hh"
 #include "dram/energy.hh"
+#include "sim/options.hh"
 #include "sim/system.hh"
 #include "workload/presets.hh"
 
@@ -31,14 +32,14 @@ struct Variant
 
 /** Sum the energy estimate over every channel of a finished system. */
 DramEnergyBreakdown
-systemEnergy(System &sys)
+systemEnergy(System &sys, const DramPowerParams &power)
 {
     DramEnergyBreakdown total;
     for (std::uint32_t ch = 0; ch < sys.numControllers(); ++ch) {
         const Channel &channel = sys.controller(ch).channel();
-        const DramEnergyModel model(DramPowerParams::ddr3_1600(),
-                                    channel.timings(),
-                                    channel.geometry().ranksPerChannel);
+        const DramEnergyModel model(power, channel.timings(),
+                                    channel.geometry().ranksPerChannel,
+                                    channel.clocks());
         const DramEnergyBreakdown e =
             model.estimate(channel.stats(), sys.now());
         total.actPreNj += e.actPreNj;
@@ -56,6 +57,11 @@ int
 main(int argc, char **argv)
 {
     const std::string wanted = argc > 1 ? argv[1] : "MS";
+    if (wanted == "--help" || wanted == "--list") {
+        std::printf("usage: energy_report [workload]\n\n%s",
+                    ExperimentOptions::listText().c_str());
+        return 0;
+    }
     WorkloadId id = WorkloadId::MS;
     bool found = false;
     for (auto w : kAllWorkloads) {
@@ -95,11 +101,11 @@ main(int argc, char **argv)
     for (auto &v : variants) {
         System sys(v.cfg, workloadPreset(id));
         const MetricSet m = sys.run();
-        const DramEnergyBreakdown e = systemEnergy(sys);
+        const DramEnergyBreakdown e = systemEnergy(sys, v.cfg.power);
         const double measuredNs =
-            static_cast<double>(coreCyclesToTicks(
-                v.cfg.measureCoreCycles)) *
-            0.25;
+            static_cast<double>(
+                v.cfg.clocks.coreToTicks(v.cfg.measureCoreCycles)) *
+            v.cfg.clocks.nsPerTick();
         table.addRow(
             {v.label, TextTable::num(m.userIpc, 3),
              TextTable::num(e.actPreNj / 1000.0, 1),

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "sim/options.hh"
 #include "sim/experiment.hh"
 
 using namespace mcsim;
@@ -41,7 +42,13 @@ main(int argc, char **argv)
 {
     std::string wanted = "DS";
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--fast") == 0 && i + 1 < argc) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "--list") == 0) {
+            std::printf("usage: policy_explorer [workload] [--fast N]"
+                        "\n\n%s",
+                        ExperimentOptions::listText().c_str());
+            return 0;
+        } else if (std::strcmp(argv[i], "--fast") == 0 && i + 1 < argc) {
             setenv("CLOUDMC_FAST", argv[++i], 1);
         } else {
             wanted = argv[i];

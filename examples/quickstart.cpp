@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 
+#include "sim/options.hh"
 #include "sim/system.hh"
 #include "workload/presets.hh"
 
@@ -20,6 +21,11 @@ int
 main(int argc, char **argv)
 {
     const std::string wanted = argc > 1 ? argv[1] : "DS";
+    if (wanted == "--help" || wanted == "--list") {
+        std::printf("usage: quickstart [workload-acronym]\n\n%s",
+                    ExperimentOptions::listText().c_str());
+        return 0;
+    }
     WorkloadId id = WorkloadId::DS;
     bool found = false;
     for (auto w : kAllWorkloads) {

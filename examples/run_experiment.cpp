@@ -1,24 +1,80 @@
 /**
  * @file
  * Generic experiment runner: simulate any (workload, scheduler, page
- * policy, mapping, channel count) point from the command line and
- * print the full metric set — the repo's swiss-army knife for
- * one-off questions ("what does TCM + History do to TPC-H Q6 on 2
- * channels?") without writing code.
+ * policy, mapping, device, channel count) point from the command
+ * line — or a whole declarative sweep from a spec file — and print
+ * the metric set(s). The repo's swiss-army knife for one-off
+ * questions ("what does TCM + History do to TPC-H Q6 on 2 channels of
+ * DDR4-2400?") without writing code.
  *
  * Usage: run_experiment [workload] [--scheduler S] [--policy P]
- *                       [--mapping M] [--channels N] [...]
- *   e.g. run_experiment TPCH-Q6 --scheduler TCM --policy History \
- *            --channels 2 --mapping PermBaXor
- * Run with --help for the full flag list.
+ *                       [--mapping M] [--device D] [--channels N] [...]
+ *        run_experiment --config sweep.spec [--csv]
+ *
+ * With --config the spec's cross product (devices x schedulers x
+ * policies x mappings x channels x workloads) runs as one parallel
+ * batch through ExperimentRunner::runAll and prints one row per
+ * point. Run with --help for the full flag list and --list for every
+ * legal name.
  */
 
 #include <cstdio>
 
 #include "sim/options.hh"
+#include "sim/spec.hh"
 #include "sim/system.hh"
 
 using namespace mcsim;
+
+namespace {
+
+int
+runSweep(const ExperimentOptions &opts)
+{
+    // Re-seat the sweep's base on the fully-parsed config so scalar
+    // flags given after --config (--warmup/--measure/--seed/--fast)
+    // apply to every point; the axis lists stay the spec's (already
+    // collapsed by any axis flags parsed after --config).
+    ExperimentSpec spec = opts.spec;
+    spec.base = opts.config;
+    const auto points = spec.points();
+    std::printf("run_experiment: sweeping %zu point(s) from spec\n",
+                points.size());
+    ExperimentRunner runner;
+    const auto results = runner.runAll(points);
+
+    if (opts.csv) {
+        std::printf("workload,device,scheduler,policy,mapping,channels,"
+                    "ipc,read_latency,row_hit_pct,bw_util_pct,"
+                    "energy_uj\n");
+    } else {
+        std::printf("%-8s %-12s %-10s %-13s %-11s %3s %7s %9s %7s %7s "
+                    "%9s\n",
+                    "wl", "device", "scheduler", "policy", "mapping",
+                    "ch", "ipc", "lat(cyc)", "hit%", "bw%", "uJ");
+    }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SimConfig &cfg = points[i].cfg;
+        const MetricSet &m = results[i];
+        std::printf(opts.csv ? "%s,%s,%s,%s,%s,%u,%.4f,%.1f,%.2f,%.2f,"
+                               "%.1f\n"
+                             : "%-8s %-12s %-10s %-13s %-11s %3u %7.3f "
+                               "%9.1f %7.2f %7.2f %9.1f\n",
+                    workloadAcronym(points[i].workload),
+                    cfg.deviceName.c_str(),
+                    schedulerKindName(cfg.scheduler),
+                    pagePolicyKindName(cfg.pagePolicy),
+                    mappingSchemeName(cfg.mapping), cfg.dram.channels,
+                    m.userIpc, m.avgReadLatency, m.rowHitRatePct,
+                    m.bwUtilPct, m.dramEnergyNj / 1000.0);
+    }
+    std::printf("(%llu simulated, %llu cache hits)\n",
+                static_cast<unsigned long long>(runner.simulationsRun()),
+                static_cast<unsigned long long>(runner.cacheHits()));
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -35,11 +91,17 @@ main(int argc, char **argv)
                    stdout);
         return 0;
     }
+    if (opts.listRequested) {
+        std::fputs(ExperimentOptions::listText().c_str(), stdout);
+        return 0;
+    }
+    if (opts.hasSpec)
+        return runSweep(opts);
 
     const WorkloadParams workload = workloadPreset(opts.workload);
     const SimConfig &cfg = opts.config;
-    std::printf("run_experiment: %s | %s | %s | %s | %u channel(s)\n",
-                workload.acronym.c_str(),
+    std::printf("run_experiment: %s | %s | %s | %s | %s | %u channel(s)\n",
+                workload.acronym.c_str(), cfg.deviceName.c_str(),
                 schedulerKindName(cfg.scheduler),
                 pagePolicyKindName(cfg.pagePolicy),
                 mappingSchemeName(cfg.mapping), cfg.dram.channels);

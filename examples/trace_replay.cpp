@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <string>
 
+#include "sim/options.hh"
 #include "sim/system.hh"
 #include "workload/presets.hh"
 #include "workload/trace.hh"
@@ -38,6 +39,11 @@ int
 main(int argc, char **argv)
 {
     const std::string wanted = argc > 1 ? argv[1] : "MS";
+    if (wanted == "--help" || wanted == "--list") {
+        std::printf("usage: trace_replay [workload] [trace-path]\n\n%s",
+                    ExperimentOptions::listText().c_str());
+        return 0;
+    }
     const std::string path =
         argc > 2 ? argv[2] : "/tmp/cloudmc_example.trace";
 

@@ -1,12 +1,17 @@
 /**
  * @file
- * Fundamental simulation types and clock-domain constants.
+ * Fundamental simulation types and the runtime clock-domain model.
  *
- * The simulator runs on a single global tick clock. One tick is 250 ps,
- * which is the greatest common period of the 2 GHz core clock (500 ps,
- * 2 ticks) and the 800 MHz DDR3-1600 command clock (1250 ps, 5 ticks).
- * Keeping both domains on an integer tick grid avoids any rounding in
- * cross-domain timing arithmetic.
+ * The simulator runs on a single global tick clock shared by two
+ * domains: the core clock and the DRAM command-bus clock. One tick is
+ * the greatest common period of the two configured frequencies, so
+ * both domains sit on an integer tick grid and cross-domain timing
+ * arithmetic never rounds. The tick length is therefore *derived* at
+ * runtime from the configured frequencies (a ClockDomains value), not
+ * a compile-time constant: the paper's Table 2 baseline (2 GHz cores,
+ * DDR3-1600's 800 MHz command bus) yields a 250 ps tick with 2 ticks
+ * per core cycle and 5 per DRAM cycle, while e.g. DDR4-2400 under the
+ * same cores yields a 166.7 ps tick with ratios 3 and 5.
  */
 
 #ifndef CLOUDMC_COMMON_TYPES_HH
@@ -14,10 +19,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <numeric>
 
 namespace mcsim {
 
-/** Global simulation time unit: 1 tick = 250 ps. */
+/** Global simulation time unit; the length is set by ClockDomains. */
 using Tick = std::uint64_t;
 
 /** Physical byte address. */
@@ -29,39 +35,104 @@ using CoreId = std::uint32_t;
 /** Sentinel for "no tick" / "never". */
 constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
 
-/** Ticks per 2 GHz core cycle. */
-constexpr Tick kTicksPerCoreCycle = 2;
-
-/** Ticks per 800 MHz DRAM command-bus cycle (DDR3-1600). */
-constexpr Tick kTicksPerDramCycle = 5;
-
-/** Convert a count of core cycles to ticks. */
-constexpr Tick
-coreCyclesToTicks(std::uint64_t cycles)
+/**
+ * The two clock domains and their shared tick grid.
+ *
+ * The tick frequency is LCM(coreMhz, dramMhz), so a core cycle spans
+ * ticksPerCore ticks and a DRAM command cycle ticksPerDram ticks, both
+ * exact integers. Every component converts between its own cycle
+ * domain and ticks through the ClockDomains instance it was built
+ * with; there is deliberately no global conversion function, so two
+ * systems with different devices can coexist in one process (the
+ * experiment harness runs them concurrently).
+ */
+struct ClockDomains
 {
-    return cycles * kTicksPerCoreCycle;
-}
+    std::uint32_t coreMhz = 2000; ///< Core / cache / crossbar clock.
+    std::uint32_t dramMhz = 800;  ///< DRAM command-bus clock (tCK).
+    Tick ticksPerCore = 2;        ///< Ticks per core cycle.
+    Tick ticksPerDram = 5;        ///< Ticks per DRAM command cycle.
 
-/** Convert a count of DRAM cycles to ticks. */
-constexpr Tick
-dramCyclesToTicks(std::uint64_t cycles)
-{
-    return cycles * kTicksPerDramCycle;
-}
+    /** Derive the tick grid for a (core, DRAM) frequency pair.
+     *  Zero frequencies are clamped to 1 MHz (caller-validated). */
+    static constexpr ClockDomains
+    fromMhz(std::uint32_t core, std::uint32_t dram)
+    {
+        ClockDomains c;
+        c.coreMhz = core ? core : 1;
+        c.dramMhz = dram ? dram : 1;
+        const std::uint64_t g = std::gcd<std::uint64_t, std::uint64_t>(
+            c.coreMhz, c.dramMhz);
+        c.ticksPerCore = c.dramMhz / g;
+        c.ticksPerDram = c.coreMhz / g;
+        return c;
+    }
 
-/** Convert ticks to whole core cycles (rounds down). */
-constexpr std::uint64_t
-ticksToCoreCycles(Tick t)
-{
-    return t / kTicksPerCoreCycle;
-}
+    /** Tick frequency in MHz: LCM of the two domain frequencies. */
+    constexpr std::uint64_t
+    tickMhz() const
+    {
+        return static_cast<std::uint64_t>(coreMhz) * ticksPerCore;
+    }
 
-/** Convert ticks to whole DRAM cycles (rounds down). */
-constexpr std::uint64_t
-ticksToDramCycles(Tick t)
-{
-    return t / kTicksPerDramCycle;
-}
+    /** Wall-clock length of one tick, in nanoseconds. */
+    constexpr double
+    nsPerTick() const
+    {
+        return 1000.0 / static_cast<double>(tickMhz());
+    }
+
+    /** Wall-clock length of one DRAM command cycle, in nanoseconds.
+     *  Defined as nsPerTick() * ticksPerDram so tick-based and
+     *  cycle-based energy accounting stay mutually consistent. */
+    constexpr double
+    nsPerDramCycle() const
+    {
+        return nsPerTick() * static_cast<double>(ticksPerDram);
+    }
+
+    /** Convert a count of core cycles to ticks. */
+    constexpr Tick
+    coreToTicks(std::uint64_t cycles) const
+    {
+        return cycles * ticksPerCore;
+    }
+
+    /** Convert a count of DRAM cycles to ticks. */
+    constexpr Tick
+    dramToTicks(std::uint64_t cycles) const
+    {
+        return cycles * ticksPerDram;
+    }
+
+    /** Convert ticks to whole core cycles (rounds down). */
+    constexpr std::uint64_t
+    ticksToCore(Tick t) const
+    {
+        return t / ticksPerCore;
+    }
+
+    /** Convert ticks to whole DRAM cycles (rounds down). */
+    constexpr std::uint64_t
+    ticksToDram(Tick t) const
+    {
+        return t / ticksPerDram;
+    }
+
+    constexpr bool
+    operator==(const ClockDomains &o) const
+    {
+        return coreMhz == o.coreMhz && dramMhz == o.dramMhz;
+    }
+    constexpr bool
+    operator!=(const ClockDomains &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/** The paper's Table 2 clocking: 2 GHz cores over DDR3-1600. */
+inline constexpr ClockDomains kBaselineClocks{};
 
 /** Sentinel core id used for non-core requesters (DMA/IO engines). */
 constexpr CoreId kIoCoreId = 0xFFFFu;

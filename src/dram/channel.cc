@@ -18,8 +18,8 @@ dramCommandName(DramCommandType t)
 }
 
 Channel::Channel(const DramGeometry &geom, const DramTimings &timings,
-                 bool enableRefresh)
-    : geom_(geom), tm_(timings)
+                 bool enableRefresh, const ClockDomains &clk)
+    : geom_(geom), tm_(timings), clk_(clk)
 {
     geom_.validate();
     ranks_.reserve(geom_.ranksPerChannel);
@@ -28,7 +28,7 @@ Channel::Channel(const DramGeometry &geom, const DramTimings &timings,
     rankOpenBanks_.assign(geom_.ranksPerChannel, 0);
     rankActiveSince_.assign(geom_.ranksPerChannel, 0);
     if (enableRefresh) {
-        const Tick interval = dramCyclesToTicks(tm_.tREFI);
+        const Tick interval = dct(tm_.tREFI);
         for (std::uint32_t r = 0; r < geom_.ranksPerChannel; ++r) {
             // Stagger ranks so refreshes do not pile up on one tick.
             const Tick firstDue =
@@ -59,7 +59,7 @@ Channel::canIssueCas(const DramCommand &cmd, Tick now, bool isRead) const
     Tick busFree = dataBusFreeAt_;
     if (lastDataRank_ >= 0 &&
         lastDataRank_ != static_cast<int>(cmd.rank)) {
-        busFree += dramCyclesToTicks(tm_.tCS);
+        busFree += dct(tm_.tCS);
     }
     return dataStart >= busFree;
 }
@@ -110,31 +110,31 @@ Channel::issue(const DramCommand &cmd, Tick now)
 
     Rank &rk = ranks_[cmd.rank];
     IssueResult res;
-    cmdBusFreeAt_ = now + dramCyclesToTicks(1);
+    cmdBusFreeAt_ = now + dct(1);
 
     switch (cmd.type) {
       case DramCommandType::Activate:
         rk.bank(cmd.bank).activate(cmd.row, now,
-                                   dramCyclesToTicks(tm_.tRCD),
-                                   dramCyclesToTicks(tm_.tRAS),
-                                   dramCyclesToTicks(tm_.tRC));
-        rk.activated(now, dramCyclesToTicks(tm_.tRRD),
-                     dramCyclesToTicks(tm_.tFAW));
+                                   dct(tm_.tRCD),
+                                   dct(tm_.tRAS),
+                                   dct(tm_.tRC));
+        rk.activated(now, dct(tm_.tRRD),
+                     dct(tm_.tFAW));
         if (rankOpenBanks_[cmd.rank]++ == 0)
             rankActiveSince_[cmd.rank] = now;
         ++stats_.activates;
         break;
 
       case DramCommandType::Read: {
-        rk.bank(cmd.bank).read(now, dramCyclesToTicks(tm_.tRTP));
+        rk.bank(cmd.bank).read(now, dct(tm_.tRTP));
         const Tick dataStart = now + ticksRd();
         dataBusFreeAt_ = dataStart + ticksBurst();
         lastDataRank_ = static_cast<int>(cmd.rank);
-        nextRdAt_ = now + dramCyclesToTicks(tm_.tCCD);
+        nextRdAt_ = now + dct(tm_.tCCD);
         // tCCD spaces any pair of column commands on the channel; tRTW
         // covers the read-to-write bus turnaround on top of it.
         nextWrAt_ = std::max(nextWrAt_,
-                             now + dramCyclesToTicks(
+                             now + dct(
                                        std::max(tm_.tRTW, tm_.tCCD)));
         stats_.dataBusBusyTicks += ticksBurst();
         ++stats_.reads;
@@ -144,23 +144,23 @@ Channel::issue(const DramCommand &cmd, Tick now)
 
       case DramCommandType::Write: {
         rk.bank(cmd.bank).write(
-            now, ticksWr() + ticksBurst() + dramCyclesToTicks(tm_.tWR));
+            now, ticksWr() + ticksBurst() + dct(tm_.tWR));
         const Tick dataStart = now + ticksWr();
         dataBusFreeAt_ = dataStart + ticksBurst();
         lastDataRank_ = static_cast<int>(cmd.rank);
-        nextWrAt_ = now + dramCyclesToTicks(tm_.tCCD);
+        nextWrAt_ = now + dct(tm_.tCCD);
         // Same-rank write-to-read is gated by tWTR inside the rank; the
         // channel-level tCCD floor covers cross-rank read-after-write.
-        nextRdAt_ = std::max(nextRdAt_, now + dramCyclesToTicks(tm_.tCCD));
+        nextRdAt_ = std::max(nextRdAt_, now + dct(tm_.tCCD));
         rk.wrote(now,
-                 ticksWr() + ticksBurst() + dramCyclesToTicks(tm_.tWTR));
+                 ticksWr() + ticksBurst() + dct(tm_.tWTR));
         stats_.dataBusBusyTicks += ticksBurst();
         ++stats_.writes;
         break;
       }
 
       case DramCommandType::Precharge:
-        rk.bank(cmd.bank).precharge(now, dramCyclesToTicks(tm_.tRP));
+        rk.bank(cmd.bank).precharge(now, dct(tm_.tRP));
         mc_assert(rankOpenBanks_[cmd.rank] > 0, "PRE with no open bank");
         if (--rankOpenBanks_[cmd.rank] == 0) {
             stats_.rankActiveTicks +=
@@ -171,7 +171,7 @@ Channel::issue(const DramCommand &cmd, Tick now)
         break;
 
       case DramCommandType::Refresh:
-        rk.refresh(now, dramCyclesToTicks(tm_.tRFC));
+        rk.refresh(now, dct(tm_.tRFC));
         ++stats_.refreshes;
         break;
     }
@@ -235,7 +235,7 @@ Channel::nextLegalAt(const DramCommand &cmd, Tick now) const
         Tick busFree = dataBusFreeAt_;
         if (lastDataRank_ >= 0 &&
             lastDataRank_ != static_cast<int>(cmd.rank)) {
-            busFree += dramCyclesToTicks(tm_.tCS);
+            busFree += dct(tm_.tCS);
         }
         const Tick lead = isRead ? ticksRd() : ticksWr();
         if (busFree > lead)

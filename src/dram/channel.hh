@@ -82,8 +82,12 @@ struct ChannelStats
 class Channel
 {
   public:
+    /**
+     * @param clk Clock domains; timing fields (in DRAM cycles) are
+     *        converted to ticks on this grid.
+     */
     Channel(const DramGeometry &geom, const DramTimings &timings,
-            bool enableRefresh);
+            bool enableRefresh, const ClockDomains &clk = kBaselineClocks);
 
     /** True iff @p cmd satisfies every timing constraint at @p now. */
     bool canIssue(const DramCommand &cmd, Tick now) const;
@@ -141,16 +145,20 @@ class Channel
 
     const DramTimings &timings() const { return tm_; }
     const DramGeometry &geometry() const { return geom_; }
+    const ClockDomains &clocks() const { return clk_; }
 
   private:
-    Tick ticksRd() const { return dramCyclesToTicks(tm_.tCAS); }
-    Tick ticksWr() const { return dramCyclesToTicks(tm_.tCWL); }
-    Tick ticksBurst() const { return dramCyclesToTicks(tm_.tBURST); }
+    /** DRAM cycles to ticks on this channel's clock grid. */
+    Tick dct(std::uint64_t cycles) const { return clk_.dramToTicks(cycles); }
+    Tick ticksRd() const { return dct(tm_.tCAS); }
+    Tick ticksWr() const { return dct(tm_.tCWL); }
+    Tick ticksBurst() const { return dct(tm_.tBURST); }
 
     bool canIssueCas(const DramCommand &cmd, Tick now, bool isRead) const;
 
     DramGeometry geom_;
     DramTimings tm_;
+    ClockDomains clk_;
     std::vector<Rank> ranks_;
 
     Tick cmdBusFreeAt_ = 0;  ///< One command per tCK.

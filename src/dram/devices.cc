@@ -1,0 +1,224 @@
+#include "devices.hh"
+
+#include "common/log.hh"
+
+namespace mcsim {
+
+namespace {
+
+/**
+ * Build the registry once. Cycle counts follow datasheet practice:
+ * ns-specified parameters are divided by the device tCK and rounded
+ * up; nCK-specified minimums are applied afterwards. tRTW is the
+ * derived bus-turnaround cycles the channel model charges between a
+ * read and a write command: tCAS + tBURST - tCWL + 2.
+ */
+std::vector<DramDevice>
+buildRegistry()
+{
+    std::vector<DramDevice> out;
+
+    const DramGeometry ddr3Geom{}; // 2 ranks x 8 banks x 64 K x 8 KB.
+
+    { // DDR3-1066E, CL7, tCK = 1.875 ns, 4 Gb x8.
+        DramDevice d;
+        d.name = "DDR3-1066";
+        d.dataRateMtps = 1066;
+        d.busMhz = 533;
+        d.timings.tCAS = 7;
+        d.timings.tRCD = 7;
+        d.timings.tRP = 7;
+        d.timings.tRAS = 20;   // 37.5 ns
+        d.timings.tRC = 27;    // 50.6 ns
+        d.timings.tWR = 8;     // 15 ns
+        d.timings.tWTR = 4;    // max(4 nCK, 7.5 ns)
+        d.timings.tRTP = 4;    // max(4 nCK, 7.5 ns)
+        d.timings.tRRD = 4;    // 7.5 ns (1 KB page)
+        d.timings.tFAW = 20;   // 37.5 ns (1 KB page)
+        d.timings.tCWL = 6;
+        d.timings.tRTW = 7;    // 7 + 4 - 6 + 2
+        d.timings.tREFI = 4160; // 7.8 us
+        d.timings.tRFC = 139;   // 260 ns (4 Gb)
+        d.geometry = ddr3Geom;
+        d.power.idd0 = 85.0;
+        d.power.idd2n = 40.0;
+        d.power.idd3n = 42.0;
+        d.power.idd4r = 140.0;
+        d.power.idd4w = 145.0;
+        d.power.idd5b = 200.0;
+        d.source = "JESD79-3F DDR3-1066E bin; Micron MT41J 4Gb IDD";
+        out.push_back(std::move(d));
+    }
+
+    { // DDR3-1333H, CL9, tCK = 1.5 ns, 4 Gb x8.
+        DramDevice d;
+        d.name = "DDR3-1333";
+        d.dataRateMtps = 1333;
+        d.busMhz = 667;
+        d.timings.tCAS = 9;
+        d.timings.tRCD = 9;
+        d.timings.tRP = 9;
+        d.timings.tRAS = 24;   // 36 ns
+        d.timings.tRC = 33;    // 49.5 ns
+        d.timings.tWR = 10;    // 15 ns
+        d.timings.tWTR = 5;    // 7.5 ns
+        d.timings.tRTP = 5;    // 7.5 ns
+        d.timings.tRRD = 4;    // 6 ns (1 KB page)
+        d.timings.tFAW = 20;   // 30 ns (1 KB page)
+        d.timings.tCWL = 7;
+        d.timings.tRTW = 8;    // 9 + 4 - 7 + 2
+        d.timings.tREFI = 5200;
+        d.timings.tRFC = 174;  // 260 ns
+        d.geometry = ddr3Geom;
+        d.power.idd0 = 90.0;
+        d.power.idd2n = 41.0;
+        d.power.idd3n = 43.0;
+        d.power.idd4r = 160.0;
+        d.power.idd4w = 165.0;
+        d.power.idd5b = 205.0;
+        d.source = "JESD79-3F DDR3-1333H bin; Micron MT41J 4Gb IDD";
+        out.push_back(std::move(d));
+    }
+
+    { // DDR3-1600K, CL11, tCK = 1.25 ns — the paper's Table 2 device.
+        DramDevice d;
+        d.name = "DDR3-1600";
+        d.dataRateMtps = 1600;
+        d.busMhz = 800;
+        d.timings = DramTimings::ddr3_1600();
+        d.geometry = ddr3Geom;
+        d.power = DramPowerParams::ddr3_1600();
+        d.source = "JESD79-3F DDR3-1600K bin (paper Table 2); "
+                   "Micron MT41J 4Gb IDD";
+        out.push_back(std::move(d));
+    }
+
+    { // DDR3-1866M, CL13, tCK = 1.0714 ns, 4 Gb x8.
+        DramDevice d;
+        d.name = "DDR3-1866";
+        d.dataRateMtps = 1866;
+        d.busMhz = 933;
+        d.timings.tCAS = 13;
+        d.timings.tRCD = 13;
+        d.timings.tRP = 13;
+        d.timings.tRAS = 32;   // 34 ns
+        d.timings.tRC = 45;    // 47.9 ns
+        d.timings.tWR = 14;    // 15 ns
+        d.timings.tWTR = 7;    // 7.5 ns
+        d.timings.tRTP = 7;    // 7.5 ns
+        d.timings.tRRD = 5;    // 5 ns (1 KB page)
+        d.timings.tFAW = 26;   // 27 ns (1 KB page)
+        d.timings.tCWL = 9;
+        d.timings.tRTW = 10;   // 13 + 4 - 9 + 2
+        d.timings.tREFI = 7280;
+        d.timings.tRFC = 243;  // 260 ns
+        d.geometry = ddr3Geom;
+        d.power.idd0 = 100.0;
+        d.power.idd2n = 44.0;
+        d.power.idd3n = 47.0;
+        d.power.idd4r = 195.0;
+        d.power.idd4w = 200.0;
+        d.power.idd5b = 220.0;
+        d.source = "JESD79-3F DDR3-1866M bin; Micron MT41J 4Gb IDD";
+        out.push_back(std::move(d));
+    }
+
+    { // DDR4-2400T, CL17, tCK = 0.8333 ns, 4 Gb x8, 16 banks.
+        DramDevice d;
+        d.name = "DDR4-2400";
+        d.dataRateMtps = 2400;
+        d.busMhz = 1200;
+        d.timings.tCAS = 17;
+        d.timings.tRCD = 17;
+        d.timings.tRP = 17;
+        d.timings.tRAS = 39;   // 32 ns
+        d.timings.tRC = 56;    // tRAS + tRP
+        d.timings.tWR = 18;    // 15 ns
+        d.timings.tWTR = 9;    // tWTR_L, 7.5 ns
+        d.timings.tRTP = 9;    // 7.5 ns
+        d.timings.tRRD = 6;    // tRRD_L, 4.9 ns
+        d.timings.tFAW = 26;   // 21 ns (1 KB page)
+        d.timings.tCWL = 12;
+        d.timings.tBURST = 4;
+        d.timings.tCCD = 4;    // tCCD_S: bank groups assumed interleaved.
+        d.timings.tRTW = 11;   // 17 + 4 - 12 + 2
+        d.timings.tREFI = 9360;
+        d.timings.tRFC = 312;  // tRFC1, 260 ns (4 Gb)
+        d.geometry = ddr3Geom;
+        d.geometry.banksPerRank = 16;       // 4 groups x 4 banks.
+        d.geometry.rowsPerBank = 1u << 15;  // Same 8 GiB/channel capacity.
+        d.power.vdd = 1.2;
+        d.power.idd0 = 55.0;
+        d.power.idd2n = 34.0;
+        d.power.idd3n = 40.0;
+        d.power.idd4r = 145.0;
+        d.power.idd4w = 145.0;
+        d.power.idd5b = 190.0;
+        d.source = "JESD79-4B DDR4-2400T bin; Micron MT40A 4Gb IDD";
+        out.push_back(std::move(d));
+    }
+
+    { // LPDDR3-1600, RL12/WL6 (set A), tCK = 1.25 ns, 4 Gb x32.
+        DramDevice d;
+        d.name = "LPDDR3-1600";
+        d.dataRateMtps = 1600;
+        d.busMhz = 800;
+        d.timings.tCAS = 12;   // RL
+        d.timings.tRCD = 15;   // 18 ns
+        d.timings.tRP = 15;    // tRPpb, 18 ns
+        d.timings.tRAS = 34;   // 42 ns
+        d.timings.tRC = 49;    // tRAS + tRPpb
+        d.timings.tWR = 12;    // 15 ns
+        d.timings.tWTR = 6;    // 7.5 ns
+        d.timings.tRTP = 6;    // 7.5 ns
+        d.timings.tRRD = 8;    // 10 ns
+        d.timings.tFAW = 40;   // 50 ns
+        d.timings.tCWL = 6;    // WL set A
+        d.timings.tRTW = 12;   // 12 + 4 - 6 + 2
+        d.timings.tREFI = 3120; // tREFIab, 3.9 us (4 Gb)
+        d.timings.tRFC = 104;   // tRFCab, 130 ns (4 Gb)
+        d.geometry = ddr3Geom;  // 2 x32 devices give the same 8 KB row.
+        d.power.vdd = 1.2;      // VDD2 rail.
+        d.power.idd0 = 35.0;
+        d.power.idd2n = 1.5;
+        d.power.idd3n = 4.0;
+        d.power.idd4r = 150.0;
+        d.power.idd4w = 140.0;
+        d.power.idd5b = 130.0;
+        d.power.devicesPerRank = 2; // Two x32 devices per 64-bit rank.
+        d.source = "JESD209-3C LPDDR3-1600 set A; Micron EDF8132A IDD";
+        out.push_back(std::move(d));
+    }
+
+    return out;
+}
+
+} // namespace
+
+const std::vector<DramDevice> &
+dramDeviceRegistry()
+{
+    static const std::vector<DramDevice> registry = buildRegistry();
+    return registry;
+}
+
+const DramDevice *
+findDramDevice(const std::string &name)
+{
+    for (const DramDevice &d : dramDeviceRegistry()) {
+        if (d.name == name)
+            return &d;
+    }
+    return nullptr;
+}
+
+const DramDevice &
+dramDeviceOrDie(const std::string &name)
+{
+    const DramDevice *d = findDramDevice(name);
+    if (!d)
+        mc_fatal("unknown DRAM device '", name, "'");
+    return *d;
+}
+
+} // namespace mcsim

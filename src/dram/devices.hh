@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Named DRAM device registry: JEDEC speed grades as data, not code.
+ *
+ * Each entry bundles the timing set (in device clock cycles), the
+ * command-bus frequency the cycles are counted in, geometry defaults
+ * (bank count, row-buffer size, rows sized so the IO/DMA buffer always
+ * fits), and the electrical parameters for the energy model. The
+ * experiment layer selects a device by name (--device / spec files)
+ * and derives the simulation's clock domains from its bus frequency,
+ * so a new speed grade is a registry entry away — no constants to
+ * touch.
+ *
+ * Timing sources: JESD79-3F (DDR3), JESD79-4B (DDR4), JESD209-3C
+ * (LPDDR3); ns-specified parameters are converted to cycles at the
+ * device's tCK and rounded up, matching datasheet practice. Bus
+ * frequencies are stored in integer MHz, so non-integral JEDEC clocks
+ * round to the nearest MHz (533.33 -> 533, 666.67 -> 667, 933.33 ->
+ * 933): cycle-level timing is exact by construction, and wall-clock /
+ * energy figures carry the resulting <= 0.07% scale deviation. Currents
+ * are representative 4 Gb-die values from Micron datasheets (DDR3:
+ * MT41J; DDR4: MT40A; LPDDR3: EDF8132A) — suitable for comparing
+ * policies, not for sizing power supplies. Two modeling notes: the
+ * channel model has a single tCCD, so DDR4 bank groups are assumed
+ * perfectly interleaved (tCCD_S); and LPDDR3 uses all-bank refresh
+ * (tRFCab) like the other devices.
+ */
+
+#ifndef CLOUDMC_DRAM_DEVICES_HH
+#define CLOUDMC_DRAM_DEVICES_HH
+
+#include <string>
+#include <vector>
+
+#include "dram_params.hh"
+
+namespace mcsim {
+
+/** One named DRAM speed grade. */
+struct DramDevice
+{
+    std::string name;             ///< Registry key, e.g. "DDR4-2400".
+    std::uint32_t dataRateMtps;   ///< Data rate in MT/s (2x bus clock).
+    std::uint32_t busMhz;         ///< Command-bus (tCK) frequency.
+    DramTimings timings;          ///< In device cycles at busMhz.
+    DramGeometry geometry;        ///< Defaults; channels stay caller-set.
+    DramPowerParams power;        ///< For the TN-41-01-style model.
+    std::string source;           ///< Timing provenance note.
+};
+
+/** Every registered device, DDR3 grades first, registry order. */
+const std::vector<DramDevice> &dramDeviceRegistry();
+
+/** Lookup by name; nullptr when unknown. */
+const DramDevice *findDramDevice(const std::string &name);
+
+/** Lookup by name; fatal (user error) when unknown. */
+const DramDevice &dramDeviceOrDie(const std::string &name);
+
+} // namespace mcsim
+
+#endif // CLOUDMC_DRAM_DEVICES_HH

@@ -43,6 +43,22 @@ struct DramTimings
     static DramTimings ddr3_1600() { return DramTimings{}; }
 };
 
+/** Per-device electrical parameters (defaults: DDR3-1600, 4 Gb x8). */
+struct DramPowerParams
+{
+    double vdd = 1.5;       ///< Supply voltage (V).
+    double idd0 = 95.0;     ///< ACT-PRE cycling current (mA).
+    double idd2n = 42.0;    ///< Precharge standby current (mA).
+    double idd3n = 45.0;    ///< Active standby current (mA).
+    double idd4r = 180.0;   ///< Read burst current (mA).
+    double idd4w = 185.0;   ///< Write burst current (mA).
+    double idd5b = 215.0;   ///< Burst refresh current (mA).
+    std::uint32_t devicesPerRank = 8; ///< x8 devices on a 64-bit rank.
+
+    /** The defaults; spelled out for call-site readability. */
+    static DramPowerParams ddr3_1600() { return DramPowerParams{}; }
+};
+
 /** DRAM organization parameters. All counts must be powers of two. */
 struct DramGeometry
 {

@@ -3,14 +3,14 @@
 namespace mcsim {
 
 DramSystem::DramSystem(const DramGeometry &geom, const DramTimings &timings,
-                       bool enableRefresh)
+                       bool enableRefresh, const ClockDomains &clk)
     : geom_(geom), timings_(timings)
 {
     geom_.validate();
     channels_.reserve(geom_.channels);
     for (std::uint32_t c = 0; c < geom_.channels; ++c) {
         channels_.push_back(
-            std::make_unique<Channel>(geom_, timings_, enableRefresh));
+            std::make_unique<Channel>(geom_, timings_, enableRefresh, clk));
     }
 }
 

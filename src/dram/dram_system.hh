@@ -23,7 +23,8 @@ class DramSystem
 {
   public:
     DramSystem(const DramGeometry &geom, const DramTimings &timings,
-               bool enableRefresh = true);
+               bool enableRefresh = true,
+               const ClockDomains &clk = kBaselineClocks);
 
     Channel &channel(std::uint32_t c) { return *channels_[c]; }
     const Channel &channel(std::uint32_t c) const { return *channels_[c]; }

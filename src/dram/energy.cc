@@ -2,25 +2,18 @@
 
 namespace mcsim {
 
-namespace {
-
-/** Nanoseconds per global tick (1 tick = 250 ps). */
-constexpr double kNsPerTick = 0.25;
-
-/** Nanoseconds per DRAM command cycle. */
-constexpr double kNsPerDramCycle = kNsPerTick * kTicksPerDramCycle;
-
-} // namespace
-
 DramEnergyModel::DramEnergyModel(const DramPowerParams &power,
                                  const DramTimings &tm,
-                                 std::uint32_t ranksPerChannel)
-    : p_(power), ranksPerChannel_(ranksPerChannel)
+                                 std::uint32_t ranksPerChannel,
+                                 const ClockDomains &clk)
+    : p_(power), ranksPerChannel_(ranksPerChannel),
+      nsPerTick_(clk.nsPerTick())
 {
+    const double nsPerDramCycle = clk.nsPerDramCycle();
     const double devices = static_cast<double>(p_.devicesPerRank);
     // mA * V = mW; mW * ns = pJ; /1000 = nJ.
     const auto nj = [&](double ma, double cycles) {
-        return ma * p_.vdd * cycles * kNsPerDramCycle * devices * 1e-3;
+        return ma * p_.vdd * cycles * nsPerDramCycle * devices * 1e-3;
     };
     actPreNj_ = nj(p_.idd0, tm.tRC) - nj(p_.idd3n, tm.tRAS) -
                 nj(p_.idd2n, tm.tRC - tm.tRAS);
@@ -41,9 +34,9 @@ DramEnergyModel::estimate(const ChannelStats &stats, Tick now) const
     e.refreshNj = refreshNj_ * static_cast<double>(stats.refreshes);
 
     const double elapsedNs =
-        static_cast<double>(now - stats.statsStartTick) * kNsPerTick;
+        static_cast<double>(now - stats.statsStartTick) * nsPerTick_;
     const double activeNs =
-        static_cast<double>(stats.rankActiveTicks) * kNsPerTick;
+        static_cast<double>(stats.rankActiveTicks) * nsPerTick_;
     const double totalRankNs =
         elapsedNs * static_cast<double>(ranksPerChannel_);
     // rankActiveTicks only accumulates at the closing precharge, so a

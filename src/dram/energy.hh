@@ -33,22 +33,6 @@
 
 namespace mcsim {
 
-/** Per-device electrical parameters (DDR3-1600, 4 Gb x8 class). */
-struct DramPowerParams
-{
-    double vdd = 1.5;       ///< Supply voltage (V).
-    double idd0 = 95.0;     ///< ACT-PRE cycling current (mA).
-    double idd2n = 42.0;    ///< Precharge standby current (mA).
-    double idd3n = 45.0;    ///< Active standby current (mA).
-    double idd4r = 180.0;   ///< Read burst current (mA).
-    double idd4w = 185.0;   ///< Write burst current (mA).
-    double idd5b = 215.0;   ///< Burst refresh current (mA).
-    std::uint32_t devicesPerRank = 8; ///< x8 devices on a 64-bit rank.
-
-    /** The defaults; spelled out for call-site readability. */
-    static DramPowerParams ddr3_1600() { return DramPowerParams{}; }
-};
-
 /** Energy totals over a measurement window, in nanojoules. */
 struct DramEnergyBreakdown
 {
@@ -76,8 +60,14 @@ struct DramEnergyBreakdown
 class DramEnergyModel
 {
   public:
+    /**
+     * @param clk Clock domains the counters were collected under; sets
+     *        the wall-clock length of a tick and a DRAM cycle (the
+     *        JEDEC timing fields are in DRAM cycles).
+     */
     DramEnergyModel(const DramPowerParams &power, const DramTimings &tm,
-                    std::uint32_t ranksPerChannel);
+                    std::uint32_t ranksPerChannel,
+                    const ClockDomains &clk = kBaselineClocks);
 
     /**
      * Estimate the energy behind @p stats, a window ending at @p now.
@@ -94,6 +84,7 @@ class DramEnergyModel
   private:
     DramPowerParams p_;
     std::uint32_t ranksPerChannel_;
+    double nsPerTick_; ///< From the clock domains at construction.
     double actPreNj_;
     double readNj_;
     double writeNj_;

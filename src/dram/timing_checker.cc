@@ -6,8 +6,9 @@
 
 namespace mcsim {
 
-TimingChecker::TimingChecker(const DramGeometry &geom, const DramTimings &tm)
-    : geom_(geom), tm_(tm),
+TimingChecker::TimingChecker(const DramGeometry &geom, const DramTimings &tm,
+                             const ClockDomains &clk)
+    : geom_(geom), tm_(tm), clk_(clk),
       bankOpen_(geom.ranksPerChannel * geom.banksPerRank, false),
       lastCasEnd_(1, 0)
 {
@@ -34,7 +35,7 @@ TimingChecker::check(const DramCommand &cmd, Tick now)
     const auto gap = [&](const CmdRecord *rec) -> Tick {
         return rec ? now - rec->tick : kMaxTick;
     };
-    const auto cyc = [](std::uint32_t c) { return dramCyclesToTicks(c); };
+    const auto cyc = [this](std::uint32_t c) { return clk_.dramToTicks(c); };
 
     // Command-bus spacing: at most one command per tCK.
     if (!history_.empty() && now < history_.back().tick + cyc(1))
@@ -158,10 +159,10 @@ TimingChecker::check(const DramCommand &cmd, Tick now)
         bankOpen_[bankIdx] = false;
         break;
       case DramCommandType::Read:
-        lastCasEnd_[0] = now + dramCyclesToTicks(tm_.tCAS + tm_.tBURST);
+        lastCasEnd_[0] = now + clk_.dramToTicks(tm_.tCAS + tm_.tBURST);
         break;
       case DramCommandType::Write:
-        lastCasEnd_[0] = now + dramCyclesToTicks(tm_.tCWL + tm_.tBURST);
+        lastCasEnd_[0] = now + clk_.dramToTicks(tm_.tCWL + tm_.tBURST);
         break;
       case DramCommandType::Refresh:
         break;

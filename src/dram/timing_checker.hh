@@ -24,7 +24,8 @@ namespace mcsim {
 class TimingChecker
 {
   public:
-    TimingChecker(const DramGeometry &geom, const DramTimings &tm);
+    TimingChecker(const DramGeometry &geom, const DramTimings &tm,
+                  const ClockDomains &clk = kBaselineClocks);
 
     /**
      * Check and record a command.
@@ -49,6 +50,7 @@ class TimingChecker
 
     DramGeometry geom_;
     DramTimings tm_;
+    ClockDomains clk_;
     std::deque<CmdRecord> history_;
     std::vector<bool> bankOpen_;   ///< [rank*banks + bank]
     std::vector<Tick> lastCasEnd_; ///< data-bus end per channel (size 1)

@@ -27,11 +27,7 @@ schedulerKindName(SchedulerKind k)
 SchedulerKind
 schedulerKindFromName(const std::string &name)
 {
-    for (auto k : {SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks,
-                   SchedulerKind::ParBs, SchedulerKind::Atlas,
-                   SchedulerKind::Rl, SchedulerKind::Fcfs,
-                   SchedulerKind::Fqm, SchedulerKind::Tcm,
-                   SchedulerKind::Stfm}) {
+    for (auto k : kAllSchedulers) {
         if (name == schedulerKindName(k))
             return k;
     }
@@ -57,11 +53,7 @@ pagePolicyKindName(PagePolicyKind k)
 PagePolicyKind
 pagePolicyKindFromName(const std::string &name)
 {
-    for (auto k : {PagePolicyKind::OpenAdaptive,
-                   PagePolicyKind::CloseAdaptive, PagePolicyKind::Rbpp,
-                   PagePolicyKind::Abpp, PagePolicyKind::Open,
-                   PagePolicyKind::Close, PagePolicyKind::Timer,
-                   PagePolicyKind::History}) {
+    for (auto k : kAllPagePolicies) {
         if (name == pagePolicyKindName(k))
             return k;
     }
@@ -70,7 +62,8 @@ pagePolicyKindFromName(const std::string &name)
 
 std::unique_ptr<Scheduler>
 makeScheduler(SchedulerKind kind, std::uint32_t numCores,
-              const SchedulerParams &params)
+              const SchedulerParams &params, const ClockDomains &clk,
+              const DramTimings &timings)
 {
     switch (kind) {
       case SchedulerKind::FrFcfs:
@@ -80,23 +73,25 @@ makeScheduler(SchedulerKind kind, std::uint32_t numCores,
       case SchedulerKind::ParBs:
         return std::make_unique<ParBsScheduler>(numCores, params.parBs);
       case SchedulerKind::Atlas:
-        return std::make_unique<AtlasScheduler>(numCores, params.atlas);
+        return std::make_unique<AtlasScheduler>(numCores, params.atlas,
+                                                clk);
       case SchedulerKind::Rl:
-        return std::make_unique<RlScheduler>(params.rl);
+        return std::make_unique<RlScheduler>(params.rl, clk);
       case SchedulerKind::Fcfs:
         return std::make_unique<FcfsScheduler>();
       case SchedulerKind::Fqm:
         return std::make_unique<FqmScheduler>(numCores);
       case SchedulerKind::Tcm:
-        return std::make_unique<TcmScheduler>(numCores, params.tcm);
+        return std::make_unique<TcmScheduler>(numCores, params.tcm, clk);
       case SchedulerKind::Stfm:
-        return std::make_unique<StfmScheduler>(numCores, params.stfm);
+        return std::make_unique<StfmScheduler>(numCores, params.stfm, clk,
+                                               timings);
     }
     mc_panic("unreachable scheduler kind");
 }
 
 std::unique_ptr<PagePolicy>
-makePagePolicy(PagePolicyKind kind)
+makePagePolicy(PagePolicyKind kind, const ClockDomains &clk)
 {
     switch (kind) {
       case PagePolicyKind::OpenAdaptive:
@@ -112,7 +107,7 @@ makePagePolicy(PagePolicyKind kind)
       case PagePolicyKind::Close:
         return std::make_unique<ClosePolicy>();
       case PagePolicyKind::Timer:
-        return std::make_unique<TimerPolicy>();
+        return std::make_unique<TimerPolicy>(32, clk);
       case PagePolicyKind::History:
         return std::make_unique<HistoryPolicy>();
     }

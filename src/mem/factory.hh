@@ -39,6 +39,12 @@ constexpr std::array<SchedulerKind, 5> kPaperSchedulers = {
     SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks, SchedulerKind::ParBs,
     SchedulerKind::Atlas, SchedulerKind::Rl};
 
+/** Every scheduler, paper set first, then the extensions. */
+constexpr std::array<SchedulerKind, 9> kAllSchedulers = {
+    SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks, SchedulerKind::ParBs,
+    SchedulerKind::Atlas,  SchedulerKind::Rl,        SchedulerKind::Fcfs,
+    SchedulerKind::Fqm,    SchedulerKind::Tcm,       SchedulerKind::Stfm};
+
 /** All page management policies available. */
 enum class PagePolicyKind : std::uint8_t {
     OpenAdaptive, ///< Paper baseline.
@@ -56,6 +62,13 @@ constexpr std::array<PagePolicyKind, 4> kPaperPagePolicies = {
     PagePolicyKind::OpenAdaptive, PagePolicyKind::CloseAdaptive,
     PagePolicyKind::Rbpp, PagePolicyKind::Abpp};
 
+/** Every page policy, paper set first, then the extensions. */
+constexpr std::array<PagePolicyKind, 8> kAllPagePolicies = {
+    PagePolicyKind::OpenAdaptive, PagePolicyKind::CloseAdaptive,
+    PagePolicyKind::Rbpp,         PagePolicyKind::Abpp,
+    PagePolicyKind::Open,         PagePolicyKind::Close,
+    PagePolicyKind::Timer,        PagePolicyKind::History};
+
 /** Tunables for the parameterized schedulers (paper Table 3). */
 struct SchedulerParams
 {
@@ -72,13 +85,23 @@ SchedulerKind schedulerKindFromName(const std::string &name);
 const char *pagePolicyKindName(PagePolicyKind k);
 PagePolicyKind pagePolicyKindFromName(const std::string &name);
 
-/** Construct a scheduler instance. */
+/**
+ * Construct a scheduler instance.
+ * @param clk Clock domains the cycle-denominated tunables (quanta,
+ *        starvation thresholds, decay intervals) are converted on.
+ * @param timings Device timings for schedulers that model service
+ *        latency (STFM's contention-free estimate).
+ */
 std::unique_ptr<Scheduler>
 makeScheduler(SchedulerKind kind, std::uint32_t numCores,
-              const SchedulerParams &params = SchedulerParams{});
+              const SchedulerParams &params = SchedulerParams{},
+              const ClockDomains &clk = kBaselineClocks,
+              const DramTimings &timings = DramTimings::ddr3_1600());
 
 /** Construct a page policy instance. */
-std::unique_ptr<PagePolicy> makePagePolicy(PagePolicyKind kind);
+std::unique_ptr<PagePolicy>
+makePagePolicy(PagePolicyKind kind,
+               const ClockDomains &clk = kBaselineClocks);
 
 } // namespace mcsim
 

@@ -11,7 +11,8 @@ MemController::MemController(Channel &channel,
                              std::unique_ptr<PagePolicy> pagePolicy,
                              std::uint32_t numCores,
                              MemControllerConfig cfg)
-    : channel_(channel), scheduler_(std::move(scheduler)),
+    : channel_(channel), clk_(channel.clocks()),
+      scheduler_(std::move(scheduler)),
       pagePolicy_(std::move(pagePolicy)), numCores_(numCores),
       cfg_(std::move(cfg))
 {
@@ -48,7 +49,7 @@ MemController::enqueue(Request *req, Tick now)
             if (w->addr == req->addr) {
                 ++stats_.forwardedReads;
                 req->completedAt =
-                    now + dramCyclesToTicks(cfg_.forwardLatencyCycles);
+                    now + clk_.dramToTicks(cfg_.forwardLatencyCycles);
                 responses_.push({req->completedAt, req});
                 return;
             }
@@ -72,7 +73,7 @@ MemController::deliverResponses(Tick now)
         const Tick latency = req->completedAt - req->arrivedAt;
         ++stats_.readLatencySamples;
         stats_.readLatencyTicks += latency;
-        stats_.readLatencyHist.sample(ticksToCoreCycles(latency));
+        stats_.readLatencyHist.sample(clk_.ticksToCore(latency));
         const auto slot =
             req->core >= numCores_ ? numCores_ : req->core;
         ++stats_.perCoreReads[slot];
@@ -90,7 +91,7 @@ MemController::updateDrainMode(Tick now)
     const bool readsLongIdle =
         readQ_.empty() &&
         now - lastReadPendingAt_ >=
-            dramCyclesToTicks(cfg_.writeIdleDrainCycles);
+            clk_.dramToTicks(cfg_.writeIdleDrainCycles);
 
     if (drainingWrites_) {
         // The long-idle drain keeps going; the watermark drain stops at
@@ -394,7 +395,7 @@ MemController::tryPolicyPrecharge(Tick now, Tick *nextCloseEvent)
 Tick
 MemController::tick(Tick now)
 {
-    const Tick nextCycle = now + dramCyclesToTicks(1);
+    const Tick nextCycle = now + clk_.dramToTicks(1);
     deliverResponses(now);
     updateDrainMode(now);
 
@@ -452,7 +453,7 @@ MemController::nextEventAt(Tick now, Tick policyCloseEvent)
     // A refresh already due but blocked (open bank awaiting its
     // precharge window) must retry every cycle.
     if (channel_.refreshDueRank(now) >= 0)
-        return now + dramCyclesToTicks(1);
+        return now + clk_.dramToTicks(1);
     consider(channel_.nextRefreshDueAt());
 
     // First tick any queued request's next command becomes legal —
@@ -464,7 +465,7 @@ MemController::nextEventAt(Tick now, Tick policyCloseEvent)
     // for writeIdleDrainCycles (the only time-driven drain flip).
     if (!drainingWrites_ && readQ_.empty() && !writeQ_.empty()) {
         consider(lastReadPendingAt_ +
-                 dramCyclesToTicks(cfg_.writeIdleDrainCycles));
+                 clk_.dramToTicks(cfg_.writeIdleDrainCycles));
     }
 
     // Page-policy closures of open banks: a close already wanted waits

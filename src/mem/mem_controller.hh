@@ -82,14 +82,14 @@ struct MemControllerStats
                      : 0.0;
     }
 
-    /** Mean read latency in core cycles. */
+    /** Mean read latency in core cycles of the given clock grid. */
     double
-    avgReadLatencyCycles() const
+    avgReadLatencyCycles(const ClockDomains &clk = kBaselineClocks) const
     {
         return readLatencySamples
                    ? static_cast<double>(readLatencyTicks) /
                          static_cast<double>(readLatencySamples) /
-                         static_cast<double>(kTicksPerCoreCycle)
+                         static_cast<double>(clk.ticksPerCore)
                    : 0.0;
     }
 
@@ -195,6 +195,7 @@ class MemController
     void removeFromQueue(std::vector<Request *> &q, Request *req);
 
     Channel &channel_;
+    ClockDomains clk_; ///< Mirrored from the channel at construction.
     std::unique_ptr<Scheduler> scheduler_;
     std::unique_ptr<PagePolicy> pagePolicy_;
     std::uint32_t numCores_;

@@ -146,8 +146,9 @@ class TimerPolicy : public PagePolicy
 {
   public:
     /** @param idleDramCycles Idle cycles before closing the row. */
-    explicit TimerPolicy(std::uint32_t idleDramCycles = 32)
-        : idleTicks_(dramCyclesToTicks(idleDramCycles))
+    explicit TimerPolicy(std::uint32_t idleDramCycles = 32,
+                         const ClockDomains &clk = kBaselineClocks)
+        : idleTicks_(clk.dramToTicks(idleDramCycles))
     {
     }
 

@@ -5,9 +5,10 @@
 
 namespace mcsim {
 
-AtlasScheduler::AtlasScheduler(std::uint32_t numCores, AtlasConfig cfg)
-    : numCores_(numCores), cfg_(cfg),
-      quantumEndsAt_(coreCyclesToTicks(cfg.quantumCycles)),
+AtlasScheduler::AtlasScheduler(std::uint32_t numCores, AtlasConfig cfg,
+                               const ClockDomains &clk)
+    : numCores_(numCores), cfg_(cfg), clk_(clk),
+      quantumEndsAt_(clk.coreToTicks(cfg.quantumCycles)),
       quantumAs_(numCores + 1, 0.0), totalAs_(numCores + 1, 0.0),
       rank_(numCores + 1, 0)
 {
@@ -38,7 +39,7 @@ AtlasScheduler::tick(Tick now, const SchedulerContext &)
 {
     if (now >= quantumEndsAt_) {
         newQuantum();
-        quantumEndsAt_ = now + coreCyclesToTicks(cfg_.quantumCycles);
+        quantumEndsAt_ = now + clk_.coreToTicks(cfg_.quantumCycles);
     }
 }
 
@@ -52,7 +53,7 @@ int
 AtlasScheduler::choose(const std::vector<Candidate> &cands, Tick now,
                        const SchedulerContext &)
 {
-    const Tick starveTicks = coreCyclesToTicks(cfg_.starvationCycles);
+    const Tick starveTicks = clk_.coreToTicks(cfg_.starvationCycles);
     auto starved = [&](const Candidate &c) {
         return now - c.req->arrivedAt >= starveTicks;
     };

@@ -40,7 +40,8 @@ struct AtlasConfig
 class AtlasScheduler : public Scheduler
 {
   public:
-    AtlasScheduler(std::uint32_t numCores, AtlasConfig cfg = AtlasConfig{});
+    AtlasScheduler(std::uint32_t numCores, AtlasConfig cfg = AtlasConfig{},
+                   const ClockDomains &clk = kBaselineClocks);
 
     const char *name() const override { return "ATLAS"; }
     int choose(const std::vector<Candidate> &cands, Tick now,
@@ -67,6 +68,7 @@ class AtlasScheduler : public Scheduler
 
     std::uint32_t numCores_;
     AtlasConfig cfg_;
+    ClockDomains clk_;
     Tick quantumEndsAt_;
     std::uint64_t quanta_ = 0;
     std::vector<double> quantumAs_; ///< AS in the current quantum.

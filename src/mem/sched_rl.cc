@@ -31,8 +31,8 @@ mix64(std::uint64_t x)
 
 } // namespace
 
-RlScheduler::RlScheduler(RlConfig cfg)
-    : cfg_(cfg), rng_(cfg.seed, 0x524cULL),
+RlScheduler::RlScheduler(RlConfig cfg, const ClockDomains &clk)
+    : cfg_(cfg), clk_(clk), rng_(cfg.seed, 0x524cULL),
       tables_(static_cast<std::size_t>(cfg.numTables) * cfg.tableSize,
               0.0f)
 {
@@ -112,7 +112,7 @@ RlScheduler::choose(const std::vector<Candidate> &cands, Tick now,
 
     // Starvation guard: requests waiting longer than the threshold are
     // serviced oldest-first, bypassing the learned policy.
-    const Tick starveTicks = coreCyclesToTicks(cfg_.starvationCycles);
+    const Tick starveTicks = clk_.coreToTicks(cfg_.starvationCycles);
     int starvedIdx = -1;
     for (int idx : legal) {
         if (now - cands[idx].req->arrivedAt >= starveTicks) {

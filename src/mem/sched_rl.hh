@@ -48,7 +48,8 @@ struct RlConfig
 class RlScheduler : public Scheduler
 {
   public:
-    explicit RlScheduler(RlConfig cfg = RlConfig{});
+    explicit RlScheduler(RlConfig cfg = RlConfig{},
+                         const ClockDomains &clk = kBaselineClocks);
 
     const char *name() const override { return "RL"; }
     int choose(const std::vector<Candidate> &cands, Tick now,
@@ -71,6 +72,7 @@ class RlScheduler : public Scheduler
     void update(double reward, double nextQ);
 
     RlConfig cfg_;
+    ClockDomains clk_;
     Pcg32 rng_;
     std::vector<float> tables_; ///< numTables x tableSize, flattened.
 

@@ -4,29 +4,26 @@
 
 namespace mcsim {
 
-namespace {
+StfmScheduler::StfmScheduler(std::uint32_t numCores, StfmConfig cfg,
+                             const ClockDomains &clk,
+                             const DramTimings &timings)
+    : numCores_(numCores), cfg_(cfg), clk_(clk), tm_(timings),
+      nextDecayAt_(clk.coreToTicks(cfg.decayCycles)),
+      sharedTicks_(numCores + 1, 0.0), aloneTicks_(numCores + 1, 0.0)
+{
+}
 
 /** Contention-free CAS service estimate in ticks, by row outcome. */
 Tick
-aloneServiceTicks(const Request &req, bool isRowHit)
+StfmScheduler::aloneServiceTicks(const Request &req, bool isRowHit) const
 {
-    const DramTimings tm = DramTimings::ddr3_1600();
-    std::uint32_t cycles = tm.tCAS + tm.tBURST;
+    std::uint32_t cycles = tm_.tCAS + tm_.tBURST;
     if (!isRowHit) {
-        cycles += tm.tRCD;
+        cycles += tm_.tRCD;
         if (req.preIssued)
-            cycles += tm.tRP;
+            cycles += tm_.tRP;
     }
-    return dramCyclesToTicks(cycles);
-}
-
-} // namespace
-
-StfmScheduler::StfmScheduler(std::uint32_t numCores, StfmConfig cfg)
-    : numCores_(numCores), cfg_(cfg),
-      nextDecayAt_(coreCyclesToTicks(cfg.decayCycles)),
-      sharedTicks_(numCores + 1, 0.0), aloneTicks_(numCores + 1, 0.0)
-{
+    return clk_.dramToTicks(cycles);
 }
 
 double
@@ -88,7 +85,7 @@ StfmScheduler::tick(Tick now, const SchedulerContext &)
 {
     if (now < nextDecayAt_)
         return;
-    nextDecayAt_ = now + coreCyclesToTicks(cfg_.decayCycles);
+    nextDecayAt_ = now + clk_.coreToTicks(cfg_.decayCycles);
     for (std::uint32_t c = 0; c <= numCores_; ++c) {
         sharedTicks_[c] *= cfg_.decayFactor;
         aloneTicks_[c] *= cfg_.decayFactor;
@@ -99,7 +96,7 @@ int
 StfmScheduler::choose(const std::vector<Candidate> &cands, Tick now,
                       const SchedulerContext &)
 {
-    const Tick starveTicks = coreCyclesToTicks(cfg_.starvationCycles);
+    const Tick starveTicks = clk_.coreToTicks(cfg_.starvationCycles);
     const int victim = victimCore();
 
     const auto better = [&](const Candidate &a,

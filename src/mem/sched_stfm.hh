@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dram/dram_params.hh"
 #include "scheduler.hh"
 
 namespace mcsim {
@@ -42,8 +43,16 @@ struct StfmConfig
 class StfmScheduler : public Scheduler
 {
   public:
-    explicit StfmScheduler(std::uint32_t numCores,
-                           StfmConfig cfg = StfmConfig{});
+    /**
+     * @param clk Clock domains for the cycle-denominated thresholds.
+     * @param timings Device timings behind the contention-free service
+     *        estimate (T_alone), so the estimate tracks the simulated
+     *        device rather than assuming DDR3-1600.
+     */
+    explicit StfmScheduler(
+        std::uint32_t numCores, StfmConfig cfg = StfmConfig{},
+        const ClockDomains &clk = kBaselineClocks,
+        const DramTimings &timings = DramTimings::ddr3_1600());
 
     const char *name() const override { return "STFM"; }
     int choose(const std::vector<Candidate> &cands, Tick now,
@@ -65,10 +74,13 @@ class StfmScheduler : public Scheduler
     }
     /** The core to elevate, or -1 when the system is fair. */
     int victimCore() const;
+    Tick aloneServiceTicks(const Request &req, bool isRowHit) const;
     void accountService(const Candidate &c, Tick now);
 
     std::uint32_t numCores_;
     StfmConfig cfg_;
+    ClockDomains clk_;
+    DramTimings tm_;
     Tick nextDecayAt_;
     std::vector<double> sharedTicks_; ///< Observed waiting time.
     std::vector<double> aloneTicks_;  ///< Contention-free estimate.

@@ -5,10 +5,11 @@
 
 namespace mcsim {
 
-TcmScheduler::TcmScheduler(std::uint32_t numCores, TcmConfig cfg)
-    : numCores_(numCores), cfg_(cfg), rng_(cfg.seed, 0x7c4d),
-      quantumEndsAt_(coreCyclesToTicks(cfg.quantumCycles)),
-      nextShuffleAt_(coreCyclesToTicks(cfg.shuffleCycles)),
+TcmScheduler::TcmScheduler(std::uint32_t numCores, TcmConfig cfg,
+                           const ClockDomains &clk)
+    : numCores_(numCores), clk_(clk), cfg_(cfg), rng_(cfg.seed, 0x7c4d),
+      quantumEndsAt_(clk.coreToTicks(cfg.quantumCycles)),
+      nextShuffleAt_(clk.coreToTicks(cfg.shuffleCycles)),
       arrived_(numCores + 1, 0), serviced_(numCores + 1, 0),
       latency_(numCores + 1, true), prio_(numCores + 1, 0)
 {
@@ -93,11 +94,11 @@ TcmScheduler::tick(Tick now, const SchedulerContext &)
 {
     if (now >= quantumEndsAt_) {
         newQuantum();
-        quantumEndsAt_ = now + coreCyclesToTicks(cfg_.quantumCycles);
+        quantumEndsAt_ = now + clk_.coreToTicks(cfg_.quantumCycles);
     }
     if (now >= nextShuffleAt_) {
         shuffleBandwidthCluster();
-        nextShuffleAt_ = now + coreCyclesToTicks(cfg_.shuffleCycles);
+        nextShuffleAt_ = now + clk_.coreToTicks(cfg_.shuffleCycles);
     }
 }
 
@@ -105,7 +106,7 @@ int
 TcmScheduler::choose(const std::vector<Candidate> &cands, Tick now,
                      const SchedulerContext &)
 {
-    const Tick starveTicks = coreCyclesToTicks(cfg_.starvationCycles);
+    const Tick starveTicks = clk_.coreToTicks(cfg_.starvationCycles);
     int best = -1;
 
     const auto betterThan = [&](const Candidate &a,

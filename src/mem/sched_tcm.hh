@@ -53,7 +53,8 @@ class TcmScheduler : public Scheduler
 {
   public:
     explicit TcmScheduler(std::uint32_t numCores,
-                          TcmConfig cfg = TcmConfig{});
+                          TcmConfig cfg = TcmConfig{},
+                          const ClockDomains &clk = kBaselineClocks);
 
     const char *name() const override { return "TCM"; }
     int choose(const std::vector<Candidate> &cands, Tick now,
@@ -87,6 +88,7 @@ class TcmScheduler : public Scheduler
     void shuffleBandwidthCluster();
 
     std::uint32_t numCores_;
+    ClockDomains clk_;
     TcmConfig cfg_;
     Pcg32 rng_;
 

@@ -46,6 +46,13 @@ ExperimentRunner::defaultThreads()
     return hw >= 1 ? hw : 1;
 }
 
+namespace {
+
+/** Key segment carrying the device + clock fingerprint (schema v3). */
+constexpr const char *kDeviceKeyTag = "|dev=";
+
+} // namespace
+
 std::string
 ExperimentRunner::configKey(WorkloadId workload, const SimConfig &cfg)
 {
@@ -60,6 +67,11 @@ ExperimentRunner::configKey(WorkloadId workload, const SimConfig &cfg)
         << fastDivisor();
     if (cfg.coreMlpOverride)
         key << "|mlp" << cfg.coreMlpOverride;
+    // Schema v3: rows are keyed by the DRAM device and both clock
+    // frequencies, so two devices (or a core-frequency sweep) can
+    // never alias to one cached row.
+    key << kDeviceKeyTag << cfg.deviceName << '@' << cfg.clocks.coreMhz
+        << ':' << cfg.clocks.dramMhz;
     return key.str();
 }
 
@@ -67,7 +79,11 @@ namespace {
 
 /** The v1 record's 15 numeric CSV columns. */
 constexpr std::size_t kCacheFieldsV1 = 15;
-/** Schema v2 appends the read-latency percentiles (P50/P95/P99). */
+/** Schema v2 appends the read-latency percentiles (P50/P95/P99).
+ *  Schema v3 keeps the v2 columns and extends the *key* with the
+ *  device/clock segment; v1/v2 rows are migrated on load by tagging
+ *  their keys with the only device those schemas could simulate (the
+ *  DDR3-1600 baseline at stock clocks). */
 constexpr std::size_t kCacheFieldsV2 = 18;
 
 /**
@@ -141,8 +157,14 @@ ExperimentRunner::loadCache()
     while (std::getline(in, line)) {
         std::string key;
         MetricSet m;
-        if (parseCacheLine(line, key, m))
-            cache_[key] = m;
+        if (!parseCacheLine(line, key, m))
+            continue;
+        // Schema v1/v2 keys predate the device axis; everything they
+        // recorded ran the DDR3-1600 baseline at stock clocks, so tag
+        // them with that fingerprint instead of dropping the rows.
+        if (key.find(kDeviceKeyTag) == std::string::npos)
+            key += std::string(kDeviceKeyTag) + "DDR3-1600@2000:800";
+        cache_[key] = m;
     }
 }
 

@@ -2,6 +2,12 @@
  * @file
  * The measured quantities behind every figure in the paper, collected
  * over one measurement window.
+ *
+ * Units are domain-relative: "cycles" means core cycles and bandwidth
+ * utilization is relative to the configured device's peak, both under
+ * the SimConfig's ClockDomains — there is no global clock constant.
+ * Comparing devices therefore compares wall-clock-equivalent work, not
+ * raw cycle counts.
  */
 
 #ifndef CLOUDMC_SIM_METRICS_HH

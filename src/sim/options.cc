@@ -1,7 +1,10 @@
 #include "options.hh"
 
+#include <cctype>
 #include <cstdlib>
 #include <sstream>
+
+#include "dram/devices.hh"
 
 namespace mcsim {
 
@@ -24,11 +27,7 @@ findWorkload(const std::string &name, WorkloadId &out)
 bool
 findScheduler(const std::string &name, SchedulerKind &out)
 {
-    for (auto k : {SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks,
-                   SchedulerKind::ParBs, SchedulerKind::Atlas,
-                   SchedulerKind::Rl, SchedulerKind::Fcfs,
-                   SchedulerKind::Fqm, SchedulerKind::Tcm,
-                   SchedulerKind::Stfm}) {
+    for (auto k : kAllSchedulers) {
         if (name == schedulerKindName(k)) {
             out = k;
             return true;
@@ -40,11 +39,7 @@ findScheduler(const std::string &name, SchedulerKind &out)
 bool
 findPolicy(const std::string &name, PagePolicyKind &out)
 {
-    for (auto k : {PagePolicyKind::OpenAdaptive,
-                   PagePolicyKind::CloseAdaptive, PagePolicyKind::Rbpp,
-                   PagePolicyKind::Abpp, PagePolicyKind::Open,
-                   PagePolicyKind::Close, PagePolicyKind::Timer,
-                   PagePolicyKind::History}) {
+    for (auto k : kAllPagePolicies) {
         if (name == pagePolicyKindName(k)) {
             out = k;
             return true;
@@ -68,8 +63,11 @@ findMapping(const std::string &name, MappingScheme &out)
 bool
 parseUint(const std::string &text, std::uint64_t &out)
 {
-    if (text.empty())
+    // Digits only: strtoull would silently wrap "-1" to 2^64-1.
+    if (text.empty() ||
+        !std::isdigit(static_cast<unsigned char>(text[0]))) {
         return false;
+    }
     char *end = nullptr;
     out = std::strtoull(text.c_str(), &end, 10);
     return end && *end == '\0';
@@ -88,30 +86,63 @@ ExperimentOptions::parse(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             helpRequested = true;
+        } else if (arg == "--list") {
+            listRequested = true;
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--workload") {
             const char *v = need(i);
             if (!v || !findWorkload(v, workload))
                 return "unknown workload for --workload";
+            if (hasSpec)
+                spec.workloads = {workload};
         } else if (arg == "--scheduler") {
             const char *v = need(i);
             if (!v || !findScheduler(v, config.scheduler))
                 return "unknown scheduler for --scheduler";
+            if (hasSpec)
+                spec.schedulers = {config.scheduler};
         } else if (arg == "--policy") {
             const char *v = need(i);
             if (!v || !findPolicy(v, config.pagePolicy))
                 return "unknown page policy for --policy";
+            if (hasSpec)
+                spec.policies = {config.pagePolicy};
         } else if (arg == "--mapping") {
             const char *v = need(i);
             if (!v || !findMapping(v, config.mapping))
                 return "unknown mapping scheme for --mapping";
+            if (hasSpec)
+                spec.mappings = {config.mapping};
+        } else if (arg == "--device") {
+            const char *v = need(i);
+            const DramDevice *dev = v ? findDramDevice(v) : nullptr;
+            if (!dev)
+                return "unknown DRAM device for --device (try --list)";
+            config.applyDevice(*dev);
+            if (hasSpec)
+                spec.devices = {dev->name};
+        } else if (arg == "--config") {
+            const char *v = need(i);
+            if (!v)
+                return "--config needs a spec file path";
+            const std::string err = loadExperimentSpec(v, spec);
+            if (!err.empty())
+                return "spec '" + std::string(v) + "': " + err;
+            hasSpec = true;
+            // Scalar keys of the spec shape the single-point config
+            // too; later flags may still override them.
+            config = spec.base;
+            if (spec.workloads.size() == 1)
+                workload = spec.workloads.front();
         } else if (arg == "--channels") {
             const char *v = need(i);
             std::uint64_t n = 0;
             if (!v || !parseUint(v, n) || n == 0 || !isPowerOf2(n))
                 return "--channels needs a power-of-two count";
             config.dram.channels = static_cast<std::uint32_t>(n);
+            if (hasSpec)
+                spec.channelCounts = {config.dram.channels};
         } else if (arg == "--warmup") {
             const char *v = need(i);
             std::uint64_t n = 0;
@@ -145,13 +176,43 @@ ExperimentOptions::parse(int argc, char **argv)
             // A bare acronym selects the workload; anything else stays
             // positional for the tool to interpret.
             WorkloadId w;
-            if (findWorkload(arg, w))
+            if (findWorkload(arg, w)) {
                 workload = w;
-            else
+                if (hasSpec)
+                    spec.workloads = {w};
+            } else {
                 positional.push_back(arg);
+            }
         }
     }
     return {};
+}
+
+std::string
+ExperimentOptions::listText()
+{
+    std::ostringstream out;
+    out << "schedulers:";
+    for (auto k : kAllSchedulers)
+        out << ' ' << schedulerKindName(k);
+    out << "\npolicies:";
+    for (auto k : kAllPagePolicies)
+        out << ' ' << pagePolicyKindName(k);
+    out << "\nmappings:";
+    for (auto s : kExtendedMappingSchemes)
+        out << ' ' << mappingSchemeName(s);
+    out << "\nworkloads:";
+    for (auto w : kAllWorkloads)
+        out << ' ' << workloadAcronym(w);
+    out << "\ndevices:\n";
+    for (const DramDevice &d : dramDeviceRegistry()) {
+        out << "  " << d.name << " (" << d.dataRateMtps << " MT/s, "
+            << d.busMhz << " MHz bus, CL" << d.timings.tCAS << '-'
+            << d.timings.tRCD << '-' << d.timings.tRP << ", "
+            << d.geometry.banksPerRank << " banks/rank) — " << d.source
+            << '\n';
+    }
+    return out.str();
 }
 
 std::string
@@ -160,32 +221,11 @@ ExperimentOptions::usage(const std::string &tool)
     std::ostringstream out;
     out << "usage: " << tool
         << " [workload] [--workload W] [--scheduler S] [--policy P]\n"
-        << "       [--mapping M] [--channels N] [--warmup C] "
-           "[--measure C]\n"
-        << "       [--seed N] [--fast D] [--csv]\n\n";
-    out << "workloads:";
-    for (auto w : kAllWorkloads)
-        out << ' ' << workloadAcronym(w);
-    out << "\nschedulers:";
-    for (auto k : {SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks,
-                   SchedulerKind::ParBs, SchedulerKind::Atlas,
-                   SchedulerKind::Rl, SchedulerKind::Fcfs,
-                   SchedulerKind::Fqm, SchedulerKind::Tcm,
-                   SchedulerKind::Stfm}) {
-        out << ' ' << schedulerKindName(k);
-    }
-    out << "\npolicies:";
-    for (auto k : {PagePolicyKind::OpenAdaptive,
-                   PagePolicyKind::CloseAdaptive, PagePolicyKind::Rbpp,
-                   PagePolicyKind::Abpp, PagePolicyKind::Open,
-                   PagePolicyKind::Close, PagePolicyKind::Timer,
-                   PagePolicyKind::History}) {
-        out << ' ' << pagePolicyKindName(k);
-    }
-    out << "\nmappings:";
-    for (auto s : kExtendedMappingSchemes)
-        out << ' ' << mappingSchemeName(s);
-    out << '\n';
+        << "       [--mapping M] [--device D] [--config SPEC] "
+           "[--channels N]\n"
+        << "       [--warmup C] [--measure C] [--seed N] [--fast D] "
+           "[--csv] [--list]\n\n";
+    out << listText();
     return out.str();
 }
 

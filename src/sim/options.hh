@@ -2,9 +2,10 @@
  * @file
  * Command-line configuration for the examples and one-off experiment
  * runs: parse `--scheduler/--policy/--channels/--mapping/--workload/
- * --warmup/--measure/--seed/--fast` style arguments onto a SimConfig
- * and a workload selection, with a generated usage string. Keeps every
- * tool's flag vocabulary identical.
+ * --device/--config/--warmup/--measure/--seed/--fast` style arguments
+ * onto a SimConfig, a workload selection and (optionally) a sweep
+ * spec, with generated usage/--list text. Keeps every tool's flag
+ * vocabulary identical.
  */
 
 #ifndef CLOUDMC_SIM_OPTIONS_HH
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "sim_config.hh"
+#include "spec.hh"
 #include "workload/presets.hh"
 
 namespace mcsim {
@@ -28,6 +30,13 @@ struct ExperimentOptions
     std::vector<std::string> positional;
     /** Set when --help was requested; the caller should print usage. */
     bool helpRequested = false;
+    /** Set when --list was requested; print listText() and exit. */
+    bool listRequested = false;
+    /** Sweep spec loaded by --config (valid when hasSpec). Its base
+     *  configuration is also merged into `config`, so tools that only
+     *  run one point still honor the file's scalar keys. */
+    ExperimentSpec spec;
+    bool hasSpec = false;
 
     /**
      * Parse argv (excluding argv[0]). Returns an empty string on
@@ -39,14 +48,28 @@ struct ExperimentOptions
      *   --policy <name>           OpenAdaptive, CloseAdaptive, RBPP,
      *                             ABPP, Open, Close, Timer, History
      *   --mapping <name>          RoRaBaCoCh, ..., PermBaXor, ...
+     *   --device <name>           DRAM device registry name
+     *   --config <file>           key=value experiment spec (sweeps)
      *   --channels <1|2|4|...>
      *   --warmup <core cycles>    --measure <core cycles>
-     *   --seed <n>                --fast <divisor>   --csv   --help
+     *   --seed <n>                --fast <divisor>   --csv
+     *   --list                    --help
+     * Flags apply in order: an axis flag after `--config` (e.g.
+     * `--config sweep.spec --device DDR4-2400`) collapses that axis of
+     * the loaded sweep to the flag's single value, and also shapes the
+     * single-point `config`. Scalar flags (--warmup/--measure/--seed/
+     * --fast) land in `config`; sweep runners should re-seat the
+     * spec's base on it (see run_experiment) so they apply there too.
      */
     std::string parse(int argc, char **argv);
 
     /** Usage text listing every flag and legal value. */
     static std::string usage(const std::string &tool);
+
+    /** The --list payload: every scheduler, page policy, mapping,
+     *  DRAM device (with timings summary) and workload, one block
+     *  each. Also appended to usage(). */
+    static std::string listText();
 };
 
 } // namespace mcsim

@@ -8,9 +8,11 @@
 #define CLOUDMC_SIM_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "cpu/core.hh"
 #include "cpu/hierarchy.hh"
+#include "dram/devices.hh"
 #include "dram/dram_params.hh"
 #include "mem/address_mapping.hh"
 #include "mem/factory.hh"
@@ -26,8 +28,17 @@ struct SimConfig
     HierarchyConfig hierarchy;
     CoreConfig core;
 
+    /** Core/DRAM clock frequencies and the derived tick grid. Keep in
+     *  step with `timings` (whose fields are cycles of clocks.dramMhz);
+     *  applyDevice() and setCoreMhz() maintain the invariant. */
+    ClockDomains clocks;
+    /** Registry name of the DRAM device behind `timings`/`power`;
+     *  purely descriptive, but part of the results-cache key. */
+    std::string deviceName = "DDR3-1600";
+
     DramGeometry dram;
     DramTimings timings = DramTimings::ddr3_1600();
+    DramPowerParams power = DramPowerParams::ddr3_1600();
     bool refreshEnabled = true;
 
     MappingScheme mapping = MappingScheme::RoRaBaCoCh;
@@ -63,6 +74,30 @@ struct SimConfig
     baseline()
     {
         return SimConfig{};
+    }
+
+    /**
+     * Select a DRAM device from the registry: timings, power, geometry
+     * defaults, and the DRAM-side clock all follow the device; the
+     * channel count and core frequency are preserved.
+     */
+    void
+    applyDevice(const DramDevice &dev)
+    {
+        deviceName = dev.name;
+        timings = dev.timings;
+        power = dev.power;
+        const std::uint32_t channels = dram.channels;
+        dram = dev.geometry;
+        dram.channels = channels;
+        clocks = ClockDomains::fromMhz(clocks.coreMhz, dev.busMhz);
+    }
+
+    /** Change the core frequency, re-deriving the tick grid. */
+    void
+    setCoreMhz(std::uint32_t coreMhz)
+    {
+        clocks = ClockDomains::fromMhz(coreMhz, clocks.dramMhz);
     }
 };
 

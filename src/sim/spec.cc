@@ -1,0 +1,316 @@
+#include "spec.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/bitutils.hh"
+#include "dram/devices.hh"
+
+namespace mcsim {
+
+namespace {
+
+/** Trim ASCII whitespace from both ends. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Split a comma-separated value list, trimming each element. */
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = value.find(',', start);
+        const std::string item = trim(
+            comma == std::string::npos ? value.substr(start)
+                                       : value.substr(start, comma - start));
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+bool
+parseUint(const std::string &text, std::uint64_t &out)
+{
+    // Digits only: strtoull would silently wrap "-1" to 2^64-1.
+    if (text.empty() ||
+        !std::isdigit(static_cast<unsigned char>(text[0]))) {
+        return false;
+    }
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+findWorkload(const std::string &name, WorkloadId &out)
+{
+    for (auto w : kAllWorkloads) {
+        if (name == workloadAcronym(w)) {
+            out = w;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+findScheduler(const std::string &name, SchedulerKind &out)
+{
+    for (auto k : kAllSchedulers) {
+        if (name == schedulerKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+findPolicy(const std::string &name, PagePolicyKind &out)
+{
+    for (auto k : kAllPagePolicies) {
+        if (name == pagePolicyKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+findMapping(const std::string &name, MappingScheme &out)
+{
+    for (auto s : kExtendedMappingSchemes) {
+        if (name == mappingSchemeName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Parse one list-valued axis through a per-item name lookup. */
+template <typename T, typename Lookup>
+std::string
+parseAxis(const std::string &value, const char *what, Lookup lookup,
+          std::vector<T> &out)
+{
+    out.clear();
+    for (const std::string &item : splitList(value)) {
+        T parsed;
+        if (!lookup(item, parsed))
+            return std::string("unknown ") + what + " '" + item + "'";
+        out.push_back(parsed);
+    }
+    if (out.empty())
+        return std::string("empty ") + what + " list";
+    return {};
+}
+
+} // namespace
+
+std::size_t
+ExperimentSpec::pointCount() const
+{
+    const auto n = [](std::size_t axis) { return axis ? axis : 1; };
+    return n(devices.size()) * n(schedulers.size()) * n(policies.size()) *
+           n(mappings.size()) * n(channelCounts.size()) *
+           n(workloads.size());
+}
+
+std::vector<ExperimentRunner::Point>
+ExperimentSpec::points() const
+{
+    // Empty axes collapse to the base configuration's single value.
+    const std::vector<std::string> devs =
+        devices.empty() ? std::vector<std::string>{base.deviceName}
+                        : devices;
+    const auto scheds = schedulers.empty()
+                            ? std::vector<SchedulerKind>{base.scheduler}
+                            : schedulers;
+    const auto pols = policies.empty()
+                          ? std::vector<PagePolicyKind>{base.pagePolicy}
+                          : policies;
+    const auto maps = mappings.empty()
+                          ? std::vector<MappingScheme>{base.mapping}
+                          : mappings;
+    const auto chans =
+        channelCounts.empty() ? std::vector<std::uint32_t>{
+                                    base.dram.channels}
+                              : channelCounts;
+    const auto wls = workloads.empty()
+                         ? std::vector<WorkloadId>{WorkloadId::DS}
+                         : workloads;
+
+    std::vector<ExperimentRunner::Point> out;
+    out.reserve(devs.size() * scheds.size() * pols.size() * maps.size() *
+                chans.size() * wls.size());
+    for (const std::string &dev : devs) {
+        SimConfig devCfg = base;
+        devCfg.applyDevice(dramDeviceOrDie(dev));
+        for (auto sched : scheds) {
+            for (auto pol : pols) {
+                for (auto map : maps) {
+                    for (auto ch : chans) {
+                        SimConfig cfg = devCfg;
+                        cfg.scheduler = sched;
+                        cfg.pagePolicy = pol;
+                        cfg.mapping = map;
+                        cfg.dram.channels = ch;
+                        for (auto wl : wls)
+                            out.emplace_back(wl, cfg);
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+parseExperimentSpec(const std::string &text, ExperimentSpec &out)
+{
+    out = ExperimentSpec{};
+    std::istringstream in(text);
+    std::string line;
+    int lineNo = 0;
+    const auto err = [&lineNo](const std::string &msg) {
+        return "line " + std::to_string(lineNo) + ": " + msg;
+    };
+
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return err("expected 'key = value', got '" + line + "'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            return err("missing key before '='");
+        if (value.empty())
+            return err("missing value for '" + key + "'");
+
+        std::string axisErr;
+        if (key == "device" || key == "devices") {
+            axisErr = parseAxis<std::string>(
+                value, "device",
+                [](const std::string &n, std::string &o) {
+                    if (!findDramDevice(n))
+                        return false;
+                    o = n;
+                    return true;
+                },
+                out.devices);
+        } else if (key == "scheduler" || key == "schedulers") {
+            axisErr = parseAxis<SchedulerKind>(value, "scheduler",
+                                               findScheduler,
+                                               out.schedulers);
+        } else if (key == "policy" || key == "policies") {
+            axisErr = parseAxis<PagePolicyKind>(value, "page policy",
+                                                findPolicy, out.policies);
+        } else if (key == "mapping" || key == "mappings") {
+            axisErr = parseAxis<MappingScheme>(value, "mapping scheme",
+                                               findMapping, out.mappings);
+        } else if (key == "workload" || key == "workloads") {
+            axisErr = parseAxis<WorkloadId>(value, "workload",
+                                            findWorkload, out.workloads);
+        } else if (key == "channels") {
+            axisErr = parseAxis<std::uint32_t>(
+                value, "channel count",
+                [](const std::string &n, std::uint32_t &o) {
+                    std::uint64_t v = 0;
+                    if (!parseUint(n, v) || v == 0 || !isPowerOf2(v))
+                        return false;
+                    o = static_cast<std::uint32_t>(v);
+                    return true;
+                },
+                out.channelCounts);
+        } else if (key == "core_mhz") {
+            std::uint64_t v = 0;
+            if (!parseUint(value, v) || v == 0 || v > 1'000'000)
+                return err("core_mhz needs an integer in [1, 1000000] "
+                           "MHz, got '" +
+                           value + "'");
+            out.base.setCoreMhz(static_cast<std::uint32_t>(v));
+        } else if (key == "warmup") {
+            std::uint64_t v = 0;
+            if (!parseUint(value, v))
+                return err("warmup needs a cycle count, got '" + value +
+                           "'");
+            out.base.warmupCoreCycles = v;
+        } else if (key == "measure") {
+            std::uint64_t v = 0;
+            if (!parseUint(value, v) || v == 0)
+                return err("measure needs a nonzero cycle count, got '" +
+                           value + "'");
+            out.base.measureCoreCycles = v;
+        } else if (key == "seed") {
+            std::uint64_t v = 0;
+            if (!parseUint(value, v))
+                return err("seed needs an integer, got '" + value + "'");
+            out.base.seed = v;
+        } else if (key == "refresh") {
+            if (value == "on")
+                out.base.refreshEnabled = true;
+            else if (value == "off")
+                out.base.refreshEnabled = false;
+            else
+                return err("refresh must be 'on' or 'off', got '" + value +
+                           "'");
+        } else {
+            return err("unknown key '" + key + "'");
+        }
+        if (!axisErr.empty())
+            return err(axisErr);
+    }
+
+    // Single-valued axes also shape the base config so a spec doubles
+    // as a plain configuration file for one-off runs.
+    if (out.devices.size() == 1)
+        out.base.applyDevice(dramDeviceOrDie(out.devices.front()));
+    if (out.schedulers.size() == 1)
+        out.base.scheduler = out.schedulers.front();
+    if (out.policies.size() == 1)
+        out.base.pagePolicy = out.policies.front();
+    if (out.mappings.size() == 1)
+        out.base.mapping = out.mappings.front();
+    if (out.channelCounts.size() == 1)
+        out.base.dram.channels = out.channelCounts.front();
+    return {};
+}
+
+std::string
+loadExperimentSpec(const std::string &path, ExperimentSpec &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "cannot open spec file '" + path + "'";
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseExperimentSpec(text.str(), out);
+}
+
+} // namespace mcsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Declarative experiment specs: one dependency-free key=value text
+ * file describes a full SimConfig plus a sweep matrix, so a device x
+ * scheduler x workload study is a data file instead of a bench binary.
+ *
+ * Format: one `key = value` pair per line; `#` starts a comment;
+ * blank lines are ignored. Sweep-axis keys accept comma-separated
+ * lists and expand into a full cross product. Keys:
+ *
+ *   device    = DDR3-1600[, DDR4-2400, ...]   registry names
+ *   scheduler = FR-FCFS[, ATLAS, ...]
+ *   policy    = OpenAdaptive[, Close, ...]
+ *   mapping   = RoRaBaCoCh[, PermBaXor, ...]
+ *   channels  = 1[, 2, 4]                     powers of two
+ *   workload  = WS[, DS, ...]                 paper acronyms
+ *   core_mhz  = 2000                          scalar only
+ *   warmup    = 2000000                       core cycles, scalar
+ *   measure   = 8000000                       core cycles, scalar
+ *   seed      = 1                             scalar
+ *   refresh   = on | off                      scalar
+ *
+ * Plural aliases (devices, schedulers, policies, mappings, workloads)
+ * are accepted for readability. Every axis defaults to the baseline's
+ * single value, so an empty file describes exactly one Table 2 run.
+ */
+
+#ifndef CLOUDMC_SIM_SPEC_HH
+#define CLOUDMC_SIM_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "experiment.hh"
+#include "sim_config.hh"
+#include "workload/presets.hh"
+
+namespace mcsim {
+
+/** A parsed spec: the base configuration plus the sweep axes. */
+struct ExperimentSpec
+{
+    SimConfig base;
+
+    std::vector<std::string> devices;      ///< Registry names.
+    std::vector<SchedulerKind> schedulers;
+    std::vector<PagePolicyKind> policies;
+    std::vector<MappingScheme> mappings;
+    std::vector<std::uint32_t> channelCounts;
+    std::vector<WorkloadId> workloads;
+
+    /** Number of points the cross product expands to. */
+    std::size_t pointCount() const;
+
+    /**
+     * Expand the cross product into runnable points (device-major,
+     * workload-minor). Each point's SimConfig carries the device's
+     * timings/power/geometry and the derived clock domains.
+     */
+    std::vector<ExperimentRunner::Point> points() const;
+};
+
+/**
+ * Parse spec text. Returns an empty string on success, otherwise a
+ * one-line "line N: ..." diagnostic. @p out is default-initialized
+ * first and is only meaningful on success.
+ */
+std::string parseExperimentSpec(const std::string &text,
+                                ExperimentSpec &out);
+
+/** Load and parse a spec file; errors include unopenable files. */
+std::string loadExperimentSpec(const std::string &path,
+                               ExperimentSpec &out);
+
+} // namespace mcsim
+
+#endif // CLOUDMC_SIM_SPEC_HH

@@ -19,8 +19,8 @@ constexpr std::uint64_t kIoBufferBytes = 512 << 20; // 512 MiB
 } // namespace
 
 System::System(const SimConfig &cfg, const WorkloadParams &workload)
-    : cfg_(cfg), toMem_(coreCyclesToTicks(cfg.xbarLatencyCycles)),
-      toCpu_(coreCyclesToTicks(cfg.xbarLatencyCycles))
+    : cfg_(cfg), toMem_(cfg.clocks.coreToTicks(cfg.xbarLatencyCycles)),
+      toCpu_(cfg.clocks.coreToTicks(cfg.xbarLatencyCycles))
 {
     cfg_.numCores = workload.cores;
     cfg_.core.mlpWindow = cfg_.coreMlpOverride ? cfg_.coreMlpOverride
@@ -37,7 +37,7 @@ System::System(const SimConfig &cfg, const WorkloadParams &workload)
         io_.window = workload.ioWindow;
         io_.burstBlocks = workload.ioBurstBlocks;
         io_.writeFrac = workload.ioWriteFrac;
-        io_.thinkTicks = dramCyclesToTicks(workload.ioThinkDramCycles);
+        io_.thinkTicks = cfg_.clocks.dramToTicks(workload.ioThinkDramCycles);
         io_.bufferBase = kIoBufferBase;
         io_.bufferBlocks = kIoBufferBytes / kBlockBytes;
         io_.rng.reseed(workload.seed * 7919 + 17, 0x10);
@@ -54,8 +54,8 @@ System::System(const SimConfig &cfg, const WorkloadParams &workload)
 
 System::System(const SimConfig &cfg, WorkloadGenerator &generator,
                std::uint32_t numCores)
-    : cfg_(cfg), toMem_(coreCyclesToTicks(cfg.xbarLatencyCycles)),
-      toCpu_(coreCyclesToTicks(cfg.xbarLatencyCycles))
+    : cfg_(cfg), toMem_(cfg.clocks.coreToTicks(cfg.xbarLatencyCycles)),
+      toCpu_(cfg.clocks.coreToTicks(cfg.xbarLatencyCycles))
 {
     cfg_.numCores = numCores;
     build(cfg_, numCores);
@@ -73,12 +73,14 @@ System::build(const SimConfig &cfg, std::uint32_t numCores)
 {
     mapper_ = std::make_unique<AddressMapper>(cfg.dram, cfg.mapping);
     dram_ = std::make_unique<DramSystem>(cfg.dram, cfg.timings,
-                                         cfg.refreshEnabled);
+                                         cfg.refreshEnabled, cfg.clocks);
     for (std::uint32_t ch = 0; ch < cfg.dram.channels; ++ch) {
         auto mc = std::make_unique<MemController>(
             dram_->channel(ch),
-            makeScheduler(cfg.scheduler, numCores, cfg.schedulerParams),
-            makePagePolicy(cfg.pagePolicy), numCores, cfg.controller);
+            makeScheduler(cfg.scheduler, numCores, cfg.schedulerParams,
+                          cfg.clocks, cfg.timings),
+            makePagePolicy(cfg.pagePolicy, cfg.clocks), numCores,
+            cfg.controller);
         mc->setCompletionCallback(
             [this](Request *req) { onMemComplete(req); });
         controllers_.push_back(std::move(mc));
@@ -199,8 +201,9 @@ System::coreStep(bool eager)
     }
     ++coreCycles_;
     ++kernelStats_.coreStepsRun;
-    coreActEventAt_ =
-        minAct == kNeverCycle ? kMaxTick : coreCyclesToTicks(minAct);
+    coreActEventAt_ = minAct == kNeverCycle
+                          ? kMaxTick
+                          : cfg_.clocks.coreToTicks(minAct);
 }
 
 void
@@ -274,10 +277,11 @@ alignUp(Tick t, Tick step)
 void
 System::referenceAdvance(Tick end)
 {
+    const ClockDomains &clk = cfg_.clocks;
     while (now_ < end) {
-        if (now_ % kTicksPerCoreCycle == 0)
+        if (now_ % clk.ticksPerCore == 0)
             coreStep(true);
-        if (now_ % kTicksPerDramCycle == 0)
+        if (now_ % clk.ticksPerDram == 0)
             memStep(true);
         ++now_;
     }
@@ -286,7 +290,7 @@ System::referenceAdvance(Tick end)
 void
 System::advance(std::uint64_t coreCycles)
 {
-    const Tick end = now_ + coreCyclesToTicks(coreCycles);
+    const Tick end = now_ + cfg_.clocks.coreToTicks(coreCycles);
     if (referenceKernel_) {
         referenceAdvance(end);
         syncCores();
@@ -294,31 +298,33 @@ System::advance(std::uint64_t coreCycles)
     }
 
     // Pending step boundaries: the first tick of each domain's grid at
-    // or after now_ that has not executed yet.
-    Tick nextCore = alignUp(now_, kTicksPerCoreCycle);
-    Tick nextMem = alignUp(now_, kTicksPerDramCycle);
+    // or after now_ that has not executed yet. The grid steps come from
+    // the runtime clock domains, so the walk works for any core:DRAM
+    // ratio (the baseline's 2:5 pattern repeating every LCM = 10 ticks
+    // is just one instance).
+    const Tick perCore = cfg_.clocks.ticksPerCore;
+    const Tick perDram = cfg_.clocks.ticksPerDram;
+    Tick nextCore = alignUp(now_, perCore);
+    Tick nextMem = alignUp(now_, perDram);
     while (true) {
         // Earliest boundary of each domain that must actually execute.
         // Events are computed from post-step state, and nothing runs
         // between here and that boundary, so every boundary before it
         // is a provable no-op.
         const Tick tCore =
-            std::max(nextCore, alignUp(coreEventAt(), kTicksPerCoreCycle));
-        const Tick tMem =
-            std::max(nextMem, alignUp(memEventAt(), kTicksPerDramCycle));
+            std::max(nextCore, alignUp(coreEventAt(), perCore));
+        const Tick tMem = std::max(nextMem, alignUp(memEventAt(), perDram));
         const Tick t = std::min(std::min(tCore, tMem), end);
 
         // Skipped core boundaries still elapse simulated core cycles;
         // the cores account theirs lazily against coreCycles_.
         if (nextCore < t) {
-            const Tick skipped =
-                (t - 1 - nextCore) / kTicksPerCoreCycle + 1;
+            const Tick skipped = (t - 1 - nextCore) / perCore + 1;
             coreCycles_ += skipped;
-            nextCore += skipped * kTicksPerCoreCycle;
+            nextCore += skipped * perCore;
         }
         if (nextMem < t)
-            nextMem += ((t - 1 - nextMem) / kTicksPerDramCycle + 1) *
-                       kTicksPerDramCycle;
+            nextMem += ((t - 1 - nextMem) / perDram + 1) * perDram;
 
         now_ = t;
         if (t == end)
@@ -330,12 +336,12 @@ System::advance(std::uint64_t coreCycles)
                 coreStep(false);
             else
                 ++coreCycles_;
-            nextCore += kTicksPerCoreCycle;
+            nextCore += perCore;
         }
         if (t == nextMem) {
             if (tMem <= t)
                 memStep(false);
-            nextMem += kTicksPerDramCycle;
+            nextMem += perDram;
         }
     }
     syncCores();
@@ -410,7 +416,7 @@ System::collect() const
     m.avgReadLatency =
         latSamples ? static_cast<double>(latTicks) /
                          static_cast<double>(latSamples) /
-                         static_cast<double>(kTicksPerCoreCycle)
+                         static_cast<double>(cfg_.clocks.ticksPerCore)
                    : 0.0;
     m.singleAccessPct = activations
                             ? 100.0 * static_cast<double>(singles) /
@@ -418,9 +424,9 @@ System::collect() const
                             : 0.0;
     m.bwUtilPct = 100.0 * dram_->busUtilization(now_);
 
-    const DramEnergyModel energyModel(DramPowerParams::ddr3_1600(),
-                                      cfg_.timings,
-                                      cfg_.dram.ranksPerChannel);
+    const DramEnergyModel energyModel(cfg_.power, cfg_.timings,
+                                      cfg_.dram.ranksPerChannel,
+                                      cfg_.clocks);
     // Every channel's stats window starts at the same resetStats()
     // tick, so the elapsed time is one number, not per-controller.
     const double elapsedNs =
@@ -429,7 +435,7 @@ System::collect() const
             : static_cast<double>(
                   now_ -
                   controllers_.front()->channel().stats().statsStartTick) *
-                  0.25;
+                  cfg_.clocks.nsPerTick();
     for (const auto &mc : controllers_) {
         m.dramEnergyNj +=
             energyModel.estimate(mc->channel().stats(), now_).totalNj();

@@ -3,13 +3,15 @@
  * System: assembles cores, caches, crossbar links, memory controllers
  * and DRAM into one simulated scale-out pod and runs the clock.
  *
- * Clocking: the global tick is 250 ps. Cores and the cache side step
- * every 2 ticks (2 GHz); controllers and DRAM step every 5 ticks
- * (800 MHz). run() interleaves the two domains on the common grid.
+ * Clocking: the tick grid comes from the SimConfig's ClockDomains.
+ * Cores and the cache side step every clocks.ticksPerCore ticks;
+ * controllers and DRAM step every clocks.ticksPerDram ticks (the
+ * paper's baseline: 250 ps ticks, ratios 2 and 5 for 2 GHz cores over
+ * DDR3-1600). run() interleaves the two domains on the common grid.
  *
  * The clock is event-scheduled: advance() walks the clock-domain
- * boundaries directly (the core/DRAM pattern repeats every
- * LCM(2,5) = 10 ticks) and consults each component's next-event
+ * boundaries directly (any ratio; the boundary pattern repeats every
+ * LCM of the two periods) and consults each component's next-event
  * report — blocked cores, crossbar latch ready times, the IO engine's
  * next issue tick, and each controller's tick() return value — to
  * fast-forward now_ across provably idle stretches. Skipped work is
@@ -88,6 +90,8 @@ class System
     MetricSet collect() const;
 
     Tick now() const { return now_; }
+    /** The clock domains this system was built on. */
+    const ClockDomains &clocks() const { return cfg_.clocks; }
     const KernelStats &kernelStats() const { return kernelStats_; }
     MemController &controller(std::uint32_t ch) { return *controllers_[ch]; }
     std::uint32_t numControllers() const

@@ -56,7 +56,7 @@ class ChannelTest : public ::testing::Test
     Tick
     cyc(std::uint32_t n) const
     {
-        return dramCyclesToTicks(n);
+        return kBaselineClocks.dramToTicks(n);
     }
 
     Channel chan;
@@ -204,7 +204,7 @@ TEST_F(ChannelTest, RefreshSchedulingStaggersRanks)
 {
     Channel c(smallGeom(), tm, true);
     EXPECT_EQ(c.refreshDueRank(0), -1);
-    const Tick interval = dramCyclesToTicks(tm.tREFI);
+    const Tick interval = kBaselineClocks.dramToTicks(tm.tREFI);
     EXPECT_EQ(c.refreshDueRank(interval), 0);
     // Rank 1 is due half an interval later.
     EXPECT_EQ(c.refreshDueRank(interval + interval / 2), 0);

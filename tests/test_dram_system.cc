@@ -31,9 +31,9 @@ driveOneRead(Channel &ch, Tick start)
     for (const DramCommand &cmd :
          {DramCommand::activate(c), DramCommand::read(c)}) {
         while (!ch.canIssue(cmd, t))
-            t += kTicksPerDramCycle;
+            t += kBaselineClocks.ticksPerDram;
         ch.issue(cmd, t);
-        t += kTicksPerDramCycle;
+        t += kBaselineClocks.ticksPerDram;
     }
     return t;
 }
@@ -67,7 +67,7 @@ TEST(DramSystem, BusUtilizationAveragesChannels)
 {
     DramSystem sys(geomWithChannels(2), DramTimings::ddr3_1600(), false);
     const Tick end = driveOneRead(sys.channel(0), 0);
-    const Tick window = end + dramCyclesToTicks(100);
+    const Tick window = end + kBaselineClocks.dramToTicks(100);
     const double oneBusy = sys.channel(0).stats().busUtilization(window);
     ASSERT_GT(oneBusy, 0.0);
     // The idle second channel halves the average.
@@ -79,7 +79,7 @@ TEST(DramSystem, ResetStatsClearsEveryChannel)
     DramSystem sys(geomWithChannels(2), DramTimings::ddr3_1600(), false);
     driveOneRead(sys.channel(0), 0);
     driveOneRead(sys.channel(1), 0);
-    sys.resetStats(dramCyclesToTicks(1'000));
+    sys.resetStats(kBaselineClocks.dramToTicks(1'000));
     for (std::uint32_t c = 0; c < 2; ++c) {
         EXPECT_EQ(sys.channel(c).stats().reads, 0u);
         EXPECT_EQ(sys.channel(c).stats().activates, 0u);

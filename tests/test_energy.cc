@@ -31,9 +31,9 @@ actReadPre(Channel &ch, Tick start, std::uint64_t row)
     Tick t = start;
     const auto step = [&](const DramCommand &cmd) {
         while (!ch.canIssue(cmd, t))
-            t += kTicksPerDramCycle;
+            t += kBaselineClocks.ticksPerDram;
         ch.issue(cmd, t);
-        t += kTicksPerDramCycle;
+        t += kBaselineClocks.ticksPerDram;
     };
     DramCoord c;
     c.row = row;
@@ -62,7 +62,7 @@ TEST(Energy, ZeroActivityIsPureBackground)
 {
     const DramEnergyModel m = model();
     ChannelStats s;
-    const Tick window = dramCyclesToTicks(10'000);
+    const Tick window = kBaselineClocks.dramToTicks(10'000);
     const DramEnergyBreakdown e = m.estimate(s, window);
     EXPECT_EQ(e.actPreNj, 0.0);
     EXPECT_EQ(e.readNj, 0.0);
@@ -80,7 +80,7 @@ TEST(Energy, CommandCountsScaleLinearly)
     s.reads = 20;
     s.writes = 5;
     s.refreshes = 2;
-    const Tick window = dramCyclesToTicks(100'000);
+    const Tick window = kBaselineClocks.dramToTicks(100'000);
     const DramEnergyBreakdown e1 = m.estimate(s, window);
     s.activates *= 3;
     s.reads *= 3;
@@ -99,7 +99,7 @@ TEST(Energy, ActiveStandbyCostsMoreThanPrechargeStandby)
     const DramEnergyModel m = model();
     ChannelStats idle;
     ChannelStats active;
-    const Tick window = dramCyclesToTicks(50'000);
+    const Tick window = kBaselineClocks.dramToTicks(50'000);
     active.rankActiveTicks = window; // One rank open the whole time.
     EXPECT_GT(m.estimate(active, window).backgroundNj,
               m.estimate(idle, window).backgroundNj);
@@ -109,7 +109,7 @@ TEST(Energy, BackgroundClampsAtFullActiveTime)
 {
     const DramEnergyModel m = model();
     ChannelStats s;
-    const Tick window = dramCyclesToTicks(1'000);
+    const Tick window = kBaselineClocks.dramToTicks(1'000);
     s.rankActiveTicks = window * 100; // Corrupt input: beyond 2 ranks.
     ChannelStats full;
     full.rankActiveTicks = window * 2; // Both ranks open throughout.
@@ -148,17 +148,17 @@ TEST(Energy, ResetStatsRestartsActivePeriods)
     c.row = 9;
     Tick t = 0;
     while (!ch.canIssue(DramCommand::activate(c), t))
-        t += kTicksPerDramCycle;
+        t += kBaselineClocks.ticksPerDram;
     ch.issue(DramCommand::activate(c), t);
 
     // Reset mid-activation: the active period must restart at the
     // window boundary, not reach back to the ACT.
-    const Tick resetAt = t + dramCyclesToTicks(1'000);
+    const Tick resetAt = t + kBaselineClocks.dramToTicks(1'000);
     ch.resetStats(resetAt);
     Tick u = resetAt;
     const auto pre = DramCommand::precharge(0, 0);
     while (!ch.canIssue(pre, u))
-        u += kTicksPerDramCycle;
+        u += kBaselineClocks.ticksPerDram;
     ch.issue(pre, u);
     EXPECT_LE(ch.stats().rankActiveTicks, u - resetAt);
 }

@@ -138,6 +138,52 @@ INSTANTIATE_TEST_SUITE_P(
                       PagePolicyKind::History),
     [](const auto &info) { return pagePolicyKindName(info.param); });
 
+/**
+ * Golden equivalence on non-baseline clock ratios: the kernel's
+ * domain walk must be exact for any core:DRAM tick ratio, not just
+ * the baseline's 2:5. DDR4-2400 runs 3:5 on a 166.7 ps tick (plus 16
+ * banks/rank); LPDDR3-1600 keeps 2:5 but changes every timing;
+ * DDR3-1066's 533 MHz bus is coprime with 2000 MHz cores, so its grid
+ * degenerates to 533:2000 — the stress case for the boundary walk.
+ */
+class KernelDeviceEquivalence
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(KernelDeviceEquivalence, BitIdenticalToReference)
+{
+    SimConfig cfg = smallConfig();
+    cfg.applyDevice(dramDeviceOrDie(GetParam()));
+    runBothAndCompare(cfg, WorkloadId::WS);
+    runBothAndCompare(cfg, WorkloadId::WF); // IO engine enabled.
+}
+
+INSTANTIATE_TEST_SUITE_P(NonBaselineDevices, KernelDeviceEquivalence,
+                         ::testing::Values("DDR4-2400", "LPDDR3-1600",
+                                           "DDR3-1066"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name) {
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             }
+                             return name;
+                         });
+
+/** Device sweeps must also hold under the time-driven page policy and
+ *  a quantum scheduler, the two event sources with cycle-denominated
+ *  deadlines that the clock refactor re-derives. */
+TEST(KernelDeviceEquivalence, TimerPolicyAndAtlasOnDdr4)
+{
+    SimConfig cfg = smallConfig();
+    cfg.applyDevice(dramDeviceOrDie("DDR4-2400"));
+    cfg.pagePolicy = PagePolicyKind::Timer;
+    cfg.scheduler = SchedulerKind::Atlas;
+    runBothAndCompare(cfg, WorkloadId::DS);
+}
+
 /** Multi-channel configurations exercise per-controller due tracking. */
 TEST(EventKernel, MultiChannelBitIdentical)
 {
@@ -173,21 +219,28 @@ TEST(EventKernel, IncrementalAdvanceMatches)
  * reference loop issues it. A kernel that skipped past a refresh
  * deadline or a latch-ready tick would shift this sequence.
  */
-TEST(EventKernel, CommandTraceIdenticalIncludingRefresh)
+namespace {
+
+struct TraceEntry
 {
-    struct TraceEntry
+    DramCommandType type;
+    std::uint32_t rank, bank;
+    Tick tick;
+    bool operator==(const TraceEntry &o) const
     {
-        DramCommandType type;
-        std::uint32_t rank, bank;
-        Tick tick;
-        bool operator==(const TraceEntry &o) const
-        {
-            return type == o.type && rank == o.rank && bank == o.bank &&
-                   tick == o.tick;
-        }
-    };
-    auto trace = [](bool reference) {
+        return type == o.type && rank == o.rank && bank == o.bank &&
+               tick == o.tick;
+    }
+};
+
+/** Run DS on both kernels and require identical command streams. */
+void
+expectTraceIdentical(const char *device)
+{
+    auto trace = [device](bool reference) {
         SimConfig cfg = smallConfig();
+        if (device)
+            cfg.applyDevice(dramDeviceOrDie(device));
         cfg.measureCoreCycles = 200'000; // Spans several tREFI periods.
         System sys(cfg, workloadPreset(WorkloadId::DS));
         sys.useReferenceKernel(reference);
@@ -209,6 +262,23 @@ TEST(EventKernel, CommandTraceIdenticalIncludingRefresh)
             ++refreshes;
     }
     EXPECT_GT(refreshes, 0u) << "trace never exercised a refresh";
+}
+
+} // namespace
+
+TEST(EventKernel, CommandTraceIdenticalIncludingRefresh)
+{
+    expectTraceIdentical(nullptr); // Baseline DDR3-1600.
+}
+
+TEST(EventKernel, CommandTraceIdenticalOnDdr4)
+{
+    expectTraceIdentical("DDR4-2400"); // 3:5 tick ratio, 16 banks.
+}
+
+TEST(EventKernel, CommandTraceIdenticalOnLpddr3)
+{
+    expectTraceIdentical("LPDDR3-1600"); // Short tRFCab, halved tREFI.
 }
 
 /**
@@ -329,8 +399,8 @@ TEST(EventKernel, SkipCountersShowIdleSkipping)
     System sys(cfg, workloadPreset(WorkloadId::WS));
     (void)sys.run();
     const KernelStats &k = sys.kernelStats();
-    const std::uint64_t coreCycles = ticksToCoreCycles(sys.now());
-    const std::uint64_t dramCycles = ticksToDramCycles(sys.now());
+    const std::uint64_t coreCycles = kBaselineClocks.ticksToCore(sys.now());
+    const std::uint64_t dramCycles = kBaselineClocks.ticksToDram(sys.now());
     // Every executed step is counted...
     EXPECT_GT(k.coreStepsRun, 0u);
     EXPECT_LE(k.coreStepsRun, coreCycles);

@@ -365,3 +365,55 @@ TEST(ExperimentCache, KeyEncodesEveryStudiedDimension)
     EXPECT_NE(ka, ExperimentRunner::configKey(WorkloadId::DS, hist));
     EXPECT_NE(ka, ExperimentRunner::configKey(WorkloadId::DS, perm));
 }
+
+TEST(ExperimentCache, KeySeparatesDevicesAndClocks)
+{
+    // Schema v3: two devices (or two core clocks) must never alias to
+    // one cached row — before the device axis existed they would have.
+    const SimConfig base = SimConfig::baseline();
+    SimConfig ddr4 = base;
+    ddr4.applyDevice(dramDeviceOrDie("DDR4-2400"));
+    SimConfig lp = base;
+    lp.applyDevice(dramDeviceOrDie("LPDDR3-1600"));
+    SimConfig fastCore = base;
+    fastCore.setCoreMhz(3000);
+
+    const auto kb = ExperimentRunner::configKey(WorkloadId::DS, base);
+    EXPECT_NE(kb, ExperimentRunner::configKey(WorkloadId::DS, ddr4));
+    EXPECT_NE(kb, ExperimentRunner::configKey(WorkloadId::DS, lp));
+    EXPECT_NE(kb, ExperimentRunner::configKey(WorkloadId::DS, fastCore));
+    // LPDDR3-1600 shares DDR3-1600's bus clock; only the name differs.
+    EXPECT_NE(ExperimentRunner::configKey(WorkloadId::DS, ddr4),
+              ExperimentRunner::configKey(WorkloadId::DS, lp));
+    EXPECT_NE(kb.find("dev=DDR3-1600@2000:800"), std::string::npos);
+}
+
+TEST(ExperimentCache, LegacyKeysLoadAsBaselineDevice)
+{
+    // v1/v2-era rows had no device segment; everything they recorded
+    // ran the DDR3-1600 baseline, so they migrate to that key instead
+    // of being dropped — and never satisfy a different device.
+    const std::string path = tempCachePath("legacykey");
+    const SimConfig cfg = tinyConfig();
+    std::string key = ExperimentRunner::configKey(WorkloadId::WS, cfg);
+    const std::size_t tag = key.find("|dev=");
+    ASSERT_NE(tag, std::string::npos);
+    key.resize(tag); // Strip the v3 segment: a legacy-format key.
+    {
+        std::ofstream out(path);
+        out << key
+            << ",1.5,100,30,5,1,2,10,20,1000,2000,30,40,0.9,5000,120\n";
+    }
+    ExperimentRunner runner(path);
+    const MetricSet hit = runner.run(WorkloadId::WS, cfg);
+    EXPECT_EQ(runner.simulationsRun(), 0u);
+    EXPECT_EQ(runner.cacheHits(), 1u);
+    EXPECT_DOUBLE_EQ(hit.userIpc, 1.5);
+
+    // The same point on another device misses and re-simulates.
+    SimConfig ddr4 = cfg;
+    ddr4.applyDevice(dramDeviceOrDie("DDR4-2400"));
+    (void)runner.run(WorkloadId::WS, ddr4);
+    EXPECT_EQ(runner.simulationsRun(), 1u);
+    std::remove(path.c_str());
+}

@@ -67,7 +67,7 @@ struct Harness
     {
         for (std::uint64_t i = 0; i < dramCycles; ++i) {
             mc.tick(now);
-            now += kTicksPerDramCycle;
+            now += kBaselineClocks.ticksPerDram;
         }
     }
 
@@ -102,7 +102,7 @@ TEST(MemController, SingleReadCompletes)
     // Latency at least tRCD + CL + burst.
     const auto tm = DramTimings::ddr3_1600();
     EXPECT_GE(h.completed[0].completedAt - h.completed[0].arrivedAt,
-              dramCyclesToTicks(tm.tRCD + tm.tCAS + tm.tBURST));
+              kBaselineClocks.dramToTicks(tm.tRCD + tm.tCAS + tm.tBURST));
     EXPECT_EQ(h.completed[0].outcome, RowOutcome::Miss);
     EXPECT_EQ(h.mc.stats().rowMisses, 1u);
 }
@@ -255,7 +255,7 @@ TEST(MemController, DrainExitsAtLowWatermark)
     // Feed a slow trickle of reads so the read queue never stays empty
     // long enough for the idle-timeout drain to take over.
     int nextRead = 0;
-    while (h.mc.writeQueueLen() > 12 && h.now < coreCyclesToTicks(200'000)) {
+    while (h.mc.writeQueueLen() > 12 && h.now < kBaselineClocks.coreToTicks(200'000)) {
         if (h.mc.readQueueLen() == 0) {
             h.mc.enqueue(
                 h.makeReq(addrOf(300 + nextRead, nextRead % 8, 0), false),
@@ -303,7 +303,7 @@ TEST(MemController, ForwardedReadLatencyIsShort)
         if (!r.isWrite)
             fwdLatency = r.completedAt - r.arrivedAt;
     }
-    EXPECT_LE(fwdLatency, dramCyclesToTicks(4));
+    EXPECT_LE(fwdLatency, kBaselineClocks.dramToTicks(4));
 }
 
 TEST(MemController, UnifiedQueueSchedulerSeesWritesWithoutDrain)
@@ -326,7 +326,7 @@ TEST(MemController, UnifiedQueueSchedulerSeesWritesWithoutDrain)
     mc.enqueue(req.get(), now);
     for (int i = 0; i < 60; ++i) {
         mc.tick(now);
-        now += kTicksPerDramCycle;
+        now += kBaselineClocks.ticksPerDram;
     }
     EXPECT_EQ(mc.stats().servedWrites, 1u);
 }

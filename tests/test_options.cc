@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "dram/devices.hh"
 #include "sim/options.hh"
 
 using namespace mcsim;
@@ -161,4 +164,93 @@ TEST(Options, UsageListsEverything)
     EXPECT_NE(u.find("TCM"), std::string::npos);
     EXPECT_NE(u.find("History"), std::string::npos);
     EXPECT_NE(u.find("PermChBaXor"), std::string::npos);
+    // Devices joined the enumerations with the registry refactor.
+    EXPECT_NE(u.find("DDR4-2400"), std::string::npos);
+    EXPECT_NE(u.find("LPDDR3-1600"), std::string::npos);
+}
+
+TEST(Options, ListFlagEnumeratesEverything)
+{
+    ExperimentOptions opts;
+    EXPECT_EQ(parseArgs(opts, {"--list"}), "");
+    EXPECT_TRUE(opts.listRequested);
+    const std::string l = ExperimentOptions::listText();
+    for (const DramDevice &d : dramDeviceRegistry())
+        EXPECT_NE(l.find(d.name), std::string::npos);
+    EXPECT_NE(l.find("schedulers:"), std::string::npos);
+    EXPECT_NE(l.find("policies:"), std::string::npos);
+    EXPECT_NE(l.find("mappings:"), std::string::npos);
+    EXPECT_NE(l.find("workloads:"), std::string::npos);
+}
+
+TEST(Options, DeviceFlagAppliesRegistryEntry)
+{
+    ExperimentOptions opts;
+    EXPECT_EQ(parseArgs(opts, {"--device", "DDR4-2400", "--channels",
+                               "2"}),
+              "");
+    EXPECT_EQ(opts.config.deviceName, "DDR4-2400");
+    EXPECT_EQ(opts.config.clocks.dramMhz, 1200u);
+    EXPECT_EQ(opts.config.dram.channels, 2u);
+    EXPECT_EQ(opts.config.dram.banksPerRank, 16u);
+
+    ExperimentOptions bad;
+    EXPECT_NE(parseArgs(bad, {"--device", "SDRAM-133"}), "");
+    EXPECT_NE(parseArgs(bad, {"--device"}), "");
+}
+
+TEST(Options, ConfigFlagLoadsASpec)
+{
+    const std::string path = std::string(::testing::TempDir()) +
+                             "/cloudmc_optspec.spec";
+    {
+        std::ofstream out(path);
+        out << "devices = DDR3-1600, DDR4-2400\n"
+            << "workload = WS\n"
+            << "seed = 11\n";
+    }
+    ExperimentOptions opts;
+    EXPECT_EQ(parseArgs(opts, {"--config", path}), "");
+    EXPECT_TRUE(opts.hasSpec);
+    EXPECT_EQ(opts.spec.pointCount(), 2u);
+    EXPECT_EQ(opts.workload, WorkloadId::WS);
+    EXPECT_EQ(opts.config.seed, 11u); // Scalars merge into config.
+
+    ExperimentOptions missing;
+    const std::string err =
+        parseArgs(missing, {"--config", "/no/such.spec"});
+    EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+    std::remove(path.c_str());
+}
+
+TEST(Options, AxisFlagsAfterConfigCollapseTheSweep)
+{
+    const std::string path = std::string(::testing::TempDir()) +
+                             "/cloudmc_optspec_override.spec";
+    {
+        std::ofstream out(path);
+        out << "devices = DDR3-1600, DDR4-2400, LPDDR3-1600\n"
+            << "schedulers = FR-FCFS, ATLAS\n"
+            << "workloads = WS, DS\n";
+    }
+    ExperimentOptions opts;
+    EXPECT_EQ(parseArgs(opts, {"--config", path, "--device",
+                               "DDR4-2400", "--workload", "WS"}),
+              "");
+    // Each axis flag after --config narrows that axis to one value;
+    // untouched axes keep the spec's lists.
+    ASSERT_EQ(opts.spec.devices.size(), 1u);
+    EXPECT_EQ(opts.spec.devices[0], "DDR4-2400");
+    ASSERT_EQ(opts.spec.workloads.size(), 1u);
+    EXPECT_EQ(opts.spec.workloads[0], WorkloadId::WS);
+    EXPECT_EQ(opts.spec.schedulers.size(), 2u);
+    EXPECT_EQ(opts.spec.pointCount(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(Options, NegativeNumbersAreRejected)
+{
+    ExperimentOptions opts;
+    EXPECT_NE(parseArgs(opts, {"--seed", "-3"}), "");
+    EXPECT_NE(parseArgs(opts, {"--measure", "-1"}), "");
 }

@@ -67,12 +67,12 @@ TEST(Timer, ClosesAfterIdleInterval)
     TimerPolicy p(10); // 10 DRAM cycles.
     const Tick last = 1000;
     EXPECT_FALSE(p.shouldClose(
-        query(1, false, false, 7, last + dramCyclesToTicks(5), last)));
+        query(1, false, false, 7, last + kBaselineClocks.dramToTicks(5), last)));
     EXPECT_TRUE(p.shouldClose(
-        query(1, false, false, 7, last + dramCyclesToTicks(10), last)));
+        query(1, false, false, 7, last + kBaselineClocks.dramToTicks(10), last)));
     // A pending hit always holds the row open.
     EXPECT_FALSE(p.shouldClose(
-        query(1, true, false, 7, last + dramCyclesToTicks(100), last)));
+        query(1, true, false, 7, last + kBaselineClocks.dramToTicks(100), last)));
 }
 
 TEST(Rbpp, UntrackedRowBehavesOpenAdaptive)

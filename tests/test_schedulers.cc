@@ -239,7 +239,7 @@ TEST(Atlas, RanksLeastAttainedServiceFirst)
     light.core = 1;
     s.onRequestServiced(light);
     // Advance past a quantum boundary.
-    s.tick(coreCyclesToTicks(1001), ctx16());
+    s.tick(kBaselineClocks.coreToTicks(1001), ctx16());
     EXPECT_EQ(s.quantaElapsed(), 1u);
     EXPECT_LT(s.coreRank(1), s.coreRank(0));
     EXPECT_GT(s.totalService(0), s.totalService(1));
@@ -255,10 +255,10 @@ TEST(Atlas, ExponentialSmoothingBiasesCurrentQuantum)
     r.core = 0;
     for (int i = 0; i < 8; ++i)
         s.onRequestServiced(r);
-    s.tick(coreCyclesToTicks(1001), ctx16());
+    s.tick(kBaselineClocks.coreToTicks(1001), ctx16());
     EXPECT_DOUBLE_EQ(s.totalService(0), 0.875 * 8.0);
     // Next quantum with no service decays it.
-    s.tick(coreCyclesToTicks(2002), ctx16());
+    s.tick(kBaselineClocks.coreToTicks(2002), ctx16());
     EXPECT_DOUBLE_EQ(s.totalService(0), 0.125 * 0.875 * 8.0);
 }
 
@@ -271,11 +271,11 @@ TEST(Atlas, HigherRankedCoreWins)
     heavy.core = 2;
     for (int i = 0; i < 10; ++i)
         s.onRequestServiced(heavy);
-    s.tick(coreCyclesToTicks(101), ctx16());
+    s.tick(kBaselineClocks.coreToTicks(101), ctx16());
     Pool p;
-    p.add(coreCyclesToTicks(90), 2, 0, true, true);  // Heavy core, hit.
-    p.add(coreCyclesToTicks(95), 0, 1, true, false); // Light core.
-    EXPECT_EQ(s.choose(p.all(), coreCyclesToTicks(110), ctx16()), 1);
+    p.add(kBaselineClocks.coreToTicks(90), 2, 0, true, true);  // Heavy core, hit.
+    p.add(kBaselineClocks.coreToTicks(95), 0, 1, true, false); // Light core.
+    EXPECT_EQ(s.choose(p.all(), kBaselineClocks.coreToTicks(110), ctx16()), 1);
 }
 
 TEST(Atlas, StarvedRequestOverridesRank)
@@ -288,11 +288,11 @@ TEST(Atlas, StarvedRequestOverridesRank)
     heavy.core = 2;
     for (int i = 0; i < 10; ++i)
         s.onRequestServiced(heavy);
-    s.tick(coreCyclesToTicks(101), ctx16());
+    s.tick(kBaselineClocks.coreToTicks(101), ctx16());
     Pool p;
-    p.add(coreCyclesToTicks(10), 2, 0, true, false); // Starved heavy.
-    p.add(coreCyclesToTicks(1500), 0, 1, true, true);
-    EXPECT_EQ(s.choose(p.all(), coreCyclesToTicks(1600), ctx16()), 0);
+    p.add(kBaselineClocks.coreToTicks(10), 2, 0, true, false); // Starved heavy.
+    p.add(kBaselineClocks.coreToTicks(1500), 0, 1, true, true);
+    EXPECT_EQ(s.choose(p.all(), kBaselineClocks.coreToTicks(1600), ctx16()), 0);
 }
 
 TEST(Atlas, RowHitBreaksTiesWithinRank)
@@ -357,7 +357,7 @@ TEST(Rl, LearnsFromRewards)
     Tick now = 1000;
     for (int i = 0; i < 500; ++i) {
         (void)s.choose(p.all(), now, ctx16());
-        now += kTicksPerDramCycle;
+        now += kBaselineClocks.ticksPerDram;
     }
     EXPECT_GT(s.updates(), 400u);
 }
@@ -376,7 +376,7 @@ TEST(Rl, ExploresAtConfiguredRate)
     Tick now = 1000;
     for (int i = 0; i < 5000; ++i) {
         (void)s.choose(p.all(), now, ctx16());
-        now += kTicksPerDramCycle;
+        now += kBaselineClocks.ticksPerDram;
     }
     // ~20% of 5000 decisions should be exploratory.
     EXPECT_NEAR(static_cast<double>(s.explorations()), 1000.0, 200.0);
@@ -389,9 +389,9 @@ TEST(Rl, StarvationGuardServicesOldRequests)
     cfg.epsilon = 0.0;
     RlScheduler s(cfg);
     Pool p;
-    p.add(coreCyclesToTicks(0), 0, 0, true, false);  // Ancient.
-    p.add(coreCyclesToTicks(190), 1, 1, true, true); // Fresh hit.
-    EXPECT_EQ(s.choose(p.all(), coreCyclesToTicks(200), ctx16()), 0);
+    p.add(kBaselineClocks.coreToTicks(0), 0, 0, true, false);  // Ancient.
+    p.add(kBaselineClocks.coreToTicks(190), 1, 1, true, true); // Fresh hit.
+    EXPECT_EQ(s.choose(p.all(), kBaselineClocks.coreToTicks(200), ctx16()), 0);
 }
 
 TEST(Rl, DeterministicGivenSeed)
@@ -406,7 +406,7 @@ TEST(Rl, DeterministicGivenSeed)
     for (int i = 0; i < 300; ++i) {
         ASSERT_EQ(a.choose(p.all(), now, ctx16()),
                   b.choose(p.all(), now, ctx16()));
-        now += kTicksPerDramCycle;
+        now += kBaselineClocks.ticksPerDram;
     }
 }
 
@@ -464,7 +464,7 @@ tcmAfterQuantum(const std::vector<std::uint64_t> &arrivals,
         for (std::uint64_t i = 0; i < services[c]; ++i)
             s.onRequestServiced(req);
     }
-    s.tick(coreCyclesToTicks(cfg.quantumCycles) + 1, SchedulerContext{});
+    s.tick(kBaselineClocks.coreToTicks(cfg.quantumCycles) + 1, SchedulerContext{});
     return s;
 }
 
@@ -519,9 +519,9 @@ TEST(Tcm, StarvedRequestOverridesClusters)
     TcmScheduler s = tcmAfterQuantum({5, 100, 100, 100},
                                      {10, 100, 100, 100}, cfg);
     Pool p;
-    p.add(coreCyclesToTicks(10), 1, 0, true, false); // Starved heavy.
-    p.add(coreCyclesToTicks(2900), 0, 1, true, true);
-    EXPECT_EQ(s.choose(p.all(), coreCyclesToTicks(3000), ctx16()), 0);
+    p.add(kBaselineClocks.coreToTicks(10), 1, 0, true, false); // Starved heavy.
+    p.add(kBaselineClocks.coreToTicks(2900), 0, 1, true, true);
+    EXPECT_EQ(s.choose(p.all(), kBaselineClocks.coreToTicks(3000), ctx16()), 0);
 }
 
 TEST(Tcm, ShuffleReordersOnlyBandwidthCluster)
@@ -534,9 +534,9 @@ TEST(Tcm, ShuffleReordersOnlyBandwidthCluster)
     // Drive several shuffle intervals; the latency core's priority is
     // stable while the bandwidth cores' priorities stay a permutation
     // of the remaining slots.
-    const Tick start = coreCyclesToTicks(cfg.quantumCycles) + 100;
+    const Tick start = kBaselineClocks.coreToTicks(cfg.quantumCycles) + 100;
     for (int i = 1; i <= 50; ++i) {
-        s.tick(start + coreCyclesToTicks(10) * i, SchedulerContext{});
+        s.tick(start + kBaselineClocks.coreToTicks(10) * i, SchedulerContext{});
         EXPECT_EQ(s.corePriority(0), lightPrio);
         std::vector<bool> seen(4, false);
         for (CoreId c = 1; c < 4; ++c) {
@@ -590,7 +590,7 @@ TEST(Stfm, SlowdownTracksWaitingTime)
     // Core 0's CAS waited a long time relative to its alone-service
     // estimate: slowdown rises above 1.
     p.add(0, 0, 0, true, true);
-    (void)s.choose(p.all(), dramCyclesToTicks(500), ctx16());
+    (void)s.choose(p.all(), kBaselineClocks.dramToTicks(500), ctx16());
     EXPECT_GT(s.slowdownOf(0), 1.0);
     EXPECT_DOUBLE_EQ(s.slowdownOf(1), 1.0); // Idle core.
 }
@@ -605,19 +605,19 @@ TEST(Stfm, ElevatesMostSlowedCoreWhenUnfair)
         Pool waitP;
         waitP.add(0, 0, 0, true, true);
         (void)s.choose(waitP.all(),
-                       dramCyclesToTicks(400 * (i + 1)), ctx16());
+                       kBaselineClocks.dramToTicks(400 * (i + 1)), ctx16());
         Pool fastP;
-        fastP.add(dramCyclesToTicks(400 * (i + 1)) - 10, 1, 1, true,
+        fastP.add(kBaselineClocks.dramToTicks(400 * (i + 1)) - 10, 1, 1, true,
                   true);
-        (void)s.choose(fastP.all(), dramCyclesToTicks(400 * (i + 1)),
+        (void)s.choose(fastP.all(), kBaselineClocks.dramToTicks(400 * (i + 1)),
                        ctx16());
     }
     EXPECT_GT(s.unfairness(), 1.05);
     // Now core 0's non-hit must beat core 1's younger row hit.
     Pool p;
-    p.add(coreCyclesToTicks(5000), 1, 1, true, true);
-    p.add(coreCyclesToTicks(4000), 0, 0, true, false);
-    EXPECT_EQ(s.choose(p.all(), coreCyclesToTicks(5100), ctx16()), 1);
+    p.add(kBaselineClocks.coreToTicks(5000), 1, 1, true, true);
+    p.add(kBaselineClocks.coreToTicks(4000), 0, 0, true, false);
+    EXPECT_EQ(s.choose(p.all(), kBaselineClocks.coreToTicks(5100), ctx16()), 1);
 }
 
 TEST(Stfm, DecayForgetsOldImbalance)
@@ -628,9 +628,9 @@ TEST(Stfm, DecayForgetsOldImbalance)
     StfmScheduler s(4, cfg);
     Pool p;
     p.add(0, 0, 0, true, true);
-    (void)s.choose(p.all(), dramCyclesToTicks(500), ctx16());
+    (void)s.choose(p.all(), kBaselineClocks.dramToTicks(500), ctx16());
     EXPECT_GT(s.slowdownOf(0), 1.0);
-    s.tick(coreCyclesToTicks(200), ctx16());
+    s.tick(kBaselineClocks.coreToTicks(200), ctx16());
     EXPECT_DOUBLE_EQ(s.slowdownOf(0), 1.0);
 }
 
@@ -640,9 +640,9 @@ TEST(Stfm, StarvedRequestBeatsEverything)
     cfg.starvationCycles = 1'000;
     StfmScheduler s(4, cfg);
     Pool p;
-    p.add(coreCyclesToTicks(0), 2, 0, true, false);  // Ancient.
-    p.add(coreCyclesToTicks(1900), 0, 1, true, true);
-    EXPECT_EQ(s.choose(p.all(), coreCyclesToTicks(2000), ctx16()), 0);
+    p.add(kBaselineClocks.coreToTicks(0), 2, 0, true, false);  // Ancient.
+    p.add(kBaselineClocks.coreToTicks(1900), 0, 1, true, true);
+    EXPECT_EQ(s.choose(p.all(), kBaselineClocks.coreToTicks(2000), ctx16()), 0);
 }
 
 TEST(Stfm, OnlyPicksIssuable)

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Declarative experiment specs: parsing, cross-product expansion,
+ * base-config shaping, and the error paths (unknown key, bad value,
+ * missing file) that must produce line-numbered diagnostics instead
+ * of silently mis-running a study.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sim/spec.hh"
+
+using namespace mcsim;
+
+namespace {
+
+std::string
+tempSpecPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/cloudmc_spec_" + tag +
+           ".spec";
+}
+
+} // namespace
+
+TEST(Spec, EmptyTextIsTheBaselinePoint)
+{
+    ExperimentSpec spec;
+    ASSERT_EQ(parseExperimentSpec("", spec), "");
+    EXPECT_EQ(spec.pointCount(), 1u);
+    const auto points = spec.points();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].cfg.deviceName, "DDR3-1600");
+    EXPECT_EQ(points[0].workload, WorkloadId::DS);
+}
+
+TEST(Spec, CommentsAndBlanksAreIgnored)
+{
+    ExperimentSpec spec;
+    ASSERT_EQ(parseExperimentSpec("# a comment\n"
+                                  "\n"
+                                  "scheduler = ATLAS  # trailing\n",
+                                  spec),
+              "");
+    ASSERT_EQ(spec.schedulers.size(), 1u);
+    EXPECT_EQ(spec.schedulers[0], SchedulerKind::Atlas);
+    EXPECT_EQ(spec.base.scheduler, SchedulerKind::Atlas);
+}
+
+TEST(Spec, CrossProductExpandsEveryAxis)
+{
+    ExperimentSpec spec;
+    ASSERT_EQ(parseExperimentSpec(
+                  "devices = DDR3-1600, DDR4-2400\n"
+                  "schedulers = FR-FCFS, ATLAS, TCM\n"
+                  "channels = 1, 2\n"
+                  "workloads = WS, DS\n"
+                  "measure = 400000\n"
+                  "seed = 7\n",
+                  spec),
+              "");
+    EXPECT_EQ(spec.pointCount(), 2u * 3u * 2u * 2u);
+    const auto points = spec.points();
+    ASSERT_EQ(points.size(), 24u);
+    // Every point carries the scalar overrides and its own device.
+    std::size_t ddr4 = 0;
+    for (const auto &p : points) {
+        EXPECT_EQ(p.cfg.measureCoreCycles, 400'000u);
+        EXPECT_EQ(p.cfg.seed, 7u);
+        if (p.cfg.deviceName == "DDR4-2400") {
+            ++ddr4;
+            EXPECT_EQ(p.cfg.clocks.dramMhz, 1200u);
+            EXPECT_EQ(p.cfg.timings.tCAS, 17u);
+        }
+    }
+    EXPECT_EQ(ddr4, 12u);
+}
+
+TEST(Spec, SingleValuedAxesShapeTheBaseConfig)
+{
+    ExperimentSpec spec;
+    ASSERT_EQ(parseExperimentSpec("device = LPDDR3-1600\n"
+                                  "policy = Close\n"
+                                  "channels = 2\n"
+                                  "core_mhz = 3000\n"
+                                  "refresh = off\n",
+                                  spec),
+              "");
+    EXPECT_EQ(spec.base.deviceName, "LPDDR3-1600");
+    EXPECT_EQ(spec.base.pagePolicy, PagePolicyKind::Close);
+    EXPECT_EQ(spec.base.dram.channels, 2u);
+    EXPECT_EQ(spec.base.clocks.coreMhz, 3000u);
+    EXPECT_FALSE(spec.base.refreshEnabled);
+}
+
+TEST(Spec, UnknownKeyIsALineNumberedError)
+{
+    ExperimentSpec spec;
+    const std::string err =
+        parseExperimentSpec("seed = 1\nfrobnicate = 9\n", spec);
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+    EXPECT_NE(err.find("unknown key 'frobnicate'"), std::string::npos)
+        << err;
+}
+
+TEST(Spec, BadValuesAreLineNumberedErrors)
+{
+    ExperimentSpec spec;
+    std::string err = parseExperimentSpec("device = DDR9-9999\n", spec);
+    EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+    EXPECT_NE(err.find("DDR9-9999"), std::string::npos) << err;
+
+    err = parseExperimentSpec("schedulers = FR-FCFS, NOPE\n", spec);
+    EXPECT_NE(err.find("unknown scheduler 'NOPE'"), std::string::npos)
+        << err;
+
+    err = parseExperimentSpec("channels = 3\n", spec);
+    EXPECT_NE(err.find("channel count"), std::string::npos) << err;
+
+    err = parseExperimentSpec("measure = zero\n", spec);
+    EXPECT_NE(err.find("measure"), std::string::npos) << err;
+
+    err = parseExperimentSpec("refresh = maybe\n", spec);
+    EXPECT_NE(err.find("refresh"), std::string::npos) << err;
+
+    err = parseExperimentSpec("just some words\n", spec);
+    EXPECT_NE(err.find("expected 'key = value'"), std::string::npos)
+        << err;
+
+    err = parseExperimentSpec("workload =\n", spec);
+    EXPECT_NE(err.find("missing value"), std::string::npos) << err;
+}
+
+TEST(Spec, MissingFileIsAnError)
+{
+    ExperimentSpec spec;
+    const std::string err =
+        loadExperimentSpec("/nonexistent/path/x.spec", spec);
+    EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+}
+
+TEST(Spec, LoadsFromDiskAndRoundTrips)
+{
+    const std::string path = tempSpecPath("roundtrip");
+    {
+        std::ofstream out(path);
+        out << "# device sweep\n"
+            << "devices = DDR3-1600, DDR3-1866\n"
+            << "workload = WS\n";
+    }
+    ExperimentSpec spec;
+    ASSERT_EQ(loadExperimentSpec(path, spec), "");
+    EXPECT_EQ(spec.pointCount(), 2u);
+    ASSERT_EQ(spec.workloads.size(), 1u);
+    EXPECT_EQ(spec.workloads[0], WorkloadId::WS);
+    std::remove(path.c_str());
+}

@@ -33,7 +33,7 @@ TEST(TimingChecker, AcceptsLegalSequence)
     TimingChecker chk(geom(), tm);
     DramCoord c{0, 0, 0, 5, 0};
     EXPECT_EQ(chk.check(DramCommand::activate(c), 0), "");
-    EXPECT_EQ(chk.check(DramCommand::read(c), dramCyclesToTicks(tm.tRCD)),
+    EXPECT_EQ(chk.check(DramCommand::read(c), kBaselineClocks.dramToTicks(tm.tRCD)),
               "");
     EXPECT_EQ(chk.accepted(), 2u);
 }
@@ -45,7 +45,7 @@ TEST(TimingChecker, RejectsTrcdViolation)
     DramCoord c{0, 0, 0, 5, 0};
     EXPECT_EQ(chk.check(DramCommand::activate(c), 0), "");
     const std::string err =
-        chk.check(DramCommand::read(c), dramCyclesToTicks(tm.tRCD) - 5);
+        chk.check(DramCommand::read(c), kBaselineClocks.dramToTicks(tm.tRCD) - 5);
     EXPECT_NE(err.find("tRCD"), std::string::npos);
 }
 
@@ -63,7 +63,7 @@ TEST(TimingChecker, RejectsActToOpenBank)
     DramCoord c{0, 0, 0, 5, 0};
     EXPECT_EQ(chk.check(DramCommand::activate(c), 0), "");
     const std::string err =
-        chk.check(DramCommand::activate(c), dramCyclesToTicks(100));
+        chk.check(DramCommand::activate(c), kBaselineClocks.dramToTicks(100));
     EXPECT_NE(err.find("open bank"), std::string::npos);
 }
 
@@ -73,7 +73,7 @@ TEST(TimingChecker, RejectsRefreshWithOpenBank)
     DramCoord c{0, 0, 0, 5, 0};
     EXPECT_EQ(chk.check(DramCommand::activate(c), 0), "");
     const std::string err =
-        chk.check(DramCommand::refresh(0), dramCyclesToTicks(100));
+        chk.check(DramCommand::refresh(0), kBaselineClocks.dramToTicks(100));
     EXPECT_NE(err.find("open bank"), std::string::npos);
 }
 
@@ -95,8 +95,8 @@ TEST_P(ChannelCheckerFuzz, ChannelNeverViolatesProtocol)
     Pcg32 rng(GetParam());
 
     std::uint64_t issued = 0;
-    for (Tick t = 0; t < dramCyclesToTicks(20000);
-         t += kTicksPerDramCycle) {
+    for (Tick t = 0; t < kBaselineClocks.dramToTicks(20000);
+         t += kBaselineClocks.ticksPerDram) {
         // Refresh first, mirroring the controller's priority.
         const int refRank = chan.refreshDueRank(t);
         bool didIssue = false;

@@ -35,7 +35,7 @@ const DramTimings kTm = DramTimings::ddr3_1600();
 Tick
 cyc(std::uint32_t c)
 {
-    return dramCyclesToTicks(c);
+    return kBaselineClocks.dramToTicks(c);
 }
 
 /** A checker with row 5 opened in (rank 0, bank 0) at tick 0. */
