@@ -27,12 +27,14 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "dram/devices.hh"
+#include "sim/experiment.hh"
 #include "sim/system.hh"
 #include "workload/presets.hh"
 
@@ -116,7 +118,60 @@ identical(const MetricSet &a, const MetricSet &b)
            a.committedInstructions == b.committedInstructions &&
            a.measuredCycles == b.measuredCycles &&
            a.memReads == b.memReads && a.memWrites == b.memWrites &&
-           a.perCoreIpc == b.perCoreIpc;
+           a.perCoreIpc == b.perCoreIpc &&
+           a.perCoreCommitted == b.perCoreCommitted &&
+           a.perCoreCycles == b.perCoreCycles;
+}
+
+/**
+ * Schema-v4 round-trip check: the slowdown/fairness MetricSet fields
+ * (weighted/harmonic speedup, max slowdown, the per-core IPC and
+ * slowdown lists) must survive the results cache. Runs one tiny
+ * fairness point (shared run + alone baseline) against a scratch
+ * cache, reloads it with a fresh runner, and compares.
+ */
+bool
+fairnessCacheRoundtrips(WorkloadId wl, const DramDevice &dev,
+                        const std::string &cachePath)
+{
+    std::remove(cachePath.c_str());
+    SimConfig cfg = SimConfig::baseline();
+    cfg.applyDevice(dev);
+    cfg.warmupCoreCycles = 50'000;
+    cfg.measureCoreCycles = 150'000;
+    ExperimentRunner::Point p(wl, cfg);
+    ExperimentRunner::attachAloneBaseline(p);
+
+    MetricSet fresh, cached;
+    std::uint64_t rerunSims = 0;
+    {
+        ExperimentRunner runner(cachePath);
+        fresh = runner.runAll({p}, 1).front();
+    }
+    {
+        ExperimentRunner runner(cachePath);
+        cached = runner.runAll({p}, 1).front();
+        rerunSims = runner.simulationsRun();
+    }
+    std::remove(cachePath.c_str());
+
+    // The CSV stores ~6 significant digits; compare relatively.
+    const auto close = [](double a, double b) {
+        return std::fabs(a - b) <= 1e-5 * (std::fabs(b) + 1.0);
+    };
+    bool ok = rerunSims == 0 && fresh.hasFairness() &&
+              cached.hasFairness() &&
+              cached.perCoreIpc.size() == fresh.perCoreIpc.size() &&
+              cached.perCoreSlowdown.size() ==
+                  fresh.perCoreSlowdown.size() &&
+              close(cached.weightedSpeedup, fresh.weightedSpeedup) &&
+              close(cached.harmonicSpeedup, fresh.harmonicSpeedup) &&
+              close(cached.maxSlowdown, fresh.maxSlowdown);
+    for (std::size_t i = 0; ok && i < fresh.perCoreSlowdown.size(); ++i) {
+        ok = close(cached.perCoreIpc[i], fresh.perCoreIpc[i]) &&
+             close(cached.perCoreSlowdown[i], fresh.perCoreSlowdown[i]);
+    }
+    return ok;
 }
 
 /** Commit fingerprint for the perf trajectory (CI exports it). */
@@ -158,6 +213,8 @@ main(int argc, char **argv)
         identical(ev.metrics, ref.metrics) && ev.endTick == ref.endTick;
     const double speedup =
         ref.mticksPerS > 0.0 ? ev.mticksPerS / ref.mticksPerS : 0.0;
+    const bool fairnessRoundtrip =
+        fairnessCacheRoundtrips(wl, dev, jsonPath + ".cache.tmp.csv");
 
     std::printf("kernel_smoke: fig01 config, workload %s, device %s, "
                 "%llu measured core cycles\n",
@@ -171,6 +228,8 @@ main(int argc, char **argv)
                 ref.mticksPerS, ref.wallS);
     std::printf("  speedup %.2fx, metrics bit-identical: %s\n", speedup,
                 bitIdentical ? "yes" : "NO");
+    std::printf("  fairness fields survive cache round-trip: %s\n",
+                fairnessRoundtrip ? "yes" : "NO");
 
     const ClockDomains &clk = ev.clk;
     std::FILE *f = std::fopen(jsonPath.c_str(), "w");
@@ -200,7 +259,8 @@ main(int argc, char **argv)
         "    \"wall_s\": %.4f\n"
         "  },\n"
         "  \"speedup_vs_reference\": %.3f,\n"
-        "  \"metrics_bit_identical\": %s\n"
+        "  \"metrics_bit_identical\": %s,\n"
+        "  \"fairness_cache_roundtrip\": %s\n"
         "}\n",
         gitSha(), workload.c_str(), dev.name.c_str(),
         static_cast<unsigned long long>(clk.ticksPerCore),
@@ -208,7 +268,10 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(cycles),
         static_cast<unsigned long long>(ev.endTick), ev.mticksPerS,
         ev.wallS, ev.coreTicksFrac, ev.ctlTicksFrac, ref.mticksPerS,
-        ref.wallS, speedup, bitIdentical ? "true" : "false");
+        ref.wallS, speedup, bitIdentical ? "true" : "false",
+        fairnessRoundtrip ? "true" : "false");
     std::fclose(f);
-    return bitIdentical ? 0 : 2;
+    if (!bitIdentical)
+        return 2;
+    return fairnessRoundtrip ? 0 : 3;
 }

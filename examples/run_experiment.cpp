@@ -37,29 +37,37 @@ runSweep(const ExperimentOptions &opts)
     // collapsed by any axis flags parsed after --config).
     ExperimentSpec spec = opts.spec;
     spec.base = opts.config;
+    spec.fairness = spec.fairness || opts.fairness;
     const auto points = spec.points();
-    std::printf("run_experiment: sweeping %zu point(s) from spec\n",
-                points.size());
+    std::printf("run_experiment: sweeping %zu point(s) from spec%s\n",
+                points.size(),
+                spec.fairness ? " (with alone-run baselines)" : "");
     ExperimentRunner runner;
     const auto results = runner.runAll(points);
 
     if (opts.csv) {
         std::printf("workload,device,scheduler,policy,mapping,channels,"
                     "ipc,read_latency,row_hit_pct,bw_util_pct,"
-                    "energy_uj\n");
+                    "energy_uj%s\n",
+                    spec.fairness ? ",weighted_speedup,harmonic_speedup,"
+                                    "max_slowdown"
+                                  : "");
     } else {
         std::printf("%-8s %-12s %-10s %-13s %-11s %3s %7s %9s %7s %7s "
-                    "%9s\n",
+                    "%9s",
                     "wl", "device", "scheduler", "policy", "mapping",
                     "ch", "ipc", "lat(cyc)", "hit%", "bw%", "uJ");
+        if (spec.fairness)
+            std::printf(" %7s %7s %7s", "wspd", "hspd", "maxsd");
+        std::printf("\n");
     }
     for (std::size_t i = 0; i < points.size(); ++i) {
         const SimConfig &cfg = points[i].cfg;
         const MetricSet &m = results[i];
         std::printf(opts.csv ? "%s,%s,%s,%s,%s,%u,%.4f,%.1f,%.2f,%.2f,"
-                               "%.1f\n"
+                               "%.1f"
                              : "%-8s %-12s %-10s %-13s %-11s %3u %7.3f "
-                               "%9.1f %7.2f %7.2f %9.1f\n",
+                               "%9.1f %7.2f %7.2f %9.1f",
                     workloadAcronym(points[i].workload),
                     cfg.deviceName.c_str(),
                     schedulerKindName(cfg.scheduler),
@@ -67,6 +75,13 @@ runSweep(const ExperimentOptions &opts)
                     mappingSchemeName(cfg.mapping), cfg.dram.channels,
                     m.userIpc, m.avgReadLatency, m.rowHitRatePct,
                     m.bwUtilPct, m.dramEnergyNj / 1000.0);
+        if (spec.fairness) {
+            std::printf(opts.csv ? ",%.4f,%.4f,%.4f"
+                                 : " %7.3f %7.3f %7.3f",
+                        m.weightedSpeedup, m.harmonicSpeedup,
+                        m.maxSlowdown);
+        }
+        std::printf("\n");
     }
     std::printf("(%llu simulated, %llu cache hits)\n",
                 static_cast<unsigned long long>(runner.simulationsRun()),
@@ -107,7 +122,18 @@ main(int argc, char **argv)
                 mappingSchemeName(cfg.mapping), cfg.dram.channels);
 
     System sys(cfg, workload);
-    const MetricSet m = sys.run();
+    MetricSet m = sys.run();
+    if (opts.fairness) {
+        // Derive the slowdown/fairness block against the single-core
+        // alone run directly, so --fairness changes nothing about the
+        // base run's semantics (same windows, no CLOUDMC_FAST
+        // division, no results-cache traffic).
+        WorkloadParams alone = workload;
+        alone.cores = 1;
+        System aloneSys(cfg, alone);
+        const MetricSet aloneM = aloneSys.run();
+        deriveFairnessMetrics(m, {{0, workload.cores, &aloneM}});
+    }
 
     if (opts.csv) {
         std::printf("metric,value\n");
@@ -125,6 +151,11 @@ main(int argc, char **argv)
         std::printf("ipc_disparity,%.4f\n", m.ipcDisparity);
         std::printf("dram_energy_uj,%.2f\n", m.dramEnergyNj / 1000.0);
         std::printf("dram_power_mw,%.1f\n", m.dramAvgPowerMw);
+        if (m.hasFairness()) {
+            std::printf("weighted_speedup,%.4f\n", m.weightedSpeedup);
+            std::printf("harmonic_speedup,%.4f\n", m.harmonicSpeedup);
+            std::printf("max_slowdown,%.4f\n", m.maxSlowdown);
+        }
         return 0;
     }
 
@@ -144,5 +175,11 @@ main(int argc, char **argv)
     std::printf("  per-core IPC min/max      : %.3f\n", m.ipcDisparity);
     std::printf("  DRAM energy / avg power   : %.1f uJ / %.1f mW\n",
                 m.dramEnergyNj / 1000.0, m.dramAvgPowerMw);
+    if (m.hasFairness()) {
+        std::printf("  weighted / harmonic spdup : %.3f / %.3f\n",
+                    m.weightedSpeedup, m.harmonicSpeedup);
+        std::printf("  max slowdown (vs alone)   : %.3f\n",
+                    m.maxSlowdown);
+    }
     return 0;
 }

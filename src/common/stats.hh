@@ -157,6 +157,13 @@ class SmallHistogram
  * (latencies): sample v lands in bucket floor(log2(v)). Percentiles
  * are estimated by linear interpolation within the bucket, which is
  * plenty for tail reporting (p95/p99 of DRAM latencies).
+ *
+ * Bucket b < size-1 covers [2^b, 2^(b+1)); the top bucket saturates
+ * and absorbs every v >= 2^(size-1) (sample() and merge() agree on
+ * this). v = 0 lands in bucket 0 alongside v = 1, so percentile
+ * estimates never drop below bucket 0's lower edge of 1 — acceptable
+ * for the latency-style quantities this histogram serves, where 0
+ * does not occur.
  */
 class LogHistogram
 {
@@ -169,7 +176,7 @@ class LogHistogram
     sample(std::uint64_t v)
     {
         std::size_t b = 0;
-        while ((v >> (b + 1)) != 0 && b + 1 < buckets_.size() - 1)
+        while ((v >> (b + 1)) != 0 && b + 1 < buckets_.size())
             ++b;
         ++buckets_[b];
         ++count_;
@@ -210,7 +217,11 @@ class LogHistogram
             }
             seen = next;
         }
-        return static_cast<double>(1ull << (buckets_.size() - 1));
+        // Unreachable in exact arithmetic (the last populated bucket's
+        // cumulative count meets any target <= count_); guard the
+        // floating-point edge with the top bucket's upper edge, not
+        // its lower one.
+        return 2.0 * static_cast<double>(1ull << (buckets_.size() - 1));
     }
 
     std::uint64_t count() const { return count_; }

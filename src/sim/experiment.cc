@@ -1,8 +1,10 @@
 #include "experiment.hh"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -51,6 +53,126 @@ namespace {
 /** Key segment carrying the device + clock fingerprint (schema v3). */
 constexpr const char *kDeviceKeyTag = "|dev=";
 
+/** Prefix of the full-parameter hash segment (schema v4). */
+constexpr const char *kParamsKeyTag = "|p";
+constexpr std::size_t kParamsHashDigits = 16;
+
+/** FNV-1a accumulator over the config fields the readable key omits. */
+class ParamsHasher
+{
+  public:
+    ParamsHasher &
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xFF;
+            h_ *= 1099511628211ull;
+        }
+        return *this;
+    }
+
+    ParamsHasher &
+    f64(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        return u64(bits);
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 1469598103934665603ull;
+};
+
+/**
+ * Hash of every tunable the readable key segments do not spell out:
+ * the full SchedulerParams set (the old key fingerprinted only the
+ * ATLAS quantum, so STFM-alpha or TCM sweeps aliased to one row),
+ * page-policy-affecting controller knobs, refresh, crossbar latency,
+ * and the geometry/hierarchy/core dimensions a hand-modified config
+ * could change without changing the device name.
+ */
+std::uint64_t
+paramsHash(const SimConfig &cfg)
+{
+    ParamsHasher h;
+    const SchedulerParams &sp = cfg.schedulerParams;
+    h.u64(sp.parBs.batchingCap);
+    h.u64(sp.atlas.quantumCycles)
+        .f64(sp.atlas.alpha)
+        .u64(sp.atlas.starvationCycles)
+        .f64(sp.atlas.serviceUnitsPerCas);
+    h.u64(sp.rl.numTables)
+        .u64(sp.rl.tableSize)
+        .f64(sp.rl.alpha)
+        .f64(sp.rl.gamma)
+        .f64(sp.rl.epsilon)
+        .u64(sp.rl.exploreNoAction ? 1 : 0)
+        .u64(sp.rl.starvationCycles)
+        .u64(sp.rl.seed);
+    h.u64(sp.tcm.quantumCycles)
+        .u64(sp.tcm.shuffleCycles)
+        .f64(sp.tcm.clusterFrac)
+        .u64(sp.tcm.starvationCycles)
+        .u64(sp.tcm.seed);
+    h.f64(sp.stfm.alpha)
+        .u64(sp.stfm.decayCycles)
+        .f64(sp.stfm.decayFactor)
+        .u64(sp.stfm.starvationCycles);
+    h.u64(cfg.controller.writeDrainHigh)
+        .u64(cfg.controller.writeDrainLow)
+        .u64(cfg.controller.writeDrainIdle)
+        .u64(cfg.controller.writeIdleDrainCycles)
+        .u64(cfg.controller.forwardLatencyCycles);
+    h.u64(cfg.xbarLatencyCycles).u64(cfg.refreshEnabled ? 1 : 0);
+    h.u64(cfg.dram.ranksPerChannel)
+        .u64(cfg.dram.banksPerRank)
+        .u64(cfg.dram.rowsPerBank)
+        .u64(cfg.dram.rowBufferBytes)
+        .u64(cfg.dram.blockBytes);
+    for (const CacheConfig &c :
+         {cfg.hierarchy.l1i, cfg.hierarchy.l1d, cfg.hierarchy.l2}) {
+        h.u64(c.sizeBytes).u64(c.ways).u64(c.blockBytes);
+    }
+    h.u64(cfg.hierarchy.l2Banks);
+    h.u64(cfg.core.mlpWindow)
+        .u64(cfg.core.storeBufferEntries)
+        .u64(cfg.core.l2HitLatency)
+        .u64(cfg.core.instrsPerFetchBlock);
+    return h.value();
+}
+
+/** The "|p<16 hex digits>" segment for @p cfg. */
+std::string
+paramsSegment(const SimConfig &cfg)
+{
+    char buf[2 + kParamsHashDigits + 1];
+    std::snprintf(buf, sizeof(buf), "%s%016llx", kParamsKeyTag,
+                  static_cast<unsigned long long>(paramsHash(cfg)));
+    return buf;
+}
+
+/** Does @p key already end with a params-hash segment? */
+bool
+hasParamsSegment(const std::string &key)
+{
+    const std::size_t segLen = 2 + kParamsHashDigits;
+    if (key.size() < segLen)
+        return false;
+    const std::size_t at = key.size() - segLen;
+    if (key.compare(at, 2, kParamsKeyTag) != 0)
+        return false;
+    for (std::size_t i = at + 2; i < key.size(); ++i) {
+        const char c = key[i];
+        if (!std::isxdigit(static_cast<unsigned char>(c)) ||
+            std::isupper(static_cast<unsigned char>(c))) {
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace
 
 std::string
@@ -72,7 +194,25 @@ ExperimentRunner::configKey(WorkloadId workload, const SimConfig &cfg)
     // never alias to one cached row.
     key << kDeviceKeyTag << cfg.deviceName << '@' << cfg.clocks.coreMhz
         << ':' << cfg.clocks.dramMhz;
+    // Schema v4: a hash of the full parameter set, so sweeps over any
+    // scheduler/controller/geometry tunable the readable segments omit
+    // can never alias either.
+    key << paramsSegment(cfg);
     return key.str();
+}
+
+std::string
+ExperimentRunner::pointKey(const Point &p)
+{
+    if (p.makeGenerator)
+        return p.customKey; // Empty: never memoized.
+    if (!p.customKey.empty())
+        return p.customKey;
+    std::string key = configKey(p.workload, p.cfg);
+    if (p.presetCores) {
+        key = "ALONE|" + std::to_string(p.presetCores) + "c|" + key;
+    }
+    return key;
 }
 
 namespace {
@@ -85,10 +225,46 @@ constexpr std::size_t kCacheFieldsV1 = 15;
  *  their keys with the only device those schemas could simulate (the
  *  DDR3-1600 baseline at stock clocks). */
 constexpr std::size_t kCacheFieldsV2 = 18;
+/** Schema v4 appends the fairness scalars (weighted speedup, harmonic
+ *  speedup, max slowdown) plus two ';'-joined per-core lists (IPC and
+ *  slowdown, either possibly empty), and extends the *key* with the
+ *  full-parameter hash segment; older keys are migrated on load by
+ *  tagging them with the baseline parameter set (the only one the
+ *  benches swept before the hash existed — rows written by older
+ *  builds with hand-tuned parameters were aliased then and stay
+ *  indistinguishable, so they migrate as baseline rows too). */
+constexpr std::size_t kCacheScalarsV4 = 21;
+constexpr std::size_t kCacheFieldsV4 = 23;
+
+/** Parse a ';'-joined list of doubles; empty text is an empty list. */
+bool
+parseDoubleList(const std::string &text, std::vector<double> &out)
+{
+    out.clear();
+    if (text.empty())
+        return true;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t semi = text.find(';', start);
+        const std::string item =
+            semi == std::string::npos
+                ? text.substr(start)
+                : text.substr(start, semi - start);
+        char *end = nullptr;
+        const double v = std::strtod(item.c_str(), &end);
+        if (item.empty() || end != item.c_str() + item.size())
+            return false;
+        out.push_back(v);
+        if (semi == std::string::npos)
+            return true;
+        start = semi + 1;
+    }
+}
 
 /**
  * Split one CSV line; accepts key + 15 fields (v1, written before the
- * percentiles were persisted — they load as 0) or key + 18 fields (v2).
+ * percentiles were persisted — they load as 0), key + 18 fields
+ * (v2/v3), or key + 23 fields (v4, with the fairness columns).
  */
 bool
 parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
@@ -105,14 +281,17 @@ parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
         start = comma + 1;
     }
     if ((fields.size() != kCacheFieldsV1 + 1 &&
-         fields.size() != kCacheFieldsV2 + 1) ||
+         fields.size() != kCacheFieldsV2 + 1 &&
+         fields.size() != kCacheFieldsV4 + 1) ||
         fields[0].empty()) {
         return false;
     }
     const std::size_t numFields = fields.size() - 1;
+    const std::size_t numScalars =
+        numFields > kCacheScalarsV4 ? kCacheScalarsV4 : numFields;
 
-    double v[kCacheFieldsV2] = {};
-    for (std::size_t i = 0; i < numFields; ++i) {
+    double v[kCacheScalarsV4] = {};
+    for (std::size_t i = 0; i < numScalars; ++i) {
         const std::string &f = fields[i + 1];
         char *end = nullptr;
         v[i] = std::strtod(f.c_str(), &end);
@@ -137,12 +316,31 @@ parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
     m.ipcDisparity = v[12];
     m.dramEnergyNj = v[13];
     m.dramAvgPowerMw = v[14];
-    if (numFields == kCacheFieldsV2) {
+    if (numFields >= kCacheFieldsV2) {
         m.readLatencyP50 = v[15];
         m.readLatencyP95 = v[16];
         m.readLatencyP99 = v[17];
     }
+    if (numFields == kCacheFieldsV4) {
+        m.weightedSpeedup = v[18];
+        m.harmonicSpeedup = v[19];
+        m.maxSlowdown = v[20];
+        if (!parseDoubleList(fields[1 + 21], m.perCoreIpc) ||
+            !parseDoubleList(fields[1 + 22], m.perCoreSlowdown)) {
+            return false;
+        }
+    }
     return true;
+}
+
+/** Join doubles with ';' for one CSV field. */
+std::string
+joinDoubleList(const std::vector<double> &values)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out << (i ? ";" : "") << values[i];
+    return out.str();
 }
 
 } // namespace
@@ -164,6 +362,14 @@ ExperimentRunner::loadCache()
         // them with that fingerprint instead of dropping the rows.
         if (key.find(kDeviceKeyTag) == std::string::npos)
             key += std::string(kDeviceKeyTag) + "DDR3-1600@2000:800";
+        // Schema v1-v3 keys predate the full-parameter hash; the only
+        // parameter set they could name unambiguously is the baseline
+        // one, so migrate them to its fingerprint.
+        if (!hasParamsSegment(key)) {
+            static const std::string baselineSeg =
+                paramsSegment(SimConfig::baseline());
+            key += baselineSeg;
+        }
         cache_[key] = m;
     }
 }
@@ -179,7 +385,10 @@ ExperimentRunner::appendToCache(const std::string &key, const MetricSet &m)
         << m.measuredCycles << ',' << m.memReads << ',' << m.memWrites
         << ',' << m.ipcDisparity << ',' << m.dramEnergyNj << ','
         << m.dramAvgPowerMw << ',' << m.readLatencyP50 << ','
-        << m.readLatencyP95 << ',' << m.readLatencyP99 << '\n';
+        << m.readLatencyP95 << ',' << m.readLatencyP99 << ','
+        << m.weightedSpeedup << ',' << m.harmonicSpeedup << ','
+        << m.maxSlowdown << ',' << joinDoubleList(m.perCoreIpc) << ','
+        << joinDoubleList(m.perCoreSlowdown) << '\n';
     const std::string line = rec.str();
 
     // One fwrite on an O_APPEND stream keeps the record contiguous
@@ -197,7 +406,8 @@ ExperimentRunner::appendToCache(const std::string &key, const MetricSet &m)
 }
 
 MetricSet
-ExperimentRunner::simulate(WorkloadId workload, const SimConfig &cfg)
+ExperimentRunner::simulate(WorkloadId workload, const SimConfig &cfg,
+                           std::uint32_t presetCores)
 {
     SimConfig effective = cfg;
     const std::uint64_t divisor = fastDivisor();
@@ -205,7 +415,10 @@ ExperimentRunner::simulate(WorkloadId workload, const SimConfig &cfg)
     effective.measureCoreCycles =
         std::max<std::uint64_t>(cfg.measureCoreCycles / divisor, 100'000);
 
-    System system(effective, workloadPreset(workload));
+    WorkloadParams params = workloadPreset(workload);
+    if (presetCores)
+        params.cores = presetCores;
+    System system(effective, params);
     return system.run();
 }
 
@@ -213,7 +426,7 @@ MetricSet
 ExperimentRunner::simulatePoint(const Point &p)
 {
     if (!p.makeGenerator)
-        return simulate(p.workload, p.cfg);
+        return simulate(p.workload, p.cfg, p.presetCores);
 
     SimConfig effective = p.cfg;
     const std::uint64_t divisor = fastDivisor();
@@ -226,6 +439,64 @@ ExperimentRunner::simulatePoint(const Point &p)
               "custom experiment point needs a generator and cores");
     System system(effective, *generator, p.customCores);
     return system.run();
+}
+
+void
+ExperimentRunner::attachAloneBaseline(Point &p)
+{
+    mc_assert(!p.makeGenerator,
+              "attachAloneBaseline handles preset points only; build "
+              "custom points' baselines explicitly");
+    Point::AloneBaseline b;
+    b.firstCore = 0;
+    b.numCores =
+        p.presetCores ? p.presetCores : workloadPreset(p.workload).cores;
+    b.run.workload = p.workload;
+    b.run.cfg = p.cfg;
+    b.run.presetCores = 1;
+    p.baselines.clear();
+    p.baselines.push_back(std::move(b));
+}
+
+ExperimentRunner::Point
+ExperimentRunner::mixedFairnessPoint(const std::vector<MixPart> &parts,
+                                     const SimConfig &cfg,
+                                     Addr addressSpace,
+                                     std::uint64_t seedSalt)
+{
+    mc_assert(!parts.empty(), "a mixed point needs at least one part");
+    Point p;
+    p.cfg = cfg;
+    const std::vector<MixPart> partsCopy = parts;
+    p.makeGenerator = [partsCopy, addressSpace, seedSalt] {
+        return std::make_unique<MixedWorkload>(partsCopy, addressSpace,
+                                               seedSalt);
+    };
+
+    // The key names every part (the generator's full identity) plus
+    // the configuration fingerprint; the acronym slot of configKey()
+    // is irrelevant for a custom generator, so reuse the first part's.
+    std::ostringstream key;
+    key << "MIX|";
+    std::uint32_t firstCore = 0;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        key << (i ? "+" : "") << workloadAcronym(parts[i].workload) << ':'
+            << parts[i].cores;
+
+        Point::AloneBaseline b;
+        b.firstCore = firstCore;
+        b.numCores = parts[i].cores;
+        b.run.workload = parts[i].workload;
+        b.run.cfg = cfg;
+        b.run.presetCores = parts[i].cores;
+        p.baselines.push_back(std::move(b));
+        firstCore += parts[i].cores;
+    }
+    key << "|as" << (addressSpace >> 20) << "m|salt" << seedSalt << '|'
+        << configKey(parts.front().workload, cfg);
+    p.customKey = key.str();
+    p.customCores = firstCore;
+    return p;
 }
 
 MetricSet
@@ -261,7 +532,40 @@ ExperimentRunner::runAll(const std::vector<Point> &points)
 std::vector<MetricSet>
 ExperimentRunner::runAll(const std::vector<Point> &points, unsigned threads)
 {
-    std::vector<MetricSet> out(points.size());
+    // Work list: the caller's points followed by every alone-run
+    // baseline they carry. Baselines run through the same worker pool
+    // and dedup/memoize like any other point: duplicate points in one
+    // batch and repeated sweeps across invocations share baseline
+    // simulations via the cache. (Each scheduler still runs its own
+    // baseline — the alone run deliberately keeps the shared run's
+    // full configuration, scheduler included.)
+    struct WorkItem
+    {
+        const Point *point;
+        /** The result must carry per-core IPCs (fairness needs them);
+         *  a cached pre-v4 row without them is treated as a miss. */
+        bool needPerCore;
+        /** Fairness point: its CSV row is appended after derivation so
+         *  the on-disk cache carries the fairness columns. */
+        bool deferAppend;
+    };
+    std::vector<WorkItem> work;
+    work.reserve(points.size());
+    std::vector<std::vector<std::size_t>> baselineAt(points.size());
+    for (const Point &p : points) {
+        const bool fair = !p.baselines.empty();
+        work.push_back({&p, fair, fair});
+    }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        for (const Point::AloneBaseline &b : points[i].baselines) {
+            mc_assert(b.run.baselines.empty(),
+                      "baseline runs must not carry baselines");
+            baselineAt[i].push_back(work.size());
+            work.push_back({&b.run, true, false});
+        }
+    }
+
+    std::vector<MetricSet> res(work.size());
 
     // One job per simulation that must actually run. With caching on,
     // duplicate uncached keys collapse into one job and the repeats
@@ -269,30 +573,29 @@ ExperimentRunner::runAll(const std::vector<Point> &points, unsigned threads)
     // run() loop would do (first occurrence simulates, the rest hit).
     struct Job
     {
-        std::size_t pointIdx;
+        std::size_t workIdx;
         std::string key;
+        bool deferAppend;
     };
     std::vector<Job> jobs;
-    std::vector<std::size_t> jobOf(points.size(), SIZE_MAX);
+    std::vector<std::size_t> jobOf(work.size(), SIZE_MAX);
 
     {
         std::lock_guard<std::mutex> lock(mu_);
         std::map<std::string, std::size_t> pendingByKey;
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            std::string key =
-                points[i].makeGenerator
-                    ? points[i].customKey
-                    : configKey(points[i].workload, points[i].cfg);
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            std::string key = pointKey(*work[i].point);
             // Keyless custom points are never memoized: each runs.
             if (!cachingEnabled_ || key.empty()) {
                 jobOf[i] = jobs.size();
-                jobs.push_back({i, std::move(key)});
+                jobs.push_back({i, std::move(key), work[i].deferAppend});
                 continue;
             }
             auto it = cache_.find(key);
-            if (it != cache_.end()) {
+            if (it != cache_.end() &&
+                !(work[i].needPerCore && it->second.perCoreIpc.empty())) {
                 ++cacheHits_;
-                out[i] = it->second;
+                res[i] = it->second;
                 continue;
             }
             auto pending = pendingByKey.find(key);
@@ -304,52 +607,84 @@ ExperimentRunner::runAll(const std::vector<Point> &points, unsigned threads)
             }
             pendingByKey.emplace(key, jobs.size());
             jobOf[i] = jobs.size();
-            jobs.push_back({i, std::move(key)});
+            jobs.push_back({i, std::move(key), work[i].deferAppend});
         }
     }
 
-    if (jobs.empty())
-        return out;
+    if (!jobs.empty()) {
+        std::vector<MetricSet> jobResults(jobs.size());
+        std::atomic<std::size_t> next{0};
+        auto workerLoop = [&]() {
+            while (true) {
+                const std::size_t j =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (j >= jobs.size())
+                    return;
+                const Point &p = *work[jobs[j].workIdx].point;
+                const MetricSet m = simulatePoint(p);
+                jobResults[j] = m;
 
-    std::vector<MetricSet> jobResults(jobs.size());
-    std::atomic<std::size_t> next{0};
-    auto workerLoop = [&]() {
-        while (true) {
-            const std::size_t j =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (j >= jobs.size())
-                return;
-            const Point &p = points[jobs[j].pointIdx];
-            const MetricSet m = simulatePoint(p);
-            jobResults[j] = m;
+                std::lock_guard<std::mutex> lock(mu_);
+                ++simulationsRun_;
+                if (cachingEnabled_ && !jobs[j].key.empty()) {
+                    cache_[jobs[j].key] = m;
+                    if (!jobs[j].deferAppend)
+                        appendToCache(jobs[j].key, m);
+                }
+            }
+        };
 
+        const unsigned workers =
+            static_cast<unsigned>(std::min<std::size_t>(
+                threads >= 1 ? threads : 1, jobs.size()));
+        if (workers <= 1) {
+            workerLoop();
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (unsigned t = 0; t < workers; ++t)
+                pool.emplace_back(workerLoop);
+            for (auto &th : pool)
+                th.join();
+        }
+
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            if (jobOf[i] != SIZE_MAX)
+                res[i] = jobResults[jobOf[i]];
+        }
+    }
+
+    // Derive the slowdown/fairness block of every point that carries
+    // baselines, then persist the enriched row (once per key: a row
+    // already carrying fairness columns is left alone).
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        if (p.baselines.empty())
+            continue;
+        std::vector<AloneBaselineMetrics> alone;
+        alone.reserve(p.baselines.size());
+        for (std::size_t j = 0; j < p.baselines.size(); ++j) {
+            alone.push_back({p.baselines[j].firstCore,
+                             p.baselines[j].numCores,
+                             &res[baselineAt[i][j]]});
+        }
+        if (!deriveFairnessMetrics(res[i], alone)) {
+            mc_warn("alone-run baselines of point ", i,
+                    " do not cover its cores; fairness metrics stay 0");
+        }
+        const std::string key = pointKey(p);
+        if (cachingEnabled_ && !key.empty()) {
             std::lock_guard<std::mutex> lock(mu_);
-            ++simulationsRun_;
-            if (cachingEnabled_ && !jobs[j].key.empty()) {
-                cache_[jobs[j].key] = m;
-                appendToCache(jobs[j].key, m);
+            auto it = cache_.find(key);
+            if (it == cache_.end() || !it->second.hasFairness()) {
+                cache_[key] = res[i];
+                appendToCache(key, res[i]);
             }
         }
-    };
-
-    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
-        threads >= 1 ? threads : 1, jobs.size()));
-    if (workers <= 1) {
-        workerLoop();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned t = 0; t < workers; ++t)
-            pool.emplace_back(workerLoop);
-        for (auto &th : pool)
-            th.join();
     }
 
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        if (jobOf[i] != SIZE_MAX)
-            out[i] = jobResults[jobOf[i]];
-    }
-    return out;
+    res.resize(points.size());
+    return res;
 }
 
 } // namespace mcsim

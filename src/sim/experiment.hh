@@ -22,6 +22,7 @@
 
 #include "metrics.hh"
 #include "sim_config.hh"
+#include "workload/mixed.hh"
 #include "workload/presets.hh"
 #include "workload/workload.hh"
 
@@ -51,6 +52,27 @@ class ExperimentRunner
         std::function<std::unique_ptr<WorkloadGenerator>()> makeGenerator;
         std::uint32_t customCores = 0;
         std::string customKey;
+
+        /**
+         * When nonzero (and makeGenerator is unset), run the preset
+         * with this core count instead of its calibrated one. The
+         * alone-run baselines use 1 (single core, memory system to
+         * itself) and the mix-part baselines use the part's core
+         * count; the preset's IO/DMA substrate is kept as calibrated.
+         * Memoized under a distinct "ALONE|<n>c|" fingerprint.
+         */
+        std::uint32_t presetCores = 0;
+
+        struct AloneBaseline;
+        /**
+         * Alone-run baselines for slowdown/fairness accounting. When
+         * non-empty, runAll() schedules each baseline run through the
+         * same worker pool (memoized under its own fingerprint) and
+         * derives perCoreSlowdown / weightedSpeedup / harmonicSpeedup
+         * / maxSlowdown into this point's MetricSet. Baseline runs
+         * themselves must not carry baselines.
+         */
+        std::vector<AloneBaseline> baselines;
     };
 
     /**
@@ -93,6 +115,31 @@ class ExperimentRunner
     /** Stable fingerprint of a (workload, config) point. */
     static std::string configKey(WorkloadId workload, const SimConfig &cfg);
 
+    /**
+     * The cache fingerprint runAll() memoizes @p p under: customKey
+     * when set, the "ALONE|<n>c|"-prefixed preset key for presetCores
+     * points, configKey() for plain preset points, and "" (never
+     * cached) for keyless custom-generator points.
+     */
+    static std::string pointKey(const Point &p);
+
+    /**
+     * Attach the matching single-core alone-run baseline to a preset
+     * point: one run of the same configuration with the preset scaled
+     * to 1 core, covering every core of the shared run.
+     */
+    static void attachAloneBaseline(Point &p);
+
+    /**
+     * Build a memoizable MixedWorkload point, including one
+     * part-isolated alone-run baseline per mix part (the part's preset
+     * at the part's core count, covering the part's core range).
+     */
+    static Point mixedFairnessPoint(const std::vector<MixPart> &parts,
+                                    const SimConfig &cfg,
+                                    Addr addressSpace,
+                                    std::uint64_t seedSalt = 0);
+
     std::uint64_t cacheHits() const { return cacheHits_; }
     std::uint64_t simulationsRun() const { return simulationsRun_; }
 
@@ -108,7 +155,8 @@ class ExperimentRunner
      */
     void appendToCache(const std::string &key, const MetricSet &m);
     static std::uint64_t fastDivisor();
-    static MetricSet simulate(WorkloadId workload, const SimConfig &cfg);
+    static MetricSet simulate(WorkloadId workload, const SimConfig &cfg,
+                              std::uint32_t presetCores = 0);
     static MetricSet simulatePoint(const Point &p);
 
     std::string cachePath_;
@@ -117,6 +165,15 @@ class ExperimentRunner
     std::map<std::string, MetricSet> cache_;
     std::uint64_t cacheHits_ = 0;
     std::uint64_t simulationsRun_ = 0;
+};
+
+/** One alone-run baseline of a fairness point: the cores it covers
+ *  plus the run whose per-core IPCs serve as their baseline. */
+struct ExperimentRunner::Point::AloneBaseline
+{
+    std::uint32_t firstCore = 0;
+    std::uint32_t numCores = 0;
+    Point run;
 };
 
 } // namespace mcsim

@@ -1,0 +1,76 @@
+#include "metrics.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mcsim {
+
+bool
+deriveFairnessMetrics(MetricSet &shared,
+                      const std::vector<AloneBaselineMetrics> &baselines)
+{
+    shared.perCoreSlowdown.clear();
+    shared.weightedSpeedup = 0.0;
+    shared.harmonicSpeedup = 0.0;
+    shared.maxSlowdown = 0.0;
+
+    const std::size_t cores = shared.perCoreIpc.size();
+    if (cores == 0 || baselines.empty())
+        return false;
+
+    // Resolve each shared core's alone-run IPC; -1 marks "uncovered".
+    std::vector<double> aloneIpc(cores, -1.0);
+    for (const AloneBaselineMetrics &b : baselines) {
+        if (!b.alone || b.numCores == 0 ||
+            b.firstCore + b.numCores > cores) {
+            return false;
+        }
+        const std::vector<double> &alone = b.alone->perCoreIpc;
+        const bool perCore = alone.size() == b.numCores;
+        if (!perCore && alone.size() != 1)
+            return false; // Neither part-isolated nor single-core.
+        for (std::uint32_t l = 0; l < b.numCores; ++l) {
+            const std::uint32_t c = b.firstCore + l;
+            if (aloneIpc[c] >= 0.0)
+                return false; // Overlapping baselines.
+            aloneIpc[c] = perCore ? alone[l] : alone[0];
+        }
+    }
+    if (std::any_of(aloneIpc.begin(), aloneIpc.end(),
+                    [](double v) { return v < 0.0; })) {
+        return false; // A core has no baseline.
+    }
+
+    shared.perCoreSlowdown.resize(cores, 1.0);
+    double slowdownSum = 0.0;
+    for (std::size_t c = 0; c < cores; ++c) {
+        const double sharedIpc = shared.perCoreIpc[c];
+        const double alone = aloneIpc[c];
+        double s = 1.0;
+        if (alone > 0.0) {
+            // A fully starved core (0 instructions committed in the
+            // shared window while its alone run makes progress) is the
+            // very pathology these metrics exist to expose: score it
+            // as if it had committed a single instruction, the largest
+            // finite slowdown the window can attest to.
+            const double floorIpc =
+                shared.measuredCycles
+                    ? 1.0 / static_cast<double>(shared.measuredCycles)
+                    : 1.0;
+            s = alone / (sharedIpc > 0.0 ? sharedIpc : floorIpc);
+        }
+        shared.perCoreSlowdown[c] = s;
+        slowdownSum += s;
+        if (alone > 0.0)
+            shared.weightedSpeedup += sharedIpc / alone;
+        if (s > shared.maxSlowdown)
+            shared.maxSlowdown = s;
+    }
+    shared.harmonicSpeedup = slowdownSum > 0.0
+                                 ? static_cast<double>(cores) / slowdownSum
+                                 : 0.0;
+    return true;
+}
+
+} // namespace mcsim

@@ -45,13 +45,44 @@ struct MetricSet
     /** Activations receiving exactly one access, percent. Figure 8. */
     double singleAccessPct = 0.0;
 
-    /** Per-core IPC (for the ATLAS disparity analysis). */
+    /** Per-core IPC (for the ATLAS disparity analysis). Persisted in
+     *  the results cache since schema v4 (as a ';'-joined list);
+     *  entries recalled from older caches report an empty vector. */
     std::vector<double> perCoreIpc;
+    /** Per-core committed instructions and elapsed core cycles over
+     *  the window (the numerator/denominator behind perCoreIpc).
+     *  In-memory only; not persisted in the results cache. */
+    std::vector<std::uint64_t> perCoreCommitted;
+    std::vector<std::uint64_t> perCoreCycles;
 
     /** Lowest per-core IPC divided by the highest, in [0,1]. The
      *  paper's Section 4.1.1 fairness quantity ("the lowest per core
      *  IPC with FR-FCFS is within 85% of the highest"). */
     double ipcDisparity = 1.0;
+
+    /**
+     * Measured slowdown/fairness quantities, derived against alone-run
+     * baselines (deriveFairnessMetrics below): each core's slowdown is
+     * S_i = IPC_alone,i / IPC_shared,i, where IPC_alone,i comes from a
+     * separate simulation of that core's application running with the
+     * memory system to itself. This is the real version of the quantity
+     * STFM only *estimates* online (sched_stfm.hh), and the standard
+     * multiprogrammed-fairness vocabulary the scheduler papers report:
+     *
+     *  - weightedSpeedup  = sum_i IPC_shared,i / IPC_alone,i
+     *  - harmonicSpeedup  = N / sum_i S_i  (harmonic-mean speedup)
+     *  - maxSlowdown      = max_i S_i      (the unfairness headline)
+     *
+     * All zero (and perCoreSlowdown empty) when no baselines were run.
+     * Persisted in the results cache since schema v4.
+     */
+    std::vector<double> perCoreSlowdown;
+    double weightedSpeedup = 0.0;
+    double harmonicSpeedup = 0.0;
+    double maxSlowdown = 0.0;
+
+    /** True when the slowdown/fairness block above was derived. */
+    bool hasFairness() const { return !perCoreSlowdown.empty(); }
 
     /** Estimated DRAM core energy over the window (Micron TN-41-01
      *  style model; see dram/energy.hh), and its average power. */
@@ -70,6 +101,36 @@ struct MetricSet
         return memReads + memWrites;
     }
 };
+
+/**
+ * One alone-run baseline covering a contiguous core range of a shared
+ * run: cores [firstCore, firstCore + numCores) of the shared run are
+ * measured against @p alone. The baseline run must expose either
+ * exactly @p numCores per-core IPCs (part-isolated mix baselines, core
+ * l of the range maps to baseline core l) or exactly one (single-core
+ * alone run of a homogeneous preset, broadcast to every covered core).
+ */
+struct AloneBaselineMetrics
+{
+    std::uint32_t firstCore = 0;
+    std::uint32_t numCores = 0;
+    const MetricSet *alone = nullptr;
+};
+
+/**
+ * Derive @p shared's slowdown/fairness block from alone-run baselines.
+ * Every core of the shared run must be covered by exactly one
+ * baseline, and both runs must carry per-core IPCs. Returns false
+ * (leaving the fairness fields zeroed) when coverage or per-core data
+ * is missing. Cores whose alone run committed nothing contribute a
+ * slowdown of 1 and no weighted-speedup share; a core starved to zero
+ * committed instructions in the *shared* run scores the largest
+ * finite slowdown the window can attest to (as if it had committed
+ * one instruction), so starvation inflates maxSlowdown instead of
+ * masquerading as perfect fairness.
+ */
+bool deriveFairnessMetrics(MetricSet &shared,
+                           const std::vector<AloneBaselineMetrics> &baselines);
 
 } // namespace mcsim
 

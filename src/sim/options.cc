@@ -90,6 +90,10 @@ ExperimentOptions::parse(int argc, char **argv)
             listRequested = true;
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--fairness") {
+            fairness = true;
+            if (hasSpec)
+                spec.fairness = true;
         } else if (arg == "--workload") {
             const char *v = need(i);
             if (!v || !findWorkload(v, workload))
@@ -135,6 +139,10 @@ ExperimentOptions::parse(int argc, char **argv)
             config = spec.base;
             if (spec.workloads.size() == 1)
                 workload = spec.workloads.front();
+            if (spec.fairness)
+                fairness = true;
+            else if (fairness)
+                spec.fairness = true; // --fairness before --config.
         } else if (arg == "--channels") {
             const char *v = need(i);
             std::uint64_t n = 0;
@@ -224,7 +232,8 @@ ExperimentOptions::usage(const std::string &tool)
         << "       [--mapping M] [--device D] [--config SPEC] "
            "[--channels N]\n"
         << "       [--warmup C] [--measure C] [--seed N] [--fast D] "
-           "[--csv] [--list]\n\n";
+           "[--csv] [--fairness]\n"
+        << "       [--list]\n\n";
     out << listText();
     return out.str();
 }

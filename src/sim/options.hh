@@ -26,6 +26,10 @@ struct ExperimentOptions
     SimConfig config = SimConfig::baseline();
     WorkloadId workload = WorkloadId::DS;
     bool csv = false;
+    /** Set by --fairness: run alone-run baselines and report the
+     *  slowdown/fairness metrics (also turned on by a spec's
+     *  `fairness = on` key). */
+    bool fairness = false;
     /** Leftover positional arguments, in order. */
     std::vector<std::string> positional;
     /** Set when --help was requested; the caller should print usage. */
@@ -53,6 +57,7 @@ struct ExperimentOptions
      *   --channels <1|2|4|...>
      *   --warmup <core cycles>    --measure <core cycles>
      *   --seed <n>                --fast <divisor>   --csv
+     *   --fairness                alone-run slowdown/fairness metrics
      *   --list                    --help
      * Flags apply in order: an axis flag after `--config` (e.g.
      * `--config sweep.spec --device DDR4-2400`) collapses that axis of

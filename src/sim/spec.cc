@@ -173,8 +173,12 @@ ExperimentSpec::points() const
                         cfg.pagePolicy = pol;
                         cfg.mapping = map;
                         cfg.dram.channels = ch;
-                        for (auto wl : wls)
-                            out.emplace_back(wl, cfg);
+                        for (auto wl : wls) {
+                            ExperimentRunner::Point p(wl, cfg);
+                            if (fairness)
+                                ExperimentRunner::attachAloneBaseline(p);
+                            out.push_back(std::move(p));
+                        }
                     }
                 }
             }
@@ -280,6 +284,14 @@ parseExperimentSpec(const std::string &text, ExperimentSpec &out)
             else
                 return err("refresh must be 'on' or 'off', got '" + value +
                            "'");
+        } else if (key == "fairness") {
+            if (value == "on")
+                out.fairness = true;
+            else if (value == "off")
+                out.fairness = false;
+            else
+                return err("fairness must be 'on' or 'off', got '" +
+                           value + "'");
         } else {
             return err("unknown key '" + key + "'");
         }

@@ -19,6 +19,8 @@
  *   measure   = 8000000                       core cycles, scalar
  *   seed      = 1                             scalar
  *   refresh   = on | off                      scalar
+ *   fairness  = on | off                      scalar; attach alone-run
+ *                                             baselines to every point
  *
  * Plural aliases (devices, schedulers, policies, mappings, workloads)
  * are accepted for readability. Every axis defaults to the baseline's
@@ -49,13 +51,18 @@ struct ExperimentSpec
     std::vector<std::uint32_t> channelCounts;
     std::vector<WorkloadId> workloads;
 
+    /** Attach single-core alone-run baselines to every point so the
+     *  sweep reports slowdown/fairness metrics (the `fairness` key). */
+    bool fairness = false;
+
     /** Number of points the cross product expands to. */
     std::size_t pointCount() const;
 
     /**
      * Expand the cross product into runnable points (device-major,
      * workload-minor). Each point's SimConfig carries the device's
-     * timings/power/geometry and the derived clock domains.
+     * timings/power/geometry and the derived clock domains; with
+     * `fairness` set each point also carries its alone-run baseline.
      */
     std::vector<ExperimentRunner::Point> points() const;
 };

@@ -368,6 +368,8 @@ System::collect() const
     for (const auto &core : cores_) {
         committed += core->stats().committedInstructions;
         m.perCoreIpc.push_back(core->stats().ipc());
+        m.perCoreCommitted.push_back(core->stats().committedInstructions);
+        m.perCoreCycles.push_back(core->stats().cycles);
     }
     if (!m.perCoreIpc.empty()) {
         const auto [lo, hi] = std::minmax_element(m.perCoreIpc.begin(),

@@ -51,6 +51,12 @@ TraceWriter::~TraceWriter()
 void
 TraceWriter::record(const TraceRecord &rec)
 {
+    // The on-disk record narrows CoreId to 16 bits; silently wrapping
+    // would scatter a >64K-core capture across bogus small core ids.
+    if (rec.core > 0xFFFFu) {
+        mc_fatal("trace record core ", rec.core,
+                 " exceeds the format's 16-bit core field");
+    }
     FileRecord fr{};
     fr.type = static_cast<std::uint8_t>(rec.type);
     fr.kind = rec.kind;
@@ -77,7 +83,17 @@ TraceWorkload::TraceWorkload(const std::string &path)
     cores_.resize(numCores_);
 
     FileRecord fr{};
-    while (std::fread(&fr, sizeof(fr), 1, f) == 1) {
+    while (true) {
+        // Byte-granular read so a trailing partial record (a capture
+        // killed mid-write) is diagnosed instead of silently dropped.
+        const std::size_t n = std::fread(&fr, 1, sizeof(fr), f);
+        if (n == 0)
+            break;
+        if (n != sizeof(fr)) {
+            std::fclose(f);
+            mc_fatal("trace '", path, "' ends mid-record (", n,
+                     " trailing bytes); truncated capture?");
+        }
         if (fr.core >= numCores_) {
             std::fclose(f);
             mc_fatal("trace record core ", fr.core, " out of range");

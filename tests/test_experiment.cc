@@ -366,6 +366,117 @@ TEST(ExperimentCache, KeyEncodesEveryStudiedDimension)
     EXPECT_NE(ka, ExperimentRunner::configKey(WorkloadId::DS, perm));
 }
 
+TEST(ExperimentCache, KeyFingerprintsFullParameterSet)
+{
+    // Regression: the old key carried only the ATLAS quantum, so
+    // sweeps over any other scheduler/controller tunable aliased to
+    // one cached row and silently returned stale metrics.
+    const SimConfig base = SimConfig::baseline();
+    const auto kb = ExperimentRunner::configKey(WorkloadId::DS, base);
+
+    SimConfig stfmAlpha = base;
+    stfmAlpha.schedulerParams.stfm.alpha = 2.0;
+    SimConfig tcmCluster = base;
+    tcmCluster.schedulerParams.tcm.clusterFrac = 0.35;
+    SimConfig tcmQuantum = base;
+    tcmQuantum.schedulerParams.tcm.quantumCycles = 200'000;
+    SimConfig rlEpsilon = base;
+    rlEpsilon.schedulerParams.rl.epsilon = 0.2;
+    SimConfig parbsCap = base;
+    parbsCap.schedulerParams.parBs.batchingCap = 9;
+    SimConfig drain = base;
+    drain.controller.writeDrainHigh = 32;
+    SimConfig refreshOff = base;
+    refreshOff.refreshEnabled = false;
+    SimConfig xbar = base;
+    xbar.xbarLatencyCycles = 8;
+    SimConfig ranks = base;
+    ranks.dram.ranksPerChannel = 1;
+
+    for (const SimConfig *cfg :
+         {&stfmAlpha, &tcmCluster, &tcmQuantum, &rlEpsilon, &parbsCap,
+          &drain, &refreshOff, &xbar, &ranks}) {
+        EXPECT_NE(kb, ExperimentRunner::configKey(WorkloadId::DS, *cfg));
+    }
+    // And the fingerprint is stable: same parameters, same key.
+    EXPECT_EQ(kb, ExperimentRunner::configKey(WorkloadId::DS,
+                                              SimConfig::baseline()));
+}
+
+TEST(ExperimentCache, PreParamsHashKeysMigrateToBaselineRow)
+{
+    // Schema v1-v3 keys lack the trailing parameter-hash segment; on
+    // load they migrate to the baseline parameter set's fingerprint
+    // (the only set the old benches could cache unambiguously) and
+    // still satisfy a baseline-parameter lookup — but never one with
+    // tuned parameters.
+    const std::string path = tempCachePath("paramsmigrate");
+    const SimConfig cfg = tinyConfig();
+    std::string key = ExperimentRunner::configKey(WorkloadId::WS, cfg);
+    const std::size_t tag = key.rfind("|p");
+    ASSERT_NE(tag, std::string::npos);
+    key.resize(tag); // Strip the v4 segment: a v3-format key.
+    {
+        std::ofstream out(path);
+        out << key
+            << ",1.5,100,30,5,1,2,10,20,1000,2000,30,40,0.9,5000,120,"
+               "55,77,99\n";
+    }
+    ExperimentRunner runner(path);
+    const MetricSet hit = runner.run(WorkloadId::WS, cfg);
+    EXPECT_EQ(runner.simulationsRun(), 0u);
+    EXPECT_EQ(runner.cacheHits(), 1u);
+    EXPECT_DOUBLE_EQ(hit.userIpc, 1.5);
+    EXPECT_DOUBLE_EQ(hit.readLatencyP99, 99.0);
+
+    // Tuned parameters miss the migrated row and re-simulate.
+    SimConfig tuned = cfg;
+    tuned.schedulerParams.stfm.alpha = 5.0;
+    (void)runner.run(WorkloadId::WS, tuned);
+    EXPECT_EQ(runner.simulationsRun(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentCache, FairnessColumnsRoundtrip)
+{
+    // Schema v4 rows carry the fairness scalars and the per-core IPC /
+    // slowdown lists; a reloaded entry must reproduce them.
+    const std::string path = tempCachePath("v4roundtrip");
+    std::remove(path.c_str());
+    SimConfig cfg = tinyConfig();
+    ExperimentRunner::Point p(WorkloadId::WS, cfg);
+    ExperimentRunner::attachAloneBaseline(p);
+
+    MetricSet fresh;
+    {
+        ExperimentRunner runner(path);
+        fresh = runner.runAll({p}, 1).front();
+        ASSERT_TRUE(fresh.hasFairness());
+    }
+    {
+        ExperimentRunner runner(path);
+        const MetricSet cached = runner.runAll({p}, 1).front();
+        EXPECT_EQ(runner.simulationsRun(), 0u);
+        ASSERT_EQ(cached.perCoreIpc.size(), fresh.perCoreIpc.size());
+        ASSERT_EQ(cached.perCoreSlowdown.size(),
+                  fresh.perCoreSlowdown.size());
+        for (std::size_t c = 0; c < fresh.perCoreIpc.size(); ++c) {
+            EXPECT_NEAR(cached.perCoreIpc[c], fresh.perCoreIpc[c],
+                        1e-5 * fresh.perCoreIpc[c]);
+            EXPECT_NEAR(cached.perCoreSlowdown[c],
+                        fresh.perCoreSlowdown[c],
+                        1e-5 * fresh.perCoreSlowdown[c]);
+        }
+        EXPECT_NEAR(cached.weightedSpeedup, fresh.weightedSpeedup,
+                    1e-5 * fresh.weightedSpeedup);
+        EXPECT_NEAR(cached.harmonicSpeedup, fresh.harmonicSpeedup,
+                    1e-5 * fresh.harmonicSpeedup);
+        EXPECT_NEAR(cached.maxSlowdown, fresh.maxSlowdown,
+                    1e-5 * fresh.maxSlowdown);
+    }
+    std::remove(path.c_str());
+}
+
 TEST(ExperimentCache, KeySeparatesDevicesAndClocks)
 {
     // Schema v3: two devices (or two core clocks) must never alias to

@@ -148,6 +148,36 @@ TEST(Options, FastClampsMeasureFloor)
     EXPECT_EQ(opts.config.measureCoreCycles, 100'000u);
 }
 
+TEST(Options, FairnessFlagPropagatesToSpec)
+{
+    ExperimentOptions opts;
+    EXPECT_EQ(parseArgs(opts, {"--fairness"}), "");
+    EXPECT_TRUE(opts.fairness);
+
+    // --fairness before --config marks the loaded sweep too.
+    const std::string path =
+        std::string(::testing::TempDir()) + "/cloudmc_fairopts.spec";
+    {
+        std::ofstream out(path);
+        out << "workload = WS\n";
+    }
+    ExperimentOptions before;
+    EXPECT_EQ(parseArgs(before, {"--fairness", "--config", path}), "");
+    EXPECT_TRUE(before.fairness);
+    EXPECT_TRUE(before.spec.fairness);
+
+    // A spec with `fairness = on` turns the option on as well.
+    {
+        std::ofstream out(path);
+        out << "fairness = on\n";
+    }
+    ExperimentOptions fromSpec;
+    EXPECT_EQ(parseArgs(fromSpec, {"--config", path}), "");
+    EXPECT_TRUE(fromSpec.fairness);
+    EXPECT_TRUE(fromSpec.spec.fairness);
+    std::remove(path.c_str());
+}
+
 TEST(Options, HelpFlagSetsRequest)
 {
     ExperimentOptions opts;

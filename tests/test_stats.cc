@@ -164,6 +164,61 @@ TEST(LogHistogram, ResetClears)
     EXPECT_DOUBLE_EQ(h.percentile(0.9), 0.0);
 }
 
+TEST(LogHistogram, TopBucketIsReachableFromSample)
+{
+    // Regression: the old clamp stopped sample() one bucket short, so
+    // only merge() could ever populate the top (saturation) bucket and
+    // saturated percentiles under-reported by 2x.
+    LogHistogram h{8}; // Top bucket covers [128, inf).
+    h.sample(128);
+    h.sample(1'000'000);
+    EXPECT_EQ(h.count(), 2u);
+    for (double q : {0.1, 0.9}) {
+        EXPECT_GE(h.percentile(q), 128.0);
+        EXPECT_LE(h.percentile(q), 256.0);
+    }
+}
+
+TEST(LogHistogram, SaturatedPercentileReportsTopBucket)
+{
+    LogHistogram h{8};
+    for (int i = 0; i < 990; ++i)
+        h.sample(2); // Bucket [2, 4).
+    for (int i = 0; i < 10; ++i)
+        h.sample(1u << 20); // Saturates into [128, inf).
+    EXPECT_LT(h.percentile(0.5), 4.0);
+    EXPECT_GE(h.percentile(0.999), 128.0);
+}
+
+TEST(LogHistogram, MergeAndSampleAgreeOnSaturation)
+{
+    // A big value folded in via merge() from a wider histogram must
+    // land where sample() would have put it: the top bucket.
+    LogHistogram sampled{8};
+    sampled.sample(1u << 20);
+
+    LogHistogram wide{32};
+    wide.sample(1u << 20);
+    LogHistogram merged{8};
+    merged.merge(wide);
+
+    EXPECT_EQ(sampled.count(), merged.count());
+    EXPECT_DOUBLE_EQ(sampled.percentile(1.0), merged.percentile(1.0));
+    EXPECT_GE(sampled.percentile(1.0), 128.0);
+}
+
+TEST(LogHistogram, ZeroLandsInBucketZero)
+{
+    // Documented behavior: v = 0 shares bucket 0 with v = 1, so the
+    // percentile estimate floors at bucket 0's lower edge of 1.
+    LogHistogram h{8};
+    h.sample(0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GE(h.percentile(0.5), 1.0);
+    EXPECT_LE(h.percentile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
 TEST(TextTable, AlignedRender)
 {
     TextTable t;

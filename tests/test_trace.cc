@@ -110,6 +110,70 @@ TEST(Trace, ReplayLoopsWhenExhausted)
     std::remove(path.c_str());
 }
 
+TEST(TraceDeathTest, WriterRejectsCoreBeyond16Bits)
+{
+    // The on-disk record stores the core id in 16 bits; a wider id
+    // must be diagnosed instead of silently wrapped onto another core.
+    const std::string path = tempTracePath("widecore");
+    TraceWriter writer(path, 2);
+    TraceRecord rec;
+    rec.type = TraceRecord::Type::Op;
+    rec.core = 0x1'0000u;
+    EXPECT_EXIT(writer.record(rec), ::testing::ExitedWithCode(1),
+                "16-bit core field");
+    // The boundary value still fits.
+    rec.core = 0xFFFFu;
+    writer.record(rec);
+    EXPECT_EQ(writer.recordsWritten(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeathTest, LoaderDiagnosesTruncatedTrailingRecord)
+{
+    // A capture killed mid-write leaves a partial final record; the
+    // loader must refuse it loudly, not silently drop the tail.
+    const std::string path = tempTracePath("truncated");
+    {
+        SyntheticWorkload inner(tinyParams(), 1ull << 30);
+        TraceWriter writer(path, 2);
+        RecordingWorkload rec(inner, writer);
+        for (int i = 0; i < 4; ++i) {
+            (void)rec.nextOp(i % 2);
+            (void)rec.nextFetchBlock(i % 2);
+        }
+    }
+    {
+        std::FILE *f = std::fopen(path.c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        const char partial[7] = {0, 1, 2, 3, 4, 5, 6};
+        ASSERT_EQ(std::fwrite(partial, 1, sizeof(partial), f),
+                  sizeof(partial));
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceWorkload replay(path),
+                ::testing::ExitedWithCode(1), "ends mid-record");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, IntactFileStillLoadsAfterTruncationCheck)
+{
+    const std::string path = tempTracePath("intact");
+    std::uint64_t written = 0;
+    {
+        SyntheticWorkload inner(tinyParams(), 1ull << 30);
+        TraceWriter writer(path, 2);
+        RecordingWorkload rec(inner, writer);
+        for (int i = 0; i < 6; ++i) {
+            (void)rec.nextOp(i % 2);
+            (void)rec.nextFetchBlock(i % 2);
+        }
+        written = writer.recordsWritten();
+    }
+    TraceWorkload replay(path);
+    EXPECT_EQ(replay.numRecords(), written);
+    std::remove(path.c_str());
+}
+
 TEST(Trace, PerCoreStreamsIndependent)
 {
     const std::string path = tempTracePath("percore");
