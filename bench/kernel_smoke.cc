@@ -108,6 +108,7 @@ identical(const MetricSet &a, const MetricSet &b)
            a.readLatencyP95 == b.readLatencyP95 &&
            a.readLatencyP99 == b.readLatencyP99 &&
            a.rowHitRatePct == b.rowHitRatePct && a.l2Mpki == b.l2Mpki &&
+           a.sameGroupCasPct == b.sameGroupCasPct &&
            a.avgReadQueue == b.avgReadQueue &&
            a.avgWriteQueue == b.avgWriteQueue &&
            a.bwUtilPct == b.bwUtilPct &&

@@ -39,6 +39,7 @@ systemEnergy(System &sys, const DramPowerParams &power)
         const Channel &channel = sys.controller(ch).channel();
         const DramEnergyModel model(power, channel.timings(),
                                     channel.geometry().ranksPerChannel,
+                                    channel.geometry().banksPerRank,
                                     channel.clocks());
         const DramEnergyBreakdown e =
             model.estimate(channel.stats(), sys.now());

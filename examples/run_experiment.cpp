@@ -28,6 +28,18 @@ using namespace mcsim;
 
 namespace {
 
+/** Mapping column label; "+gp" marks the group-packed placement. */
+std::string
+mappingLabel(const SimConfig &cfg)
+{
+    std::string label = mappingSchemeName(cfg.mapping);
+    if (cfg.bankGroupMapping == BankGroupMapping::GroupPacked &&
+        cfg.dram.bankGroupsPerRank > 1) {
+        label += "+gp";
+    }
+    return label;
+}
+
 int
 runSweep(const ExperimentOptions &opts)
 {
@@ -72,7 +84,7 @@ runSweep(const ExperimentOptions &opts)
                     cfg.deviceName.c_str(),
                     schedulerKindName(cfg.scheduler),
                     pagePolicyKindName(cfg.pagePolicy),
-                    mappingSchemeName(cfg.mapping), cfg.dram.channels,
+                    mappingLabel(cfg).c_str(), cfg.dram.channels,
                     m.userIpc, m.avgReadLatency, m.rowHitRatePct,
                     m.bwUtilPct, m.dramEnergyNj / 1000.0);
         if (spec.fairness) {
@@ -119,7 +131,7 @@ main(int argc, char **argv)
                 workload.acronym.c_str(), cfg.deviceName.c_str(),
                 schedulerKindName(cfg.scheduler),
                 pagePolicyKindName(cfg.pagePolicy),
-                mappingSchemeName(cfg.mapping), cfg.dram.channels);
+                mappingLabel(cfg).c_str(), cfg.dram.channels);
 
     System sys(cfg, workload);
     MetricSet m = sys.run();

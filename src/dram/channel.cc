@@ -22,13 +22,19 @@ Channel::Channel(const DramGeometry &geom, const DramTimings &timings,
     : geom_(geom), tm_(timings), clk_(clk)
 {
     geom_.validate();
+    mc_assert(!tm_.perBankRefresh || tm_.tRFCpb > 0,
+              "per-bank refresh needs a nonzero tRFCpb");
     ranks_.reserve(geom_.ranksPerChannel);
     for (std::uint32_t r = 0; r < geom_.ranksPerChannel; ++r)
-        ranks_.emplace_back(geom_.banksPerRank);
+        ranks_.emplace_back(geom_.banksPerRank, geom_.bankGroupsPerRank);
     rankOpenBanks_.assign(geom_.ranksPerChannel, 0);
     rankActiveSince_.assign(geom_.ranksPerChannel, 0);
     if (enableRefresh) {
-        const Tick interval = dct(tm_.tREFI);
+        // Per-bank refresh spreads the rank's tREFI budget round-robin
+        // over its banks (tREFIpb = tREFI / banks).
+        const Tick interval = tm_.perBankRefresh
+                                  ? dct(tm_.tREFI) / geom_.banksPerRank
+                                  : dct(tm_.tREFI);
         for (std::uint32_t r = 0; r < geom_.ranksPerChannel; ++r) {
             // Stagger ranks so refreshes do not pile up on one tick.
             const Tick firstDue =
@@ -45,8 +51,11 @@ Channel::canIssueCas(const DramCommand &cmd, Tick now, bool isRead) const
     const Bank &bk = rk.bank(cmd.bank);
     if (!bk.isOpen() || bk.openRow() != cmd.row)
         return false;
+    const std::uint32_t group = groupOf(cmd);
+    if (now < rk.casAllowedAt(group)) // tCCD_L same-group floor.
+        return false;
     if (isRead) {
-        if (now < bk.rdAllowedAt() || now < rk.rdAllowedAt() ||
+        if (now < bk.rdAllowedAt() || now < rk.rdAllowedAt(group) ||
             now < nextRdAt_) {
             return false;
         }
@@ -76,7 +85,7 @@ Channel::canIssue(const DramCommand &cmd, Tick now) const
       case DramCommandType::Activate: {
         const Bank &bk = rk.bank(cmd.bank);
         return !bk.isOpen() && now >= bk.actAllowedAt() &&
-               now >= rk.actAllowedAt();
+               now >= rk.actAllowedAt(groupOf(cmd));
       }
       case DramCommandType::Read:
         return canIssueCas(cmd, now, true);
@@ -87,6 +96,10 @@ Channel::canIssue(const DramCommand &cmd, Tick now) const
         return bk.isOpen() && now >= bk.preAllowedAt();
       }
       case DramCommandType::Refresh: {
+        if (tm_.perBankRefresh) {
+            const Bank &bk = rk.bank(cmd.bank);
+            return !bk.isOpen() && now >= bk.actAllowedAt();
+        }
         if (!rk.allBanksClosed())
             return false;
         for (std::uint32_t b = 0; b < rk.numBanks(); ++b) {
@@ -112,14 +125,24 @@ Channel::issue(const DramCommand &cmd, Tick now)
     IssueResult res;
     cmdBusFreeAt_ = now + dct(1);
 
+    const auto onCas = [this, &cmd, &rk](Tick at) {
+        const std::uint32_t group = groupOf(cmd);
+        rk.casIssued(at, dct(tm_.tCCDL), group);
+        const int key =
+            static_cast<int>(cmd.rank * geom_.bankGroupsPerRank + group);
+        if (key == lastCasGroupKey_)
+            ++stats_.casSameGroup;
+        lastCasGroupKey_ = key;
+    };
+
     switch (cmd.type) {
       case DramCommandType::Activate:
         rk.bank(cmd.bank).activate(cmd.row, now,
                                    dct(tm_.tRCD),
                                    dct(tm_.tRAS),
                                    dct(tm_.tRC));
-        rk.activated(now, dct(tm_.tRRD),
-                     dct(tm_.tFAW));
+        rk.activated(now, dct(tm_.tRRD), dct(tm_.tRRDL),
+                     dct(tm_.tFAW), groupOf(cmd));
         if (rankOpenBanks_[cmd.rank]++ == 0)
             rankActiveSince_[cmd.rank] = now;
         ++stats_.activates;
@@ -131,11 +154,13 @@ Channel::issue(const DramCommand &cmd, Tick now)
         dataBusFreeAt_ = dataStart + ticksBurst();
         lastDataRank_ = static_cast<int>(cmd.rank);
         nextRdAt_ = now + dct(tm_.tCCD);
-        // tCCD spaces any pair of column commands on the channel; tRTW
-        // covers the read-to-write bus turnaround on top of it.
+        // tCCD_S spaces any pair of column commands on the channel
+        // (the same-group tCCD_L floor lives in the rank); tRTW covers
+        // the read-to-write bus turnaround on top of it.
         nextWrAt_ = std::max(nextWrAt_,
                              now + dct(
                                        std::max(tm_.tRTW, tm_.tCCD)));
+        onCas(now);
         stats_.dataBusBusyTicks += ticksBurst();
         ++stats_.reads;
         res.dataReadyAt = dataStart + ticksBurst();
@@ -150,10 +175,12 @@ Channel::issue(const DramCommand &cmd, Tick now)
         lastDataRank_ = static_cast<int>(cmd.rank);
         nextWrAt_ = now + dct(tm_.tCCD);
         // Same-rank write-to-read is gated by tWTR inside the rank; the
-        // channel-level tCCD floor covers cross-rank read-after-write.
+        // channel-level tCCD_S floor covers cross-rank read-after-write.
         nextRdAt_ = std::max(nextRdAt_, now + dct(tm_.tCCD));
-        rk.wrote(now,
-                 ticksWr() + ticksBurst() + dct(tm_.tWTR));
+        rk.wrote(now, ticksWr() + ticksBurst() + dct(tm_.tWTR),
+                 ticksWr() + ticksBurst() + dct(tm_.tWTRL),
+                 groupOf(cmd));
+        onCas(now);
         stats_.dataBusBusyTicks += ticksBurst();
         ++stats_.writes;
         break;
@@ -171,7 +198,10 @@ Channel::issue(const DramCommand &cmd, Tick now)
         break;
 
       case DramCommandType::Refresh:
-        rk.refresh(now, dct(tm_.tRFC));
+        if (tm_.perBankRefresh)
+            rk.refreshBank(cmd.bank, now, dct(tm_.tRFCpb));
+        else
+            rk.refresh(now, dct(tm_.tRFC));
         ++stats_.refreshes;
         break;
     }
@@ -215,7 +245,8 @@ Channel::nextLegalAt(const DramCommand &cmd, Tick now) const
         const Bank &bk = rk.bank(cmd.bank);
         if (bk.isOpen())
             return kMaxTick;
-        t = maxT(t, maxT(bk.actAllowedAt(), rk.actAllowedAt()));
+        t = maxT(t, maxT(bk.actAllowedAt(),
+                         rk.actAllowedAt(groupOf(cmd))));
         break;
       }
       case DramCommandType::Read:
@@ -224,8 +255,10 @@ Channel::nextLegalAt(const DramCommand &cmd, Tick now) const
         const Bank &bk = rk.bank(cmd.bank);
         if (!bk.isOpen() || bk.openRow() != cmd.row)
             return kMaxTick;
+        const std::uint32_t group = groupOf(cmd);
+        t = maxT(t, rk.casAllowedAt(group)); // tCCD_L floor.
         if (isRead) {
-            t = maxT(t, maxT(bk.rdAllowedAt(), rk.rdAllowedAt()));
+            t = maxT(t, maxT(bk.rdAllowedAt(), rk.rdAllowedAt(group)));
             t = maxT(t, nextRdAt_);
         } else {
             t = maxT(t, maxT(bk.wrAllowedAt(), nextWrAt_));
@@ -250,6 +283,13 @@ Channel::nextLegalAt(const DramCommand &cmd, Tick now) const
         break;
       }
       case DramCommandType::Refresh: {
+        if (tm_.perBankRefresh) {
+            const Bank &bk = rk.bank(cmd.bank);
+            if (bk.isOpen())
+                return kMaxTick;
+            t = maxT(t, bk.actAllowedAt());
+            break;
+        }
         if (!rk.allBanksClosed())
             return kMaxTick;
         for (std::uint32_t b = 0; b < rk.numBanks(); ++b)

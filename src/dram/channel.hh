@@ -8,17 +8,23 @@
  * transitions. Constraints modeled:
  *
  *  - bank: tRCD, tRAS, tRC, tRP, tRTP, write recovery (tCWL+tBURST+tWR)
- *  - rank: tRRD, tFAW, write-to-read turnaround (tCWL+tBURST+tWTR),
- *          refresh (tREFI staggered per rank, tRFC)
- *  - channel: one command per tCK, tCCD CAS spacing, read-to-write
+ *  - bank group: tRRD_L ACT spacing, tCCD_L CAS spacing, tWTR_L
+ *          write-to-read turnaround (all within one rank's group)
+ *  - rank: tRRD_S, tFAW (counted across groups), write-to-read
+ *          turnaround (tCWL+tBURST+tWTR_S), refresh (tREFI staggered
+ *          per rank; all-bank tRFC, or round-robin per-bank tRFCpb
+ *          blocking only the refreshed bank)
+ *  - channel: one command per tCK, tCCD_S CAS spacing, read-to-write
  *          turnaround (tRTW), data-bus occupancy, rank-to-rank data
  *          switch penalty (tCS)
  *
  * Simplification vs. real devices: the write-to-read turnaround is
  * applied per rank (correct) while read-after-write to a *different*
- * rank is gated by the data bus, tCS, and a channel-wide tCCD floor
- * between any pair of column commands, which matches DDR3 behavior
- * closely enough for scheduling studies.
+ * rank is gated by the data bus, tCS, and a channel-wide tCCD_S floor
+ * between any pair of column commands, which matches DDR3/DDR4
+ * behavior closely enough for scheduling studies. A per-bank refresh
+ * is not charged against tRRD/tFAW (JEDEC counts REFpb as an
+ * activation; both the channel and the TimingChecker omit that).
  */
 
 #ifndef CLOUDMC_DRAM_CHANNEL_HH
@@ -52,6 +58,11 @@ struct ChannelStats
     std::uint64_t writes = 0;
     std::uint64_t precharges = 0;
     std::uint64_t refreshes = 0;
+    /** CAS commands issued to the same (rank, bank group) as the
+     *  immediately preceding CAS on this channel — the population the
+     *  tCCD_L floor (rather than tCCD_S) spaces. On a single-group
+     *  device this counts same-rank back-to-back CAS. */
+    std::uint64_t casSameGroup = 0;
     Tick dataBusBusyTicks = 0;
     /** Sum over ranks of time spent with at least one bank open
      *  (active-standby time, the energy model's background input). */
@@ -62,6 +73,7 @@ struct ChannelStats
     reset(Tick now)
     {
         activates = reads = writes = precharges = refreshes = 0;
+        casSameGroup = 0;
         dataBusBusyTicks = 0;
         rankActiveTicks = 0;
         statsStartTick = now;
@@ -115,6 +127,9 @@ class Channel
     /** Rank index whose refresh deadline has passed, or -1. */
     int refreshDueRank(Tick now) const;
 
+    /** True when this channel refreshes one bank at a time (REFpb). */
+    bool perBankRefresh() const { return tm_.perBankRefresh; }
+
     /** Earliest refresh deadline over all ranks; kMaxTick when
      *  refresh is disabled. */
     Tick nextRefreshDueAt() const;
@@ -156,16 +171,23 @@ class Channel
 
     bool canIssueCas(const DramCommand &cmd, Tick now, bool isRead) const;
 
+    /** Bank group of a command's bank (geometry convention). */
+    std::uint32_t groupOf(const DramCommand &cmd) const
+    {
+        return geom_.bankGroupOf(cmd.bank);
+    }
+
     DramGeometry geom_;
     DramTimings tm_;
     ClockDomains clk_;
     std::vector<Rank> ranks_;
 
     Tick cmdBusFreeAt_ = 0;  ///< One command per tCK.
-    Tick nextRdAt_ = 0;      ///< tCCD spacing between reads.
-    Tick nextWrAt_ = 0;      ///< tCCD spacing + tRTW after reads.
+    Tick nextRdAt_ = 0;      ///< tCCD_S spacing between reads.
+    Tick nextWrAt_ = 0;      ///< tCCD_S spacing + tRTW after reads.
     Tick dataBusFreeAt_ = 0; ///< End of the burst in flight.
     int lastDataRank_ = -1;  ///< For the tCS rank-switch penalty.
+    int lastCasGroupKey_ = -1; ///< (rank, group) of the last CAS (stats).
 
     // Active-standby accounting for the energy model.
     std::vector<std::uint32_t> rankOpenBanks_;

@@ -19,7 +19,9 @@ enum class DramCommandType : std::uint8_t {
     Read,      ///< Column read from the open row.
     Write,     ///< Column write to the open row.
     Precharge, ///< Close the open row of a bank.
-    Refresh,   ///< Per-rank refresh; all banks must be precharged.
+    Refresh,   ///< Refresh: all-bank (bank ignored, every bank must be
+               ///< precharged) or per-bank REFpb (bank targeted, only
+               ///< it must be precharged), per the device's mode.
 };
 
 /** Short mnemonic for logs and traces. */
@@ -62,6 +64,13 @@ struct DramCommand
     refresh(std::uint32_t rank)
     {
         return {DramCommandType::Refresh, rank, 0, 0, 0};
+    }
+
+    /** Per-bank refresh (REFpb) to one bank of @p rank. */
+    static DramCommand
+    refreshBank(std::uint32_t rank, std::uint32_t bank)
+    {
+        return {DramCommandType::Refresh, rank, bank, 0, 0};
     }
 };
 

@@ -32,8 +32,10 @@ buildRegistry()
         d.timings.tRC = 27;    // 50.6 ns
         d.timings.tWR = 8;     // 15 ns
         d.timings.tWTR = 4;    // max(4 nCK, 7.5 ns)
+        d.timings.tWTRL = 4;   // No bank groups: _L == _S.
         d.timings.tRTP = 4;    // max(4 nCK, 7.5 ns)
         d.timings.tRRD = 4;    // 7.5 ns (1 KB page)
+        d.timings.tRRDL = 4;
         d.timings.tFAW = 20;   // 37.5 ns (1 KB page)
         d.timings.tCWL = 6;
         d.timings.tRTW = 7;    // 7 + 4 - 6 + 2
@@ -62,8 +64,10 @@ buildRegistry()
         d.timings.tRC = 33;    // 49.5 ns
         d.timings.tWR = 10;    // 15 ns
         d.timings.tWTR = 5;    // 7.5 ns
+        d.timings.tWTRL = 5;   // No bank groups: _L == _S.
         d.timings.tRTP = 5;    // 7.5 ns
         d.timings.tRRD = 4;    // 6 ns (1 KB page)
+        d.timings.tRRDL = 4;
         d.timings.tFAW = 20;   // 30 ns (1 KB page)
         d.timings.tCWL = 7;
         d.timings.tRTW = 8;    // 9 + 4 - 7 + 2
@@ -105,8 +109,10 @@ buildRegistry()
         d.timings.tRC = 45;    // 47.9 ns
         d.timings.tWR = 14;    // 15 ns
         d.timings.tWTR = 7;    // 7.5 ns
+        d.timings.tWTRL = 7;   // No bank groups: _L == _S.
         d.timings.tRTP = 7;    // 7.5 ns
         d.timings.tRRD = 5;    // 5 ns (1 KB page)
+        d.timings.tRRDL = 5;
         d.timings.tFAW = 26;   // 27 ns (1 KB page)
         d.timings.tCWL = 9;
         d.timings.tRTW = 10;   // 13 + 4 - 9 + 2
@@ -123,7 +129,7 @@ buildRegistry()
         out.push_back(std::move(d));
     }
 
-    { // DDR4-2400T, CL17, tCK = 0.8333 ns, 4 Gb x8, 16 banks.
+    { // DDR4-2400T, CL17, tCK = 0.8333 ns, 4 Gb x8, 4 groups x 4 banks.
         DramDevice d;
         d.name = "DDR4-2400";
         d.dataRateMtps = 2400;
@@ -134,18 +140,22 @@ buildRegistry()
         d.timings.tRAS = 39;   // 32 ns
         d.timings.tRC = 56;    // tRAS + tRP
         d.timings.tWR = 18;    // 15 ns
-        d.timings.tWTR = 9;    // tWTR_L, 7.5 ns
+        d.timings.tWTR = 3;    // tWTR_S, 2.5 ns
+        d.timings.tWTRL = 9;   // tWTR_L, 7.5 ns
         d.timings.tRTP = 9;    // 7.5 ns
-        d.timings.tRRD = 6;    // tRRD_L, 4.9 ns
+        d.timings.tRRD = 4;    // tRRD_S, max(4 nCK, 3.3 ns), 1 KB page
+        d.timings.tRRDL = 6;   // tRRD_L, 4.9 ns
         d.timings.tFAW = 26;   // 21 ns (1 KB page)
         d.timings.tCWL = 12;
         d.timings.tBURST = 4;
-        d.timings.tCCD = 4;    // tCCD_S: bank groups assumed interleaved.
+        d.timings.tCCD = 4;    // tCCD_S, 4 nCK
+        d.timings.tCCDL = 6;   // tCCD_L, 5 ns
         d.timings.tRTW = 11;   // 17 + 4 - 12 + 2
         d.timings.tREFI = 9360;
         d.timings.tRFC = 312;  // tRFC1, 260 ns (4 Gb)
         d.geometry = ddr3Geom;
         d.geometry.banksPerRank = 16;       // 4 groups x 4 banks.
+        d.geometry.bankGroupsPerRank = 4;
         d.geometry.rowsPerBank = 1u << 15;  // Same 8 GiB/channel capacity.
         d.power.vdd = 1.2;
         d.power.idd0 = 55.0;
@@ -155,6 +165,45 @@ buildRegistry()
         d.power.idd4w = 145.0;
         d.power.idd5b = 190.0;
         d.source = "JESD79-4B DDR4-2400T bin; Micron MT40A 4Gb IDD";
+        out.push_back(std::move(d));
+    }
+
+    { // DDR5-4800B, CL40, tCK = 0.4167 ns, 16 Gb x8, 8 groups x 4 banks.
+        DramDevice d;
+        d.name = "DDR5-4800";
+        d.dataRateMtps = 4800;
+        d.busMhz = 2400;
+        d.timings.tCAS = 40;
+        d.timings.tRCD = 40;
+        d.timings.tRP = 40;
+        d.timings.tRAS = 77;   // 32 ns
+        d.timings.tRC = 117;   // tRAS + tRP
+        d.timings.tWR = 72;    // 30 ns
+        d.timings.tWTR = 6;    // tWTR_S, 2.5 ns
+        d.timings.tWTRL = 24;  // tWTR_L, 10 ns
+        d.timings.tRTP = 18;   // 7.5 ns
+        d.timings.tRRD = 8;    // tRRD_S, 8 nCK
+        d.timings.tRRDL = 12;  // tRRD_L, 5 ns
+        d.timings.tFAW = 32;   // 13.33 ns (x8)
+        d.timings.tCWL = 38;   // CL - 2
+        d.timings.tBURST = 8;  // BL16 on a DDR bus.
+        d.timings.tCCD = 8;    // tCCD_S, 8 nCK
+        d.timings.tCCDL = 12;  // tCCD_L, 5 ns
+        d.timings.tRTW = 12;   // 40 + 8 - 38 + 2
+        d.timings.tREFI = 9360; // tREFI1, 3.9 us
+        d.timings.tRFC = 708;   // tRFC1, 295 ns (16 Gb)
+        d.geometry = ddr3Geom;
+        d.geometry.banksPerRank = 32;       // 8 groups x 4 banks.
+        d.geometry.bankGroupsPerRank = 8;
+        d.geometry.rowsPerBank = 1u << 14;  // Same 8 GiB/channel capacity.
+        d.power.vdd = 1.1;
+        d.power.idd0 = 65.0;
+        d.power.idd2n = 45.0;
+        d.power.idd3n = 55.0;
+        d.power.idd4r = 250.0;
+        d.power.idd4w = 240.0;
+        d.power.idd5b = 295.0;
+        d.source = "JESD79-5B DDR5-4800B bin; Micron 16Gb DDR5 IDD";
         out.push_back(std::move(d));
     }
 
@@ -170,13 +219,17 @@ buildRegistry()
         d.timings.tRC = 49;    // tRAS + tRPpb
         d.timings.tWR = 12;    // 15 ns
         d.timings.tWTR = 6;    // 7.5 ns
+        d.timings.tWTRL = 6;   // No bank groups: _L == _S.
         d.timings.tRTP = 6;    // 7.5 ns
         d.timings.tRRD = 8;    // 10 ns
+        d.timings.tRRDL = 8;
         d.timings.tFAW = 40;   // 50 ns
         d.timings.tCWL = 6;    // WL set A
         d.timings.tRTW = 12;   // 12 + 4 - 6 + 2
         d.timings.tREFI = 3120; // tREFIab, 3.9 us (4 Gb)
         d.timings.tRFC = 104;   // tRFCab, 130 ns (4 Gb)
+        d.timings.perBankRefresh = true; // REFpb, one bank at a time.
+        d.timings.tRFCpb = 48;  // tRFCpb, 60 ns (4 Gb)
         d.geometry = ddr3Geom;  // 2 x32 devices give the same 8 KB row.
         d.power.vdd = 1.2;      // VDD2 rail.
         d.power.idd0 = 35.0;

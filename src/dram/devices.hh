@@ -11,19 +11,20 @@
  * so a new speed grade is a registry entry away — no constants to
  * touch.
  *
- * Timing sources: JESD79-3F (DDR3), JESD79-4B (DDR4), JESD209-3C
- * (LPDDR3); ns-specified parameters are converted to cycles at the
- * device's tCK and rounded up, matching datasheet practice. Bus
- * frequencies are stored in integer MHz, so non-integral JEDEC clocks
- * round to the nearest MHz (533.33 -> 533, 666.67 -> 667, 933.33 ->
- * 933): cycle-level timing is exact by construction, and wall-clock /
- * energy figures carry the resulting <= 0.07% scale deviation. Currents
- * are representative 4 Gb-die values from Micron datasheets (DDR3:
- * MT41J; DDR4: MT40A; LPDDR3: EDF8132A) — suitable for comparing
- * policies, not for sizing power supplies. Two modeling notes: the
- * channel model has a single tCCD, so DDR4 bank groups are assumed
- * perfectly interleaved (tCCD_S); and LPDDR3 uses all-bank refresh
- * (tRFCab) like the other devices.
+ * Timing sources: JESD79-3F (DDR3), JESD79-4B (DDR4), JESD79-5B
+ * (DDR5), JESD209-3C (LPDDR3); ns-specified parameters are converted
+ * to cycles at the device's tCK and rounded up, matching datasheet
+ * practice. Bus frequencies are stored in integer MHz, so non-integral
+ * JEDEC clocks round to the nearest MHz (533.33 -> 533, 666.67 -> 667,
+ * 933.33 -> 933): cycle-level timing is exact by construction, and
+ * wall-clock / energy figures carry the resulting <= 0.07% scale
+ * deviation. Currents are representative per-die values from Micron
+ * datasheets (DDR3: MT41J 4Gb; DDR4: MT40A 4Gb; DDR5: 16Gb; LPDDR3:
+ * EDF8132A) — suitable for comparing policies, not for sizing power
+ * supplies. Bank-group devices (DDR4/DDR5) carry real split timings
+ * (tCCD_S/L, tRRD_S/L, tWTR_S/L) honored by the channel model, and
+ * LPDDR3 refreshes per bank (REFpb, tRFCpb) with the other banks
+ * schedulable throughout.
  */
 
 #ifndef CLOUDMC_DRAM_DEVICES_HH

@@ -18,7 +18,18 @@
 
 namespace mcsim {
 
-/** DRAM device timing parameters in DRAM cycles. */
+/**
+ * DRAM device timing parameters in DRAM cycles.
+ *
+ * Bank-group devices (DDR4/DDR5) split the CAS-to-CAS, ACT-to-ACT and
+ * write-to-read constraints into a short different-bank-group value
+ * and a long same-bank-group value. The unsuffixed fields (tCCD,
+ * tRRD, tWTR) are the *short* (_S) values and apply between any pair;
+ * the `L`-suffixed fields apply on top when both commands target the
+ * same bank group of the same rank. Devices without bank groups
+ * (DramGeometry::bankGroupsPerRank == 1) set the pairs equal, which
+ * reproduces the single-tCCD model exactly.
+ */
 struct DramTimings
 {
     std::uint32_t tCAS = 11;  ///< CL: read command to first data.
@@ -27,17 +38,27 @@ struct DramTimings
     std::uint32_t tRAS = 28;  ///< ACT to PRE (same bank).
     std::uint32_t tRC = 39;   ///< ACT to ACT (same bank).
     std::uint32_t tWR = 12;   ///< Write recovery (end of write data to PRE).
-    std::uint32_t tWTR = 6;   ///< Write-to-read turnaround (same rank).
+    std::uint32_t tWTR = 6;   ///< tWTR_S: write-to-read, same rank.
+    std::uint32_t tWTRL = 6;  ///< tWTR_L: write-to-read, same bank group.
     std::uint32_t tRTP = 6;   ///< Read to PRE (same bank).
-    std::uint32_t tRRD = 5;   ///< ACT to ACT (different banks, same rank).
-    std::uint32_t tFAW = 24;  ///< Four-activate window (per rank).
+    std::uint32_t tRRD = 5;   ///< tRRD_S: ACT to ACT, same rank.
+    std::uint32_t tRRDL = 5;  ///< tRRD_L: ACT to ACT, same bank group.
+    std::uint32_t tFAW = 24;  ///< Four-activate window (per rank,
+                              ///< counted across bank groups).
     std::uint32_t tCWL = 8;   ///< Write command to first data.
     std::uint32_t tBURST = 4; ///< Data burst length on the bus (BL8, DDR).
-    std::uint32_t tCCD = 4;   ///< CAS to CAS (same channel).
+    std::uint32_t tCCD = 4;   ///< tCCD_S: CAS to CAS (same channel).
+    std::uint32_t tCCDL = 4;  ///< tCCD_L: CAS to CAS, same bank group.
     std::uint32_t tRTW = 9;   ///< Read cmd to write cmd bus turnaround.
     std::uint32_t tCS = 2;    ///< Rank-to-rank data bus switch penalty.
     std::uint32_t tREFI = 6240; ///< Average refresh interval (7.8 us).
     std::uint32_t tRFC = 208;   ///< Refresh cycle time (260 ns, 4 Gb die).
+
+    /** Per-bank refresh (LPDDR REFpb): refresh cycles one bank at a
+     *  time every tREFI / banksPerRank, blocking only that bank for
+     *  tRFCpb while the others stay schedulable. */
+    bool perBankRefresh = false;
+    std::uint32_t tRFCpb = 0; ///< Per-bank refresh cycle time.
 
     /** The paper's DDR3-1600 configuration (Table 2). */
     static DramTimings ddr3_1600() { return DramTimings{}; }
@@ -65,6 +86,11 @@ struct DramGeometry
     std::uint32_t channels = 1;
     std::uint32_t ranksPerChannel = 2;
     std::uint32_t banksPerRank = 8;
+    /** Bank groups per rank (DDR4: 4, DDR5: 8). 1 disables the
+     *  same-group timing constraints (tCCD_L/tRRD_L/tWTR_L). The
+     *  physical convention: bank index = group * banksPerGroup() +
+     *  index-within-group, i.e. the high bank bits select the group. */
+    std::uint32_t bankGroupsPerRank = 1;
     std::uint64_t rowsPerBank = 1u << 16; ///< 64 K rows => 16 GB @ 1ch.
     std::uint32_t rowBufferBytes = 8192;  ///< 8 KB row buffer.
     std::uint32_t blockBytes = 64;        ///< Cache block / burst payload.
@@ -74,6 +100,20 @@ struct DramGeometry
     blocksPerRow() const
     {
         return rowBufferBytes / blockBytes;
+    }
+
+    /** Banks in one bank group. */
+    std::uint32_t
+    banksPerGroup() const
+    {
+        return banksPerRank / bankGroupsPerRank;
+    }
+
+    /** Bank group of a bank index (high bank bits select the group). */
+    std::uint32_t
+    bankGroupOf(std::uint32_t bank) const
+    {
+        return bank / banksPerGroup();
     }
 
     /** Total addressable bytes across all channels. */
@@ -92,6 +132,9 @@ struct DramGeometry
                       isPowerOf2(banksPerRank) && isPowerOf2(rowsPerBank) &&
                       isPowerOf2(rowBufferBytes) && isPowerOf2(blockBytes),
                   "DRAM geometry fields must be powers of two");
+        mc_assert(isPowerOf2(bankGroupsPerRank) &&
+                      bankGroupsPerRank <= banksPerRank,
+                  "bank groups must be a power of two dividing the banks");
         mc_assert(rowBufferBytes >= blockBytes,
                   "row buffer smaller than a block");
     }

@@ -5,6 +5,7 @@ namespace mcsim {
 DramEnergyModel::DramEnergyModel(const DramPowerParams &power,
                                  const DramTimings &tm,
                                  std::uint32_t ranksPerChannel,
+                                 std::uint32_t banksPerRank,
                                  const ClockDomains &clk)
     : p_(power), ranksPerChannel_(ranksPerChannel),
       nsPerTick_(clk.nsPerTick())
@@ -19,7 +20,16 @@ DramEnergyModel::DramEnergyModel(const DramPowerParams &power,
                 nj(p_.idd2n, tm.tRC - tm.tRAS);
     readNj_ = nj(p_.idd4r - p_.idd3n, tm.tBURST);
     writeNj_ = nj(p_.idd4w - p_.idd3n, tm.tBURST);
-    refreshNj_ = nj(p_.idd5b - p_.idd3n, tm.tRFC);
+    // Per-bank refresh issues banksPerRank short REFpb bursts per
+    // tREFI instead of one rank-wide burst; each refreshes 1/banks of
+    // the die, so its above-standby current scales down accordingly
+    // (the IDD5PB approximation) over its own cycle time tRFCpb.
+    refreshNj_ =
+        tm.perBankRefresh
+            ? nj((p_.idd5b - p_.idd3n) /
+                     static_cast<double>(banksPerRank),
+                 tm.tRFCpb)
+            : nj(p_.idd5b - p_.idd3n, tm.tRFC);
     activeStandbyMwPerRank_ = p_.idd3n * p_.vdd * devices;
     prechargeStandbyMwPerRank_ = p_.idd2n * p_.vdd * devices;
 }

@@ -13,7 +13,11 @@
  *   activate/precharge : (IDD0*tRC - IDD3N*tRAS - IDD2N*(tRC-tRAS)) * VDD
  *   read  burst        : (IDD4R - IDD3N) * tBURST * VDD
  *   write burst        : (IDD4W - IDD3N) * tBURST * VDD
- *   refresh            : (IDD5B - IDD3N) * tRFC * VDD
+ *   refresh            : (IDD5B - IDD3N) * tRFC * VDD per all-bank REF;
+ *                        a per-bank REFpb burst refreshes 1/banks of
+ *                        the die, so its above-standby current scales
+ *                        to (IDD5B - IDD3N)/banksPerRank over tRFCpb
+ *                        (the IDD5PB approximation)
  *   background         : IDD3N while a rank has an open bank
  *                        (active standby), IDD2N otherwise
  *
@@ -61,12 +65,15 @@ class DramEnergyModel
 {
   public:
     /**
+     * @param banksPerRank Scales the per-REFpb refresh energy when
+     *        @p tm uses per-bank refresh; unused otherwise.
      * @param clk Clock domains the counters were collected under; sets
      *        the wall-clock length of a tick and a DRAM cycle (the
      *        JEDEC timing fields are in DRAM cycles).
      */
     DramEnergyModel(const DramPowerParams &power, const DramTimings &tm,
                     std::uint32_t ranksPerChannel,
+                    std::uint32_t banksPerRank,
                     const ClockDomains &clk = kBaselineClocks);
 
     /**

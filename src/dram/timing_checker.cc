@@ -1,5 +1,6 @@
 #include "timing_checker.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/log.hh"
@@ -12,16 +13,45 @@ TimingChecker::TimingChecker(const DramGeometry &geom, const DramTimings &tm,
       bankOpen_(geom.ranksPerChannel * geom.banksPerRank, false),
       lastCasEnd_(1, 0)
 {
+    // Cover the largest backward-looking window (tRFC dominates every
+    // registered device) plus slack; see historyDepth_'s comment.
+    const std::uint32_t largestWindow =
+        std::max({tm_.tRFC, tm_.tRFCpb, tm_.tFAW, tm_.tRC,
+                  tm_.tCWL + tm_.tBURST + tm_.tWTRL,
+                  tm_.tCWL + tm_.tBURST + tm_.tWR});
+    historyDepth_ = std::max<std::size_t>(256, largestWindow + 16);
 }
 
 const TimingChecker::CmdRecord *
 TimingChecker::lastOf(DramCommandType type, std::uint32_t rank,
-                      std::uint32_t bank, bool anyBank) const
+                      std::uint32_t bank, bool anyBank, Tick now,
+                      Tick windowTicks) const
 {
     for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+        // Records older than the window cannot violate it; the tick
+        // guard keeps a probe replayed out of order (tick > now, as
+        // some tests do) from terminating the scan early.
+        if (it->tick <= now && now - it->tick >= windowTicks)
+            return nullptr;
         if (it->cmd.type != type || it->cmd.rank != rank)
             continue;
         if (anyBank || it->cmd.bank == bank)
+            return &*it;
+    }
+    return nullptr;
+}
+
+const TimingChecker::CmdRecord *
+TimingChecker::lastOfGroup(DramCommandType type, std::uint32_t rank,
+                           std::uint32_t group, Tick now,
+                           Tick windowTicks) const
+{
+    for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+        if (it->tick <= now && now - it->tick >= windowTicks)
+            return nullptr; // Older records cannot violate the window.
+        if (it->cmd.type != type || it->cmd.rank != rank)
+            continue;
+        if (geom_.bankGroupOf(it->cmd.bank) == group)
             return &*it;
     }
     return nullptr;
@@ -45,25 +75,40 @@ TimingChecker::check(const DramCommand &cmd, Tick now)
       case DramCommandType::Activate: {
         if (bankOpen_[bankIdx])
             err << "ACT to open bank; ";
-        if (gap(lastOf(DramCommandType::Activate, cmd.rank, cmd.bank)) <
-            cyc(tm_.tRC)) {
+        if (gap(lastOf(DramCommandType::Activate, cmd.rank, cmd.bank,
+                       false, now, cyc(tm_.tRC))) < cyc(tm_.tRC)) {
             err << "tRC violated; ";
         }
-        if (gap(lastOf(DramCommandType::Precharge, cmd.rank, cmd.bank)) <
-            cyc(tm_.tRP)) {
+        if (gap(lastOf(DramCommandType::Precharge, cmd.rank, cmd.bank,
+                       false, now, cyc(tm_.tRP))) < cyc(tm_.tRP)) {
             err << "tRP violated; ";
         }
-        if (gap(lastOf(DramCommandType::Activate, cmd.rank, 0, true)) <
-            cyc(tm_.tRRD)) {
+        if (gap(lastOf(DramCommandType::Activate, cmd.rank, 0, true,
+                       now, cyc(tm_.tRRD))) < cyc(tm_.tRRD)) {
             err << "tRRD violated; ";
         }
-        if (gap(lastOf(DramCommandType::Refresh, cmd.rank, 0, true)) <
-            cyc(tm_.tRFC)) {
+        if (gap(lastOfGroup(DramCommandType::Activate, cmd.rank,
+                            geom_.bankGroupOf(cmd.bank), now,
+                            cyc(tm_.tRRDL))) < cyc(tm_.tRRDL)) {
+            err << "tRRD_L violated; ";
+        }
+        if (tm_.perBankRefresh) {
+            // REFpb blocks only its own bank, for tRFCpb.
+            if (gap(lastOf(DramCommandType::Refresh, cmd.rank,
+                           cmd.bank, false, now, cyc(tm_.tRFCpb))) <
+                cyc(tm_.tRFCpb)) {
+                err << "tRFCpb violated; ";
+            }
+        } else if (gap(lastOf(DramCommandType::Refresh, cmd.rank, 0,
+                              true, now, cyc(tm_.tRFC))) <
+                   cyc(tm_.tRFC)) {
             err << "tRFC violated; ";
         }
         // tFAW: count activates to this rank in the trailing window.
         unsigned acts = 0;
         for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+            if (it->tick <= now && now - it->tick >= cyc(tm_.tFAW))
+                break; // Nothing older is in the window.
             if (it->cmd.type == DramCommandType::Activate &&
                 it->cmd.rank == cmd.rank &&
                 now - it->tick < cyc(tm_.tFAW)) {
@@ -80,14 +125,29 @@ TimingChecker::check(const DramCommand &cmd, Tick now)
         const bool isRead = cmd.type == DramCommandType::Read;
         if (!bankOpen_[bankIdx])
             err << "CAS to closed bank; ";
-        if (gap(lastOf(DramCommandType::Activate, cmd.rank, cmd.bank)) <
-            cyc(tm_.tRCD)) {
+        if (gap(lastOf(DramCommandType::Activate, cmd.rank, cmd.bank,
+                       false, now, cyc(tm_.tRCD))) < cyc(tm_.tRCD)) {
             err << "tRCD violated; ";
         }
-        // tCCD between CAS commands (any rank/bank, shared channel).
-        for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
-            if (it->cmd.type == DramCommandType::Read ||
-                it->cmd.type == DramCommandType::Write) {
+        // tCCD_S between CAS commands (any rank/bank, shared channel);
+        // tCCD_L between CAS commands to the same bank group. Records
+        // past the largest of the three windows cannot violate any of
+        // them, so the scan is bounded even when no same-group CAS
+        // exists in the (tRFC-deep) history.
+        const std::uint32_t group = geom_.bankGroupOf(cmd.bank);
+        const Tick casWindow =
+            cyc(std::max({tm_.tCCD, tm_.tCCDL, tm_.tRTW}));
+        bool sawAnyCas = false, sawGroupCas = false;
+        for (auto it = history_.rbegin();
+             it != history_.rend() && !(sawAnyCas && sawGroupCas); ++it) {
+            if (it->tick <= now && now - it->tick >= casWindow)
+                break;
+            if (it->cmd.type != DramCommandType::Read &&
+                it->cmd.type != DramCommandType::Write) {
+                continue;
+            }
+            if (!sawAnyCas) {
+                sawAnyCas = true;
                 if (now - it->tick < cyc(tm_.tCCD))
                     err << "tCCD violated; ";
                 // Read-to-write turnaround on the shared bus.
@@ -96,17 +156,30 @@ TimingChecker::check(const DramCommand &cmd, Tick now)
                     now - it->tick < cyc(tm_.tRTW)) {
                     err << "tRTW violated; ";
                 }
-                break;
+            }
+            if (!sawGroupCas && it->cmd.rank == cmd.rank &&
+                geom_.bankGroupOf(it->cmd.bank) == group) {
+                sawGroupCas = true;
+                if (now - it->tick < cyc(tm_.tCCDL))
+                    err << "tCCD_L violated; ";
             }
         }
-        // Write-to-read turnaround within the same rank.
+        // Write-to-read turnaround within the same rank: tWTR_S from
+        // any bank group, tWTR_L from the same bank group.
         if (isRead) {
-            const auto *w =
-                lastOf(DramCommandType::Write, cmd.rank, 0, true);
-            if (w && now - w->tick <
-                         cyc(tm_.tCWL + tm_.tBURST + tm_.tWTR)) {
+            const Tick wtrWindow =
+                cyc(tm_.tCWL + tm_.tBURST + tm_.tWTR);
+            const auto *w = lastOf(DramCommandType::Write, cmd.rank, 0,
+                                   true, now, wtrWindow);
+            if (w && now - w->tick < wtrWindow)
                 err << "tWTR violated; ";
-            }
+            const Tick wtrLWindow =
+                cyc(tm_.tCWL + tm_.tBURST + tm_.tWTRL);
+            const auto *wg = lastOfGroup(DramCommandType::Write,
+                                         cmd.rank, group, now,
+                                         wtrLWindow);
+            if (wg && now - wg->tick < wtrLWindow)
+                err << "tWTR_L violated; ";
         }
         // Data-bus overlap.
         const Tick dataStart =
@@ -119,27 +192,46 @@ TimingChecker::check(const DramCommand &cmd, Tick now)
       case DramCommandType::Precharge: {
         if (!bankOpen_[bankIdx])
             err << "PRE to closed bank; ";
-        if (gap(lastOf(DramCommandType::Activate, cmd.rank, cmd.bank)) <
-            cyc(tm_.tRAS)) {
+        if (gap(lastOf(DramCommandType::Activate, cmd.rank, cmd.bank,
+                       false, now, cyc(tm_.tRAS))) < cyc(tm_.tRAS)) {
             err << "tRAS violated; ";
         }
-        if (gap(lastOf(DramCommandType::Read, cmd.rank, cmd.bank)) <
-            cyc(tm_.tRTP)) {
+        if (gap(lastOf(DramCommandType::Read, cmd.rank, cmd.bank,
+                       false, now, cyc(tm_.tRTP))) < cyc(tm_.tRTP)) {
             err << "tRTP violated; ";
         }
-        const auto *w = lastOf(DramCommandType::Write, cmd.rank, cmd.bank);
-        if (w && now - w->tick < cyc(tm_.tCWL + tm_.tBURST + tm_.tWR))
+        const Tick wrWindow = cyc(tm_.tCWL + tm_.tBURST + tm_.tWR);
+        const auto *w = lastOf(DramCommandType::Write, cmd.rank,
+                               cmd.bank, false, now, wrWindow);
+        if (w && now - w->tick < wrWindow)
             err << "write recovery violated; ";
         break;
       }
 
       case DramCommandType::Refresh: {
+        if (tm_.perBankRefresh) {
+            // REFpb: only the target bank must be precharged; the rest
+            // of the rank stays schedulable.
+            if (bankOpen_[bankIdx])
+                err << "REF with open bank; ";
+            if (gap(lastOf(DramCommandType::Precharge, cmd.rank,
+                           cmd.bank, false, now, cyc(tm_.tRP))) <
+                cyc(tm_.tRP)) {
+                err << "tRP before REF violated; ";
+            }
+            if (gap(lastOf(DramCommandType::Refresh, cmd.rank,
+                           cmd.bank, false, now, cyc(tm_.tRFCpb))) <
+                cyc(tm_.tRFCpb)) {
+                err << "tRFCpb violated; ";
+            }
+            break;
+        }
         for (std::uint32_t b = 0; b < geom_.banksPerRank; ++b) {
             if (bankOpen_[cmd.rank * geom_.banksPerRank + b])
                 err << "REF with open bank; ";
         }
-        if (gap(lastOf(DramCommandType::Precharge, cmd.rank, 0, true)) <
-            cyc(tm_.tRP)) {
+        if (gap(lastOf(DramCommandType::Precharge, cmd.rank, 0, true,
+                       now, cyc(tm_.tRP))) < cyc(tm_.tRP)) {
             err << "tRP before REF violated; ";
         }
         break;
@@ -168,7 +260,7 @@ TimingChecker::check(const DramCommand &cmd, Tick now)
         break;
     }
     history_.push_back({cmd, now});
-    if (history_.size() > kHistoryDepth)
+    if (history_.size() > historyDepth_)
         history_.pop_front();
     ++accepted_;
     return {};

@@ -44,9 +44,26 @@ class TimingChecker
         Tick tick;
     };
 
-    /** Most recent command of @p type to (rank, bank); null if none. */
+    /**
+     * Most recent command of @p type to (rank, bank), or null when
+     * none exists within @p windowTicks of @p now — records older
+     * than the caller's constraint window cannot violate it, so the
+     * scan stops there instead of walking the whole (tRFC-deep)
+     * history.
+     */
     const CmdRecord *lastOf(DramCommandType type, std::uint32_t rank,
-                            std::uint32_t bank, bool anyBank = false) const;
+                            std::uint32_t bank, bool anyBank, Tick now,
+                            Tick windowTicks) const;
+
+    /**
+     * Most recent command of @p type to any bank of (rank, group), or
+     * null when none exists within @p windowTicks of @p now. Records
+     * older than the caller's constraint window cannot violate it, so
+     * the scan stops there instead of walking the whole history.
+     */
+    const CmdRecord *lastOfGroup(DramCommandType type, std::uint32_t rank,
+                                 std::uint32_t group, Tick now,
+                                 Tick windowTicks) const;
 
     DramGeometry geom_;
     DramTimings tm_;
@@ -56,7 +73,16 @@ class TimingChecker
     std::vector<Tick> lastCasEnd_; ///< data-bus end per channel (size 1)
     std::uint64_t accepted_ = 0;
 
-    static constexpr std::size_t kHistoryDepth = 256;
+    /**
+     * Retained command records. Commands are spaced >= 1 tCK by the
+     * command-bus rule, so covering the largest timing window in
+     * cycles guarantees no constraint's witness is evicted early —
+     * e.g. a rank's REF must stay visible while the other rank
+     * legally issues one command per cycle for all of tRFC (708
+     * cycles on DDR5-4800, past the old fixed 256-entry depth).
+     * Derived in the constructor from the timing set.
+     */
+    std::size_t historyDepth_ = 256;
 };
 
 } // namespace mcsim

@@ -55,13 +55,44 @@ const char *mappingSchemeName(MappingScheme s);
 MappingScheme mappingSchemeFromName(const std::string &name);
 
 /**
+ * How the bank-group bits of a grouped device (DDR4/DDR5) are placed
+ * in the address. GroupInterleaved pulls the group-select bits down to
+ * the lowest mapped position (above a block-granular channel field),
+ * so consecutive cache blocks rotate across bank groups and streaming
+ * CAS trains pay tCCD_S; GroupPacked keeps the whole bank field
+ * contiguous where the scheme puts it, so a stream stays inside one
+ * bank group and the tCCD_L/tRRD_L/tWTR_L timings bind. Irrelevant
+ * (identical layouts) when bankGroupsPerRank == 1.
+ */
+enum class BankGroupMapping : std::uint8_t {
+    GroupInterleaved, ///< Group bits at the lowest mapped position.
+    GroupPacked,      ///< Bank field contiguous (group = high bank bits).
+};
+
+/** Both options, for sweeps. */
+constexpr std::array<BankGroupMapping, 2> kAllBankGroupMappings = {
+    BankGroupMapping::GroupInterleaved, BankGroupMapping::GroupPacked};
+
+const char *bankGroupMappingName(BankGroupMapping m);
+
+/** Parse a group-mapping name ("GroupInterleaved"/"GroupPacked", or
+ *  the short forms "interleaved"/"packed"); false on unknown names. */
+bool tryBankGroupMappingFromName(const std::string &name,
+                                 BankGroupMapping &out);
+
+/** As above, but fatal (user error) on unknown names. */
+BankGroupMapping bankGroupMappingFromName(const std::string &name);
+
+/**
  * Bidirectional mapper between physical block addresses and DRAM
  * coordinates for a given geometry and scheme.
  */
 class AddressMapper
 {
   public:
-    AddressMapper(const DramGeometry &geom, MappingScheme scheme);
+    AddressMapper(const DramGeometry &geom, MappingScheme scheme,
+                  BankGroupMapping groupMapping =
+                      BankGroupMapping::GroupInterleaved);
 
     /** Decode a byte address (block-aligned or not) to coordinates. */
     DramCoord decode(Addr addr) const;
@@ -70,6 +101,7 @@ class AddressMapper
     Addr encode(const DramCoord &coord) const;
 
     MappingScheme scheme() const { return scheme_; }
+    BankGroupMapping groupMapping() const { return groupMapping_; }
     const DramGeometry &geometry() const { return geom_; }
 
     /** Number of address bits consumed above the block offset. */
@@ -85,10 +117,15 @@ class AddressMapper
 
     DramGeometry geom_;
     MappingScheme scheme_;
+    BankGroupMapping groupMapping_;
     Field chField_, raField_, baField_, roField_, coField_;
+    /** Group-select bits when split out (GroupInterleaved on a
+     *  grouped device); width 0 otherwise. */
+    Field bgField_;
     unsigned blockShift_;
-    bool xorBank_ = false;    ///< bank ^= row[0 .. baW)
-    bool xorChannel_ = false; ///< channel ^= row[baW .. baW+chW)
+    unsigned bankBits_ = 0;   ///< log2(banksPerRank), bg + ba widths.
+    bool xorBank_ = false;    ///< bank ^= row[0 .. bankBits_)
+    bool xorChannel_ = false; ///< channel ^= row[bankBits_ .. +chW)
 };
 
 } // namespace mcsim

@@ -120,7 +120,29 @@ MemController::tryRefresh(Tick now)
     const auto r = static_cast<std::uint32_t>(rankIdx);
     const Rank &rank = channel_.rank(r);
 
-    // Close any open bank in the rank first.
+    if (channel_.perBankRefresh()) {
+        // REFpb targets one bank round-robin; only it must be closed,
+        // the rest of the rank stays schedulable.
+        const std::uint32_t b = rank.refreshDueBank();
+        if (rank.bank(b).isOpen()) {
+            const auto pre = DramCommand::precharge(r, b);
+            if (channel_.canIssue(pre, now)) {
+                recordPrecharge(r, b, rank.bank(b).openRow(),
+                                rank.bank(b).accessesThisActivation());
+                channel_.issue(pre, now);
+                return true;
+            }
+            return false; // Target bank not yet precharge-able; wait.
+        }
+        const auto ref = DramCommand::refreshBank(r, b);
+        if (channel_.canIssue(ref, now)) {
+            channel_.issue(ref, now);
+            return true;
+        }
+        return false;
+    }
+
+    // All-bank refresh: close any open bank in the rank first.
     for (std::uint32_t b = 0; b < rank.numBanks(); ++b) {
         if (!rank.bank(b).isOpen())
             continue;

@@ -53,6 +53,10 @@ namespace {
 /** Key segment carrying the device + clock fingerprint (schema v3). */
 constexpr const char *kDeviceKeyTag = "|dev=";
 
+/** Key segment carrying the bank-group fingerprint (schema v5):
+ *  groups per rank plus the group-mapping option. */
+constexpr const char *kBankGroupKeyTag = "|bg=";
+
 /** Prefix of the full-parameter hash segment (schema v4). */
 constexpr const char *kParamsKeyTag = "|p";
 constexpr std::size_t kParamsHashDigits = 16;
@@ -153,6 +157,23 @@ paramsSegment(const SimConfig &cfg)
     return buf;
 }
 
+/** The "|bg=<groups><i|p>" segment for @p cfg (schema v5). On a
+ *  single-group device the two placements are the same physical
+ *  layout, so the segment normalizes to 'i' and a sweep over the
+ *  group-mapping axis recalls one shared row instead of simulating
+ *  the identical point twice. */
+std::string
+bankGroupSegment(const SimConfig &cfg)
+{
+    std::string seg = kBankGroupKeyTag;
+    seg += std::to_string(cfg.dram.bankGroupsPerRank);
+    const bool packed = cfg.dram.bankGroupsPerRank > 1 &&
+                        cfg.bankGroupMapping ==
+                            BankGroupMapping::GroupPacked;
+    seg += packed ? 'p' : 'i';
+    return seg;
+}
+
 /** Does @p key already end with a params-hash segment? */
 bool
 hasParamsSegment(const std::string &key)
@@ -194,6 +215,10 @@ ExperimentRunner::configKey(WorkloadId workload, const SimConfig &cfg)
     // never alias to one cached row.
     key << kDeviceKeyTag << cfg.deviceName << '@' << cfg.clocks.coreMhz
         << ':' << cfg.clocks.dramMhz;
+    // Schema v5: the bank-group axis (groups per rank + the group-
+    // mapping option), so a grouped-timing run never aliases a row
+    // simulated under the old single-tCCD model or the other mapping.
+    key << bankGroupSegment(cfg);
     // Schema v4: a hash of the full parameter set, so sweeps over any
     // scheduler/controller/geometry tunable the readable segments omit
     // can never alias either.
@@ -235,6 +260,11 @@ constexpr std::size_t kCacheFieldsV2 = 18;
  *  indistinguishable, so they migrate as baseline rows too). */
 constexpr std::size_t kCacheScalarsV4 = 21;
 constexpr std::size_t kCacheFieldsV4 = 23;
+/** Schema v5 appends the same-bank-group CAS percentage column and
+ *  extends the *key* with the bank-group segment; older keys are
+ *  migrated on load by tagging them with the single-group fingerprint
+ *  ("|bg=1i") — the only timing model those schemas could simulate. */
+constexpr std::size_t kCacheFieldsV5 = 24;
 
 /** Parse a ';'-joined list of doubles; empty text is an empty list. */
 bool
@@ -282,7 +312,8 @@ parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
     }
     if ((fields.size() != kCacheFieldsV1 + 1 &&
          fields.size() != kCacheFieldsV2 + 1 &&
-         fields.size() != kCacheFieldsV4 + 1) ||
+         fields.size() != kCacheFieldsV4 + 1 &&
+         fields.size() != kCacheFieldsV5 + 1) ||
         fields[0].empty()) {
         return false;
     }
@@ -321,7 +352,7 @@ parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
         m.readLatencyP95 = v[16];
         m.readLatencyP99 = v[17];
     }
-    if (numFields == kCacheFieldsV4) {
+    if (numFields >= kCacheFieldsV4) {
         m.weightedSpeedup = v[18];
         m.harmonicSpeedup = v[19];
         m.maxSlowdown = v[20];
@@ -329,6 +360,13 @@ parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
             !parseDoubleList(fields[1 + 22], m.perCoreSlowdown)) {
             return false;
         }
+    }
+    if (numFields >= kCacheFieldsV5) {
+        const std::string &f = fields[1 + 23];
+        char *end = nullptr;
+        m.sameGroupCasPct = std::strtod(f.c_str(), &end);
+        if (f.empty() || end != f.c_str() + f.size())
+            return false;
     }
     return true;
 }
@@ -362,6 +400,19 @@ ExperimentRunner::loadCache()
         // them with that fingerprint instead of dropping the rows.
         if (key.find(kDeviceKeyTag) == std::string::npos)
             key += std::string(kDeviceKeyTag) + "DDR3-1600@2000:800";
+        // Schema v1-v4 keys predate the bank-group axis; everything
+        // they recorded ran the single-tCCD model, i.e. one bank group
+        // under the (then-only) interleaved placement. Insert that
+        // fingerprint before any trailing params-hash segment so the
+        // migrated key matches configKey()'s segment order.
+        if (key.find(kBankGroupKeyTag) == std::string::npos) {
+            const std::string bgSeg =
+                std::string(kBankGroupKeyTag) + "1i";
+            if (hasParamsSegment(key))
+                key.insert(key.size() - (2 + kParamsHashDigits), bgSeg);
+            else
+                key += bgSeg;
+        }
         // Schema v1-v3 keys predate the full-parameter hash; the only
         // parameter set they could name unambiguously is the baseline
         // one, so migrate them to its fingerprint.
@@ -388,7 +439,8 @@ ExperimentRunner::appendToCache(const std::string &key, const MetricSet &m)
         << m.readLatencyP95 << ',' << m.readLatencyP99 << ','
         << m.weightedSpeedup << ',' << m.harmonicSpeedup << ','
         << m.maxSlowdown << ',' << joinDoubleList(m.perCoreIpc) << ','
-        << joinDoubleList(m.perCoreSlowdown) << '\n';
+        << joinDoubleList(m.perCoreSlowdown) << ',' << m.sameGroupCasPct
+        << '\n';
     const std::string line = rec.str();
 
     // One fwrite on an O_APPEND stream keeps the record contiguous

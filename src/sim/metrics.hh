@@ -42,6 +42,14 @@ struct MetricSet
     double avgWriteQueue = 0.0;
     /** DRAM data-bus utilization, percent of peak. Figure 7. */
     double bwUtilPct = 0.0;
+    /** CAS commands issued to the same (rank, bank group) as the
+     *  previous CAS on their channel, percent — the back-to-back
+     *  population the tCCD_L (rather than tCCD_S) spacing applies to.
+     *  On single-group devices this degenerates to a same-rank
+     *  back-to-back fraction (all of a rank's banks share the one
+     *  group). Persisted in the results cache since schema v5; older
+     *  rows report 0. */
+    double sameGroupCasPct = 0.0;
     /** Activations receiving exactly one access, percent. Figure 8. */
     double singleAccessPct = 0.0;
 

@@ -118,6 +118,13 @@ ExperimentOptions::parse(int argc, char **argv)
                 return "unknown mapping scheme for --mapping";
             if (hasSpec)
                 spec.mappings = {config.mapping};
+        } else if (arg == "--group-mapping") {
+            const char *v = need(i);
+            if (!v ||
+                !tryBankGroupMappingFromName(v, config.bankGroupMapping))
+                return "unknown bank-group mapping for --group-mapping";
+            if (hasSpec)
+                spec.groupMappings = {config.bankGroupMapping};
         } else if (arg == "--device") {
             const char *v = need(i);
             const DramDevice *dev = v ? findDramDevice(v) : nullptr;
@@ -209,6 +216,9 @@ ExperimentOptions::listText()
     out << "\nmappings:";
     for (auto s : kExtendedMappingSchemes)
         out << ' ' << mappingSchemeName(s);
+    out << "\ngroup mappings:";
+    for (auto m : kAllBankGroupMappings)
+        out << ' ' << bankGroupMappingName(m);
     out << "\nworkloads:";
     for (auto w : kAllWorkloads)
         out << ' ' << workloadAcronym(w);
@@ -217,8 +227,15 @@ ExperimentOptions::listText()
         out << "  " << d.name << " (" << d.dataRateMtps << " MT/s, "
             << d.busMhz << " MHz bus, CL" << d.timings.tCAS << '-'
             << d.timings.tRCD << '-' << d.timings.tRP << ", "
-            << d.geometry.banksPerRank << " banks/rank) — " << d.source
-            << '\n';
+            << d.geometry.banksPerRank << " banks/rank";
+        if (d.geometry.bankGroupsPerRank > 1) {
+            out << " in " << d.geometry.bankGroupsPerRank
+                << " groups, tCCD " << d.timings.tCCD << '/'
+                << d.timings.tCCDL;
+        }
+        if (d.timings.perBankRefresh)
+            out << ", per-bank refresh";
+        out << ") — " << d.source << '\n';
     }
     return out.str();
 }
@@ -229,11 +246,11 @@ ExperimentOptions::usage(const std::string &tool)
     std::ostringstream out;
     out << "usage: " << tool
         << " [workload] [--workload W] [--scheduler S] [--policy P]\n"
-        << "       [--mapping M] [--device D] [--config SPEC] "
-           "[--channels N]\n"
-        << "       [--warmup C] [--measure C] [--seed N] [--fast D] "
-           "[--csv] [--fairness]\n"
-        << "       [--list]\n\n";
+        << "       [--mapping M] [--group-mapping G] [--device D] "
+           "[--config SPEC]\n"
+        << "       [--channels N] [--warmup C] [--measure C] [--seed N] "
+           "[--fast D]\n"
+        << "       [--csv] [--fairness] [--list]\n\n";
     out << listText();
     return out.str();
 }

@@ -52,6 +52,8 @@ struct ExperimentOptions
      *   --policy <name>           OpenAdaptive, CloseAdaptive, RBPP,
      *                             ABPP, Open, Close, Timer, History
      *   --mapping <name>          RoRaBaCoCh, ..., PermBaXor, ...
+     *   --group-mapping <name>    GroupInterleaved | GroupPacked
+     *                             (bank-group bit placement)
      *   --device <name>           DRAM device registry name
      *   --config <file>           key=value experiment spec (sweeps)
      *   --channels <1|2|4|...>

@@ -42,6 +42,11 @@ struct SimConfig
     bool refreshEnabled = true;
 
     MappingScheme mapping = MappingScheme::RoRaBaCoCh;
+    /** Placement of the bank-group bits on grouped devices (DDR4/
+     *  DDR5): interleave groups at block granularity (streams pay
+     *  tCCD_S) or keep the bank field packed (tCCD_L binds). No-op on
+     *  single-group devices. */
+    BankGroupMapping bankGroupMapping = BankGroupMapping::GroupInterleaved;
     SchedulerKind scheduler = SchedulerKind::FrFcfs;
     SchedulerParams schedulerParams;
     PagePolicyKind pagePolicy = PagePolicyKind::OpenAdaptive;

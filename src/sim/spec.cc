@@ -130,8 +130,8 @@ ExperimentSpec::pointCount() const
 {
     const auto n = [](std::size_t axis) { return axis ? axis : 1; };
     return n(devices.size()) * n(schedulers.size()) * n(policies.size()) *
-           n(mappings.size()) * n(channelCounts.size()) *
-           n(workloads.size());
+           n(mappings.size()) * n(groupMappings.size()) *
+           n(channelCounts.size()) * n(workloads.size());
 }
 
 std::vector<ExperimentRunner::Point>
@@ -150,6 +150,10 @@ ExperimentSpec::points() const
     const auto maps = mappings.empty()
                           ? std::vector<MappingScheme>{base.mapping}
                           : mappings;
+    const auto gmaps =
+        groupMappings.empty()
+            ? std::vector<BankGroupMapping>{base.bankGroupMapping}
+            : groupMappings;
     const auto chans =
         channelCounts.empty() ? std::vector<std::uint32_t>{
                                     base.dram.channels}
@@ -160,24 +164,29 @@ ExperimentSpec::points() const
 
     std::vector<ExperimentRunner::Point> out;
     out.reserve(devs.size() * scheds.size() * pols.size() * maps.size() *
-                chans.size() * wls.size());
+                gmaps.size() * chans.size() * wls.size());
     for (const std::string &dev : devs) {
         SimConfig devCfg = base;
         devCfg.applyDevice(dramDeviceOrDie(dev));
         for (auto sched : scheds) {
             for (auto pol : pols) {
                 for (auto map : maps) {
-                    for (auto ch : chans) {
-                        SimConfig cfg = devCfg;
-                        cfg.scheduler = sched;
-                        cfg.pagePolicy = pol;
-                        cfg.mapping = map;
-                        cfg.dram.channels = ch;
-                        for (auto wl : wls) {
-                            ExperimentRunner::Point p(wl, cfg);
-                            if (fairness)
-                                ExperimentRunner::attachAloneBaseline(p);
-                            out.push_back(std::move(p));
+                    for (auto gmap : gmaps) {
+                        for (auto ch : chans) {
+                            SimConfig cfg = devCfg;
+                            cfg.scheduler = sched;
+                            cfg.pagePolicy = pol;
+                            cfg.mapping = map;
+                            cfg.bankGroupMapping = gmap;
+                            cfg.dram.channels = ch;
+                            for (auto wl : wls) {
+                                ExperimentRunner::Point p(wl, cfg);
+                                if (fairness) {
+                                    ExperimentRunner::
+                                        attachAloneBaseline(p);
+                                }
+                                out.push_back(std::move(p));
+                            }
                         }
                     }
                 }
@@ -238,6 +247,10 @@ parseExperimentSpec(const std::string &text, ExperimentSpec &out)
         } else if (key == "mapping" || key == "mappings") {
             axisErr = parseAxis<MappingScheme>(value, "mapping scheme",
                                                findMapping, out.mappings);
+        } else if (key == "group_mapping" || key == "group_mappings") {
+            axisErr = parseAxis<BankGroupMapping>(
+                value, "bank-group mapping",
+                tryBankGroupMappingFromName, out.groupMappings);
         } else if (key == "workload" || key == "workloads") {
             axisErr = parseAxis<WorkloadId>(value, "workload",
                                             findWorkload, out.workloads);
@@ -309,6 +322,8 @@ parseExperimentSpec(const std::string &text, ExperimentSpec &out)
         out.base.pagePolicy = out.policies.front();
     if (out.mappings.size() == 1)
         out.base.mapping = out.mappings.front();
+    if (out.groupMappings.size() == 1)
+        out.base.bankGroupMapping = out.groupMappings.front();
     if (out.channelCounts.size() == 1)
         out.base.dram.channels = out.channelCounts.front();
     return {};

@@ -12,6 +12,10 @@
  *   scheduler = FR-FCFS[, ATLAS, ...]
  *   policy    = OpenAdaptive[, Close, ...]
  *   mapping   = RoRaBaCoCh[, PermBaXor, ...]
+ *   group_mapping = GroupInterleaved[, GroupPacked]
+ *                                             bank-group bit placement
+ *                                             (short forms interleaved
+ *                                             / packed accepted)
  *   channels  = 1[, 2, 4]                     powers of two
  *   workload  = WS[, DS, ...]                 paper acronyms
  *   core_mhz  = 2000                          scalar only
@@ -48,6 +52,7 @@ struct ExperimentSpec
     std::vector<SchedulerKind> schedulers;
     std::vector<PagePolicyKind> policies;
     std::vector<MappingScheme> mappings;
+    std::vector<BankGroupMapping> groupMappings;
     std::vector<std::uint32_t> channelCounts;
     std::vector<WorkloadId> workloads;
 

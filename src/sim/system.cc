@@ -71,7 +71,8 @@ System::~System() = default;
 void
 System::build(const SimConfig &cfg, std::uint32_t numCores)
 {
-    mapper_ = std::make_unique<AddressMapper>(cfg.dram, cfg.mapping);
+    mapper_ = std::make_unique<AddressMapper>(cfg.dram, cfg.mapping,
+                                              cfg.bankGroupMapping);
     dram_ = std::make_unique<DramSystem>(cfg.dram, cfg.timings,
                                          cfg.refreshEnabled, cfg.clocks);
     for (std::uint32_t ch = 0; ch < cfg.dram.channels; ++ch) {
@@ -390,6 +391,7 @@ System::collect() const
     std::uint64_t hits = 0, misses = 0, conflicts = 0;
     std::uint64_t latTicks = 0, latSamples = 0;
     std::uint64_t singles = 0, activations = 0;
+    std::uint64_t casTotal = 0, casSameGroup = 0;
     LogHistogram latencyHist{24};
     for (const auto &mc : controllers_) {
         latencyHist.merge(mc->stats().readLatencyHist);
@@ -410,7 +412,14 @@ System::collect() const
         m.avgWriteQueue += s.writeQueueLen.mean(now_);
         m.memReads += s.servedReads + s.forwardedReads;
         m.memWrites += s.servedWrites;
+        const auto &ch = mc->channel().stats();
+        casTotal += ch.reads + ch.writes;
+        casSameGroup += ch.casSameGroup;
     }
+    m.sameGroupCasPct =
+        casTotal ? 100.0 * static_cast<double>(casSameGroup) /
+                       static_cast<double>(casTotal)
+                 : 0.0;
     const std::uint64_t cas = hits + misses + conflicts;
     m.rowHitRatePct =
         cas ? 100.0 * static_cast<double>(hits) / static_cast<double>(cas)
@@ -428,6 +437,7 @@ System::collect() const
 
     const DramEnergyModel energyModel(cfg_.power, cfg_.timings,
                                       cfg_.dram.ranksPerChannel,
+                                      cfg_.dram.banksPerRank,
                                       cfg_.clocks);
     // Every channel's stats window starts at the same resetStats()
     // tick, so the elapsed time is one number, not per-controller.

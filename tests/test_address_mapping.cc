@@ -198,3 +198,125 @@ TEST(Mapping, ColumnBitsAreLowestForCoLowSchemes)
     EXPECT_EQ(c1.row, c0.row);
     EXPECT_EQ(c1.channel, c0.channel);
 }
+
+namespace {
+
+/** DDR4-like grouped geometry: 16 banks in 4 groups. */
+DramGeometry
+groupedGeom(std::uint32_t channels)
+{
+    DramGeometry g = geomWithChannels(channels);
+    g.banksPerRank = 16;
+    g.bankGroupsPerRank = 4;
+    return g;
+}
+
+} // namespace
+
+/** Parameterized over (scheme, group mapping): grouped geometry. */
+class GroupMappingParam
+    : public ::testing::TestWithParam<
+          std::tuple<MappingScheme, BankGroupMapping>>
+{
+};
+
+TEST_P(GroupMappingParam, RoundtripAndRangesWithBankGroups)
+{
+    const auto [scheme, gm] = GetParam();
+    const auto g = groupedGeom(2);
+    AddressMapper m(g, scheme, gm);
+    Pcg32 rng(31);
+    std::set<Addr> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a =
+            rng.below64(g.capacityBytes() / g.blockBytes) * g.blockBytes;
+        const DramCoord c = m.decode(a);
+        EXPECT_LT(c.channel, g.channels);
+        EXPECT_LT(c.rank, g.ranksPerChannel);
+        EXPECT_LT(c.bank, g.banksPerRank);
+        EXPECT_LT(c.row, g.rowsPerBank);
+        EXPECT_LT(c.column, g.blocksPerRow());
+        EXPECT_EQ(m.encode(c), a);
+    }
+    EXPECT_EQ(m.mappedBits(),
+              AddressMapper(g, scheme, BankGroupMapping::GroupPacked)
+                  .mappedBits());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesBothPlacements, GroupMappingParam,
+    ::testing::Combine(::testing::ValuesIn(kExtendedMappingSchemes),
+                       ::testing::ValuesIn(kAllBankGroupMappings)));
+
+TEST(GroupMapping, InterleavedRotatesConsecutiveBlocksAcrossGroups)
+{
+    // With the group bits sunk to the bottom, consecutive blocks (of
+    // one channel) walk bank groups round-robin — the layout that
+    // keeps streaming CAS trains on tCCD_S.
+    const auto g = groupedGeom(1);
+    AddressMapper m(g, MappingScheme::RoRaBaChCo,
+                    BankGroupMapping::GroupInterleaved);
+    for (std::uint64_t blk = 0; blk < 16; ++blk) {
+        const DramCoord c = m.decode(blk * g.blockBytes);
+        EXPECT_EQ(g.bankGroupOf(c.bank),
+                  blk % g.bankGroupsPerRank)
+            << "block " << blk;
+    }
+}
+
+TEST(GroupMapping, PackedKeepsConsecutiveBlocksInOneGroup)
+{
+    // The packed layout preserves the classic contiguous bank field: a
+    // stream stays in one bank (and so one group) for a whole row.
+    const auto g = groupedGeom(1);
+    AddressMapper m(g, MappingScheme::RoRaBaChCo,
+                    BankGroupMapping::GroupPacked);
+    const DramCoord c0 = m.decode(0);
+    for (std::uint64_t blk = 1; blk < g.blocksPerRow(); ++blk) {
+        const DramCoord c = m.decode(blk * g.blockBytes);
+        EXPECT_EQ(c.bank, c0.bank);
+        EXPECT_EQ(g.bankGroupOf(c.bank), g.bankGroupOf(c0.bank));
+    }
+}
+
+TEST(GroupMapping, InterleavedKeepsBlockChannelInterleaveLowest)
+{
+    // RoRaBaCoCh promises block-granular channel interleave; the group
+    // bits slot in just above the channel field, not below it.
+    const auto g = groupedGeom(4);
+    AddressMapper m(g, MappingScheme::RoRaBaCoCh,
+                    BankGroupMapping::GroupInterleaved);
+    for (std::uint64_t blk = 0; blk < 8; ++blk) {
+        const DramCoord c = m.decode(blk * g.blockBytes);
+        EXPECT_EQ(c.channel, blk % g.channels) << "block " << blk;
+    }
+    // Above the channel bits, groups rotate.
+    const DramCoord a = m.decode(0);
+    const DramCoord b = m.decode(g.channels * g.blockBytes);
+    EXPECT_NE(g.bankGroupOf(b.bank), g.bankGroupOf(a.bank));
+}
+
+TEST(GroupMapping, SingleGroupGeometryIgnoresThePlacement)
+{
+    // With one bank group the two placements are the same layout.
+    const auto g = geomWithChannels(2);
+    AddressMapper inter(g, MappingScheme::RoRaChBaCo,
+                        BankGroupMapping::GroupInterleaved);
+    AddressMapper packed(g, MappingScheme::RoRaChBaCo,
+                         BankGroupMapping::GroupPacked);
+    Pcg32 rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const Addr a = rng.below64(g.capacityBytes());
+        EXPECT_TRUE(inter.decode(a) == packed.decode(a));
+    }
+}
+
+TEST(GroupMapping, NamesRoundtrip)
+{
+    for (auto m : kAllBankGroupMappings)
+        EXPECT_EQ(bankGroupMappingFromName(bankGroupMappingName(m)), m);
+    EXPECT_EQ(bankGroupMappingFromName("interleaved"),
+              BankGroupMapping::GroupInterleaved);
+    EXPECT_EQ(bankGroupMappingFromName("packed"),
+              BankGroupMapping::GroupPacked);
+}

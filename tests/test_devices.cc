@@ -64,7 +64,7 @@ TEST(DeviceRegistry, ContainsTheDocumentedSpeedGrades)
         names.insert(d.name);
     for (const char *want :
          {"DDR3-1066", "DDR3-1333", "DDR3-1600", "DDR3-1866", "DDR4-2400",
-          "LPDDR3-1600"}) {
+          "DDR5-4800", "LPDDR3-1600"}) {
         EXPECT_TRUE(names.count(want)) << "missing device " << want;
     }
     EXPECT_EQ(names.size(), dramDeviceRegistry().size())
@@ -91,9 +91,31 @@ TEST(DeviceRegistry, EntriesAreInternallyConsistent)
         EXPECT_GE(t.tFAW, t.tRRD) << "four activates cannot beat one";
         EXPECT_GE(t.tRFC, t.tRP) << "refresh outlasts a precharge";
         EXPECT_GT(t.tREFI, t.tRFC) << "refresh interval must dominate";
-        EXPECT_EQ(t.tBURST, 4u) << "BL8 on a DDR bus is 4 clocks";
+        EXPECT_TRUE(t.tBURST == 4 || t.tBURST == 8)
+            << "BL8 is 4 clocks on a DDR bus; DDR5's BL16 is 8";
+        // Split (bank-group) timings: the long same-group value can
+        // never undercut the short any-pair one, and a device without
+        // bank groups must keep the pairs equal so the single-tCCD
+        // model is reproduced exactly.
+        EXPECT_GE(t.tCCDL, t.tCCD);
+        EXPECT_GE(t.tRRDL, t.tRRD);
+        EXPECT_GE(t.tWTRL, t.tWTR);
+        if (d.geometry.bankGroupsPerRank == 1) {
+            EXPECT_EQ(t.tCCDL, t.tCCD);
+            EXPECT_EQ(t.tRRDL, t.tRRD);
+            EXPECT_EQ(t.tWTRL, t.tWTR);
+        }
+        // Per-bank refresh needs its cycle time; a per-bank burst is
+        // shorter than the rank-wide one it replaces.
+        if (t.perBankRefresh) {
+            EXPECT_GT(t.tRFCpb, 0u);
+            EXPECT_LT(t.tRFCpb, t.tRFC);
+            EXPECT_GT(t.tREFI / d.geometry.banksPerRank, t.tRFCpb)
+                << "per-bank refresh interval must dominate tRFCpb";
+        }
         // Geometry is legal and divides cleanly.
         d.geometry.validate();
+        EXPECT_GE(d.geometry.banksPerRank, d.geometry.bankGroupsPerRank);
         EXPECT_GE(d.power.vdd, 1.0);
         EXPECT_GT(d.power.idd4r, d.power.idd3n);
         EXPECT_FALSE(d.source.empty());
@@ -109,6 +131,38 @@ TEST(DeviceRegistry, EveryDeviceHostsTheIoBuffer)
         SCOPED_TRACE(d.name);
         EXPECT_GE(d.geometry.capacityBytes(), ioEnd);
     }
+}
+
+TEST(DeviceRegistry, BankGroupDevicesCarryRealSplitTimings)
+{
+    const DramDevice &ddr4 = dramDeviceOrDie("DDR4-2400");
+    EXPECT_EQ(ddr4.geometry.bankGroupsPerRank, 4u);
+    EXPECT_EQ(ddr4.geometry.banksPerGroup(), 4u);
+    EXPECT_GT(ddr4.timings.tCCDL, ddr4.timings.tCCD);
+    EXPECT_GT(ddr4.timings.tRRDL, ddr4.timings.tRRD);
+    EXPECT_GT(ddr4.timings.tWTRL, ddr4.timings.tWTR);
+
+    const DramDevice &ddr5 = dramDeviceOrDie("DDR5-4800");
+    EXPECT_EQ(ddr5.geometry.banksPerRank, 32u);
+    EXPECT_EQ(ddr5.geometry.bankGroupsPerRank, 8u);
+    EXPECT_EQ(ddr5.timings.tBURST, 8u); // BL16.
+    EXPECT_GT(ddr5.timings.tCCDL, ddr5.timings.tCCD);
+
+    const DramDevice &lp = dramDeviceOrDie("LPDDR3-1600");
+    EXPECT_TRUE(lp.timings.perBankRefresh);
+    EXPECT_GT(lp.timings.tRFCpb, 0u);
+}
+
+TEST(DramGeometry, BankGroupOfUsesHighBankBits)
+{
+    DramGeometry g;
+    g.banksPerRank = 16;
+    g.bankGroupsPerRank = 4;
+    EXPECT_EQ(g.banksPerGroup(), 4u);
+    EXPECT_EQ(g.bankGroupOf(0), 0u);
+    EXPECT_EQ(g.bankGroupOf(3), 0u);
+    EXPECT_EQ(g.bankGroupOf(4), 1u);
+    EXPECT_EQ(g.bankGroupOf(15), 3u);
 }
 
 TEST(SimConfigDevice, ApplyDevicePreservesChannelsAndCoreClock)
@@ -157,6 +211,10 @@ TEST(DramGeometryDeathTest, ValidateRejectsNonPowerOfTwoFields)
                  "powers of two");
     EXPECT_DEATH(withBad([](DramGeometry &g) { g.banksPerRank = 12; }),
                  "powers of two");
+    EXPECT_DEATH(withBad([](DramGeometry &g) { g.bankGroupsPerRank = 3; }),
+                 "bank groups");
+    EXPECT_DEATH(withBad([](DramGeometry &g) { g.bankGroupsPerRank = 16; }),
+                 "bank groups"); // More groups than banks.
     EXPECT_DEATH(withBad([](DramGeometry &g) { g.rowsPerBank = 1000; }),
                  "powers of two");
     EXPECT_DEATH(withBad([](DramGeometry &g) { g.rowBufferBytes = 6000; }),

@@ -246,7 +246,7 @@ TEST(BankTest, AccessCounterTracksActivation)
 
 TEST(RankTest, AllBanksClosedTracksState)
 {
-    Rank r(4);
+    Rank r(4, 1);
     EXPECT_TRUE(r.allBanksClosed());
     r.bank(2).activate(1, 0, 10, 20, 30);
     EXPECT_FALSE(r.allBanksClosed());

@@ -11,6 +11,7 @@
 #include <algorithm>
 
 #include "dram/channel.hh"
+#include "dram/devices.hh"
 #include "dram/energy.hh"
 
 using namespace mcsim;
@@ -21,7 +22,7 @@ DramEnergyModel
 model()
 {
     return DramEnergyModel(DramPowerParams::ddr3_1600(),
-                           DramTimings::ddr3_1600(), 2);
+                           DramTimings::ddr3_1600(), 2, 8);
 }
 
 /** Issue ACT(row) + RD + PRE on (rank 0, bank 0), waiting as needed. */
@@ -177,4 +178,30 @@ TEST(Energy, MoreActivationsMoreTotalEnergy)
     const Tick horizon = std::max(tEnd1, tEnd8);
     EXPECT_GT(m.estimate(eight.stats(), horizon).totalNj(),
               m.estimate(one.stats(), horizon).totalNj());
+}
+
+TEST(EnergyModel, PerBankRefreshScalesBurstCurrent)
+{
+    // A REFpb burst refreshes 1/banks of the die, so its per-event
+    // energy is the all-bank burst's scaled by (tRFCpb / tRFC) / banks
+    // (the IDD5PB approximation) — not a full-rank burst charged per
+    // bank, which would inflate LPDDR3 refresh energy ~banks-fold.
+    const DramDevice &lp = dramDeviceOrDie("LPDDR3-1600");
+    ASSERT_TRUE(lp.timings.perBankRefresh);
+    const ClockDomains clk = ClockDomains::fromMhz(2000, lp.busMhz);
+    const std::uint32_t banks = lp.geometry.banksPerRank;
+    const DramEnergyModel perBank(lp.power, lp.timings,
+                                  lp.geometry.ranksPerChannel, banks,
+                                  clk);
+    DramTimings allBankTm = lp.timings;
+    allBankTm.perBankRefresh = false;
+    const DramEnergyModel allBank(lp.power, allBankTm,
+                                  lp.geometry.ranksPerChannel, banks,
+                                  clk);
+    const double expected = allBank.refreshEnergyNj() *
+                            static_cast<double>(lp.timings.tRFCpb) /
+                            static_cast<double>(lp.timings.tRFC) /
+                            static_cast<double>(banks);
+    EXPECT_NEAR(perBank.refreshEnergyNj(), expected,
+                1e-9 * allBank.refreshEnergyNj());
 }

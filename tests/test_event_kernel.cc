@@ -47,6 +47,7 @@ expectIdentical(const MetricSet &ev, const MetricSet &ref)
     EXPECT_EQ(ev.avgWriteQueue, ref.avgWriteQueue);
     EXPECT_EQ(ev.bwUtilPct, ref.bwUtilPct);
     EXPECT_EQ(ev.singleAccessPct, ref.singleAccessPct);
+    EXPECT_EQ(ev.sameGroupCasPct, ref.sameGroupCasPct);
     EXPECT_EQ(ev.ipcDisparity, ref.ipcDisparity);
     EXPECT_EQ(ev.dramEnergyNj, ref.dramEnergyNj);
     EXPECT_EQ(ev.dramAvgPowerMw, ref.dramAvgPowerMw);
@@ -160,8 +161,8 @@ TEST_P(KernelDeviceEquivalence, BitIdenticalToReference)
 }
 
 INSTANTIATE_TEST_SUITE_P(NonBaselineDevices, KernelDeviceEquivalence,
-                         ::testing::Values("DDR4-2400", "LPDDR3-1600",
-                                           "DDR3-1066"),
+                         ::testing::Values("DDR4-2400", "DDR5-4800",
+                                           "LPDDR3-1600", "DDR3-1066"),
                          [](const auto &info) {
                              std::string name = info.param;
                              for (char &c : name) {
@@ -273,12 +274,20 @@ TEST(EventKernel, CommandTraceIdenticalIncludingRefresh)
 
 TEST(EventKernel, CommandTraceIdenticalOnDdr4)
 {
-    expectTraceIdentical("DDR4-2400"); // 3:5 tick ratio, 16 banks.
+    // 3:5 tick ratio, 4 bank groups with real tCCD_L/tRRD_L/tWTR_L.
+    expectTraceIdentical("DDR4-2400");
+}
+
+TEST(EventKernel, CommandTraceIdenticalOnDdr5)
+{
+    // 6:5 tick ratio, 8 groups x 4 banks, BL16.
+    expectTraceIdentical("DDR5-4800");
 }
 
 TEST(EventKernel, CommandTraceIdenticalOnLpddr3)
 {
-    expectTraceIdentical("LPDDR3-1600"); // Short tRFCab, halved tREFI.
+    // Per-bank refresh: REFpb every tREFI/8 per rank, round-robin.
+    expectTraceIdentical("LPDDR3-1600");
 }
 
 /**

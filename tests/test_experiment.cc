@@ -477,6 +477,96 @@ TEST(ExperimentCache, FairnessColumnsRoundtrip)
     std::remove(path.c_str());
 }
 
+TEST(ExperimentCache, KeySeparatesBankGroupAxes)
+{
+    // Schema v5: the bank-group count and the group-mapping option are
+    // part of the key, so a grouped-timing run can never alias a row
+    // simulated under the single-tCCD model or the other placement.
+    const SimConfig base = SimConfig::baseline();
+    SimConfig ddr4 = base;
+    ddr4.applyDevice(dramDeviceOrDie("DDR4-2400"));
+    SimConfig ddr4Packed = ddr4;
+    ddr4Packed.bankGroupMapping = BankGroupMapping::GroupPacked;
+    SimConfig ddr5 = base;
+    ddr5.applyDevice(dramDeviceOrDie("DDR5-4800"));
+
+    const auto kb = ExperimentRunner::configKey(WorkloadId::DS, base);
+    const auto k4 = ExperimentRunner::configKey(WorkloadId::DS, ddr4);
+    const auto k4p =
+        ExperimentRunner::configKey(WorkloadId::DS, ddr4Packed);
+    const auto k5 = ExperimentRunner::configKey(WorkloadId::DS, ddr5);
+    EXPECT_NE(kb.find("|bg=1i"), std::string::npos) << kb;
+    EXPECT_NE(k4.find("|bg=4i"), std::string::npos) << k4;
+    EXPECT_NE(k4p.find("|bg=4p"), std::string::npos) << k4p;
+    EXPECT_NE(k5.find("|bg=8i"), std::string::npos) << k5;
+    EXPECT_NE(k4, k4p);
+
+    // On a single-group device the two placements are the same
+    // physical layout; the key normalizes so they share one row.
+    SimConfig basePacked = base;
+    basePacked.bankGroupMapping = BankGroupMapping::GroupPacked;
+    EXPECT_EQ(kb, ExperimentRunner::configKey(WorkloadId::DS,
+                                              basePacked));
+}
+
+TEST(ExperimentCache, V4KeysMigrateToSingleGroupFingerprint)
+{
+    // A v4-format row — key with device + params-hash segments but no
+    // bank-group segment, 23 value columns — must load, satisfy a
+    // baseline (single-group) lookup with sameGroupCasPct zeroed, and
+    // never satisfy a grouped-device lookup.
+    const std::string path = tempCachePath("v4migrate");
+    const SimConfig cfg = tinyConfig();
+    std::string key = ExperimentRunner::configKey(WorkloadId::WS, cfg);
+    const std::size_t bg = key.find("|bg=1i");
+    ASSERT_NE(bg, std::string::npos);
+    key.erase(bg, 6); // Strip the v5 segment: a v4-format key.
+    {
+        std::ofstream out(path);
+        out << key
+            << ",1.5,100,30,5,1,2,10,20,1000,2000,30,40,0.9,5000,120,"
+               "55,77,99,1.1,1.2,1.3,,\n";
+    }
+    ExperimentRunner runner(path);
+    const MetricSet hit = runner.run(WorkloadId::WS, cfg);
+    EXPECT_EQ(runner.simulationsRun(), 0u);
+    EXPECT_EQ(runner.cacheHits(), 1u);
+    EXPECT_DOUBLE_EQ(hit.userIpc, 1.5);
+    EXPECT_DOUBLE_EQ(hit.weightedSpeedup, 1.1);
+    EXPECT_DOUBLE_EQ(hit.sameGroupCasPct, 0.0); // Pre-v5 column.
+
+    // The same point on a grouped device misses and re-simulates.
+    SimConfig ddr4 = cfg;
+    ddr4.applyDevice(dramDeviceOrDie("DDR4-2400"));
+    (void)runner.run(WorkloadId::WS, ddr4);
+    EXPECT_EQ(runner.simulationsRun(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentCache, SameGroupCasColumnRoundtrips)
+{
+    // Schema v5 rows persist sameGroupCasPct; a reloaded entry must
+    // reproduce it (single-group baseline: every CAS follows a CAS in
+    // the only group, so the value is large and nonzero).
+    const std::string path = tempCachePath("v5roundtrip");
+    std::remove(path.c_str());
+    const SimConfig cfg = tinyConfig();
+    MetricSet fresh;
+    {
+        ExperimentRunner runner(path);
+        fresh = runner.run(WorkloadId::WS, cfg);
+        EXPECT_GT(fresh.sameGroupCasPct, 0.0);
+    }
+    {
+        ExperimentRunner runner(path);
+        const MetricSet cached = runner.run(WorkloadId::WS, cfg);
+        EXPECT_EQ(runner.simulationsRun(), 0u);
+        EXPECT_NEAR(cached.sameGroupCasPct, fresh.sameGroupCasPct,
+                    1e-4 * fresh.sameGroupCasPct);
+    }
+    std::remove(path.c_str());
+}
+
 TEST(ExperimentCache, KeySeparatesDevicesAndClocks)
 {
     // Schema v3: two devices (or two core clocks) must never alias to

@@ -11,9 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <string>
 #include <vector>
 
+#include "dram/channel.hh"
+#include "dram/devices.hh"
 #include "dram/timing_checker.hh"
 #include "sim/system.hh"
 #include "workload/presets.hh"
@@ -105,4 +108,184 @@ TEST(ProtocolValidationPolicies, ClosePolicyStillLegal)
     Referee referee(sys, cfg);
     (void)sys.run();
     EXPECT_EQ(referee.violations, 0) << referee.firstError;
+}
+
+/**
+ * Bank-group devices: full-system runs on the real split timings
+ * (tCCD_L/tRRD_L/tWTR_L now bound by the checker too) must stay
+ * violation-free under both group-bit placements, and LPDDR3's
+ * per-bank refresh stream must satisfy the REFpb rules.
+ */
+class ProtocolValidationDevices
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ProtocolValidationDevices, GroupTimingRunsAllLegal)
+{
+    for (const auto gm : kAllBankGroupMappings) {
+        SimConfig cfg = SimConfig::baseline();
+        cfg.applyDevice(dramDeviceOrDie(GetParam()));
+        cfg.bankGroupMapping = gm;
+        cfg.warmupCoreCycles = 50'000;
+        cfg.measureCoreCycles = 200'000;
+        System sys(cfg, workloadPreset(WorkloadId::DS));
+        Referee referee(sys, cfg);
+        (void)sys.run();
+        EXPECT_EQ(referee.violations, 0)
+            << bankGroupMappingName(gm) << ": " << referee.firstError;
+        std::uint64_t accepted = 0;
+        for (const auto &chk : referee.checkers)
+            accepted += chk->accepted();
+        EXPECT_GT(accepted, 1000u) << "run produced too few commands";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BankGroupAndPerBankRefreshDevices,
+                         ProtocolValidationDevices,
+                         ::testing::Values("DDR4-2400", "DDR5-4800",
+                                           "LPDDR3-1600"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name) {
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             }
+                             return name;
+                         });
+
+namespace {
+
+/** DDR4 timings + a checker with rows opened where a test needs them. */
+struct Ddr4Fixture
+{
+    Ddr4Fixture()
+        : dev(dramDeviceOrDie("DDR4-2400")),
+          clk(ClockDomains::fromMhz(2000, dev.busMhz)),
+          chk(dev.geometry, dev.timings, clk)
+    {
+    }
+
+    Tick cyc(std::uint32_t c) const { return clk.dramToTicks(c); }
+
+    const DramDevice &dev;
+    ClockDomains clk;
+    TimingChecker chk;
+};
+
+} // namespace
+
+TEST(ProtocolValidationGroups, TccdLViolationRejected)
+{
+    Ddr4Fixture f;
+    const DramTimings &tm = f.dev.timings;
+    ASSERT_GT(tm.tCCDL, tm.tCCD);
+    // Open the same-group bank pair (banks 0 and 1, group 0).
+    DramCoord a{0, 0, 0, 5, 0}, b{0, 0, 1, 7, 0};
+    ASSERT_EQ(f.chk.check(DramCommand::activate(a), 0), "");
+    ASSERT_EQ(f.chk.check(DramCommand::activate(b), f.cyc(1000)), "");
+    const Tick rd = f.cyc(2000);
+    ASSERT_EQ(f.chk.check(DramCommand::read(a), rd), "");
+    // Past tCCD_S but short of tCCD_L: same group, must be rejected.
+    const std::string err =
+        f.chk.check(DramCommand::read(b), rd + f.cyc(tm.tCCDL) - 1);
+    EXPECT_NE(err.find("tCCD_L"), std::string::npos) << err;
+    // At tCCD_L it goes through.
+    EXPECT_EQ(f.chk.check(DramCommand::read(b), rd + f.cyc(tm.tCCDL)),
+              "");
+}
+
+TEST(ProtocolValidationGroups, TrrdLViolationRejected)
+{
+    Ddr4Fixture f;
+    const DramTimings &tm = f.dev.timings;
+    ASSERT_GT(tm.tRRDL, tm.tRRD);
+    DramCoord a{0, 0, 0, 5, 0};
+    DramCoord sameGroup{0, 0, 1, 5, 0};
+    ASSERT_EQ(f.chk.check(DramCommand::activate(a), 0), "");
+    // Legal for tRRD_S, illegal for tRRD_L: same bank group.
+    const std::string err = f.chk.check(DramCommand::activate(sameGroup),
+                                        f.cyc(tm.tRRDL) - 1);
+    EXPECT_NE(err.find("tRRD_L"), std::string::npos) << err;
+    EXPECT_EQ(
+        f.chk.check(DramCommand::activate(sameGroup), f.cyc(tm.tRRDL)),
+        "");
+    // A different group is held only to tRRD_S.
+    DramCoord otherGroup{0, 0, f.dev.geometry.banksPerGroup(), 5, 0};
+    EXPECT_EQ(f.chk.check(DramCommand::activate(otherGroup),
+                          f.cyc(tm.tRRDL) + f.cyc(tm.tRRD)),
+              "");
+}
+
+TEST(ProtocolValidationGroups, TfawCountsActsAcrossGroups)
+{
+    Ddr4Fixture f;
+    const DramTimings &tm = f.dev.timings;
+    // Four ACTs to four *different* bank groups, spaced by tRRD_S —
+    // legal (tRRD_L never binds across groups), all in one tFAW
+    // window.
+    ASSERT_LT(3 * tm.tRRD, tm.tFAW);
+    const std::uint32_t bpg = f.dev.geometry.banksPerGroup();
+    for (std::uint32_t g = 0; g < 4; ++g) {
+        DramCoord c{0, 0, g * bpg, 1, 0};
+        ASSERT_EQ(
+            f.chk.check(DramCommand::activate(c), g * f.cyc(tm.tRRD)),
+            "")
+            << "group " << g;
+    }
+    // The fifth ACT — to yet another bank — must trip tFAW even
+    // though every prior ACT went to a different group.
+    DramCoord fifth{0, 0, 1, 1, 0};
+    const Tick at = 4 * f.cyc(tm.tRRD);
+    ASSERT_LT(at, f.cyc(tm.tFAW));
+    const std::string err = f.chk.check(DramCommand::activate(fifth), at);
+    EXPECT_NE(err.find("tFAW"), std::string::npos) << err;
+}
+
+TEST(ProtocolValidationPerBankRefresh, OtherBanksStaySchedulable)
+{
+    const DramDevice &dev = dramDeviceOrDie("LPDDR3-1600");
+    ASSERT_TRUE(dev.timings.perBankRefresh);
+    const ClockDomains clk = ClockDomains::fromMhz(2000, dev.busMhz);
+    const auto cyc = [&clk](std::uint32_t c) {
+        return clk.dramToTicks(c);
+    };
+
+    // Channel: a REFpb to bank 0 leaves bank 1 activatable right on
+    // the next command cycle, while bank 0 is blocked for tRFCpb.
+    Channel chan(dev.geometry, dev.timings, /*enableRefresh=*/false, clk);
+    chan.issue(DramCommand::refreshBank(0, 0), 0);
+    DramCoord b1{0, 0, 1, 3, 0};
+    EXPECT_TRUE(chan.canIssue(DramCommand::activate(b1), cyc(1)));
+    DramCoord b0{0, 0, 0, 3, 0};
+    EXPECT_FALSE(chan.canIssue(DramCommand::activate(b0),
+                               cyc(dev.timings.tRFCpb) - 1));
+    EXPECT_TRUE(
+        chan.canIssue(DramCommand::activate(b0), cyc(dev.timings.tRFCpb)));
+
+    // Checker: the same sequence is accepted, and the too-early ACT to
+    // the refreshed bank is named as a tRFCpb violation.
+    TimingChecker chk(dev.geometry, dev.timings, clk);
+    EXPECT_EQ(chk.check(DramCommand::refreshBank(0, 0), 0), "");
+    EXPECT_EQ(chk.check(DramCommand::activate(b1), cyc(1)), "");
+    const std::string err = chk.check(DramCommand::activate(b0),
+                                      cyc(dev.timings.tRFCpb) - 1);
+    EXPECT_NE(err.find("tRFCpb"), std::string::npos) << err;
+}
+
+TEST(ProtocolValidationPerBankRefresh, RefpbToOpenBankRejected)
+{
+    const DramDevice &dev = dramDeviceOrDie("LPDDR3-1600");
+    const ClockDomains clk = ClockDomains::fromMhz(2000, dev.busMhz);
+    TimingChecker chk(dev.geometry, dev.timings, clk);
+    DramCoord b0{0, 0, 0, 3, 0};
+    ASSERT_EQ(chk.check(DramCommand::activate(b0), 0), "");
+    // The open bank cannot be refreshed, but its closed neighbor can.
+    const std::string err =
+        chk.check(DramCommand::refreshBank(0, 0), clk.dramToTicks(100));
+    EXPECT_NE(err.find("open bank"), std::string::npos) << err;
+    EXPECT_EQ(chk.check(DramCommand::refreshBank(0, 1),
+                        clk.dramToTicks(100)),
+              "");
 }

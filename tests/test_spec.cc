@@ -159,3 +159,35 @@ TEST(Spec, LoadsFromDiskAndRoundTrips)
     EXPECT_EQ(spec.workloads[0], WorkloadId::WS);
     std::remove(path.c_str());
 }
+
+TEST(Spec, GroupMappingAxisExpandsAndShapesBase)
+{
+    ExperimentSpec spec;
+    ASSERT_EQ(parseExperimentSpec("device = DDR4-2400\n"
+                                  "group_mappings = GroupInterleaved, "
+                                  "GroupPacked\n"
+                                  "workload = WS\n",
+                                  spec),
+              "");
+    EXPECT_EQ(spec.pointCount(), 2u);
+    const auto points = spec.points();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].cfg.bankGroupMapping,
+              BankGroupMapping::GroupInterleaved);
+    EXPECT_EQ(points[1].cfg.bankGroupMapping,
+              BankGroupMapping::GroupPacked);
+
+    // A single-valued axis (short form accepted) shapes the base.
+    ExperimentSpec one;
+    ASSERT_EQ(parseExperimentSpec("group_mapping = packed\n", one), "");
+    EXPECT_EQ(one.base.bankGroupMapping, BankGroupMapping::GroupPacked);
+}
+
+TEST(Spec, BadGroupMappingIsALineNumberedError)
+{
+    ExperimentSpec spec;
+    const std::string err =
+        parseExperimentSpec("group_mapping = diagonal\n", spec);
+    EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+    EXPECT_NE(err.find("bank-group mapping"), std::string::npos) << err;
+}

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Exhaustive timing-distance property test: for every command pair x
+ * {same bank, same group, different group, different rank} relation,
+ * the minimum legal distance between the two commands must equal a
+ * table computed directly from DramTimings — independently, in this
+ * file — for BOTH protocol models: the TimingChecker (scanned densely
+ * with a fresh replayed checker per probe) and the Channel's fast-path
+ * legality (canIssue scan plus the nextLegalAt event hint). Any drift
+ * between the checker, the channel, and the JEDEC arithmetic shows up
+ * as an off-by-N here, on every registered timing set including the
+ * bank-group devices (DDR4/DDR5) and the per-bank-refresh one
+ * (LPDDR3).
+ *
+ * The only intentional model asymmetry: the channel charges the tCS
+ * rank-switch penalty on the shared data bus, the checker does not
+ * (it is deliberately the more permissive referee), so cross-rank CAS
+ * pairs carry separate expected values per model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/channel.hh"
+#include "dram/devices.hh"
+#include "dram/timing_checker.hh"
+
+using namespace mcsim;
+
+namespace {
+
+enum class Rel { SameBank, SameGroup, DiffGroup, DiffRank };
+
+const char *
+relName(Rel r)
+{
+    switch (r) {
+      case Rel::SameBank: return "SameBank";
+      case Rel::SameGroup: return "SameGroup";
+      case Rel::DiffGroup: return "DiffGroup";
+      case Rel::DiffRank: return "DiffRank";
+    }
+    return "?";
+}
+
+using CT = DramCommandType;
+
+/** One (prev, next, relation) probe. */
+struct Scenario
+{
+    CT prev;
+    CT next;
+    Rel rel;
+};
+
+/** The pairs whose minimum distance the DramTimings table defines
+ *  (excluding refresh, handled by explicit scenarios below). */
+std::vector<Scenario>
+allScenarios(bool hasGroups)
+{
+    std::vector<Scenario> out;
+    const auto add = [&out, hasGroups](CT p, CT n,
+                                       std::initializer_list<Rel> rels) {
+        for (Rel r : rels) {
+            if (r == Rel::DiffGroup && !hasGroups)
+                continue; // Single-group device: no other group.
+            out.push_back({p, n, r});
+        }
+    };
+    const auto others = {Rel::SameGroup, Rel::DiffGroup, Rel::DiffRank};
+    const auto all = {Rel::SameBank, Rel::SameGroup, Rel::DiffGroup,
+                      Rel::DiffRank};
+    add(CT::Activate, CT::Activate, others); // Same bank: bank is open.
+    add(CT::Activate, CT::Read, all);
+    add(CT::Activate, CT::Write, all);
+    add(CT::Activate, CT::Precharge, all);
+    add(CT::Read, CT::Read, all);
+    add(CT::Read, CT::Write, all);
+    add(CT::Read, CT::Precharge, all);
+    add(CT::Read, CT::Activate, others);
+    add(CT::Write, CT::Read, all);
+    add(CT::Write, CT::Write, all);
+    add(CT::Write, CT::Precharge, all);
+    add(CT::Write, CT::Activate, others);
+    add(CT::Precharge, CT::Activate, all);
+    add(CT::Precharge, CT::Read, others); // Same bank: it just closed.
+    add(CT::Precharge, CT::Write, others);
+    return out;
+}
+
+/**
+ * Minimum legal distance (DRAM cycles) from the timing table alone.
+ * @p withTcs selects the channel model (tCS on cross-rank data-bus
+ * handoffs); the checker omits it.
+ */
+std::int64_t
+expectedCycles(const Scenario &s, const DramTimings &tm, bool withTcs)
+{
+    const bool sameRank = s.rel != Rel::DiffRank;
+    const bool sameGroup =
+        s.rel == Rel::SameBank || s.rel == Rel::SameGroup;
+    const bool sameBank = s.rel == Rel::SameBank;
+    const std::int64_t tcs =
+        (s.rel == Rel::DiffRank && withTcs) ? tm.tCS : 0;
+
+    std::int64_t e = 1; // Command bus: one command per tCK.
+    const auto atLeast = [&e](std::int64_t v) {
+        if (v > e)
+            e = v;
+    };
+    const bool prevCas = s.prev == CT::Read || s.prev == CT::Write;
+    const bool nextCas = s.next == CT::Read || s.next == CT::Write;
+
+    if (prevCas && nextCas) {
+        // tCCD_S channel-wide, tCCD_L within a rank's bank group.
+        atLeast(sameRank && sameGroup ? tm.tCCDL : tm.tCCD);
+        // Data-bus occupancy: the previous burst must have drained.
+        const std::int64_t prevLead =
+            s.prev == CT::Read ? tm.tCAS : tm.tCWL;
+        const std::int64_t nextLead =
+            s.next == CT::Read ? tm.tCAS : tm.tCWL;
+        atLeast(prevLead + tm.tBURST + tcs - nextLead);
+        // Read-to-write bus turnaround.
+        if (s.prev == CT::Read && s.next == CT::Write)
+            atLeast(tm.tRTW);
+        // Write-to-read turnaround inside the rank.
+        if (s.prev == CT::Write && s.next == CT::Read && sameRank) {
+            atLeast(tm.tCWL + tm.tBURST +
+                    (sameGroup ? tm.tWTRL : tm.tWTR));
+        }
+    }
+    if (s.prev == CT::Activate && s.next == CT::Activate && sameRank)
+        atLeast(sameGroup ? tm.tRRDL : tm.tRRD);
+    if (s.prev == CT::Activate && nextCas && sameBank)
+        atLeast(tm.tRCD);
+    if (s.prev == CT::Activate && s.next == CT::Precharge && sameBank)
+        atLeast(tm.tRAS);
+    if (s.prev == CT::Read && s.next == CT::Precharge && sameBank)
+        atLeast(tm.tRTP);
+    if (s.prev == CT::Write && s.next == CT::Precharge && sameBank)
+        atLeast(tm.tCWL + tm.tBURST + tm.tWR);
+    if (s.prev == CT::Precharge && s.next == CT::Activate && sameBank)
+        atLeast(tm.tRP);
+    return e;
+}
+
+/** Fixture: builds the prefix that leaves exactly the banks the pair
+ *  needs open, issues @p prev at a fixed tick, then scans both models
+ *  for the first legal tick of @p next. */
+class DistanceProbe
+{
+  public:
+    DistanceProbe(const DramDevice &dev)
+        : geom_(dev.geometry), tm_(dev.timings),
+          clk_(ClockDomains::fromMhz(2000, dev.busMhz))
+    {
+        geom_.channels = 1;
+    }
+
+    Tick cyc(std::uint64_t c) const { return clk_.dramToTicks(c); }
+
+    static DramCommand
+    make(CT type, const DramCoord &c)
+    {
+        switch (type) {
+          case CT::Activate: return DramCommand::activate(c);
+          case CT::Read: return DramCommand::read(c);
+          case CT::Write: return DramCommand::write(c);
+          case CT::Precharge:
+            return DramCommand::precharge(c.rank, c.bank);
+          case CT::Refresh: return DramCommand::refreshBank(c.rank, c.bank);
+        }
+        return DramCommand::activate(c);
+    }
+
+    /** Run one scenario; every EXPECT names it via SCOPED_TRACE. */
+    void
+    run(const Scenario &s)
+    {
+        SCOPED_TRACE(std::string(dramCommandName(s.prev)) + "->" +
+                     dramCommandName(s.next) + " " + relName(s.rel));
+        DramCoord prevC;
+        prevC.rank = 0;
+        prevC.bank = 0;
+        prevC.row = 1;
+        DramCoord nextC = prevC;
+        switch (s.rel) {
+          case Rel::SameBank:
+            break;
+          case Rel::SameGroup:
+            nextC.bank = 1; // Every device has >= 2 banks per group.
+            break;
+          case Rel::DiffGroup:
+            nextC.bank = geom_.banksPerGroup(); // First bank, group 1.
+            break;
+          case Rel::DiffRank:
+            nextC.rank = 1;
+            break;
+        }
+
+        // Prefix: open whichever banks the pair needs, 1000 cycles
+        // apart so no prefix constraint reaches the probe window.
+        std::vector<std::pair<DramCommand, Tick>> cmds;
+        Tick t = 0;
+        const auto prep = [&](const DramCoord &c) {
+            cmds.push_back({DramCommand::activate(c), t});
+            t += cyc(1000);
+        };
+        const bool prevNeedsOpen = s.prev != CT::Activate;
+        const bool nextNeedsOpen = s.next == CT::Read ||
+                                   s.next == CT::Write ||
+                                   s.next == CT::Precharge;
+        if (prevNeedsOpen)
+            prep(prevC);
+        if (nextNeedsOpen && s.rel != Rel::SameBank)
+            prep(nextC);
+        const Tick t0 = cyc(10'000);
+        cmds.push_back({make(s.prev, prevC), t0});
+        const DramCommand next = make(s.next, nextC);
+
+        probe(cmds, next, t0, expectedCycles(s, tm_, true),
+              expectedCycles(s, tm_, false));
+    }
+
+    /** Refresh scenarios (all-bank and per-bank), built explicitly. */
+    void
+    probeRefresh()
+    {
+        DramCoord b0;
+        b0.rank = 0;
+        b0.bank = 0;
+        b0.row = 1;
+        DramCoord b1 = b0;
+        b1.bank = 1;
+        DramCoord r1 = b0;
+        r1.rank = 1;
+        const Tick t0 = cyc(10'000);
+        if (tm_.perBankRefresh) {
+            {
+                SCOPED_TRACE("PRE->REFpb SameBank");
+                probe({{DramCommand::activate(b0), 0},
+                       {DramCommand::precharge(0, 0), t0}},
+                      DramCommand::refreshBank(0, 0), t0, tm_.tRP,
+                      tm_.tRP);
+            }
+            {
+                SCOPED_TRACE("PRE->REFpb DiffBank");
+                probe({{DramCommand::activate(b0), 0},
+                       {DramCommand::precharge(0, 0), t0}},
+                      DramCommand::refreshBank(0, 1), t0, 1, 1);
+            }
+            {
+                SCOPED_TRACE("REFpb->ACT SameBank");
+                probe({{DramCommand::refreshBank(0, 0), t0}},
+                      DramCommand::activate(b0), t0, tm_.tRFCpb,
+                      tm_.tRFCpb);
+            }
+            {
+                SCOPED_TRACE("REFpb->ACT DiffBank stays schedulable");
+                probe({{DramCommand::refreshBank(0, 0), t0}},
+                      DramCommand::activate(b1), t0, 1, 1);
+            }
+            {
+                SCOPED_TRACE("REFpb->REFpb DiffBank");
+                probe({{DramCommand::refreshBank(0, 0), t0}},
+                      DramCommand::refreshBank(0, 1), t0, 1, 1);
+            }
+        } else {
+            {
+                SCOPED_TRACE("PRE->REF SameRank");
+                probe({{DramCommand::activate(b0), 0},
+                       {DramCommand::precharge(0, 0), t0}},
+                      DramCommand::refresh(0), t0, tm_.tRP, tm_.tRP);
+            }
+            {
+                SCOPED_TRACE("REF->ACT SameRank");
+                probe({{DramCommand::refresh(0), t0}},
+                      DramCommand::activate(b0), t0, tm_.tRFC,
+                      tm_.tRFC);
+            }
+            {
+                SCOPED_TRACE("REF->ACT DiffRank");
+                probe({{DramCommand::refresh(0), t0}},
+                      DramCommand::activate(r1), t0, 1, 1);
+            }
+        }
+    }
+
+  private:
+    /**
+     * Replay @p cmds, then assert @p next first becomes legal exactly
+     * @p expChan cycles after @p t0 on the channel (dense canIssue
+     * scan + the nextLegalAt report) and exactly @p expChk cycles on a
+     * fresh checker per probed distance.
+     */
+    void
+    probe(const std::vector<std::pair<DramCommand, Tick>> &cmds,
+          const DramCommand &next, Tick t0, std::int64_t expChan,
+          std::int64_t expChk)
+    {
+        Channel chan(geom_, tm_, /*enableRefresh=*/false, clk_);
+        for (const auto &[cmd, at] : cmds) {
+            ASSERT_TRUE(chan.canIssue(cmd, at))
+                << "prefix " << dramCommandName(cmd.type) << " at "
+                << at;
+            chan.issue(cmd, at);
+        }
+        for (std::int64_t d = 0; d < expChan; ++d) {
+            EXPECT_FALSE(chan.canIssue(next, t0 + cyc(d)))
+                << "channel legal " << (expChan - d)
+                << " cycles early (at distance " << d << ")";
+        }
+        EXPECT_TRUE(chan.canIssue(next, t0 + cyc(expChan)))
+            << "channel still illegal at expected distance " << expChan;
+        EXPECT_EQ(chan.nextLegalAt(next, t0), t0 + cyc(expChan))
+            << "nextLegalAt disagrees with the distance table";
+
+        for (std::int64_t d = 0; d <= expChk; ++d) {
+            TimingChecker chk(geom_, tm_, clk_);
+            for (const auto &[cmd, at] : cmds)
+                ASSERT_EQ(chk.check(cmd, at), "");
+            const std::string err = chk.check(next, t0 + cyc(d));
+            if (d < expChk) {
+                EXPECT_FALSE(err.empty())
+                    << "checker accepted at distance " << d
+                    << ", expected minimum " << expChk;
+            } else {
+                EXPECT_EQ(err, "")
+                    << "checker still rejects at expected distance "
+                    << expChk;
+            }
+        }
+    }
+
+    DramGeometry geom_;
+    DramTimings tm_;
+    ClockDomains clk_;
+};
+
+} // namespace
+
+class TimingDistanceTable : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TimingDistanceTable, MinimumDistancesMatchDramTimings)
+{
+    const DramDevice &dev = dramDeviceOrDie(GetParam());
+    DistanceProbe probe(dev);
+    for (const Scenario &s :
+         allScenarios(dev.geometry.bankGroupsPerRank > 1)) {
+        probe.run(s);
+    }
+    probe.probeRefresh();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTimingModels, TimingDistanceTable,
+                         ::testing::Values("DDR3-1600", "DDR4-2400",
+                                           "DDR5-4800", "LPDDR3-1600"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name) {
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             }
+                             return name;
+                         });
+
+/** The split timings must actually split: on a bank-group device the
+ *  same-group CAS distance exceeds the cross-group one. */
+TEST(TimingDistanceTable, GroupedDevicesSeparateShortAndLong)
+{
+    for (const char *name : {"DDR4-2400", "DDR5-4800"}) {
+        const DramTimings &tm = dramDeviceOrDie(name).timings;
+        Scenario sameGrp{CT::Read, CT::Read, Rel::SameGroup};
+        Scenario diffGrp{CT::Read, CT::Read, Rel::DiffGroup};
+        EXPECT_GT(expectedCycles(sameGrp, tm, false),
+                  expectedCycles(diffGrp, tm, false))
+            << name << ": tCCD_L does not bind";
+    }
+}

@@ -14,8 +14,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "dram/devices.hh"
 #include "dram/timing_checker.hh"
 
 using namespace mcsim;
@@ -225,4 +229,58 @@ TEST(TimingViolation, MessagesAccumulatePerCheck)
         f.chk.check(DramCommand::read(f.c00), cyc(kTm.tRCD) + 1);
     EXPECT_NE(err.find("command bus"), std::string::npos) << err;
     EXPECT_NE(err.find("tCCD"), std::string::npos) << err;
+}
+
+TEST(TimingViolation, TrfcWitnessSurvivesLongCommandStreams)
+{
+    // DDR5-4800's tRFC window (708 cycles) admits more legal commands
+    // on the *other* rank than a small fixed history could retain: a
+    // REF to rank 0 must stay visible as the tRFC witness while rank 1
+    // legally issues ~264 commands inside the window, or a too-early
+    // ACT to rank 0 slips through unflagged.
+    const DramDevice &dev = dramDeviceOrDie("DDR5-4800");
+    const DramTimings &tm = dev.timings;
+    const ClockDomains clk = ClockDomains::fromMhz(2000, dev.busMhz);
+    TimingChecker chk(dev.geometry, tm, clk);
+    const auto cyc = [&clk](std::uint32_t c) {
+        return clk.dramToTicks(c);
+    };
+
+    ASSERT_EQ(chk.check(DramCommand::refresh(0), 0), "");
+
+    // Rank 1 pipeline, one {ACT, RD, PRE} triple per 8-cycle slot on
+    // command-bus offsets {0, 42, 85}: ACTs stride 4 banks so
+    // consecutive same-group commands sit 8 slots (64 cycles) apart,
+    // satisfying tRRD_L/tCCD_L; RD at +42 >= tRCD (40), PRE at +85 >=
+    // tRAS (77) and >= RD + tRTP; banks recur every 32 slots (256
+    // cycles), past tRP after their PRE.
+    const auto bankAt = [](std::uint32_t k) {
+        return (k * 4) % 32 + (k / 8) % 4;
+    };
+    std::vector<std::pair<Tick, DramCommand>> stream;
+    for (std::uint32_t k = 0; k < 110; ++k) {
+        DramCoord c{0, 1, bankAt(k), 1, 0};
+        stream.emplace_back(cyc(8 * k + 8), DramCommand::activate(c));
+        stream.emplace_back(cyc(8 * k + 8 + 42), DramCommand::read(c));
+        stream.emplace_back(cyc(8 * k + 8 + 85),
+                            DramCommand::precharge(1, c.bank));
+    }
+    std::sort(stream.begin(), stream.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (const auto &[at, cmd] : stream) {
+        ASSERT_EQ(chk.check(cmd, at), "")
+            << dramCommandName(cmd.type) << " at tick " << at;
+    }
+    ASSERT_GT(stream.size() + 1, 256u)
+        << "stream too short to evict a 256-deep history; the test "
+           "lost its point";
+
+    // Still one cycle inside rank 0's refresh window.
+    DramCoord r0{0, 0, 0, 5, 0};
+    const std::string err =
+        chk.check(DramCommand::activate(r0), cyc(tm.tRFC) - 1);
+    EXPECT_NE(err.find("tRFC"), std::string::npos) << err;
+    // And legal once the window closes and the rank-1 stream (whose
+    // last command lands at cycle 973) has drained off the bus.
+    EXPECT_EQ(chk.check(DramCommand::activate(r0), cyc(980)), "");
 }
