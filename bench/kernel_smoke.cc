@@ -49,7 +49,7 @@ struct KernelRun
     double coreTicksFrac = 0.0; ///< Core ticks run / eager core ticks.
     double ctlTicksFrac = 0.0;  ///< Controller ticks run / DRAM cycles.
     MetricSet metrics;
-    Tick endTick = 0;
+    Tick endTick{};
     ClockDomains clk; ///< The grid the system actually ran.
 };
 
@@ -71,12 +71,13 @@ runOnce(WorkloadId wl, const DramDevice &dev,
                   .count();
     r.endTick = sys.now();
     r.clk = sys.clocks();
-    r.mticksPerS = static_cast<double>(sys.now()) / r.wallS / 1e6;
+    r.mticksPerS =
+        static_cast<double>(sys.now().count()) / r.wallS / 1e6;
     const KernelStats &k = sys.kernelStats();
     const double coreCycles =
-        static_cast<double>(sys.clocks().ticksToCore(sys.now()));
+        static_cast<double>(sys.clocks().ticksToCore(sys.now()).count());
     const double dramCycles =
-        static_cast<double>(sys.clocks().ticksToDram(sys.now()));
+        static_cast<double>(sys.clocks().ticksToDram(sys.now()).count());
     r.coreTicksFrac = coreCycles > 0.0
                           ? static_cast<double>(k.coreTicksRun) /
                                 (coreCycles * sys.numCores())
@@ -264,10 +265,10 @@ main(int argc, char **argv)
         "  \"fairness_cache_roundtrip\": %s\n"
         "}\n",
         gitSha(), workload.c_str(), dev.name.c_str(),
-        static_cast<unsigned long long>(clk.ticksPerCore),
-        static_cast<unsigned long long>(clk.ticksPerDram),
+        static_cast<unsigned long long>(clk.ticksPerCore.count()),
+        static_cast<unsigned long long>(clk.ticksPerDram.count()),
         static_cast<unsigned long long>(cycles),
-        static_cast<unsigned long long>(ev.endTick), ev.mticksPerS,
+        static_cast<unsigned long long>(ev.endTick.count()), ev.mticksPerS,
         ev.wallS, ev.coreTicksFrac, ev.ctlTicksFrac, ref.mticksPerS,
         ref.wallS, speedup, bitIdentical ? "true" : "false",
         fairnessRoundtrip ? "true" : "false");

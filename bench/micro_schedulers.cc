@@ -28,7 +28,7 @@ makePool(std::size_t n)
         auto req = std::make_unique<Request>();
         req->id = i;
         req->core = static_cast<CoreId>(i % 16);
-        req->arrivedAt = 1000 + i * 7;
+        req->arrivedAt = Tick{1000 + i * 7};
         req->coord.rank = i % 2;
         req->coord.bank = (i / 2) % 8;
         req->coord.row = i * 97 % 4096;
@@ -52,7 +52,7 @@ schedulerChoose(benchmark::State &state, SchedulerKind kind)
     auto [cands, storage] = makePool(state.range(0));
     SchedulerContext ctx;
     ctx.readQueueLen = cands.size();
-    Tick now = 100000;
+    Tick now{100000};
     for (auto _ : state) {
         benchmark::DoNotOptimize(scheduler->choose(cands, now, ctx));
         now += kBaselineClocks.ticksPerDram;

@@ -105,7 +105,8 @@ main(int argc, char **argv)
         const DramEnergyBreakdown e = systemEnergy(sys, v.cfg.power);
         const double measuredNs =
             static_cast<double>(
-                v.cfg.clocks.coreToTicks(v.cfg.measureCoreCycles)) *
+                v.cfg.clocks.coreToTicks(v.cfg.measureCoreCycles)
+                    .count()) *
             v.cfg.clocks.nsPerTick();
         table.addRow(
             {v.label, TextTable::num(m.userIpc, 3),

@@ -55,7 +55,8 @@ class TimeWeightedStat
     update(Tick now, double value)
     {
         if (now > lastTick_) {
-            weightedSum_ += lastValue_ * static_cast<double>(now - lastTick_);
+            weightedSum_ +=
+                lastValue_ * static_cast<double>((now - lastTick_).count());
             elapsed_ += now - lastTick_;
             lastTick_ = now;
         }
@@ -67,12 +68,15 @@ class TimeWeightedStat
     mean(Tick now) const
     {
         double wsum = weightedSum_;
-        Tick elapsed = elapsed_;
+        TickSpan elapsed = elapsed_;
         if (now > lastTick_) {
-            wsum += lastValue_ * static_cast<double>(now - lastTick_);
+            wsum +=
+                lastValue_ * static_cast<double>((now - lastTick_).count());
             elapsed += now - lastTick_;
         }
-        return elapsed ? wsum / static_cast<double>(elapsed) : 0.0;
+        return elapsed.count()
+                   ? wsum / static_cast<double>(elapsed.count())
+                   : 0.0;
     }
 
     /** Restart measurement at @p now, keeping the current value. */
@@ -80,14 +84,14 @@ class TimeWeightedStat
     reset(Tick now)
     {
         weightedSum_ = 0.0;
-        elapsed_ = 0;
+        elapsed_ = TickSpan{0};
         lastTick_ = now;
     }
 
   private:
     double weightedSum_ = 0.0;
-    Tick elapsed_ = 0;
-    Tick lastTick_ = 0;
+    TickSpan elapsed_;
+    Tick lastTick_;
     double lastValue_ = 0.0;
 };
 

@@ -12,6 +12,24 @@
  * DDR3-1600's 800 MHz command bus) yields a 250 ps tick with 2 ticks
  * per core cycle and 5 per DRAM cycle, while e.g. DDR4-2400 under the
  * same cores yields a 166.7 ps tick with ratios 3 and 5.
+ *
+ * Time is strongly typed. Each clock domain gets a phantom tag
+ * (GlobalTick, CoreClock, DramClock) and two wrappers around
+ * std::uint64_t:
+ *
+ *  - Instant<Domain>: an absolute point on that domain's clock
+ *    (e.g. Tick = Instant<GlobalTick>, CoreCycle = Instant<CoreClock>).
+ *  - Duration<Domain>: a span of that domain's clock
+ *    (e.g. TickSpan, CoreCycles, DramCycles).
+ *
+ * Within a domain the usual affine arithmetic is allowed (instant -
+ * instant = duration, instant +/- duration = instant, duration
+ * arithmetic and scalar scaling). Mixing domains, adding two instants,
+ * or implicitly converting to/from raw integers is a compile error;
+ * the only way across domains is an explicit ClockDomains conversion
+ * (coreToTicks / dramToTicks / ticksToCore / ticksToDram). The
+ * wrappers are single-word, constexpr, and compile to the exact code
+ * the raw integers did (see BENCH_kernel.json).
  */
 
 #ifndef CLOUDMC_COMMON_TYPES_HH
@@ -20,11 +38,196 @@
 #include <cstdint>
 #include <limits>
 #include <numeric>
+#include <ostream>
 
 namespace mcsim {
 
-/** Global simulation time unit; the length is set by ClockDomains. */
-using Tick = std::uint64_t;
+/** Phantom tag: the shared global tick grid. */
+struct GlobalTick
+{
+};
+/** Phantom tag: the core / cache / crossbar clock. */
+struct CoreClock
+{
+};
+/** Phantom tag: the DRAM command-bus clock (tCK). */
+struct DramClock
+{
+};
+
+/**
+ * A span of time measured on @p Domain's clock. Supports additive
+ * arithmetic and scalar scaling within the domain only; construction
+ * from and extraction to raw integers is explicit (count()).
+ */
+template <class Domain> class Duration
+{
+  public:
+    constexpr Duration() = default;
+    constexpr explicit Duration(std::uint64_t v) : v_(v) {}
+
+    /** The raw number of domain units; the only way back out. */
+    constexpr std::uint64_t count() const { return v_; }
+
+    static constexpr Duration
+    max()
+    {
+        return Duration{std::numeric_limits<std::uint64_t>::max()};
+    }
+
+    constexpr Duration
+    operator+(Duration o) const
+    {
+        return Duration{v_ + o.v_};
+    }
+    constexpr Duration
+    operator-(Duration o) const
+    {
+        return Duration{v_ - o.v_};
+    }
+    constexpr Duration &
+    operator+=(Duration o)
+    {
+        v_ += o.v_;
+        return *this;
+    }
+    constexpr Duration &
+    operator-=(Duration o)
+    {
+        v_ -= o.v_;
+        return *this;
+    }
+    /** Scale by a unitless factor. */
+    constexpr Duration
+    operator*(std::uint64_t k) const
+    {
+        return Duration{v_ * k};
+    }
+    constexpr Duration
+    operator/(std::uint64_t k) const
+    {
+        return Duration{v_ / k};
+    }
+    /** Ratio of two spans (unitless). */
+    constexpr std::uint64_t
+    operator/(Duration o) const
+    {
+        return v_ / o.v_;
+    }
+    constexpr Duration
+    operator%(Duration o) const
+    {
+        return Duration{v_ % o.v_};
+    }
+
+    constexpr bool operator==(Duration o) const { return v_ == o.v_; }
+    constexpr bool operator!=(Duration o) const { return v_ != o.v_; }
+    constexpr bool operator<(Duration o) const { return v_ < o.v_; }
+    constexpr bool operator<=(Duration o) const { return v_ <= o.v_; }
+    constexpr bool operator>(Duration o) const { return v_ > o.v_; }
+    constexpr bool operator>=(Duration o) const { return v_ >= o.v_; }
+
+  private:
+    std::uint64_t v_ = 0;
+};
+
+template <class Domain>
+constexpr Duration<Domain>
+operator*(std::uint64_t k, Duration<Domain> d)
+{
+    return d * k;
+}
+
+/**
+ * An absolute point on @p Domain's clock. Affine: instants subtract
+ * to a Duration and shift by one, but never add to each other.
+ */
+template <class Domain> class Instant
+{
+  public:
+    constexpr Instant() = default;
+    constexpr explicit Instant(std::uint64_t v) : v_(v) {}
+
+    /** The raw tick/cycle index; the only way back out. */
+    constexpr std::uint64_t count() const { return v_; }
+
+    static constexpr Instant
+    max()
+    {
+        return Instant{std::numeric_limits<std::uint64_t>::max()};
+    }
+
+    constexpr Duration<Domain>
+    operator-(Instant o) const
+    {
+        return Duration<Domain>{v_ - o.v_};
+    }
+    constexpr Instant
+    operator+(Duration<Domain> d) const
+    {
+        return Instant{v_ + d.count()};
+    }
+    constexpr Instant
+    operator-(Duration<Domain> d) const
+    {
+        return Instant{v_ - d.count()};
+    }
+    constexpr Instant &
+    operator+=(Duration<Domain> d)
+    {
+        v_ += d.count();
+        return *this;
+    }
+    constexpr Instant &
+    operator-=(Duration<Domain> d)
+    {
+        v_ -= d.count();
+        return *this;
+    }
+    /** Phase within a repeating grid of period @p d. */
+    constexpr Duration<Domain>
+    operator%(Duration<Domain> d) const
+    {
+        return Duration<Domain>{v_ % d.count()};
+    }
+
+    constexpr bool operator==(Instant o) const { return v_ == o.v_; }
+    constexpr bool operator!=(Instant o) const { return v_ != o.v_; }
+    constexpr bool operator<(Instant o) const { return v_ < o.v_; }
+    constexpr bool operator<=(Instant o) const { return v_ <= o.v_; }
+    constexpr bool operator>(Instant o) const { return v_ > o.v_; }
+    constexpr bool operator>=(Instant o) const { return v_ >= o.v_; }
+
+  private:
+    std::uint64_t v_ = 0;
+};
+
+template <class Domain>
+inline std::ostream &
+operator<<(std::ostream &os, Duration<Domain> d)
+{
+    return os << d.count();
+}
+
+template <class Domain>
+inline std::ostream &
+operator<<(std::ostream &os, Instant<Domain> i)
+{
+    return os << i.count();
+}
+
+/** Global simulation time point; the tick length is set by ClockDomains. */
+using Tick = Instant<GlobalTick>;
+/** A span of global ticks (latency, window, period). */
+using TickSpan = Duration<GlobalTick>;
+/** Absolute core-clock cycle index (e.g. System's core-cycle count). */
+using CoreCycle = Instant<CoreClock>;
+/** A span of core-clock cycles. */
+using CoreCycles = Duration<CoreClock>;
+/** Absolute DRAM command-bus cycle index. */
+using DramCycle = Instant<DramClock>;
+/** A span of DRAM command-bus cycles (JEDEC timing parameters). */
+using DramCycles = Duration<DramClock>;
 
 /** Physical byte address. */
 using Addr = std::uint64_t;
@@ -33,7 +236,9 @@ using Addr = std::uint64_t;
 using CoreId = std::uint32_t;
 
 /** Sentinel for "no tick" / "never". */
-constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+constexpr Tick kMaxTick = Tick::max();
+/** Sentinel span for "unbounded distance" (timing-checker gaps). */
+constexpr TickSpan kMaxTickSpan = TickSpan::max();
 
 /**
  * The two clock domains and their shared tick grid.
@@ -44,14 +249,15 @@ constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
  * domain and ticks through the ClockDomains instance it was built
  * with; there is deliberately no global conversion function, so two
  * systems with different devices can coexist in one process (the
- * experiment harness runs them concurrently).
+ * experiment harness runs them concurrently). These conversions are
+ * the *only* bridge between the typed time domains.
  */
 struct ClockDomains
 {
     std::uint32_t coreMhz = 2000; ///< Core / cache / crossbar clock.
     std::uint32_t dramMhz = 800;  ///< DRAM command-bus clock (tCK).
-    Tick ticksPerCore = 2;        ///< Ticks per core cycle.
-    Tick ticksPerDram = 5;        ///< Ticks per DRAM command cycle.
+    TickSpan ticksPerCore{2};     ///< Ticks per core cycle.
+    TickSpan ticksPerDram{5};     ///< Ticks per DRAM command cycle.
 
     /** Derive the tick grid for a (core, DRAM) frequency pair.
      *  Zero frequencies are clamped to 1 MHz (caller-validated). */
@@ -63,8 +269,8 @@ struct ClockDomains
         c.dramMhz = dram ? dram : 1;
         const std::uint64_t g = std::gcd<std::uint64_t, std::uint64_t>(
             c.coreMhz, c.dramMhz);
-        c.ticksPerCore = c.dramMhz / g;
-        c.ticksPerDram = c.coreMhz / g;
+        c.ticksPerCore = TickSpan{c.dramMhz / g};
+        c.ticksPerDram = TickSpan{c.coreMhz / g};
         return c;
     }
 
@@ -72,7 +278,7 @@ struct ClockDomains
     constexpr std::uint64_t
     tickMhz() const
     {
-        return static_cast<std::uint64_t>(coreMhz) * ticksPerCore;
+        return static_cast<std::uint64_t>(coreMhz) * ticksPerCore.count();
     }
 
     /** Wall-clock length of one tick, in nanoseconds. */
@@ -88,35 +294,85 @@ struct ClockDomains
     constexpr double
     nsPerDramCycle() const
     {
-        return nsPerTick() * static_cast<double>(ticksPerDram);
+        return nsPerTick() * static_cast<double>(ticksPerDram.count());
     }
 
-    /** Convert a count of core cycles to ticks. */
-    constexpr Tick
+    /** Wall-clock length of a tick span, in nanoseconds. */
+    constexpr double
+    ticksToNs(TickSpan t) const
+    {
+        return static_cast<double>(t.count()) * nsPerTick();
+    }
+
+    /** Convert a span of core cycles to a span of ticks. */
+    constexpr TickSpan
+    coreToTicks(CoreCycles cycles) const
+    {
+        return TickSpan{cycles.count() * ticksPerCore.count()};
+    }
+
+    /** Convert a raw core-cycle count (e.g. a config field) to ticks. */
+    constexpr TickSpan
     coreToTicks(std::uint64_t cycles) const
     {
-        return cycles * ticksPerCore;
+        return TickSpan{cycles * ticksPerCore.count()};
     }
 
-    /** Convert a count of DRAM cycles to ticks. */
+    /** Convert an absolute core-cycle index to its tick (origin 0). */
     constexpr Tick
+    coreToTicks(CoreCycle cycle) const
+    {
+        return Tick{cycle.count() * ticksPerCore.count()};
+    }
+
+    /** Convert a span of DRAM cycles to a span of ticks. */
+    constexpr TickSpan
+    dramToTicks(DramCycles cycles) const
+    {
+        return TickSpan{cycles.count() * ticksPerDram.count()};
+    }
+
+    /** Convert a raw DRAM-cycle count (e.g. a JEDEC timing field) to
+     *  ticks. */
+    constexpr TickSpan
     dramToTicks(std::uint64_t cycles) const
     {
-        return cycles * ticksPerDram;
+        return TickSpan{cycles * ticksPerDram.count()};
     }
 
-    /** Convert ticks to whole core cycles (rounds down). */
-    constexpr std::uint64_t
+    /** Convert an absolute DRAM-cycle index to its tick (origin 0). */
+    constexpr Tick
+    dramToTicks(DramCycle cycle) const
+    {
+        return Tick{cycle.count() * ticksPerDram.count()};
+    }
+
+    /** Convert a tick span to whole core cycles (rounds down). */
+    constexpr CoreCycles
+    ticksToCore(TickSpan t) const
+    {
+        return CoreCycles{t.count() / ticksPerCore.count()};
+    }
+
+    /** Convert a tick to the core cycle containing it (rounds down). */
+    constexpr CoreCycle
     ticksToCore(Tick t) const
     {
-        return t / ticksPerCore;
+        return CoreCycle{t.count() / ticksPerCore.count()};
     }
 
-    /** Convert ticks to whole DRAM cycles (rounds down). */
-    constexpr std::uint64_t
+    /** Convert a tick span to whole DRAM cycles (rounds down). */
+    constexpr DramCycles
+    ticksToDram(TickSpan t) const
+    {
+        return DramCycles{t.count() / ticksPerDram.count()};
+    }
+
+    /** Convert a tick to the DRAM cycle containing it (rounds down). */
+    constexpr DramCycle
     ticksToDram(Tick t) const
     {
-        return t / ticksPerDram;
+        return DramCycle{t.count() / ticksPerDram.count()};
     }
 
     constexpr bool

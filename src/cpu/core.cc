@@ -113,12 +113,12 @@ Core::executeOp()
 }
 
 void
-Core::catchUpTo(std::uint64_t cycle)
+Core::catchUpTo(CoreCycle cycle)
 {
-    if (cycle <= synced_)
+    if (cycle.count() <= synced_)
         return;
-    std::uint64_t n = cycle - synced_;
-    synced_ = cycle;
+    std::uint64_t n = cycle.count() - synced_;
+    synced_ = cycle.count();
     stats_.cycles += n;
     // Replicate tick()'s inactive paths in bulk, in tick() order:
     // fixed-latency stall cycles drain first, then blocked cycles

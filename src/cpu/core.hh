@@ -57,7 +57,7 @@ struct CoreStats
 };
 
 /** Cycle-index sentinel: the core only wakes via missReturned(). */
-constexpr std::uint64_t kNeverCycle = ~std::uint64_t{0};
+constexpr CoreCycle kNeverCycle = CoreCycle::max();
 
 /** One in-order core. */
 class Core
@@ -76,7 +76,7 @@ class Core
      * The event kernel calls this instead of ticking idle cores; it
      * must run before any state change (missReturned) or real tick.
      */
-    void catchUpTo(std::uint64_t cycle);
+    void catchUpTo(CoreCycle cycle);
 
     /**
      * First cycle index >= syncedCycles() at which tick() would do
@@ -87,7 +87,7 @@ class Core
      * kNeverCycle while the core can only be unblocked by a returning
      * miss.
      */
-    std::uint64_t
+    CoreCycle
     nextActCycle() const
     {
         if (blockedOnFetch_ || blockedOnLoads_ || blockedOnStores_)
@@ -97,11 +97,11 @@ class Core
             run = computeRemaining_ < fetchCredits_ ? computeRemaining_
                                                     : fetchCredits_;
         }
-        return synced_ + stallCyclesLeft_ + run;
+        return CoreCycle{synced_ + stallCyclesLeft_ + run};
     }
 
     /** Cycles executed or accounted so far (the catch-up frontier). */
-    std::uint64_t syncedCycles() const { return synced_; }
+    CoreCycle syncedCycles() const { return CoreCycle{synced_}; }
 
     /** A miss this core was waiting on has been filled. */
     void missReturned(MissKind kind);

@@ -25,7 +25,7 @@ template <typename Payload>
 class CrossbarLink
 {
   public:
-    explicit CrossbarLink(Tick latencyTicks) : latency_(latencyTicks) {}
+    explicit CrossbarLink(TickSpan latencyTicks) : latency_(latencyTicks) {}
 
     /** Inject a payload at @p now; it is deliverable at now+latency. */
     void
@@ -62,10 +62,10 @@ class CrossbarLink
     }
 
     std::size_t size() const { return fifo_.size(); }
-    Tick latency() const { return latency_; }
+    TickSpan latency() const { return latency_; }
 
   private:
-    Tick latency_;
+    TickSpan latency_;
     std::deque<std::pair<Tick, Payload>> fifo_;
 };
 

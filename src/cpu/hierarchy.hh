@@ -128,6 +128,8 @@ class CacheHierarchy
     std::vector<std::unique_ptr<Cache>> l1i_;
     std::vector<std::unique_ptr<Cache>> l1d_;
     std::unique_ptr<Cache> l2_;
+    // MSHRs are looked up/erased by block address (hierarchy.cc).
+    // detlint-allow(unordered-iter): never iterated
     std::unordered_map<Addr, std::vector<Waiter>> mshrs_;
 
     SendMemFn sendMemRead_;

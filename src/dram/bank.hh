@@ -41,8 +41,8 @@ class Bank
 
     /** Apply an activate issued at @p now. */
     void
-    activate(std::uint64_t row, Tick now, Tick rcdTicks, Tick rasTicks,
-             Tick rcTicks)
+    activate(std::uint64_t row, Tick now, TickSpan rcdTicks,
+             TickSpan rasTicks, TickSpan rcTicks)
     {
         openRow_ = row;
         activatedAt_ = now;
@@ -56,7 +56,7 @@ class Bank
 
     /** Apply a column read issued at @p now. */
     void
-    read(Tick now, Tick rtpTicks)
+    read(Tick now, TickSpan rtpTicks)
     {
         ++accesses_;
         lastAccessAt_ = now;
@@ -65,7 +65,7 @@ class Bank
 
     /** Apply a column write issued at @p now. */
     void
-    write(Tick now, Tick writeRecoveryTicks)
+    write(Tick now, TickSpan writeRecoveryTicks)
     {
         ++accesses_;
         lastAccessAt_ = now;
@@ -74,7 +74,7 @@ class Bank
 
     /** Apply a precharge issued at @p now. */
     void
-    precharge(Tick now, Tick rpTicks)
+    precharge(Tick now, TickSpan rpTicks)
     {
         openRow_ = kNoRow;
         accesses_ = 0;
@@ -93,12 +93,12 @@ class Bank
 
     std::uint64_t openRow_ = kNoRow;
     std::uint32_t accesses_ = 0;
-    Tick actAllowedAt_ = 0;
-    Tick rdAllowedAt_ = 0;
-    Tick wrAllowedAt_ = 0;
-    Tick preAllowedAt_ = 0;
-    Tick lastAccessAt_ = 0;
-    Tick activatedAt_ = 0;
+    Tick actAllowedAt_;
+    Tick rdAllowedAt_;
+    Tick wrAllowedAt_;
+    Tick preAllowedAt_;
+    Tick lastAccessAt_;
+    Tick activatedAt_;
 };
 
 } // namespace mcsim

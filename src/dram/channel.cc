@@ -28,17 +28,17 @@ Channel::Channel(const DramGeometry &geom, const DramTimings &timings,
     for (std::uint32_t r = 0; r < geom_.ranksPerChannel; ++r)
         ranks_.emplace_back(geom_.banksPerRank, geom_.bankGroupsPerRank);
     rankOpenBanks_.assign(geom_.ranksPerChannel, 0);
-    rankActiveSince_.assign(geom_.ranksPerChannel, 0);
+    rankActiveSince_.assign(geom_.ranksPerChannel, Tick{});
     if (enableRefresh) {
         // Per-bank refresh spreads the rank's tREFI budget round-robin
         // over its banks (tREFIpb = tREFI / banks).
-        const Tick interval = tm_.perBankRefresh
-                                  ? dct(tm_.tREFI) / geom_.banksPerRank
-                                  : dct(tm_.tREFI);
+        const TickSpan interval = tm_.perBankRefresh
+                                      ? dct(tm_.tREFI) / geom_.banksPerRank
+                                      : dct(tm_.tREFI);
         for (std::uint32_t r = 0; r < geom_.ranksPerChannel; ++r) {
             // Stagger ranks so refreshes do not pile up on one tick.
             const Tick firstDue =
-                interval + r * (interval / geom_.ranksPerChannel);
+                Tick{} + interval + r * (interval / geom_.ranksPerChannel);
             ranks_[r].scheduleRefresh(firstDue, interval);
         }
     }
@@ -270,8 +270,8 @@ Channel::nextLegalAt(const DramCommand &cmd, Tick now) const
             lastDataRank_ != static_cast<int>(cmd.rank)) {
             busFree += dct(tm_.tCS);
         }
-        const Tick lead = isRead ? ticksRd() : ticksWr();
-        if (busFree > lead)
+        const TickSpan lead = isRead ? ticksRd() : ticksWr();
+        if (busFree - Tick{} > lead)
             t = maxT(t, busFree - lead);
         break;
       }

@@ -47,7 +47,7 @@ struct IssueResult
 {
     /** For Read: tick at which the last data beat is on the bus (the
      *  request's data is complete). Zero for non-read commands. */
-    Tick dataReadyAt = 0;
+    Tick dataReadyAt;
 };
 
 /** Channel statistics (reset with resetStats()). */
@@ -63,19 +63,19 @@ struct ChannelStats
      *  tCCD_L floor (rather than tCCD_S) spaces. On a single-group
      *  device this counts same-rank back-to-back CAS. */
     std::uint64_t casSameGroup = 0;
-    Tick dataBusBusyTicks = 0;
+    TickSpan dataBusBusyTicks;
     /** Sum over ranks of time spent with at least one bank open
      *  (active-standby time, the energy model's background input). */
-    Tick rankActiveTicks = 0;
-    Tick statsStartTick = 0;
+    TickSpan rankActiveTicks;
+    Tick statsStartTick;
 
     void
     reset(Tick now)
     {
         activates = reads = writes = precharges = refreshes = 0;
         casSameGroup = 0;
-        dataBusBusyTicks = 0;
-        rankActiveTicks = 0;
+        dataBusBusyTicks = TickSpan{0};
+        rankActiveTicks = TickSpan{0};
         statsStartTick = now;
     }
 
@@ -83,10 +83,11 @@ struct ChannelStats
     double
     busUtilization(Tick now) const
     {
-        const Tick elapsed = now - statsStartTick;
-        return elapsed ? static_cast<double>(dataBusBusyTicks) /
-                             static_cast<double>(elapsed)
-                       : 0.0;
+        const TickSpan elapsed = now - statsStartTick;
+        return elapsed.count()
+                   ? static_cast<double>(dataBusBusyTicks.count()) /
+                         static_cast<double>(elapsed.count())
+                   : 0.0;
     }
 };
 
@@ -164,10 +165,14 @@ class Channel
 
   private:
     /** DRAM cycles to ticks on this channel's clock grid. */
-    Tick dct(std::uint64_t cycles) const { return clk_.dramToTicks(cycles); }
-    Tick ticksRd() const { return dct(tm_.tCAS); }
-    Tick ticksWr() const { return dct(tm_.tCWL); }
-    Tick ticksBurst() const { return dct(tm_.tBURST); }
+    TickSpan
+    dct(std::uint64_t cycles) const
+    {
+        return clk_.dramToTicks(cycles);
+    }
+    TickSpan ticksRd() const { return dct(tm_.tCAS); }
+    TickSpan ticksWr() const { return dct(tm_.tCWL); }
+    TickSpan ticksBurst() const { return dct(tm_.tBURST); }
 
     bool canIssueCas(const DramCommand &cmd, Tick now, bool isRead) const;
 
@@ -182,10 +187,10 @@ class Channel
     ClockDomains clk_;
     std::vector<Rank> ranks_;
 
-    Tick cmdBusFreeAt_ = 0;  ///< One command per tCK.
-    Tick nextRdAt_ = 0;      ///< tCCD_S spacing between reads.
-    Tick nextWrAt_ = 0;      ///< tCCD_S spacing + tRTW after reads.
-    Tick dataBusFreeAt_ = 0; ///< End of the burst in flight.
+    Tick cmdBusFreeAt_;  ///< One command per tCK.
+    Tick nextRdAt_;      ///< tCCD_S spacing between reads.
+    Tick nextWrAt_;      ///< tCCD_S spacing + tRTW after reads.
+    Tick dataBusFreeAt_; ///< End of the burst in flight.
     int lastDataRank_ = -1;  ///< For the tCS rank-switch penalty.
     int lastCasGroupKey_ = -1; ///< (rank, group) of the last CAS (stats).
 

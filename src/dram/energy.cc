@@ -44,9 +44,10 @@ DramEnergyModel::estimate(const ChannelStats &stats, Tick now) const
     e.refreshNj = refreshNj_ * static_cast<double>(stats.refreshes);
 
     const double elapsedNs =
-        static_cast<double>(now - stats.statsStartTick) * nsPerTick_;
+        static_cast<double>((now - stats.statsStartTick).count()) *
+        nsPerTick_;
     const double activeNs =
-        static_cast<double>(stats.rankActiveTicks) * nsPerTick_;
+        static_cast<double>(stats.rankActiveTicks.count()) * nsPerTick_;
     const double totalRankNs =
         elapsedNs * static_cast<double>(ranksPerChannel_);
     // rankActiveTicks only accumulates at the closing precharge, so a

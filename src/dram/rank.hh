@@ -24,8 +24,8 @@ class Rank
 {
   public:
     Rank(std::uint32_t banks, std::uint32_t groups)
-        : banks_(banks), groupRrdAllowedAt_(groups, 0),
-          groupRdAllowedAt_(groups, 0), groupCasAllowedAt_(groups, 0)
+        : banks_(banks), groupRrdAllowedAt_(groups, Tick{}),
+          groupRdAllowedAt_(groups, Tick{}), groupCasAllowedAt_(groups, Tick{})
     {
     }
 
@@ -53,8 +53,8 @@ class Rank
 
     /** Record an activate at @p now into @p group. */
     void
-    activated(Tick now, Tick rrdTicks, Tick rrdLTicks, Tick fawTicks,
-              std::uint32_t group)
+    activated(Tick now, TickSpan rrdTicks, TickSpan rrdLTicks,
+              TickSpan fawTicks, std::uint32_t group)
     {
         rrdAllowedAt_ = now + rrdTicks;
         groupRrdAllowedAt_[group] = now + rrdLTicks;
@@ -72,7 +72,7 @@ class Rank
     /** Record a write burst into @p group; reads blocked until the
      *  write-to-read turnaround (short rank-wide, long same-group). */
     void
-    wrote(Tick now, Tick wtrGapTicks, Tick wtrLGapTicks,
+    wrote(Tick now, TickSpan wtrGapTicks, TickSpan wtrLGapTicks,
           std::uint32_t group)
     {
         rdAllowedAt_ = maxT(rdAllowedAt_, now + wtrGapTicks);
@@ -89,7 +89,7 @@ class Rank
 
     /** Record a CAS into @p group at @p now. */
     void
-    casIssued(Tick now, Tick ccdLTicks, std::uint32_t group)
+    casIssued(Tick now, TickSpan ccdLTicks, std::uint32_t group)
     {
         groupCasAllowedAt_[group] = now + ccdLTicks;
     }
@@ -107,7 +107,7 @@ class Rank
 
     /** Apply an all-bank refresh at @p now; banks blocked for tRFC. */
     void
-    refresh(Tick now, Tick rfcTicks)
+    refresh(Tick now, TickSpan rfcTicks)
     {
         for (auto &b : banks_)
             b.blockUntil(now + rfcTicks);
@@ -119,7 +119,7 @@ class Rank
      *  that bank is blocked, for tRFCpb, and the round-robin pointer
      *  advances to the next bank. */
     void
-    refreshBank(std::uint32_t bank, Tick now, Tick rfcPbTicks)
+    refreshBank(std::uint32_t bank, Tick now, TickSpan rfcPbTicks)
     {
         banks_[bank].blockUntil(now + rfcPbTicks);
         refreshBankIdx_ = (refreshBankIdx_ + 1) % numBanks();
@@ -131,21 +131,21 @@ class Rank
 
     /** Configure periodic refresh; @p firstDue staggers ranks. */
     void
-    scheduleRefresh(Tick firstDue, Tick interval)
+    scheduleRefresh(Tick firstDue, TickSpan interval)
     {
         nextRefreshDue_ = firstDue;
         refreshInterval_ = interval;
     }
 
     Tick nextRefreshDue() const { return nextRefreshDue_; }
-    bool refreshEnabled() const { return refreshInterval_ != 0; }
+    bool refreshEnabled() const { return refreshInterval_ != TickSpan{0}; }
 
   private:
     static Tick maxT(Tick a, Tick b) { return a > b ? a : b; }
 
     std::vector<Bank> banks_;
-    Tick rrdAllowedAt_ = 0;
-    Tick rdAllowedAt_ = 0;
+    Tick rrdAllowedAt_;
+    Tick rdAllowedAt_;
     std::vector<Tick> groupRrdAllowedAt_; ///< tRRD_L per bank group.
     std::vector<Tick> groupRdAllowedAt_;  ///< tWTR_L per bank group.
     std::vector<Tick> groupCasAllowedAt_; ///< tCCD_L per bank group.
@@ -153,7 +153,7 @@ class Rank
     std::size_t fawIdx_ = 0;
     std::uint32_t refreshBankIdx_ = 0;
     Tick nextRefreshDue_ = kMaxTick;
-    Tick refreshInterval_ = 0;
+    TickSpan refreshInterval_;
 };
 
 } // namespace mcsim

@@ -11,7 +11,7 @@ TimingChecker::TimingChecker(const DramGeometry &geom, const DramTimings &tm,
                              const ClockDomains &clk)
     : geom_(geom), tm_(tm), clk_(clk),
       bankOpen_(geom.ranksPerChannel * geom.banksPerRank, false),
-      lastCasEnd_(1, 0)
+      lastCasEnd_(1, Tick{})
 {
     // Cover the largest backward-looking window (tRFC dominates every
     // registered device) plus slack; see historyDepth_'s comment.
@@ -25,7 +25,7 @@ TimingChecker::TimingChecker(const DramGeometry &geom, const DramTimings &tm,
 const TimingChecker::CmdRecord *
 TimingChecker::lastOf(DramCommandType type, std::uint32_t rank,
                       std::uint32_t bank, bool anyBank, Tick now,
-                      Tick windowTicks) const
+                      TickSpan windowTicks) const
 {
     for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
         // Records older than the window cannot violate it; the tick
@@ -44,7 +44,7 @@ TimingChecker::lastOf(DramCommandType type, std::uint32_t rank,
 const TimingChecker::CmdRecord *
 TimingChecker::lastOfGroup(DramCommandType type, std::uint32_t rank,
                            std::uint32_t group, Tick now,
-                           Tick windowTicks) const
+                           TickSpan windowTicks) const
 {
     for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
         if (it->tick <= now && now - it->tick >= windowTicks)
@@ -62,8 +62,8 @@ TimingChecker::check(const DramCommand &cmd, Tick now)
 {
     std::ostringstream err;
     const auto bankIdx = cmd.rank * geom_.banksPerRank + cmd.bank;
-    const auto gap = [&](const CmdRecord *rec) -> Tick {
-        return rec ? now - rec->tick : kMaxTick;
+    const auto gap = [&](const CmdRecord *rec) -> TickSpan {
+        return rec ? now - rec->tick : kMaxTickSpan;
     };
     const auto cyc = [this](std::uint32_t c) { return clk_.dramToTicks(c); };
 
@@ -135,7 +135,7 @@ TimingChecker::check(const DramCommand &cmd, Tick now)
         // them, so the scan is bounded even when no same-group CAS
         // exists in the (tRFC-deep) history.
         const std::uint32_t group = geom_.bankGroupOf(cmd.bank);
-        const Tick casWindow =
+        const TickSpan casWindow =
             cyc(std::max({tm_.tCCD, tm_.tCCDL, tm_.tRTW}));
         bool sawAnyCas = false, sawGroupCas = false;
         for (auto it = history_.rbegin();
@@ -167,13 +167,13 @@ TimingChecker::check(const DramCommand &cmd, Tick now)
         // Write-to-read turnaround within the same rank: tWTR_S from
         // any bank group, tWTR_L from the same bank group.
         if (isRead) {
-            const Tick wtrWindow =
+            const TickSpan wtrWindow =
                 cyc(tm_.tCWL + tm_.tBURST + tm_.tWTR);
             const auto *w = lastOf(DramCommandType::Write, cmd.rank, 0,
                                    true, now, wtrWindow);
             if (w && now - w->tick < wtrWindow)
                 err << "tWTR violated; ";
-            const Tick wtrLWindow =
+            const TickSpan wtrLWindow =
                 cyc(tm_.tCWL + tm_.tBURST + tm_.tWTRL);
             const auto *wg = lastOfGroup(DramCommandType::Write,
                                          cmd.rank, group, now,
@@ -200,7 +200,7 @@ TimingChecker::check(const DramCommand &cmd, Tick now)
                        false, now, cyc(tm_.tRTP))) < cyc(tm_.tRTP)) {
             err << "tRTP violated; ";
         }
-        const Tick wrWindow = cyc(tm_.tCWL + tm_.tBURST + tm_.tWR);
+        const TickSpan wrWindow = cyc(tm_.tCWL + tm_.tBURST + tm_.tWR);
         const auto *w = lastOf(DramCommandType::Write, cmd.rank,
                                cmd.bank, false, now, wrWindow);
         if (w && now - w->tick < wrWindow)

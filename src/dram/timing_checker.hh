@@ -53,7 +53,7 @@ class TimingChecker
      */
     const CmdRecord *lastOf(DramCommandType type, std::uint32_t rank,
                             std::uint32_t bank, bool anyBank, Tick now,
-                            Tick windowTicks) const;
+                            TickSpan windowTicks) const;
 
     /**
      * Most recent command of @p type to any bank of (rank, group), or
@@ -63,7 +63,7 @@ class TimingChecker
      */
     const CmdRecord *lastOfGroup(DramCommandType type, std::uint32_t rank,
                                  std::uint32_t group, Tick now,
-                                 Tick windowTicks) const;
+                                 TickSpan windowTicks) const;
 
     DramGeometry geom_;
     DramTimings tm_;

@@ -21,7 +21,7 @@ MemController::MemController(Channel &channel,
     mc_assert(cfg_.writeDrainLow < cfg_.writeDrainHigh,
               "write drain watermarks inverted");
     stats_.perCoreReads.assign(numCores_ + 1, 0);
-    stats_.perCoreLatencyTicks.assign(numCores_ + 1, 0);
+    stats_.perCoreLatencyTicks.assign(numCores_ + 1, TickSpan{});
 }
 
 void
@@ -29,7 +29,7 @@ MemController::resetStats(Tick now)
 {
     MemControllerStats fresh;
     fresh.perCoreReads.assign(numCores_ + 1, 0);
-    fresh.perCoreLatencyTicks.assign(numCores_ + 1, 0);
+    fresh.perCoreLatencyTicks.assign(numCores_ + 1, TickSpan{});
     fresh.readQueueLen.reset(now);
     fresh.writeQueueLen.reset(now);
     fresh.readQueueLen.update(now, static_cast<double>(readQ_.size()));
@@ -70,10 +70,10 @@ MemController::deliverResponses(Tick now)
     while (!responses_.empty() && responses_.top().readyAt <= now) {
         Request *req = responses_.top().req;
         responses_.pop();
-        const Tick latency = req->completedAt - req->arrivedAt;
+        const TickSpan latency = req->completedAt - req->arrivedAt;
         ++stats_.readLatencySamples;
         stats_.readLatencyTicks += latency;
-        stats_.readLatencyHist.sample(clk_.ticksToCore(latency));
+        stats_.readLatencyHist.sample(clk_.ticksToCore(latency).count());
         const auto slot =
             req->core >= numCores_ ? numCores_ : req->core;
         ++stats_.perCoreReads[slot];
@@ -316,7 +316,7 @@ MemController::issueCandidate(const Candidate &cand, Tick now)
       }
       case DramCommandType::Write:
         channel_.issue(DramCommand::write(req->coord), now);
-        serviceCas(req, now, 0);
+        serviceCas(req, now, Tick{});
         return true;
       default:
         mc_panic("unexpected candidate command");

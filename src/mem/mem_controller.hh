@@ -57,7 +57,7 @@ struct MemControllerStats
     std::uint64_t rowMisses = 0;
     std::uint64_t rowConflicts = 0;
 
-    std::uint64_t readLatencyTicks = 0; ///< Sum over delivered reads.
+    TickSpan readLatencyTicks; ///< Sum over delivered reads.
     std::uint64_t readLatencySamples = 0;
 
     /** Read latency distribution in core cycles (tail reporting). */
@@ -70,7 +70,7 @@ struct MemControllerStats
     SmallHistogram activationAccesses{32};
 
     std::vector<std::uint64_t> perCoreReads;
-    std::vector<std::uint64_t> perCoreLatencyTicks;
+    std::vector<TickSpan> perCoreLatencyTicks;
 
     /** Row-buffer hit rate in [0,1] over all serviced CAS requests. */
     double
@@ -87,9 +87,9 @@ struct MemControllerStats
     avgReadLatencyCycles(const ClockDomains &clk = kBaselineClocks) const
     {
         return readLatencySamples
-                   ? static_cast<double>(readLatencyTicks) /
+                   ? static_cast<double>(readLatencyTicks.count()) /
                          static_cast<double>(readLatencySamples) /
-                         static_cast<double>(clk.ticksPerCore)
+                         static_cast<double>(clk.ticksPerCore.count())
                    : 0.0;
     }
 
@@ -218,7 +218,7 @@ class MemController
                         std::greater<PendingResponse>> responses_;
 
     bool drainingWrites_ = false;
-    Tick lastReadPendingAt_ = 0; ///< Last tick the read queue was non-empty.
+    Tick lastReadPendingAt_; ///< Last tick the read queue was non-empty.
     CompletionFn onComplete_;
     MemControllerStats stats_;
 };

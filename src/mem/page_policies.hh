@@ -116,6 +116,8 @@ class PredictivePolicyBase : public PagePolicy
     std::uint32_t entriesPerBank_;
     bool recordZeroHitRows_;
     std::uint64_t lruClock_ = 0;
+    // Keyed lookup/insert only (page_policies.cc); never iterated.
+    // detlint-allow(unordered-iter): bucket order never observed
     std::unordered_map<std::uint32_t, std::vector<Entry>> tables_;
 };
 
@@ -148,7 +150,7 @@ class TimerPolicy : public PagePolicy
     /** @param idleDramCycles Idle cycles before closing the row. */
     explicit TimerPolicy(std::uint32_t idleDramCycles = 32,
                          const ClockDomains &clk = kBaselineClocks)
-        : idleTicks_(clk.dramToTicks(idleDramCycles))
+        : idleTicks_(clk.dramToTicks(DramCycles{idleDramCycles}))
     {
     }
 
@@ -165,7 +167,7 @@ class TimerPolicy : public PagePolicy
     }
 
   private:
-    Tick idleTicks_;
+    TickSpan idleTicks_;
 };
 
 /**
@@ -205,6 +207,8 @@ class HistoryPolicy : public PagePolicy
 
     std::uint32_t historyBits_;
     std::uint32_t historyMask_;
+    // Keyed lookup/insert only (page_policies.cc); never iterated.
+    // detlint-allow(unordered-iter): bucket order never observed
     std::unordered_map<std::uint32_t, BankPredictor> banks_;
 };
 

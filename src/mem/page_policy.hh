@@ -26,8 +26,8 @@ struct PageQuery
     std::uint32_t accessesThisActivation = 0;
     bool pendingHit = false;      ///< Pool has a request for the open row.
     bool pendingConflict = false; ///< Pool has a request for another row.
-    Tick now = 0;
-    Tick lastAccessAt = 0;
+    Tick now;
+    Tick lastAccessAt;
 };
 
 /** Abstract page management policy. */

@@ -33,8 +33,8 @@ struct Request
     Addr addr = 0;       ///< Block-aligned physical address.
     DramCoord coord;     ///< Decoded channel/rank/bank/row/column.
 
-    Tick arrivedAt = 0;   ///< Enqueue tick at the controller.
-    Tick completedAt = 0; ///< Read: last data beat; write: CAS issue.
+    Tick arrivedAt;   ///< Enqueue tick at the controller.
+    Tick completedAt; ///< Read: last data beat; write: CAS issue.
 
     RowOutcome outcome = RowOutcome::Unknown;
 

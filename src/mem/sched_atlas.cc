@@ -8,7 +8,7 @@ namespace mcsim {
 AtlasScheduler::AtlasScheduler(std::uint32_t numCores, AtlasConfig cfg,
                                const ClockDomains &clk)
     : numCores_(numCores), cfg_(cfg), clk_(clk),
-      quantumEndsAt_(clk.coreToTicks(cfg.quantumCycles)),
+      quantumEndsAt_(Tick{} + clk.coreToTicks(cfg.quantumCycles)),
       quantumAs_(numCores + 1, 0.0), totalAs_(numCores + 1, 0.0),
       rank_(numCores + 1, 0)
 {
@@ -53,7 +53,7 @@ int
 AtlasScheduler::choose(const std::vector<Candidate> &cands, Tick now,
                        const SchedulerContext &)
 {
-    const Tick starveTicks = clk_.coreToTicks(cfg_.starvationCycles);
+    const TickSpan starveTicks = clk_.coreToTicks(cfg_.starvationCycles);
     auto starved = [&](const Candidate &c) {
         return now - c.req->arrivedAt >= starveTicks;
     };

@@ -27,7 +27,12 @@ FcfsBanksScheduler::choose(const std::vector<Candidate> &cands, Tick,
 {
     // Oldest request per (rank, bank) is eligible; among the eligible
     // and issuable ones, pick the oldest overall (age fairness across
-    // banks; the bank queues themselves are strictly in order).
+    // banks; the bank queues themselves are strictly in order). The
+    // map is insert/lookup-only; selection walks the candidate vector
+    // in index order with an (arrivedAt, id) tie-break, so two banks
+    // whose heads arrived on the same tick resolve identically on
+    // every stdlib (hash iteration order is not deterministic).
+    // detlint-allow(unordered-iter): headOfBank is never iterated.
     std::unordered_map<std::uint32_t, int> headOfBank;
     for (std::size_t i = 0; i < cands.size(); ++i) {
         const auto key = (cands[i].req->coord.rank << 8) |
@@ -39,13 +44,18 @@ FcfsBanksScheduler::choose(const std::vector<Candidate> &cands, Tick,
         }
     }
     int best = -1;
-    for (const auto &[key, idx] : headOfBank) {
-        (void)key;
-        if (!cands[idx].issuableNow)
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const auto key = (cands[i].req->coord.rank << 8) |
+                         cands[i].req->coord.bank;
+        if (headOfBank[key] != static_cast<int>(i))
+            continue; // Not the head of its bank queue.
+        if (!cands[i].issuableNow)
             continue;
-        if (best < 0 ||
-            cands[idx].req->arrivedAt < cands[best].req->arrivedAt) {
-            best = idx;
+        const Request &r = *cands[i].req;
+        if (best < 0 || r.arrivedAt < cands[best].req->arrivedAt ||
+            (r.arrivedAt == cands[best].req->arrivedAt &&
+             r.id < cands[best].req->id)) {
+            best = static_cast<int>(i);
         }
     }
     return best;

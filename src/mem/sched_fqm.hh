@@ -45,6 +45,8 @@ class FqmScheduler : public Scheduler
 
     std::uint32_t numCores_;
     /** bankKey -> per-core virtual time. */
+    // Keyed lookup/insert only (sched_fqm.cc); never iterated.
+    // detlint-allow(unordered-iter): bucket order never observed
     std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> vtime_;
 };
 

@@ -112,7 +112,7 @@ RlScheduler::choose(const std::vector<Candidate> &cands, Tick now,
 
     // Starvation guard: requests waiting longer than the threshold are
     // serviced oldest-first, bypassing the learned policy.
-    const Tick starveTicks = clk_.coreToTicks(cfg_.starvationCycles);
+    const TickSpan starveTicks = clk_.coreToTicks(cfg_.starvationCycles);
     int starvedIdx = -1;
     for (int idx : legal) {
         if (now - cands[idx].req->arrivedAt >= starveTicks) {

@@ -8,13 +8,13 @@ StfmScheduler::StfmScheduler(std::uint32_t numCores, StfmConfig cfg,
                              const ClockDomains &clk,
                              const DramTimings &timings)
     : numCores_(numCores), cfg_(cfg), clk_(clk), tm_(timings),
-      nextDecayAt_(clk.coreToTicks(cfg.decayCycles)),
+      nextDecayAt_(Tick{} + clk.coreToTicks(cfg.decayCycles)),
       sharedTicks_(numCores + 1, 0.0), aloneTicks_(numCores + 1, 0.0)
 {
 }
 
 /** Contention-free CAS service estimate in ticks, by row outcome. */
-Tick
+TickSpan
 StfmScheduler::aloneServiceTicks(const Request &req, bool isRowHit) const
 {
     std::uint32_t cycles = tm_.tCAS + tm_.tBURST;
@@ -75,9 +75,9 @@ void
 StfmScheduler::accountService(const Candidate &c, Tick now)
 {
     const auto s = slot(c.req->core);
-    sharedTicks_[s] += static_cast<double>(now - c.req->arrivedAt);
-    aloneTicks_[s] +=
-        static_cast<double>(aloneServiceTicks(*c.req, c.isRowHit));
+    sharedTicks_[s] += static_cast<double>((now - c.req->arrivedAt).count());
+    aloneTicks_[s] += static_cast<double>(
+        aloneServiceTicks(*c.req, c.isRowHit).count());
 }
 
 void
@@ -96,7 +96,7 @@ int
 StfmScheduler::choose(const std::vector<Candidate> &cands, Tick now,
                       const SchedulerContext &)
 {
-    const Tick starveTicks = clk_.coreToTicks(cfg_.starvationCycles);
+    const TickSpan starveTicks = clk_.coreToTicks(cfg_.starvationCycles);
     const int victim = victimCore();
 
     const auto better = [&](const Candidate &a,

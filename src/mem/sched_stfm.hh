@@ -74,7 +74,7 @@ class StfmScheduler : public Scheduler
     }
     /** The core to elevate, or -1 when the system is fair. */
     int victimCore() const;
-    Tick aloneServiceTicks(const Request &req, bool isRowHit) const;
+    TickSpan aloneServiceTicks(const Request &req, bool isRowHit) const;
     void accountService(const Candidate &c, Tick now);
 
     std::uint32_t numCores_;

@@ -8,8 +8,8 @@ namespace mcsim {
 TcmScheduler::TcmScheduler(std::uint32_t numCores, TcmConfig cfg,
                            const ClockDomains &clk)
     : numCores_(numCores), clk_(clk), cfg_(cfg), rng_(cfg.seed, 0x7c4d),
-      quantumEndsAt_(clk.coreToTicks(cfg.quantumCycles)),
-      nextShuffleAt_(clk.coreToTicks(cfg.shuffleCycles)),
+      quantumEndsAt_(Tick{} + clk.coreToTicks(cfg.quantumCycles)),
+      nextShuffleAt_(Tick{} + clk.coreToTicks(cfg.shuffleCycles)),
       arrived_(numCores + 1, 0), serviced_(numCores + 1, 0),
       latency_(numCores + 1, true), prio_(numCores + 1, 0)
 {
@@ -106,7 +106,7 @@ int
 TcmScheduler::choose(const std::vector<Candidate> &cands, Tick now,
                      const SchedulerContext &)
 {
-    const Tick starveTicks = clk_.coreToTicks(cfg_.starvationCycles);
+    const TickSpan starveTicks = clk_.coreToTicks(cfg_.starvationCycles);
     int best = -1;
 
     const auto betterThan = [&](const Candidate &a,

@@ -32,7 +32,7 @@ struct Candidate
     bool isRowHit = false;       ///< CAS to an already-open row.
     /** Earliest tick the command becomes legal absent further issues
      *  (== now when issuableNow); the event kernel's wake-up hint. */
-    Tick legalAt = 0;
+    Tick legalAt;
 };
 
 /** Controller state visible to schedulers (beyond the candidates). */

@@ -98,8 +98,8 @@ System::build(const SimConfig &cfg, std::uint32_t numCores)
         cores_[core]->missReturned(kind);
         coreDueCycle_[core] = cores_[core]->nextActCycle();
     });
-    ctlDueAt_.assign(controllers_.size(), 0);
-    coreDueCycle_.assign(numCores, 0);
+    ctlDueAt_.assign(controllers_.size(), Tick{});
+    coreDueCycle_.assign(numCores, CoreCycle{});
 }
 
 Request *
@@ -187,8 +187,8 @@ System::coreStep(bool eager)
         const CpuResponse resp = toCpu_.pop();
         hierarchy_->onMemResponse(resp.core, resp.addr);
     }
-    const std::uint64_t cycle = coreCycles_;
-    std::uint64_t minAct = kNeverCycle;
+    const CoreCycle cycle = coreCycles_;
+    CoreCycle minAct = kNeverCycle;
     for (std::size_t i = 0; i < cores_.size(); ++i) {
         if (eager || coreDueCycle_[i] <= cycle) {
             Core &core = *cores_[i];
@@ -200,7 +200,7 @@ System::coreStep(bool eager)
         if (coreDueCycle_[i] < minAct)
             minAct = coreDueCycle_[i];
     }
-    ++coreCycles_;
+    coreCycles_ += CoreCycles{1};
     ++kernelStats_.coreStepsRun;
     coreActEventAt_ = minAct == kNeverCycle
                           ? kMaxTick
@@ -264,13 +264,14 @@ System::memEventAt() const
 
 namespace {
 
-/** Round @p t up to the next multiple of @p step, saturating. */
+/** Round @p t up to the next boundary of @p step's grid, saturating. */
 Tick
-alignUp(Tick t, Tick step)
+alignUp(Tick t, TickSpan step)
 {
     if (t > kMaxTick - step)
         return kMaxTick;
-    return (t + step - 1) / step * step;
+    const TickSpan phase = t % step;
+    return phase == TickSpan{0} ? t : t + (step - phase);
 }
 
 } // namespace
@@ -280,11 +281,11 @@ System::referenceAdvance(Tick end)
 {
     const ClockDomains &clk = cfg_.clocks;
     while (now_ < end) {
-        if (now_ % clk.ticksPerCore == 0)
+        if (now_ % clk.ticksPerCore == TickSpan{0})
             coreStep(true);
-        if (now_ % clk.ticksPerDram == 0)
+        if (now_ % clk.ticksPerDram == TickSpan{0})
             memStep(true);
-        ++now_;
+        now_ += TickSpan{1};
     }
 }
 
@@ -303,8 +304,8 @@ System::advance(std::uint64_t coreCycles)
     // the runtime clock domains, so the walk works for any core:DRAM
     // ratio (the baseline's 2:5 pattern repeating every LCM = 10 ticks
     // is just one instance).
-    const Tick perCore = cfg_.clocks.ticksPerCore;
-    const Tick perDram = cfg_.clocks.ticksPerDram;
+    const TickSpan perCore = cfg_.clocks.ticksPerCore;
+    const TickSpan perDram = cfg_.clocks.ticksPerDram;
     Tick nextCore = alignUp(now_, perCore);
     Tick nextMem = alignUp(now_, perDram);
     while (true) {
@@ -320,12 +321,15 @@ System::advance(std::uint64_t coreCycles)
         // Skipped core boundaries still elapse simulated core cycles;
         // the cores account theirs lazily against coreCycles_.
         if (nextCore < t) {
-            const Tick skipped = (t - 1 - nextCore) / perCore + 1;
-            coreCycles_ += skipped;
+            const std::uint64_t skipped =
+                (t - nextCore - TickSpan{1}) / perCore + 1;
+            coreCycles_ += CoreCycles{skipped};
             nextCore += skipped * perCore;
         }
-        if (nextMem < t)
-            nextMem += ((t - 1 - nextMem) / perDram + 1) * perDram;
+        if (nextMem < t) {
+            nextMem +=
+                ((t - nextMem - TickSpan{1}) / perDram + 1) * perDram;
+        }
 
         now_ = t;
         if (t == end)
@@ -336,7 +340,7 @@ System::advance(std::uint64_t coreCycles)
             if (tCore <= t)
                 coreStep(false);
             else
-                ++coreCycles_;
+                coreCycles_ += CoreCycles{1};
             nextCore += perCore;
         }
         if (t == nextMem) {
@@ -363,7 +367,7 @@ MetricSet
 System::collect() const
 {
     MetricSet m;
-    m.measuredCycles = coreCycles_ - statsStartCycle_;
+    m.measuredCycles = (coreCycles_ - statsStartCycle_).count();
 
     std::uint64_t committed = 0;
     for (const auto &core : cores_) {
@@ -389,7 +393,8 @@ System::collect() const
                          : 0.0;
 
     std::uint64_t hits = 0, misses = 0, conflicts = 0;
-    std::uint64_t latTicks = 0, latSamples = 0;
+    TickSpan latTicks;
+    std::uint64_t latSamples = 0;
     std::uint64_t singles = 0, activations = 0;
     std::uint64_t casTotal = 0, casSameGroup = 0;
     LogHistogram latencyHist{24};
@@ -425,9 +430,9 @@ System::collect() const
         cas ? 100.0 * static_cast<double>(hits) / static_cast<double>(cas)
             : 0.0;
     m.avgReadLatency =
-        latSamples ? static_cast<double>(latTicks) /
+        latSamples ? static_cast<double>(latTicks.count()) /
                          static_cast<double>(latSamples) /
-                         static_cast<double>(cfg_.clocks.ticksPerCore)
+                         static_cast<double>(cfg_.clocks.ticksPerCore.count())
                    : 0.0;
     m.singleAccessPct = activations
                             ? 100.0 * static_cast<double>(singles) /
@@ -444,10 +449,9 @@ System::collect() const
     const double elapsedNs =
         controllers_.empty()
             ? 0.0
-            : static_cast<double>(
+            : cfg_.clocks.ticksToNs(
                   now_ -
-                  controllers_.front()->channel().stats().statsStartTick) *
-                  cfg_.clocks.nsPerTick();
+                  controllers_.front()->channel().stats().statsStartTick);
     for (const auto &mc : controllers_) {
         m.dramEnergyNj +=
             energyModel.estimate(mc->channel().stats(), now_).totalNj();

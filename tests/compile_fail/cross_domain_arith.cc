@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Negative-compile probe: arithmetic that mixes clock domains must be
+ * rejected. Registered twice in CMake — once with -DCONTROL to prove
+ * the scaffolding itself compiles, once without (WILL_FAIL) to prove
+ * the marked statement is what the compiler rejects.
+ */
+
+#include "common/types.hh"
+
+using namespace mcsim;
+
+int
+main()
+{
+#ifdef CONTROL
+    // Within-domain equivalent of the rejected statement below.
+    const TickSpan total = TickSpan{5} + TickSpan{3};
+    return static_cast<int>(total.count() - 8);
+#else
+    // A core-cycle span plus a tick span has no meaning until one side
+    // goes through a ClockDomains conversion.
+    const TickSpan total = CoreCycles{5} + TickSpan{3};
+    return static_cast<int>(total.count());
+#endif
+}

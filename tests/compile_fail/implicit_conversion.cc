@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Negative-compile probe: raw integers must not implicitly become
+ * typed time (nor typed time silently decay back to integers). The
+ * explicit forms — Tick{n} and .count() — are the only doors.
+ */
+
+#include "common/types.hh"
+
+using namespace mcsim;
+
+namespace {
+
+TickSpan
+latencyAfter(Tick start, Tick end)
+{
+    return end - start;
+}
+
+} // namespace
+
+int
+main()
+{
+#ifdef CONTROL
+    const TickSpan lat = latencyAfter(Tick{10}, Tick{52});
+    return static_cast<int>(lat.count() - 42);
+#else
+    // Raw integer arguments must not convert to Instant implicitly.
+    const TickSpan lat = latencyAfter(10, 52);
+    return static_cast<int>(lat.count());
+#endif
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Negative-compile probe: adding two absolute time points is a
+ * category error the affine API must reject — only instant ± span and
+ * instant − instant exist.
+ */
+
+#include "common/types.hh"
+
+using namespace mcsim;
+
+int
+main()
+{
+#ifdef CONTROL
+    const Tick later = Tick{100} + (Tick{30} - Tick{0});
+    return static_cast<int>(later.count() - 130);
+#else
+    const Tick later = Tick{100} + Tick{30};
+    return static_cast<int>(later.count());
+#endif
+}

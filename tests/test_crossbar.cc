@@ -14,22 +14,22 @@ using namespace mcsim;
 
 TEST(Crossbar, DeliversAfterExactLatency)
 {
-    CrossbarLink<int> link(8);
-    link.push(100, 42);
-    EXPECT_FALSE(link.ready(100));
-    EXPECT_FALSE(link.ready(107));
-    EXPECT_TRUE(link.ready(108));
+    CrossbarLink<int> link(TickSpan{8});
+    link.push(Tick{100}, 42);
+    EXPECT_FALSE(link.ready(Tick{100}));
+    EXPECT_FALSE(link.ready(Tick{107}));
+    EXPECT_TRUE(link.ready(Tick{108}));
     EXPECT_EQ(link.pop(), 42);
-    EXPECT_FALSE(link.ready(200));
+    EXPECT_FALSE(link.ready(Tick{200}));
 }
 
 TEST(Crossbar, PreservesFifoOrder)
 {
-    CrossbarLink<int> link(4);
-    link.push(0, 1);
-    link.push(0, 2);
-    link.push(1, 3);
-    ASSERT_TRUE(link.ready(10));
+    CrossbarLink<int> link(TickSpan{4});
+    link.push(Tick{0}, 1);
+    link.push(Tick{0}, 2);
+    link.push(Tick{1}, 3);
+    ASSERT_TRUE(link.ready(Tick{10}));
     EXPECT_EQ(link.pop(), 1);
     EXPECT_EQ(link.pop(), 2);
     EXPECT_EQ(link.pop(), 3);
@@ -40,28 +40,28 @@ TEST(Crossbar, HeadOfLineBlocksYoungerPayloads)
 {
     // In-order delivery: the second payload is not visible before the
     // first is popped, even once its own deadline has passed.
-    CrossbarLink<int> link(10);
-    link.push(0, 1);  // Ready at 10.
-    link.push(5, 2);  // Ready at 15.
-    EXPECT_TRUE(link.ready(20));
+    CrossbarLink<int> link(TickSpan{10});
+    link.push(Tick{0}, 1);  // Ready at 10.
+    link.push(Tick{5}, 2);  // Ready at 15.
+    EXPECT_TRUE(link.ready(Tick{20}));
     EXPECT_EQ(link.pop(), 1);
-    EXPECT_TRUE(link.ready(20));
+    EXPECT_TRUE(link.ready(Tick{20}));
     EXPECT_EQ(link.pop(), 2);
 }
 
 TEST(Crossbar, ZeroLatencyDeliversSameTick)
 {
-    CrossbarLink<int> link(0);
-    link.push(7, 9);
-    EXPECT_TRUE(link.ready(7));
+    CrossbarLink<int> link(TickSpan{0});
+    link.push(Tick{7}, 9);
+    EXPECT_TRUE(link.ready(Tick{7}));
     EXPECT_EQ(link.pop(), 9);
 }
 
 TEST(Crossbar, MoveOnlyPayloadsSupported)
 {
-    CrossbarLink<std::unique_ptr<int>> link(2);
-    link.push(0, std::make_unique<int>(5));
-    ASSERT_TRUE(link.ready(2));
+    CrossbarLink<std::unique_ptr<int>> link(TickSpan{2});
+    link.push(Tick{0}, std::make_unique<int>(5));
+    ASSERT_TRUE(link.ready(Tick{2}));
     auto p = link.pop();
     ASSERT_NE(p, nullptr);
     EXPECT_EQ(*p, 5);
@@ -69,12 +69,12 @@ TEST(Crossbar, MoveOnlyPayloadsSupported)
 
 TEST(Crossbar, SizeTracksOccupancy)
 {
-    CrossbarLink<int> link(3);
+    CrossbarLink<int> link(TickSpan{3});
     EXPECT_EQ(link.size(), 0u);
     for (int i = 0; i < 5; ++i)
-        link.push(i, i);
+        link.push(Tick{static_cast<std::uint64_t>(i)}, i);
     EXPECT_EQ(link.size(), 5u);
     (void)link.pop();
     EXPECT_EQ(link.size(), 4u);
-    EXPECT_EQ(link.latency(), 3u);
+    EXPECT_EQ(link.latency(), TickSpan{3});
 }

@@ -19,8 +19,8 @@ using namespace mcsim;
 TEST(ClockDomains, BaselineMatchesPaperGrid)
 {
     // 2 GHz over 800 MHz: 250 ps ticks, ratios 2 and 5.
-    EXPECT_EQ(kBaselineClocks.ticksPerCore, 2u);
-    EXPECT_EQ(kBaselineClocks.ticksPerDram, 5u);
+    EXPECT_EQ(kBaselineClocks.ticksPerCore.count(), 2u);
+    EXPECT_EQ(kBaselineClocks.ticksPerDram.count(), 5u);
     EXPECT_EQ(kBaselineClocks.tickMhz(), 4000u);
     EXPECT_DOUBLE_EQ(kBaselineClocks.nsPerTick(), 0.25);
     EXPECT_DOUBLE_EQ(kBaselineClocks.nsPerDramCycle(), 1.25);
@@ -31,8 +31,8 @@ TEST(ClockDomains, ArbitraryRatiosStayExact)
 {
     // DDR4-2400 under 2 GHz cores: LCM(2000,1200) = 6000 MHz ticks.
     const ClockDomains ddr4 = ClockDomains::fromMhz(2000, 1200);
-    EXPECT_EQ(ddr4.ticksPerCore, 3u);
-    EXPECT_EQ(ddr4.ticksPerDram, 5u);
+    EXPECT_EQ(ddr4.ticksPerCore.count(), 3u);
+    EXPECT_EQ(ddr4.ticksPerDram.count(), 5u);
     EXPECT_EQ(ddr4.tickMhz(), 6000u);
 
     // DDR3-1066 (533 MHz): a deliberately ugly pair.
@@ -41,20 +41,22 @@ TEST(ClockDomains, ArbitraryRatiosStayExact)
 
     // Equal frequencies collapse to a 1:1 grid.
     const ClockDomains flat = ClockDomains::fromMhz(1000, 1000);
-    EXPECT_EQ(flat.ticksPerCore, 1u);
-    EXPECT_EQ(flat.ticksPerDram, 1u);
+    EXPECT_EQ(flat.ticksPerCore.count(), 1u);
+    EXPECT_EQ(flat.ticksPerDram.count(), 1u);
 }
 
 TEST(ClockDomains, ConversionsRoundTrip)
 {
     const ClockDomains clk = ClockDomains::fromMhz(2000, 1200);
     for (std::uint64_t cycles : {0ull, 1ull, 7ull, 123'456ull}) {
-        EXPECT_EQ(clk.ticksToCore(clk.coreToTicks(cycles)), cycles);
-        EXPECT_EQ(clk.ticksToDram(clk.dramToTicks(cycles)), cycles);
+        EXPECT_EQ(clk.ticksToCore(clk.coreToTicks(cycles)).count(),
+                  cycles);
+        EXPECT_EQ(clk.ticksToDram(clk.dramToTicks(cycles)).count(),
+                  cycles);
     }
     // One cycle of either domain always spans >= 1 tick.
-    EXPECT_GE(clk.ticksPerCore, 1u);
-    EXPECT_GE(clk.ticksPerDram, 1u);
+    EXPECT_GE(clk.ticksPerCore.count(), 1u);
+    EXPECT_GE(clk.ticksPerDram.count(), 1u);
 }
 
 TEST(DeviceRegistry, ContainsTheDocumentedSpeedGrades)

@@ -53,10 +53,18 @@ class ChannelTest : public ::testing::Test
   protected:
     ChannelTest() : chan(smallGeom(), DramTimings::ddr3_1600(), false) {}
 
-    Tick
+    /** @p n DRAM cycles as a tick span. */
+    TickSpan
     cyc(std::uint32_t n) const
     {
         return kBaselineClocks.dramToTicks(n);
+    }
+
+    /** The instant @p n DRAM cycles after the time origin. */
+    Tick
+    at(std::uint32_t n) const
+    {
+        return Tick{} + cyc(n);
     }
 
     Channel chan;
@@ -65,59 +73,59 @@ class ChannelTest : public ::testing::Test
 
 TEST_F(ChannelTest, ActivateOnlyOnClosedBank)
 {
-    EXPECT_TRUE(chan.canIssue(act(0, 0, 5), 0));
-    chan.issue(act(0, 0, 5), 0);
-    EXPECT_FALSE(chan.canIssue(act(0, 0, 6), cyc(tm.tRC)));
+    EXPECT_TRUE(chan.canIssue(act(0, 0, 5), Tick{}));
+    chan.issue(act(0, 0, 5), Tick{});
+    EXPECT_FALSE(chan.canIssue(act(0, 0, 6), at(tm.tRC)));
 }
 
 TEST_F(ChannelTest, ReadRequiresTrcd)
 {
-    chan.issue(act(0, 0, 5), 0);
-    EXPECT_FALSE(chan.canIssue(rd(0, 0, 5, 0), cyc(tm.tRCD) - 1));
-    EXPECT_TRUE(chan.canIssue(rd(0, 0, 5, 0), cyc(tm.tRCD)));
+    chan.issue(act(0, 0, 5), Tick{});
+    EXPECT_FALSE(chan.canIssue(rd(0, 0, 5, 0), at(tm.tRCD) - TickSpan{1}));
+    EXPECT_TRUE(chan.canIssue(rd(0, 0, 5, 0), at(tm.tRCD)));
 }
 
 TEST_F(ChannelTest, ReadNeedsMatchingRow)
 {
-    chan.issue(act(0, 0, 5), 0);
-    EXPECT_FALSE(chan.canIssue(rd(0, 0, 6, 0), cyc(tm.tRCD)));
+    chan.issue(act(0, 0, 5), Tick{});
+    EXPECT_FALSE(chan.canIssue(rd(0, 0, 6, 0), at(tm.tRCD)));
 }
 
 TEST_F(ChannelTest, PrechargeRequiresTras)
 {
-    chan.issue(act(0, 0, 5), 0);
+    chan.issue(act(0, 0, 5), Tick{});
     const auto pre = DramCommand::precharge(0, 0);
-    EXPECT_FALSE(chan.canIssue(pre, cyc(tm.tRAS) - 1));
-    EXPECT_TRUE(chan.canIssue(pre, cyc(tm.tRAS)));
+    EXPECT_FALSE(chan.canIssue(pre, at(tm.tRAS) - TickSpan{1}));
+    EXPECT_TRUE(chan.canIssue(pre, at(tm.tRAS)));
 }
 
 TEST_F(ChannelTest, ActAfterPrechargeRespectsTrp)
 {
-    chan.issue(act(0, 0, 5), 0);
-    chan.issue(DramCommand::precharge(0, 0), cyc(tm.tRAS));
-    EXPECT_FALSE(
-        chan.canIssue(act(0, 0, 6), cyc(tm.tRAS) + cyc(tm.tRP) - 1));
-    EXPECT_TRUE(chan.canIssue(act(0, 0, 6), cyc(tm.tRAS) + cyc(tm.tRP)));
+    chan.issue(act(0, 0, 5), Tick{});
+    chan.issue(DramCommand::precharge(0, 0), at(tm.tRAS));
+    EXPECT_FALSE(chan.canIssue(act(0, 0, 6),
+                               at(tm.tRAS) + cyc(tm.tRP) - TickSpan{1}));
+    EXPECT_TRUE(chan.canIssue(act(0, 0, 6), at(tm.tRAS) + cyc(tm.tRP)));
 }
 
 TEST_F(ChannelTest, TrrdBetweenActsOnSameRank)
 {
-    chan.issue(act(0, 0, 5), 0);
-    EXPECT_FALSE(chan.canIssue(act(0, 1, 3), cyc(tm.tRRD) - 1));
-    EXPECT_TRUE(chan.canIssue(act(0, 1, 3), cyc(tm.tRRD)));
+    chan.issue(act(0, 0, 5), Tick{});
+    EXPECT_FALSE(chan.canIssue(act(0, 1, 3), at(tm.tRRD) - TickSpan{1}));
+    EXPECT_TRUE(chan.canIssue(act(0, 1, 3), at(tm.tRRD)));
 }
 
 TEST_F(ChannelTest, DifferentRankNotBoundByTrrd)
 {
-    chan.issue(act(0, 0, 5), 0);
+    chan.issue(act(0, 0, 5), Tick{});
     // Only the command bus (1 cycle) gates the other rank.
-    EXPECT_TRUE(chan.canIssue(act(1, 0, 5), cyc(1)));
+    EXPECT_TRUE(chan.canIssue(act(1, 0, 5), at(1)));
 }
 
 TEST_F(ChannelTest, TfawLimitsActivateBursts)
 {
     // Issue 4 activates spaced by tRRD; the 5th must wait for tFAW.
-    Tick t = 0;
+    Tick t{};
     for (std::uint32_t b = 0; b < 4; ++b) {
         chan.issue(act(0, b, 1), t);
         t += cyc(tm.tRRD);
@@ -125,95 +133,96 @@ TEST_F(ChannelTest, TfawLimitsActivateBursts)
     // 4 ACTs at 0, tRRD, 2tRRD, 3tRRD; the 5th is legal only at
     // first-ACT + tFAW.
     EXPECT_FALSE(chan.canIssue(act(0, 4, 1), t));
-    EXPECT_TRUE(chan.canIssue(act(0, 4, 1), cyc(tm.tFAW)));
+    EXPECT_TRUE(chan.canIssue(act(0, 4, 1), at(tm.tFAW)));
 }
 
 TEST_F(ChannelTest, ReadReturnsDataAtClPlusBurst)
 {
-    chan.issue(act(0, 0, 5), 0);
-    const Tick t = cyc(tm.tRCD);
+    chan.issue(act(0, 0, 5), Tick{});
+    const Tick t = at(tm.tRCD);
     const auto res = chan.issue(rd(0, 0, 5, 0), t);
     EXPECT_EQ(res.dataReadyAt, t + cyc(tm.tCAS) + cyc(tm.tBURST));
 }
 
 TEST_F(ChannelTest, TccdBetweenReads)
 {
-    chan.issue(act(0, 0, 5), 0);
-    const Tick t = cyc(tm.tRCD);
+    chan.issue(act(0, 0, 5), Tick{});
+    const Tick t = at(tm.tRCD);
     chan.issue(rd(0, 0, 5, 0), t);
-    EXPECT_FALSE(chan.canIssue(rd(0, 0, 5, 1), t + cyc(tm.tCCD) - 1));
+    EXPECT_FALSE(
+        chan.canIssue(rd(0, 0, 5, 1), t + cyc(tm.tCCD) - TickSpan{1}));
     EXPECT_TRUE(chan.canIssue(rd(0, 0, 5, 1), t + cyc(tm.tCCD)));
 }
 
 TEST_F(ChannelTest, WriteToReadTurnaroundSameRank)
 {
-    chan.issue(act(0, 0, 5), 0);
-    const Tick t = cyc(tm.tRCD);
+    chan.issue(act(0, 0, 5), Tick{});
+    const Tick t = at(tm.tRCD);
     chan.issue(DramCommand::write({0, 0, 0, 5, 0}), t);
     const Tick wtrDone = t + cyc(tm.tCWL + tm.tBURST + tm.tWTR);
-    EXPECT_FALSE(chan.canIssue(rd(0, 0, 5, 1), wtrDone - 1));
+    EXPECT_FALSE(chan.canIssue(rd(0, 0, 5, 1), wtrDone - TickSpan{1}));
     EXPECT_TRUE(chan.canIssue(rd(0, 0, 5, 1), wtrDone));
 }
 
 TEST_F(ChannelTest, ReadToWriteTurnaround)
 {
-    chan.issue(act(0, 0, 5), 0);
-    const Tick t = cyc(tm.tRCD);
+    chan.issue(act(0, 0, 5), Tick{});
+    const Tick t = at(tm.tRCD);
     chan.issue(rd(0, 0, 5, 0), t);
     const auto wr = DramCommand::write({0, 0, 0, 5, 1});
-    EXPECT_FALSE(chan.canIssue(wr, t + cyc(tm.tRTW) - 1));
+    EXPECT_FALSE(chan.canIssue(wr, t + cyc(tm.tRTW) - TickSpan{1}));
     EXPECT_TRUE(chan.canIssue(wr, t + cyc(tm.tRTW)));
 }
 
 TEST_F(ChannelTest, WriteRecoveryBeforePrecharge)
 {
-    chan.issue(act(0, 0, 5), 0);
-    const Tick t = cyc(tm.tRCD + 20); // After tRAS concerns.
+    chan.issue(act(0, 0, 5), Tick{});
+    const Tick t = at(tm.tRCD + 20); // After tRAS concerns.
     chan.issue(DramCommand::write({0, 0, 0, 5, 0}), t);
     const Tick wrDone = t + cyc(tm.tCWL + tm.tBURST + tm.tWR);
     const auto pre = DramCommand::precharge(0, 0);
-    EXPECT_FALSE(chan.canIssue(pre, wrDone - 1));
+    EXPECT_FALSE(chan.canIssue(pre, wrDone - TickSpan{1}));
     EXPECT_TRUE(chan.canIssue(pre, wrDone));
 }
 
 TEST_F(ChannelTest, CommandBusOneCommandPerCycle)
 {
-    chan.issue(act(0, 0, 5), 0);
-    EXPECT_FALSE(chan.canIssue(act(1, 0, 5), 0));
-    EXPECT_FALSE(chan.canIssue(act(1, 0, 5), cyc(1) - 1));
-    EXPECT_TRUE(chan.canIssue(act(1, 0, 5), cyc(1)));
+    chan.issue(act(0, 0, 5), Tick{});
+    EXPECT_FALSE(chan.canIssue(act(1, 0, 5), Tick{}));
+    EXPECT_FALSE(chan.canIssue(act(1, 0, 5), at(1) - TickSpan{1}));
+    EXPECT_TRUE(chan.canIssue(act(1, 0, 5), at(1)));
 }
 
 TEST_F(ChannelTest, RefreshRequiresAllBanksClosed)
 {
-    chan.issue(act(0, 0, 5), 0);
-    EXPECT_FALSE(chan.canIssue(DramCommand::refresh(0), cyc(2)));
-    chan.issue(DramCommand::precharge(0, 0), cyc(tm.tRAS));
-    const Tick closed = cyc(tm.tRAS) + cyc(tm.tRP);
+    chan.issue(act(0, 0, 5), Tick{});
+    EXPECT_FALSE(chan.canIssue(DramCommand::refresh(0), at(2)));
+    chan.issue(DramCommand::precharge(0, 0), at(tm.tRAS));
+    const Tick closed = at(tm.tRAS) + cyc(tm.tRP);
     EXPECT_TRUE(chan.canIssue(DramCommand::refresh(0), closed));
 }
 
 TEST_F(ChannelTest, RefreshBlocksActivates)
 {
-    chan.issue(DramCommand::refresh(0), 0);
-    EXPECT_FALSE(chan.canIssue(act(0, 0, 1), cyc(tm.tRFC) - 1));
-    EXPECT_TRUE(chan.canIssue(act(0, 0, 1), cyc(tm.tRFC)));
+    chan.issue(DramCommand::refresh(0), Tick{});
+    EXPECT_FALSE(chan.canIssue(act(0, 0, 1), at(tm.tRFC) - TickSpan{1}));
+    EXPECT_TRUE(chan.canIssue(act(0, 0, 1), at(tm.tRFC)));
 }
 
 TEST_F(ChannelTest, RefreshSchedulingStaggersRanks)
 {
     Channel c(smallGeom(), tm, true);
-    EXPECT_EQ(c.refreshDueRank(0), -1);
-    const Tick interval = kBaselineClocks.dramToTicks(tm.tREFI);
-    EXPECT_EQ(c.refreshDueRank(interval), 0);
+    EXPECT_EQ(c.refreshDueRank(Tick{}), -1);
+    const TickSpan interval = kBaselineClocks.dramToTicks(tm.tREFI);
+    EXPECT_EQ(c.refreshDueRank(Tick{} + interval), 0);
     // Rank 1 is due half an interval later.
-    EXPECT_EQ(c.refreshDueRank(interval + interval / 2), 0);
+    EXPECT_EQ(c.refreshDueRank(Tick{} + interval + interval / 2), 0);
 }
 
 TEST_F(ChannelTest, StatsCountCommands)
 {
-    chan.issue(act(0, 0, 5), 0);
-    chan.issue(rd(0, 0, 5, 0), cyc(tm.tRCD));
+    chan.issue(act(0, 0, 5), Tick{});
+    chan.issue(rd(0, 0, 5, 0), at(tm.tRCD));
     EXPECT_EQ(chan.stats().activates, 1u);
     EXPECT_EQ(chan.stats().reads, 1u);
     EXPECT_EQ(chan.stats().dataBusBusyTicks, cyc(tm.tBURST));
@@ -221,25 +230,28 @@ TEST_F(ChannelTest, StatsCountCommands)
 
 TEST_F(ChannelTest, BusUtilizationFractionOfWindow)
 {
-    chan.issue(act(0, 0, 5), 0);
-    chan.issue(rd(0, 0, 5, 0), cyc(tm.tRCD));
-    const Tick window = cyc(100);
+    chan.issue(act(0, 0, 5), Tick{});
+    chan.issue(rd(0, 0, 5, 0), at(tm.tRCD));
+    const Tick window = at(100);
     const double util = chan.stats().busUtilization(window);
-    EXPECT_NEAR(util, static_cast<double>(cyc(tm.tBURST)) / window, 1e-9);
+    EXPECT_NEAR(util,
+                static_cast<double>(cyc(tm.tBURST).count()) /
+                    static_cast<double>((window - Tick{}).count()),
+                1e-9);
 }
 
 TEST(BankTest, AccessCounterTracksActivation)
 {
     Bank b;
     EXPECT_FALSE(b.isOpen());
-    b.activate(7, 0, 10, 20, 30);
+    b.activate(7, Tick{}, TickSpan{10}, TickSpan{20}, TickSpan{30});
     EXPECT_TRUE(b.isOpen());
     EXPECT_EQ(b.openRow(), 7u);
     EXPECT_EQ(b.accessesThisActivation(), 0u);
-    b.read(15, 5);
-    b.read(25, 5);
+    b.read(Tick{15}, TickSpan{5});
+    b.read(Tick{25}, TickSpan{5});
     EXPECT_EQ(b.accessesThisActivation(), 2u);
-    b.precharge(40, 10);
+    b.precharge(Tick{40}, TickSpan{10});
     EXPECT_FALSE(b.isOpen());
     EXPECT_EQ(b.accessesThisActivation(), 0u);
 }
@@ -248,8 +260,8 @@ TEST(RankTest, AllBanksClosedTracksState)
 {
     Rank r(4, 1);
     EXPECT_TRUE(r.allBanksClosed());
-    r.bank(2).activate(1, 0, 10, 20, 30);
+    r.bank(2).activate(1, Tick{}, TickSpan{10}, TickSpan{20}, TickSpan{30});
     EXPECT_FALSE(r.allBanksClosed());
-    r.bank(2).precharge(50, 10);
+    r.bank(2).precharge(Tick{50}, TickSpan{10});
     EXPECT_TRUE(r.allBanksClosed());
 }

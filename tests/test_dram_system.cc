@@ -53,20 +53,20 @@ TEST(DramSystem, OwnsRequestedChannelCount)
 TEST(DramSystem, ChannelsAreIndependent)
 {
     DramSystem sys(geomWithChannels(2), DramTimings::ddr3_1600(), false);
-    driveOneRead(sys.channel(0), 0);
+    driveOneRead(sys.channel(0), Tick{});
     EXPECT_EQ(sys.channel(0).stats().reads, 1u);
     EXPECT_EQ(sys.channel(1).stats().reads, 0u);
     // Channel 1's buses are untouched by channel 0's traffic: an
     // immediate command is legal there.
     DramCoord c;
     c.row = 7;
-    EXPECT_TRUE(sys.channel(1).canIssue(DramCommand::activate(c), 0));
+    EXPECT_TRUE(sys.channel(1).canIssue(DramCommand::activate(c), Tick{}));
 }
 
 TEST(DramSystem, BusUtilizationAveragesChannels)
 {
     DramSystem sys(geomWithChannels(2), DramTimings::ddr3_1600(), false);
-    const Tick end = driveOneRead(sys.channel(0), 0);
+    const Tick end = driveOneRead(sys.channel(0), Tick{});
     const Tick window = end + kBaselineClocks.dramToTicks(100);
     const double oneBusy = sys.channel(0).stats().busUtilization(window);
     ASSERT_GT(oneBusy, 0.0);
@@ -77,13 +77,13 @@ TEST(DramSystem, BusUtilizationAveragesChannels)
 TEST(DramSystem, ResetStatsClearsEveryChannel)
 {
     DramSystem sys(geomWithChannels(2), DramTimings::ddr3_1600(), false);
-    driveOneRead(sys.channel(0), 0);
-    driveOneRead(sys.channel(1), 0);
-    sys.resetStats(kBaselineClocks.dramToTicks(1'000));
+    driveOneRead(sys.channel(0), Tick{});
+    driveOneRead(sys.channel(1), Tick{});
+    sys.resetStats(Tick{} + kBaselineClocks.dramToTicks(1'000));
     for (std::uint32_t c = 0; c < 2; ++c) {
         EXPECT_EQ(sys.channel(c).stats().reads, 0u);
         EXPECT_EQ(sys.channel(c).stats().activates, 0u);
-        EXPECT_EQ(sys.channel(c).stats().dataBusBusyTicks, 0u);
+        EXPECT_EQ(sys.channel(c).stats().dataBusBusyTicks, TickSpan{0});
     }
 }
 

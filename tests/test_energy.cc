@@ -63,7 +63,7 @@ TEST(Energy, ZeroActivityIsPureBackground)
 {
     const DramEnergyModel m = model();
     ChannelStats s;
-    const Tick window = kBaselineClocks.dramToTicks(10'000);
+    const Tick window = Tick{} + kBaselineClocks.dramToTicks(10'000);
     const DramEnergyBreakdown e = m.estimate(s, window);
     EXPECT_EQ(e.actPreNj, 0.0);
     EXPECT_EQ(e.readNj, 0.0);
@@ -81,7 +81,7 @@ TEST(Energy, CommandCountsScaleLinearly)
     s.reads = 20;
     s.writes = 5;
     s.refreshes = 2;
-    const Tick window = kBaselineClocks.dramToTicks(100'000);
+    const Tick window = Tick{} + kBaselineClocks.dramToTicks(100'000);
     const DramEnergyBreakdown e1 = m.estimate(s, window);
     s.activates *= 3;
     s.reads *= 3;
@@ -100,22 +100,22 @@ TEST(Energy, ActiveStandbyCostsMoreThanPrechargeStandby)
     const DramEnergyModel m = model();
     ChannelStats idle;
     ChannelStats active;
-    const Tick window = kBaselineClocks.dramToTicks(50'000);
+    const TickSpan window = kBaselineClocks.dramToTicks(50'000);
     active.rankActiveTicks = window; // One rank open the whole time.
-    EXPECT_GT(m.estimate(active, window).backgroundNj,
-              m.estimate(idle, window).backgroundNj);
+    EXPECT_GT(m.estimate(active, Tick{} + window).backgroundNj,
+              m.estimate(idle, Tick{} + window).backgroundNj);
 }
 
 TEST(Energy, BackgroundClampsAtFullActiveTime)
 {
     const DramEnergyModel m = model();
     ChannelStats s;
-    const Tick window = kBaselineClocks.dramToTicks(1'000);
+    const TickSpan window = kBaselineClocks.dramToTicks(1'000);
     s.rankActiveTicks = window * 100; // Corrupt input: beyond 2 ranks.
     ChannelStats full;
     full.rankActiveTicks = window * 2; // Both ranks open throughout.
-    EXPECT_DOUBLE_EQ(m.estimate(s, window).backgroundNj,
-                     m.estimate(full, window).backgroundNj);
+    EXPECT_DOUBLE_EQ(m.estimate(s, Tick{} + window).backgroundNj,
+                     m.estimate(full, Tick{} + window).backgroundNj);
 }
 
 TEST(Energy, AvgPowerMatchesEnergyOverTime)
@@ -133,11 +133,11 @@ TEST(Energy, AvgPowerMatchesEnergyOverTime)
 TEST(Energy, ChannelTracksRankActiveTime)
 {
     Channel ch(DramGeometry{}, DramTimings::ddr3_1600(), false);
-    const Tick end = actReadPre(ch, 0, 3);
+    const Tick end = actReadPre(ch, Tick{}, 3);
     // The bank was open from the ACT to the PRE: a nonzero, bounded
     // active-standby interval must be recorded.
-    EXPECT_GT(ch.stats().rankActiveTicks, 0u);
-    EXPECT_LE(ch.stats().rankActiveTicks, end);
+    EXPECT_GT(ch.stats().rankActiveTicks, TickSpan{0});
+    EXPECT_LE(ch.stats().rankActiveTicks, end - Tick{});
     EXPECT_EQ(ch.stats().activates, 1u);
     EXPECT_EQ(ch.stats().precharges, 1u);
 }
@@ -147,7 +147,7 @@ TEST(Energy, ResetStatsRestartsActivePeriods)
     Channel ch(DramGeometry{}, DramTimings::ddr3_1600(), false);
     DramCoord c;
     c.row = 9;
-    Tick t = 0;
+    Tick t{};
     while (!ch.canIssue(DramCommand::activate(c), t))
         t += kBaselineClocks.ticksPerDram;
     ch.issue(DramCommand::activate(c), t);
@@ -171,8 +171,8 @@ TEST(Energy, MoreActivationsMoreTotalEnergy)
     const DramEnergyModel m = model();
     Channel one(DramGeometry{}, DramTimings::ddr3_1600(), false);
     Channel eight(DramGeometry{}, DramTimings::ddr3_1600(), false);
-    Tick tEnd1 = actReadPre(one, 0, 1);
-    Tick tEnd8 = 0;
+    Tick tEnd1 = actReadPre(one, Tick{}, 1);
+    Tick tEnd8{};
     for (std::uint64_t r = 0; r < 8; ++r)
         tEnd8 = actReadPre(eight, tEnd8, r);
     const Tick horizon = std::max(tEnd1, tEnd8);

@@ -333,7 +333,7 @@ class NextLegalTest : public ::testing::Test
         EXPECT_TRUE(chan.canIssue(cmd, legal))
             << dramCommandName(cmd.type) << " not legal at its own "
             << "nextLegalAt " << legal;
-        for (Tick t = now; t < legal; ++t) {
+        for (Tick t = now; t < legal; t += TickSpan{1}) {
             EXPECT_FALSE(chan.canIssue(cmd, t))
                 << dramCommandName(cmd.type) << " already legal at " << t
                 << " but nextLegalAt said " << legal;
@@ -346,58 +346,61 @@ class NextLegalTest : public ::testing::Test
 TEST_F(NextLegalTest, ActivateReadPrechargeChain)
 {
     const auto c = coord(0, 2, 7);
-    expectConsistent(DramCommand::activate(c), 0);
-    chan.issue(DramCommand::activate(c), 0);
+    expectConsistent(DramCommand::activate(c), Tick{});
+    chan.issue(DramCommand::activate(c), Tick{});
 
     // Read gated by tRCD and the command bus.
-    expectConsistent(DramCommand::read(c), 1);
-    const Tick rdAt = chan.nextLegalAt(DramCommand::read(c), 1);
+    expectConsistent(DramCommand::read(c), Tick{1});
+    const Tick rdAt = chan.nextLegalAt(DramCommand::read(c), Tick{1});
     chan.issue(DramCommand::read(c), rdAt);
 
     // Precharge gated by tRTP; next activate by tRP + tRC.
-    expectConsistent(DramCommand::precharge(0, 2), rdAt + 1);
+    expectConsistent(DramCommand::precharge(0, 2), rdAt + TickSpan{1});
     const Tick preAt =
-        chan.nextLegalAt(DramCommand::precharge(0, 2), rdAt + 1);
+        chan.nextLegalAt(DramCommand::precharge(0, 2), rdAt + TickSpan{1});
     chan.issue(DramCommand::precharge(0, 2), preAt);
-    expectConsistent(DramCommand::activate(coord(0, 2, 9)), preAt + 1);
+    expectConsistent(DramCommand::activate(coord(0, 2, 9)),
+                     preAt + TickSpan{1});
 }
 
 TEST_F(NextLegalTest, WriteToReadTurnaround)
 {
     const auto c = coord(1, 4, 11);
     chan.issue(DramCommand::activate(c),
-               chan.nextLegalAt(DramCommand::activate(c), 0));
-    const Tick wrAt = chan.nextLegalAt(DramCommand::write(c), 0);
+               chan.nextLegalAt(DramCommand::activate(c), Tick{}));
+    const Tick wrAt = chan.nextLegalAt(DramCommand::write(c), Tick{});
     chan.issue(DramCommand::write(c), wrAt);
     // Same-rank read now gated by tWTR and the data bus.
-    expectConsistent(DramCommand::read(c), wrAt + 1);
+    expectConsistent(DramCommand::read(c), wrAt + TickSpan{1});
 }
 
 TEST_F(NextLegalTest, FawGatesFifthActivate)
 {
     // Four activates to distinct banks as fast as legality allows;
     // the fifth must report a tFAW-gated next-legal tick.
-    Tick now = 0;
+    Tick now{};
     for (std::uint32_t b = 0; b < 4; ++b) {
         const auto cmd = DramCommand::activate(coord(0, b, 1));
         now = chan.nextLegalAt(cmd, now);
         chan.issue(cmd, now);
     }
-    expectConsistent(DramCommand::activate(coord(0, 4, 1)), now + 1);
+    expectConsistent(DramCommand::activate(coord(0, 4, 1)),
+                     now + TickSpan{1});
 }
 
 TEST_F(NextLegalTest, StateMismatchesReportNever)
 {
     const auto c = coord(0, 0, 5);
     // CAS/PRE to a closed bank can never become legal on their own.
-    EXPECT_EQ(chan.nextLegalAt(DramCommand::read(c), 0), kMaxTick);
-    EXPECT_EQ(chan.nextLegalAt(DramCommand::precharge(0, 0), 0),
+    EXPECT_EQ(chan.nextLegalAt(DramCommand::read(c), Tick{}), kMaxTick);
+    EXPECT_EQ(chan.nextLegalAt(DramCommand::precharge(0, 0), Tick{}),
               kMaxTick);
-    chan.issue(DramCommand::activate(c), 0);
+    chan.issue(DramCommand::activate(c), Tick{});
     // An activate to the now-open bank can't either.
-    EXPECT_EQ(chan.nextLegalAt(DramCommand::activate(c), 1), kMaxTick);
+    EXPECT_EQ(chan.nextLegalAt(DramCommand::activate(c), Tick{1}),
+              kMaxTick);
     // A CAS to the wrong row is likewise stuck until a precharge.
-    EXPECT_EQ(chan.nextLegalAt(DramCommand::read(coord(0, 0, 6)), 1),
+    EXPECT_EQ(chan.nextLegalAt(DramCommand::read(coord(0, 0, 6)), Tick{1}),
               kMaxTick);
 }
 
@@ -408,8 +411,10 @@ TEST(EventKernel, SkipCountersShowIdleSkipping)
     System sys(cfg, workloadPreset(WorkloadId::WS));
     (void)sys.run();
     const KernelStats &k = sys.kernelStats();
-    const std::uint64_t coreCycles = kBaselineClocks.ticksToCore(sys.now());
-    const std::uint64_t dramCycles = kBaselineClocks.ticksToDram(sys.now());
+    const std::uint64_t coreCycles =
+        kBaselineClocks.ticksToCore(sys.now()).count();
+    const std::uint64_t dramCycles =
+        kBaselineClocks.ticksToDram(sys.now()).count();
     // Every executed step is counted...
     EXPECT_GT(k.coreStepsRun, 0u);
     EXPECT_LE(k.coreStepsRun, coreCycles);

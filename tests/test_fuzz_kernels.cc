@@ -121,7 +121,7 @@ struct TraceEntry
 struct RunResult
 {
     MetricSet metrics;
-    Tick endTick = 0;
+    Tick endTick{};
     std::vector<TraceEntry> trace;
 };
 

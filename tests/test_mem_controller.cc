@@ -76,7 +76,7 @@ struct Harness
     MemController mc;
     std::vector<std::unique_ptr<Request>> storage;
     std::vector<Request> completed;
-    Tick now = 0;
+    Tick now{};
 };
 
 /** Byte address of (row, bank, column) under the test mapping. */
@@ -255,7 +255,7 @@ TEST(MemController, DrainExitsAtLowWatermark)
     // Feed a slow trickle of reads so the read queue never stays empty
     // long enough for the idle-timeout drain to take over.
     int nextRead = 0;
-    while (h.mc.writeQueueLen() > 12 && h.now < kBaselineClocks.coreToTicks(200'000)) {
+    while (h.mc.writeQueueLen() > 12 && h.now < Tick{} + kBaselineClocks.coreToTicks(200'000)) {
         if (h.mc.readQueueLen() == 0) {
             h.mc.enqueue(
                 h.makeReq(addrOf(300 + nextRead, nextRead % 8, 0), false),
@@ -298,7 +298,7 @@ TEST(MemController, ForwardedReadLatencyIsShort)
     ASSERT_EQ(h.mc.stats().forwardedReads, 1u);
     // The forwarded read completes in forwardLatencyCycles, far below
     // any DRAM access.
-    Tick fwdLatency = kMaxTick;
+    TickSpan fwdLatency = kMaxTickSpan;
     for (const Request &r : h.completed) {
         if (!r.isWrite)
             fwdLatency = r.completedAt - r.arrivedAt;
@@ -322,7 +322,7 @@ TEST(MemController, UnifiedQueueSchedulerSeesWritesWithoutDrain)
     req->addr = 64;
     req->isWrite = true;
     req->coord.row = 2;
-    Tick now = 0;
+    Tick now{};
     mc.enqueue(req.get(), now);
     for (int i = 0; i < 60; ++i) {
         mc.tick(now);
@@ -351,7 +351,7 @@ TEST(MemController, WriteCompletionCallbackFiresAtCas)
     h.run(2000);
     ASSERT_EQ(h.completed.size(), 1u);
     EXPECT_TRUE(h.completed[0].isWrite);
-    EXPECT_GT(h.completed[0].completedAt, 0u);
+    EXPECT_GT(h.completed[0].completedAt, Tick{});
 }
 
 TEST(MemController, PerCoreLatencyAccumulates)
@@ -359,8 +359,8 @@ TEST(MemController, PerCoreLatencyAccumulates)
     Harness h;
     h.mc.enqueue(h.makeReq(addrOf(1, 0, 0), false, 7), h.now);
     h.run(300);
-    EXPECT_GT(h.mc.stats().perCoreLatencyTicks[7], 0u);
-    EXPECT_EQ(h.mc.stats().perCoreLatencyTicks[3], 0u);
+    EXPECT_GT(h.mc.stats().perCoreLatencyTicks[7], TickSpan{0});
+    EXPECT_EQ(h.mc.stats().perCoreLatencyTicks[3], TickSpan{0});
 }
 
 TEST(MemController, IoCoreStatsUseOverflowSlot)

@@ -15,7 +15,8 @@ namespace {
 
 PageQuery
 query(std::uint32_t accesses, bool pendingHit, bool pendingConflict,
-      std::uint64_t row = 7, Tick now = 1000, Tick lastAccess = 1000)
+      std::uint64_t row = 7, Tick now = Tick{1000},
+      Tick lastAccess = Tick{1000})
 {
     PageQuery q;
     q.rank = 0;
@@ -65,7 +66,7 @@ TEST(CloseAdaptive, ClosesWhenNoPendingHit)
 TEST(Timer, ClosesAfterIdleInterval)
 {
     TimerPolicy p(10); // 10 DRAM cycles.
-    const Tick last = 1000;
+    const Tick last{1000};
     EXPECT_FALSE(p.shouldClose(
         query(1, false, false, 7, last + kBaselineClocks.dramToTicks(5), last)));
     EXPECT_TRUE(p.shouldClose(

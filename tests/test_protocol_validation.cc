@@ -167,7 +167,10 @@ struct Ddr4Fixture
     {
     }
 
-    Tick cyc(std::uint32_t c) const { return clk.dramToTicks(c); }
+    /** The instant @p c DRAM cycles after the time origin. */
+    Tick cyc(std::uint32_t c) const { return Tick{} + clk.dramToTicks(c); }
+    /** @p c DRAM cycles as a tick span. */
+    TickSpan dur(std::uint32_t c) const { return clk.dramToTicks(c); }
 
     const DramDevice &dev;
     ClockDomains clk;
@@ -183,16 +186,16 @@ TEST(ProtocolValidationGroups, TccdLViolationRejected)
     ASSERT_GT(tm.tCCDL, tm.tCCD);
     // Open the same-group bank pair (banks 0 and 1, group 0).
     DramCoord a{0, 0, 0, 5, 0}, b{0, 0, 1, 7, 0};
-    ASSERT_EQ(f.chk.check(DramCommand::activate(a), 0), "");
+    ASSERT_EQ(f.chk.check(DramCommand::activate(a), Tick{}), "");
     ASSERT_EQ(f.chk.check(DramCommand::activate(b), f.cyc(1000)), "");
     const Tick rd = f.cyc(2000);
     ASSERT_EQ(f.chk.check(DramCommand::read(a), rd), "");
     // Past tCCD_S but short of tCCD_L: same group, must be rejected.
     const std::string err =
-        f.chk.check(DramCommand::read(b), rd + f.cyc(tm.tCCDL) - 1);
+        f.chk.check(DramCommand::read(b), rd + f.dur(tm.tCCDL) - TickSpan{1});
     EXPECT_NE(err.find("tCCD_L"), std::string::npos) << err;
     // At tCCD_L it goes through.
-    EXPECT_EQ(f.chk.check(DramCommand::read(b), rd + f.cyc(tm.tCCDL)),
+    EXPECT_EQ(f.chk.check(DramCommand::read(b), rd + f.dur(tm.tCCDL)),
               "");
 }
 
@@ -203,10 +206,10 @@ TEST(ProtocolValidationGroups, TrrdLViolationRejected)
     ASSERT_GT(tm.tRRDL, tm.tRRD);
     DramCoord a{0, 0, 0, 5, 0};
     DramCoord sameGroup{0, 0, 1, 5, 0};
-    ASSERT_EQ(f.chk.check(DramCommand::activate(a), 0), "");
+    ASSERT_EQ(f.chk.check(DramCommand::activate(a), Tick{}), "");
     // Legal for tRRD_S, illegal for tRRD_L: same bank group.
     const std::string err = f.chk.check(DramCommand::activate(sameGroup),
-                                        f.cyc(tm.tRRDL) - 1);
+                                        f.cyc(tm.tRRDL) - TickSpan{1});
     EXPECT_NE(err.find("tRRD_L"), std::string::npos) << err;
     EXPECT_EQ(
         f.chk.check(DramCommand::activate(sameGroup), f.cyc(tm.tRRDL)),
@@ -214,7 +217,7 @@ TEST(ProtocolValidationGroups, TrrdLViolationRejected)
     // A different group is held only to tRRD_S.
     DramCoord otherGroup{0, 0, f.dev.geometry.banksPerGroup(), 5, 0};
     EXPECT_EQ(f.chk.check(DramCommand::activate(otherGroup),
-                          f.cyc(tm.tRRDL) + f.cyc(tm.tRRD)),
+                          f.cyc(tm.tRRDL) + f.dur(tm.tRRD)),
               "");
 }
 
@@ -230,14 +233,14 @@ TEST(ProtocolValidationGroups, TfawCountsActsAcrossGroups)
     for (std::uint32_t g = 0; g < 4; ++g) {
         DramCoord c{0, 0, g * bpg, 1, 0};
         ASSERT_EQ(
-            f.chk.check(DramCommand::activate(c), g * f.cyc(tm.tRRD)),
+            f.chk.check(DramCommand::activate(c), Tick{} + g * f.dur(tm.tRRD)),
             "")
             << "group " << g;
     }
     // The fifth ACT — to yet another bank — must trip tFAW even
     // though every prior ACT went to a different group.
     DramCoord fifth{0, 0, 1, 1, 0};
-    const Tick at = 4 * f.cyc(tm.tRRD);
+    const Tick at = Tick{} + 4 * f.dur(tm.tRRD);
     ASSERT_LT(at, f.cyc(tm.tFAW));
     const std::string err = f.chk.check(DramCommand::activate(fifth), at);
     EXPECT_NE(err.find("tFAW"), std::string::npos) << err;
@@ -249,28 +252,28 @@ TEST(ProtocolValidationPerBankRefresh, OtherBanksStaySchedulable)
     ASSERT_TRUE(dev.timings.perBankRefresh);
     const ClockDomains clk = ClockDomains::fromMhz(2000, dev.busMhz);
     const auto cyc = [&clk](std::uint32_t c) {
-        return clk.dramToTicks(c);
+        return Tick{} + clk.dramToTicks(c);
     };
 
     // Channel: a REFpb to bank 0 leaves bank 1 activatable right on
     // the next command cycle, while bank 0 is blocked for tRFCpb.
     Channel chan(dev.geometry, dev.timings, /*enableRefresh=*/false, clk);
-    chan.issue(DramCommand::refreshBank(0, 0), 0);
+    chan.issue(DramCommand::refreshBank(0, 0), Tick{});
     DramCoord b1{0, 0, 1, 3, 0};
     EXPECT_TRUE(chan.canIssue(DramCommand::activate(b1), cyc(1)));
     DramCoord b0{0, 0, 0, 3, 0};
     EXPECT_FALSE(chan.canIssue(DramCommand::activate(b0),
-                               cyc(dev.timings.tRFCpb) - 1));
+                               cyc(dev.timings.tRFCpb) - TickSpan{1}));
     EXPECT_TRUE(
         chan.canIssue(DramCommand::activate(b0), cyc(dev.timings.tRFCpb)));
 
     // Checker: the same sequence is accepted, and the too-early ACT to
     // the refreshed bank is named as a tRFCpb violation.
     TimingChecker chk(dev.geometry, dev.timings, clk);
-    EXPECT_EQ(chk.check(DramCommand::refreshBank(0, 0), 0), "");
+    EXPECT_EQ(chk.check(DramCommand::refreshBank(0, 0), Tick{}), "");
     EXPECT_EQ(chk.check(DramCommand::activate(b1), cyc(1)), "");
     const std::string err = chk.check(DramCommand::activate(b0),
-                                      cyc(dev.timings.tRFCpb) - 1);
+                                      cyc(dev.timings.tRFCpb) - TickSpan{1});
     EXPECT_NE(err.find("tRFCpb"), std::string::npos) << err;
 }
 
@@ -280,12 +283,13 @@ TEST(ProtocolValidationPerBankRefresh, RefpbToOpenBankRejected)
     const ClockDomains clk = ClockDomains::fromMhz(2000, dev.busMhz);
     TimingChecker chk(dev.geometry, dev.timings, clk);
     DramCoord b0{0, 0, 0, 3, 0};
-    ASSERT_EQ(chk.check(DramCommand::activate(b0), 0), "");
+    ASSERT_EQ(chk.check(DramCommand::activate(b0), Tick{}), "");
     // The open bank cannot be refreshed, but its closed neighbor can.
     const std::string err =
-        chk.check(DramCommand::refreshBank(0, 0), clk.dramToTicks(100));
+        chk.check(DramCommand::refreshBank(0, 0),
+                  Tick{} + clk.dramToTicks(100));
     EXPECT_NE(err.find("open bank"), std::string::npos) << err;
     EXPECT_EQ(chk.check(DramCommand::refreshBank(0, 1),
-                        clk.dramToTicks(100)),
+                        Tick{} + clk.dramToTicks(100)),
               "");
 }

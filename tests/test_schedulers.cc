@@ -20,6 +20,20 @@ using namespace mcsim;
 
 namespace {
 
+/** Absolute tick @p n (test shorthand for literal times). */
+constexpr Tick
+tk(std::uint64_t n)
+{
+    return Tick{n};
+}
+
+/** Absolute tick a span past the origin (test shorthand). */
+constexpr Tick
+tk(TickSpan s)
+{
+    return Tick{} + s;
+}
+
 /** Test fixture helper: owns requests and builds candidates. */
 class Pool
 {
@@ -68,26 +82,26 @@ TEST(Fcfs, PicksOldestOnly)
 {
     FcfsScheduler s;
     Pool p;
-    p.add(100, 0, 0, true, true);
-    p.add(50, 1, 1, true, false); // Oldest.
-    p.add(200, 2, 2, true, true);
-    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+    p.add(tk(100), 0, 0, true, true);
+    p.add(tk(50), 1, 1, true, false); // Oldest.
+    p.add(tk(200), 2, 2, true, true);
+    EXPECT_EQ(s.choose(p.all(), tk(300), ctx16()), 1);
 }
 
 TEST(Fcfs, IdlesWhenOldestNotIssuable)
 {
     FcfsScheduler s;
     Pool p;
-    p.add(50, 0, 0, false, false); // Oldest but blocked.
-    p.add(100, 1, 1, true, true);  // Issuable but younger.
-    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), -1);
+    p.add(tk(50), 0, 0, false, false); // Oldest but blocked.
+    p.add(tk(100), 1, 1, true, true);  // Issuable but younger.
+    EXPECT_EQ(s.choose(p.all(), tk(300), ctx16()), -1);
 }
 
 TEST(Fcfs, EmptyPool)
 {
     FcfsScheduler s;
     std::vector<Candidate> none;
-    EXPECT_EQ(s.choose(none, 0, ctx16()), -1);
+    EXPECT_EQ(s.choose(none, tk(0), ctx16()), -1);
 }
 
 // ---------------------------------------------------------- FCFS_banks
@@ -96,28 +110,58 @@ TEST(FcfsBanks, ServesOldestPerBank)
 {
     FcfsBanksScheduler s;
     Pool p;
-    p.add(50, 0, 0, false, false); // Bank 0 head, blocked.
-    p.add(100, 1, 0, true, true);  // Bank 0, younger: NOT eligible.
-    p.add(200, 2, 1, true, false); // Bank 1 head, issuable.
-    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 2);
+    p.add(tk(50), 0, 0, false, false); // Bank 0 head, blocked.
+    p.add(tk(100), 1, 0, true, true);  // Bank 0, younger: NOT eligible.
+    p.add(tk(200), 2, 1, true, false); // Bank 1 head, issuable.
+    EXPECT_EQ(s.choose(p.all(), tk(300), ctx16()), 2);
 }
 
 TEST(FcfsBanks, NoReorderingWithinBank)
 {
     FcfsBanksScheduler s;
     Pool p;
-    p.add(50, 0, 0, false, false); // Head of bank 0 blocked.
-    p.add(100, 1, 0, true, true);  // Row hit behind it.
-    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), -1);
+    p.add(tk(50), 0, 0, false, false); // Head of bank 0 blocked.
+    p.add(tk(100), 1, 0, true, true);  // Row hit behind it.
+    EXPECT_EQ(s.choose(p.all(), tk(300), ctx16()), -1);
 }
 
 TEST(FcfsBanks, AgeBreaksTiesAcrossBanks)
 {
     FcfsBanksScheduler s;
     Pool p;
-    p.add(80, 0, 0, true, false);
-    p.add(20, 1, 1, true, false); // Older head.
-    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+    p.add(tk(80), 0, 0, true, false);
+    p.add(tk(20), 1, 1, true, false); // Older head.
+    EXPECT_EQ(s.choose(p.all(), tk(300), ctx16()), 1);
+}
+
+TEST(FcfsBanks, EqualAgeHeadsResolveByRequestId)
+{
+    // Regression: the head-of-bank accounting lives in an
+    // unordered_map, and the selection loop once walked candidates in
+    // an order influenced by it — equal-arrival heads across banks
+    // resolved by hash-bucket order, i.e. differently per stdlib.
+    // The contract: ties on arrivedAt break on the lower request id,
+    // regardless of how the candidate vector is permuted.
+    const Tick arrival = tk(40);
+    for (int perm = 0; perm < 2; ++perm) {
+        FcfsBanksScheduler s;
+        Pool p;
+        if (perm == 0) {
+            p.add(arrival, 0, 2, true, false); // id 0, bank 2.
+            p.add(arrival, 1, 5, true, false); // id 1, bank 5.
+            p.add(arrival, 2, 7, true, false); // id 2, bank 7.
+        } else {
+            // Same requests, reversed bank presentation order; the
+            // lowest id must still win.
+            p.add(arrival, 2, 7, true, false); // id 0, bank 7.
+            p.add(arrival, 1, 5, true, false); // id 1, bank 5.
+            p.add(arrival, 0, 2, true, false); // id 2, bank 2.
+        }
+        const int pick = s.choose(p.all(), tk(300), ctx16());
+        ASSERT_GE(pick, 0);
+        EXPECT_EQ(p.all()[static_cast<std::size_t>(pick)].req->id, 0u)
+            << "permutation " << perm;
+    }
 }
 
 // -------------------------------------------------------------- FR-FCFS
@@ -126,37 +170,37 @@ TEST(FrFcfs, PrefersRowHits)
 {
     FrFcfsScheduler s;
     Pool p;
-    p.add(50, 0, 0, true, false);  // Oldest, not a hit.
-    p.add(100, 1, 1, true, true);  // Younger hit: wins.
-    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+    p.add(tk(50), 0, 0, true, false);  // Oldest, not a hit.
+    p.add(tk(100), 1, 1, true, true);  // Younger hit: wins.
+    EXPECT_EQ(s.choose(p.all(), tk(300), ctx16()), 1);
 }
 
 TEST(FrFcfs, OldestHitAmongHits)
 {
     FrFcfsScheduler s;
     Pool p;
-    p.add(100, 0, 0, true, true);
-    p.add(60, 1, 1, true, true); // Older hit.
-    p.add(10, 2, 2, true, false);
-    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+    p.add(tk(100), 0, 0, true, true);
+    p.add(tk(60), 1, 1, true, true); // Older hit.
+    p.add(tk(10), 2, 2, true, false);
+    EXPECT_EQ(s.choose(p.all(), tk(300), ctx16()), 1);
 }
 
 TEST(FrFcfs, FallsBackToOldest)
 {
     FrFcfsScheduler s;
     Pool p;
-    p.add(100, 0, 0, true, false);
-    p.add(60, 1, 1, true, false);
-    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+    p.add(tk(100), 0, 0, true, false);
+    p.add(tk(60), 1, 1, true, false);
+    EXPECT_EQ(s.choose(p.all(), tk(300), ctx16()), 1);
 }
 
 TEST(FrFcfs, SkipsNonIssuable)
 {
     FrFcfsScheduler s;
     Pool p;
-    p.add(100, 0, 0, false, true);
-    p.add(200, 1, 1, true, false);
-    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+    p.add(tk(100), 0, 0, false, true);
+    p.add(tk(200), 1, 1, true, false);
+    EXPECT_EQ(s.choose(p.all(), tk(300), ctx16()), 1);
 }
 
 // --------------------------------------------------------------- PAR-BS
@@ -165,16 +209,16 @@ TEST(ParBs, MarkedRequestsBeatUnmarked)
 {
     ParBsScheduler s(16);
     Pool p;
-    p.add(10, 0, 0, true, false);
-    p.add(20, 0, 0, true, false);
+    p.add(tk(10), 0, 0, true, false);
+    p.add(tk(20), 0, 0, true, false);
     // First choose() forms a batch over current pool.
-    const int first = s.choose(p.all(), 100, ctx16());
+    const int first = s.choose(p.all(), tk(100), ctx16());
     ASSERT_GE(first, 0);
     EXPECT_TRUE(p.all()[first].req->marked);
     EXPECT_EQ(s.batchesFormed(), 1u);
     // A new arrival after batch formation is unmarked and loses.
-    auto &young = p.add(30, 1, 1, true, true);
-    const int second = s.choose(p.all(), 100, ctx16());
+    auto &young = p.add(tk(30), 1, 1, true, true);
+    const int second = s.choose(p.all(), tk(100), ctx16());
     ASSERT_GE(second, 0);
     EXPECT_TRUE(p.all()[second].req->marked);
     EXPECT_NE(p.all()[second].req, young.req);
@@ -185,8 +229,8 @@ TEST(ParBs, BatchingCapLimitsPerCoreBankMarks)
     ParBsScheduler s(16, ParBsConfig{2});
     Pool p;
     for (int i = 0; i < 5; ++i)
-        p.add(10 + i, 0, 0, true, false); // Same core, same bank.
-    (void)s.choose(p.all(), 100, ctx16());
+        p.add(tk(10 + i), 0, 0, true, false); // Same core, same bank.
+    (void)s.choose(p.all(), tk(100), ctx16());
     int marked = 0;
     for (const auto &c : p.all())
         marked += c.req->marked;
@@ -198,11 +242,11 @@ TEST(ParBs, ShortestJobRanksFirst)
     ParBsScheduler s(16);
     Pool p;
     // Core 0: 3 requests to one bank (long job). Core 1: 1 request.
-    p.add(10, 0, 0, true, false);
-    p.add(11, 0, 0, true, false);
-    p.add(12, 0, 0, true, false);
-    p.add(20, 1, 1, true, false);
-    (void)s.choose(p.all(), 100, ctx16());
+    p.add(tk(10), 0, 0, true, false);
+    p.add(tk(11), 0, 0, true, false);
+    p.add(tk(12), 0, 0, true, false);
+    p.add(tk(20), 1, 1, true, false);
+    (void)s.choose(p.all(), tk(100), ctx16());
     EXPECT_LT(s.coreRank(1), s.coreRank(0));
 }
 
@@ -210,15 +254,15 @@ TEST(ParBs, NewBatchWhenDrained)
 {
     ParBsScheduler s(16, ParBsConfig{5});
     Pool p;
-    p.add(10, 0, 0, true, false);
-    const int idx = s.choose(p.all(), 100, ctx16());
+    p.add(tk(10), 0, 0, true, false);
+    const int idx = s.choose(p.all(), tk(100), ctx16());
     ASSERT_EQ(idx, 0);
     s.onRequestServiced(*p.all()[0].req);
     // Pool for the next cycle: a fresh request; batch is empty so a
     // new one forms and it gets marked.
     Pool p2;
-    p2.add(50, 2, 3, true, false);
-    (void)s.choose(p2.all(), 200, ctx16());
+    p2.add(tk(50), 2, 3, true, false);
+    (void)s.choose(p2.all(), tk(200), ctx16());
     EXPECT_EQ(s.batchesFormed(), 2u);
     EXPECT_TRUE(p2.all()[0].req->marked);
 }
@@ -239,7 +283,7 @@ TEST(Atlas, RanksLeastAttainedServiceFirst)
     light.core = 1;
     s.onRequestServiced(light);
     // Advance past a quantum boundary.
-    s.tick(kBaselineClocks.coreToTicks(1001), ctx16());
+    s.tick(tk(kBaselineClocks.coreToTicks(1001)), ctx16());
     EXPECT_EQ(s.quantaElapsed(), 1u);
     EXPECT_LT(s.coreRank(1), s.coreRank(0));
     EXPECT_GT(s.totalService(0), s.totalService(1));
@@ -255,10 +299,10 @@ TEST(Atlas, ExponentialSmoothingBiasesCurrentQuantum)
     r.core = 0;
     for (int i = 0; i < 8; ++i)
         s.onRequestServiced(r);
-    s.tick(kBaselineClocks.coreToTicks(1001), ctx16());
+    s.tick(tk(kBaselineClocks.coreToTicks(1001)), ctx16());
     EXPECT_DOUBLE_EQ(s.totalService(0), 0.875 * 8.0);
     // Next quantum with no service decays it.
-    s.tick(kBaselineClocks.coreToTicks(2002), ctx16());
+    s.tick(tk(kBaselineClocks.coreToTicks(2002)), ctx16());
     EXPECT_DOUBLE_EQ(s.totalService(0), 0.125 * 0.875 * 8.0);
 }
 
@@ -271,11 +315,15 @@ TEST(Atlas, HigherRankedCoreWins)
     heavy.core = 2;
     for (int i = 0; i < 10; ++i)
         s.onRequestServiced(heavy);
-    s.tick(kBaselineClocks.coreToTicks(101), ctx16());
+    s.tick(tk(kBaselineClocks.coreToTicks(101)), ctx16());
     Pool p;
-    p.add(kBaselineClocks.coreToTicks(90), 2, 0, true, true);  // Heavy core, hit.
-    p.add(kBaselineClocks.coreToTicks(95), 0, 1, true, false); // Light core.
-    EXPECT_EQ(s.choose(p.all(), kBaselineClocks.coreToTicks(110), ctx16()), 1);
+    p.add(tk(kBaselineClocks.coreToTicks(90)), 2, 0, true,
+          true); // Heavy core, hit.
+    p.add(tk(kBaselineClocks.coreToTicks(95)), 0, 1, true,
+          false); // Light core.
+    EXPECT_EQ(
+        s.choose(p.all(), tk(kBaselineClocks.coreToTicks(110)), ctx16()),
+        1);
 }
 
 TEST(Atlas, StarvedRequestOverridesRank)
@@ -288,20 +336,23 @@ TEST(Atlas, StarvedRequestOverridesRank)
     heavy.core = 2;
     for (int i = 0; i < 10; ++i)
         s.onRequestServiced(heavy);
-    s.tick(kBaselineClocks.coreToTicks(101), ctx16());
+    s.tick(tk(kBaselineClocks.coreToTicks(101)), ctx16());
     Pool p;
-    p.add(kBaselineClocks.coreToTicks(10), 2, 0, true, false); // Starved heavy.
-    p.add(kBaselineClocks.coreToTicks(1500), 0, 1, true, true);
-    EXPECT_EQ(s.choose(p.all(), kBaselineClocks.coreToTicks(1600), ctx16()), 0);
+    p.add(tk(kBaselineClocks.coreToTicks(10)), 2, 0, true,
+          false); // Starved heavy.
+    p.add(tk(kBaselineClocks.coreToTicks(1500)), 0, 1, true, true);
+    EXPECT_EQ(
+        s.choose(p.all(), tk(kBaselineClocks.coreToTicks(1600)), ctx16()),
+        0);
 }
 
 TEST(Atlas, RowHitBreaksTiesWithinRank)
 {
     AtlasScheduler s(4);
     Pool p;
-    p.add(10, 0, 0, true, false);
-    p.add(20, 0, 1, true, true);
-    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+    p.add(tk(10), 0, 0, true, false);
+    p.add(tk(20), 0, 1, true, true);
+    EXPECT_EQ(s.choose(p.all(), tk(100), ctx16()), 1);
 }
 
 // ------------------------------------------------------------------- RL
@@ -312,10 +363,10 @@ TEST(Rl, OnlyPicksLegalCandidates)
     cfg.epsilon = 0.0; // Greedy only; exploration is tested below.
     RlScheduler s(cfg);
     Pool p;
-    p.add(10, 0, 0, false, true);
-    p.add(20, 1, 1, true, false);
+    p.add(tk(10), 0, 0, false, true);
+    p.add(tk(20), 1, 1, true, false);
     for (int i = 0; i < 200; ++i) {
-        const int idx = s.choose(p.all(), 1000 + i, ctx16());
+        const int idx = s.choose(p.all(), tk(1000 + i), ctx16());
         ASSERT_EQ(idx, 1);
     }
 }
@@ -327,11 +378,11 @@ TEST(Rl, ExplorationNeverPicksIllegalCandidates)
     cfg.starvationCycles = 100'000'000;
     RlScheduler s(cfg);
     Pool p;
-    p.add(10, 0, 0, false, true);
-    p.add(20, 1, 1, true, false);
+    p.add(tk(10), 0, 0, false, true);
+    p.add(tk(20), 1, 1, true, false);
     bool sawNoAction = false;
     for (int i = 0; i < 300; ++i) {
-        const int idx = s.choose(p.all(), 1000 + i, ctx16());
+        const int idx = s.choose(p.all(), tk(1000 + i), ctx16());
         ASSERT_TRUE(idx == 1 || idx == -1) << idx;
         sawNoAction = sawNoAction || idx == -1;
     }
@@ -343,18 +394,18 @@ TEST(Rl, ReturnsMinusOneWhenNothingLegal)
 {
     RlScheduler s;
     Pool p;
-    p.add(10, 0, 0, false, true);
-    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), -1);
+    p.add(tk(10), 0, 0, false, true);
+    EXPECT_EQ(s.choose(p.all(), tk(100), ctx16()), -1);
 }
 
 TEST(Rl, LearnsFromRewards)
 {
     RlScheduler s;
     Pool p;
-    p.add(10, 0, 0, true, true, DramCommandType::Read);
+    p.add(tk(10), 0, 0, true, true, DramCommandType::Read);
     // Repeated data-transferring actions earn reward; the chosen
     // feature vector's Q-value must rise above its initial zero.
-    Tick now = 1000;
+    Tick now{1000};
     for (int i = 0; i < 500; ++i) {
         (void)s.choose(p.all(), now, ctx16());
         now += kBaselineClocks.ticksPerDram;
@@ -371,9 +422,9 @@ TEST(Rl, ExploresAtConfiguredRate)
     cfg.starvationCycles = 100'000'000;
     RlScheduler s(cfg);
     Pool p;
-    p.add(10, 0, 0, true, true);
-    p.add(20, 1, 1, true, false);
-    Tick now = 1000;
+    p.add(tk(10), 0, 0, true, true);
+    p.add(tk(20), 1, 1, true, false);
+    Tick now{1000};
     for (int i = 0; i < 5000; ++i) {
         (void)s.choose(p.all(), now, ctx16());
         now += kBaselineClocks.ticksPerDram;
@@ -389,9 +440,13 @@ TEST(Rl, StarvationGuardServicesOldRequests)
     cfg.epsilon = 0.0;
     RlScheduler s(cfg);
     Pool p;
-    p.add(kBaselineClocks.coreToTicks(0), 0, 0, true, false);  // Ancient.
-    p.add(kBaselineClocks.coreToTicks(190), 1, 1, true, true); // Fresh hit.
-    EXPECT_EQ(s.choose(p.all(), kBaselineClocks.coreToTicks(200), ctx16()), 0);
+    p.add(tk(kBaselineClocks.coreToTicks(0)), 0, 0, true,
+          false); // Ancient.
+    p.add(tk(kBaselineClocks.coreToTicks(190)), 1, 1, true,
+          true); // Fresh hit.
+    EXPECT_EQ(
+        s.choose(p.all(), tk(kBaselineClocks.coreToTicks(200)), ctx16()),
+        0);
 }
 
 TEST(Rl, DeterministicGivenSeed)
@@ -400,9 +455,9 @@ TEST(Rl, DeterministicGivenSeed)
     cfg.seed = 42;
     RlScheduler a(cfg), b(cfg);
     Pool p;
-    p.add(10, 0, 0, true, true);
-    p.add(20, 1, 1, true, false);
-    Tick now = 1000;
+    p.add(tk(10), 0, 0, true, true);
+    p.add(tk(20), 1, 1, true, false);
+    Tick now{1000};
     for (int i = 0; i < 300; ++i) {
         ASSERT_EQ(a.choose(p.all(), now, ctx16()),
                   b.choose(p.all(), now, ctx16()));
@@ -430,9 +485,9 @@ TEST(Fqm, EqualizesServiceAcrossCores)
     s.onRequestServiced(served);
     s.onRequestServiced(served);
     Pool p;
-    p.add(10, 0, 0, true, true);  // Core 0, much virtual time.
-    p.add(20, 1, 0, true, false); // Core 1, none: wins.
-    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+    p.add(tk(10), 0, 0, true, true);  // Core 0, much virtual time.
+    p.add(tk(20), 1, 0, true, false); // Core 1, none: wins.
+    EXPECT_EQ(s.choose(p.all(), tk(100), ctx16()), 1);
     EXPECT_EQ(s.virtualTime(0, p.all()[0].req->coord.flatBankKey()), 2u);
 }
 
@@ -440,9 +495,9 @@ TEST(Fqm, RowHitBreaksVirtualTimeTies)
 {
     FqmScheduler s(4);
     Pool p;
-    p.add(10, 0, 0, true, false);
-    p.add(20, 1, 1, true, true);
-    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+    p.add(tk(10), 0, 0, true, false);
+    p.add(tk(20), 1, 1, true, true);
+    EXPECT_EQ(s.choose(p.all(), tk(100), ctx16()), 1);
 }
 
 // ------------------------------------------------------------------ TCM
@@ -464,7 +519,8 @@ tcmAfterQuantum(const std::vector<std::uint64_t> &arrivals,
         for (std::uint64_t i = 0; i < services[c]; ++i)
             s.onRequestServiced(req);
     }
-    s.tick(kBaselineClocks.coreToTicks(cfg.quantumCycles) + 1, SchedulerContext{});
+    s.tick(tk(kBaselineClocks.coreToTicks(cfg.quantumCycles) + TickSpan{1}),
+           SchedulerContext{});
     return s;
 }
 
@@ -498,18 +554,18 @@ TEST(Tcm, LatencyClusterBeatsBandwidthCluster)
     TcmScheduler s = tcmAfterQuantum({5, 100, 100, 100},
                                      {10, 100, 100, 100});
     Pool p;
-    p.add(10, 1, 0, true, true);  // Heavy core, older, row hit.
-    p.add(90, 0, 1, true, false); // Light core: still wins.
-    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+    p.add(tk(10), 1, 0, true, true);  // Heavy core, older, row hit.
+    p.add(tk(90), 0, 1, true, false); // Light core: still wins.
+    EXPECT_EQ(s.choose(p.all(), tk(100), ctx16()), 1);
 }
 
 TEST(Tcm, RowHitBreaksTiesWithinCluster)
 {
     TcmScheduler s(4);
     Pool p;
-    p.add(10, 0, 0, true, false);
-    p.add(20, 1, 1, true, true);
-    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+    p.add(tk(10), 0, 0, true, false);
+    p.add(tk(20), 1, 1, true, true);
+    EXPECT_EQ(s.choose(p.all(), tk(100), ctx16()), 1);
 }
 
 TEST(Tcm, StarvedRequestOverridesClusters)
@@ -519,9 +575,12 @@ TEST(Tcm, StarvedRequestOverridesClusters)
     TcmScheduler s = tcmAfterQuantum({5, 100, 100, 100},
                                      {10, 100, 100, 100}, cfg);
     Pool p;
-    p.add(kBaselineClocks.coreToTicks(10), 1, 0, true, false); // Starved heavy.
-    p.add(kBaselineClocks.coreToTicks(2900), 0, 1, true, true);
-    EXPECT_EQ(s.choose(p.all(), kBaselineClocks.coreToTicks(3000), ctx16()), 0);
+    p.add(tk(kBaselineClocks.coreToTicks(10)), 1, 0, true,
+          false); // Starved heavy.
+    p.add(tk(kBaselineClocks.coreToTicks(2900)), 0, 1, true, true);
+    EXPECT_EQ(
+        s.choose(p.all(), tk(kBaselineClocks.coreToTicks(3000)), ctx16()),
+        0);
 }
 
 TEST(Tcm, ShuffleReordersOnlyBandwidthCluster)
@@ -534,9 +593,11 @@ TEST(Tcm, ShuffleReordersOnlyBandwidthCluster)
     // Drive several shuffle intervals; the latency core's priority is
     // stable while the bandwidth cores' priorities stay a permutation
     // of the remaining slots.
-    const Tick start = kBaselineClocks.coreToTicks(cfg.quantumCycles) + 100;
+    const Tick start =
+        tk(kBaselineClocks.coreToTicks(cfg.quantumCycles) + TickSpan{100});
     for (int i = 1; i <= 50; ++i) {
-        s.tick(start + kBaselineClocks.coreToTicks(10) * i, SchedulerContext{});
+        s.tick(start + kBaselineClocks.coreToTicks(10) * i,
+               SchedulerContext{});
         EXPECT_EQ(s.corePriority(0), lightPrio);
         std::vector<bool> seen(4, false);
         for (CoreId c = 1; c < 4; ++c) {
@@ -554,11 +615,11 @@ TEST(Tcm, OnlyPicksIssuableCandidates)
 {
     TcmScheduler s(4);
     Pool p;
-    p.add(10, 0, 0, false, true);
-    p.add(20, 1, 1, true, false);
-    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+    p.add(tk(10), 0, 0, false, true);
+    p.add(tk(20), 1, 1, true, false);
+    EXPECT_EQ(s.choose(p.all(), tk(100), ctx16()), 1);
     std::vector<Candidate> none;
-    EXPECT_EQ(s.choose(none, 100, ctx16()), -1);
+    EXPECT_EQ(s.choose(none, tk(100), ctx16()), -1);
 }
 
 TEST(Tcm, IoRequestsRankBelowAllCores)
@@ -566,9 +627,9 @@ TEST(Tcm, IoRequestsRankBelowAllCores)
     TcmScheduler s = tcmAfterQuantum({50, 50, 50, 50},
                                      {50, 50, 50, 50});
     Pool p;
-    p.add(10, kIoCoreId, 0, true, true); // Old IO request.
-    p.add(90, 2, 1, true, false);        // Younger core request: wins.
-    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), 1);
+    p.add(tk(10), kIoCoreId, 0, true, true); // Old IO request.
+    p.add(tk(90), 2, 1, true, false);        // Younger core request: wins.
+    EXPECT_EQ(s.choose(p.all(), tk(100), ctx16()), 1);
 }
 
 // ----------------------------------------------------------------- STFM
@@ -577,9 +638,9 @@ TEST(Stfm, BehavesLikeFrFcfsWhenFair)
 {
     StfmScheduler s(4);
     Pool p;
-    p.add(50, 0, 0, true, false); // Oldest non-hit.
-    p.add(100, 1, 1, true, true); // Younger hit: wins under FR-FCFS.
-    EXPECT_EQ(s.choose(p.all(), 300, ctx16()), 1);
+    p.add(tk(50), 0, 0, true, false); // Oldest non-hit.
+    p.add(tk(100), 1, 1, true, true); // Younger hit: wins under FR-FCFS.
+    EXPECT_EQ(s.choose(p.all(), tk(300), ctx16()), 1);
     EXPECT_DOUBLE_EQ(s.unfairness(), 1.0);
 }
 
@@ -589,8 +650,9 @@ TEST(Stfm, SlowdownTracksWaitingTime)
     Pool p;
     // Core 0's CAS waited a long time relative to its alone-service
     // estimate: slowdown rises above 1.
-    p.add(0, 0, 0, true, true);
-    (void)s.choose(p.all(), kBaselineClocks.dramToTicks(500), ctx16());
+    p.add(tk(0), 0, 0, true, true);
+    (void)s.choose(p.all(), tk(kBaselineClocks.dramToTicks(500)),
+                   ctx16());
     EXPECT_GT(s.slowdownOf(0), 1.0);
     EXPECT_DOUBLE_EQ(s.slowdownOf(1), 1.0); // Idle core.
 }
@@ -603,21 +665,26 @@ TEST(Stfm, ElevatesMostSlowedCoreWhenUnfair)
     // Train: core 0's requests wait ~20x service, core 1's none.
     for (int i = 0; i < 4; ++i) {
         Pool waitP;
-        waitP.add(0, 0, 0, true, true);
+        waitP.add(tk(0), 0, 0, true, true);
         (void)s.choose(waitP.all(),
-                       kBaselineClocks.dramToTicks(400 * (i + 1)), ctx16());
+                       tk(kBaselineClocks.dramToTicks(400 * (i + 1))),
+                       ctx16());
         Pool fastP;
-        fastP.add(kBaselineClocks.dramToTicks(400 * (i + 1)) - 10, 1, 1, true,
-                  true);
-        (void)s.choose(fastP.all(), kBaselineClocks.dramToTicks(400 * (i + 1)),
+        fastP.add(tk(kBaselineClocks.dramToTicks(400 * (i + 1)) -
+                     TickSpan{10}),
+                  1, 1, true, true);
+        (void)s.choose(fastP.all(),
+                       tk(kBaselineClocks.dramToTicks(400 * (i + 1))),
                        ctx16());
     }
     EXPECT_GT(s.unfairness(), 1.05);
     // Now core 0's non-hit must beat core 1's younger row hit.
     Pool p;
-    p.add(kBaselineClocks.coreToTicks(5000), 1, 1, true, true);
-    p.add(kBaselineClocks.coreToTicks(4000), 0, 0, true, false);
-    EXPECT_EQ(s.choose(p.all(), kBaselineClocks.coreToTicks(5100), ctx16()), 1);
+    p.add(tk(kBaselineClocks.coreToTicks(5000)), 1, 1, true, true);
+    p.add(tk(kBaselineClocks.coreToTicks(4000)), 0, 0, true, false);
+    EXPECT_EQ(
+        s.choose(p.all(), tk(kBaselineClocks.coreToTicks(5100)), ctx16()),
+        1);
 }
 
 TEST(Stfm, DecayForgetsOldImbalance)
@@ -627,10 +694,11 @@ TEST(Stfm, DecayForgetsOldImbalance)
     cfg.decayFactor = 0.0; // Full forget at each interval.
     StfmScheduler s(4, cfg);
     Pool p;
-    p.add(0, 0, 0, true, true);
-    (void)s.choose(p.all(), kBaselineClocks.dramToTicks(500), ctx16());
+    p.add(tk(0), 0, 0, true, true);
+    (void)s.choose(p.all(), tk(kBaselineClocks.dramToTicks(500)),
+                   ctx16());
     EXPECT_GT(s.slowdownOf(0), 1.0);
-    s.tick(kBaselineClocks.coreToTicks(200), ctx16());
+    s.tick(tk(kBaselineClocks.coreToTicks(200)), ctx16());
     EXPECT_DOUBLE_EQ(s.slowdownOf(0), 1.0);
 }
 
@@ -640,17 +708,20 @@ TEST(Stfm, StarvedRequestBeatsEverything)
     cfg.starvationCycles = 1'000;
     StfmScheduler s(4, cfg);
     Pool p;
-    p.add(kBaselineClocks.coreToTicks(0), 2, 0, true, false);  // Ancient.
-    p.add(kBaselineClocks.coreToTicks(1900), 0, 1, true, true);
-    EXPECT_EQ(s.choose(p.all(), kBaselineClocks.coreToTicks(2000), ctx16()), 0);
+    p.add(tk(kBaselineClocks.coreToTicks(0)), 2, 0, true,
+          false); // Ancient.
+    p.add(tk(kBaselineClocks.coreToTicks(1900)), 0, 1, true, true);
+    EXPECT_EQ(
+        s.choose(p.all(), tk(kBaselineClocks.coreToTicks(2000)), ctx16()),
+        0);
 }
 
 TEST(Stfm, OnlyPicksIssuable)
 {
     StfmScheduler s(4);
     Pool p;
-    p.add(10, 0, 0, false, true);
-    EXPECT_EQ(s.choose(p.all(), 100, ctx16()), -1);
+    p.add(tk(10), 0, 0, false, true);
+    EXPECT_EQ(s.choose(p.all(), tk(100), ctx16()), -1);
 }
 
 // -------------------------------------------------------------- Factory

@@ -32,25 +32,25 @@ TEST(AverageStat, Mean)
 TEST(TimeWeightedStat, ConstantValue)
 {
     TimeWeightedStat s;
-    s.update(0, 5.0);
-    EXPECT_DOUBLE_EQ(s.mean(100), 5.0);
+    s.update(Tick{0}, 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(Tick{100}), 5.0);
 }
 
 TEST(TimeWeightedStat, StepChange)
 {
     TimeWeightedStat s;
-    s.update(0, 0.0);
-    s.update(50, 10.0); // 0 for [0,50), 10 for [50,100).
-    EXPECT_DOUBLE_EQ(s.mean(100), 5.0);
+    s.update(Tick{0}, 0.0);
+    s.update(Tick{50}, 10.0); // 0 for [0,50), 10 for [50,100).
+    EXPECT_DOUBLE_EQ(s.mean(Tick{100}), 5.0);
 }
 
 TEST(TimeWeightedStat, MeanIsIdempotent)
 {
     TimeWeightedStat s;
-    s.update(0, 2.0);
-    s.update(10, 4.0);
-    const double m1 = s.mean(20);
-    const double m2 = s.mean(20);
+    s.update(Tick{0}, 2.0);
+    s.update(Tick{10}, 4.0);
+    const double m1 = s.mean(Tick{20});
+    const double m2 = s.mean(Tick{20});
     EXPECT_DOUBLE_EQ(m1, m2);
     EXPECT_DOUBLE_EQ(m1, 3.0);
 }
@@ -58,10 +58,10 @@ TEST(TimeWeightedStat, MeanIsIdempotent)
 TEST(TimeWeightedStat, ResetRestartsWindow)
 {
     TimeWeightedStat s;
-    s.update(0, 100.0);
-    s.reset(50);
-    s.update(50, 2.0);
-    EXPECT_DOUBLE_EQ(s.mean(100), 2.0);
+    s.update(Tick{0}, 100.0);
+    s.reset(Tick{50});
+    s.update(Tick{50}, 2.0);
+    EXPECT_DOUBLE_EQ(s.mean(Tick{100}), 2.0);
 }
 
 TEST(SmallHistogram, BucketsAndOverflow)

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the strong tick-domain types: Duration/Instant affine
+ * arithmetic, sentinels, and the ClockDomains conversions that form
+ * the only bridge between domains. The negative side — cross-domain
+ * arithmetic and implicit integer conversion failing to *compile* —
+ * lives in tests/compile_fail/ and runs as the compile_fail_* ctest
+ * entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <type_traits>
+
+#include "common/types.hh"
+
+using namespace mcsim;
+
+TEST(Duration, DefaultIsZero)
+{
+    EXPECT_EQ(TickSpan{}.count(), 0u);
+    EXPECT_EQ(CoreCycles{}.count(), 0u);
+    EXPECT_EQ(DramCycles{}.count(), 0u);
+}
+
+TEST(Duration, AdditiveArithmetic)
+{
+    constexpr TickSpan a{30};
+    constexpr TickSpan b{12};
+    static_assert((a + b).count() == 42, "constexpr add");
+    static_assert((a - b).count() == 18, "constexpr sub");
+    TickSpan acc{5};
+    acc += a;
+    EXPECT_EQ(acc, TickSpan{35});
+    acc -= b;
+    EXPECT_EQ(acc, TickSpan{23});
+}
+
+TEST(Duration, ScalarScaling)
+{
+    constexpr TickSpan d{7};
+    static_assert((d * 3).count() == 21, "span * k");
+    static_assert((3 * d).count() == 21, "k * span");
+    static_assert((d / 2).count() == 3, "span / k rounds down");
+}
+
+TEST(Duration, RatioAndModuloAreUnitAware)
+{
+    constexpr TickSpan d{45};
+    constexpr TickSpan step{10};
+    // span / span is a unitless count; span % span stays a span.
+    static_assert(std::is_same_v<decltype(d / step), std::uint64_t>);
+    static_assert(std::is_same_v<decltype(d % step), TickSpan>);
+    EXPECT_EQ(d / step, 4u);
+    EXPECT_EQ(d % step, TickSpan{5});
+}
+
+TEST(Duration, Comparisons)
+{
+    constexpr TickSpan lo{3};
+    constexpr TickSpan hi{9};
+    EXPECT_LT(lo, hi);
+    EXPECT_LE(lo, lo);
+    EXPECT_GT(hi, lo);
+    EXPECT_GE(hi, hi);
+    EXPECT_NE(lo, hi);
+    EXPECT_EQ(kMaxTickSpan, TickSpan::max());
+    EXPECT_EQ(kMaxTickSpan.count(),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Instant, AffineArithmetic)
+{
+    constexpr Tick t0{100};
+    constexpr TickSpan d{25};
+    // instant + span and instant - span are instants; instant -
+    // instant is a span. (instant + instant does not compile; see
+    // tests/compile_fail/instant_plus_instant.cc.)
+    static_assert(std::is_same_v<decltype(t0 + d), Tick>);
+    static_assert(std::is_same_v<decltype(t0 - d), Tick>);
+    static_assert(std::is_same_v<decltype(t0 - Tick{40}), TickSpan>);
+    static_assert((t0 + d).count() == 125, "shift forward");
+    static_assert((t0 - d).count() == 75, "shift back");
+    static_assert((t0 - Tick{40}).count() == 60, "difference");
+    Tick t = t0;
+    t += d;
+    EXPECT_EQ(t, Tick{125});
+    t -= TickSpan{5};
+    EXPECT_EQ(t, Tick{120});
+}
+
+TEST(Instant, PhaseWithinGrid)
+{
+    // now % period: the phase used by refresh and quantum schedules.
+    constexpr Tick now{1037};
+    constexpr TickSpan period{100};
+    static_assert(std::is_same_v<decltype(now % period), TickSpan>);
+    EXPECT_EQ(now % period, TickSpan{37});
+}
+
+TEST(Instant, ComparisonsAndSentinel)
+{
+    EXPECT_LT(Tick{1}, Tick{2});
+    EXPECT_EQ(kMaxTick, Tick::max());
+    EXPECT_GT(kMaxTick, Tick{0});
+    // The sentinel is the natural "never" for next-event scans.
+    Tick soonest = kMaxTick;
+    for (const Tick t : {Tick{70}, Tick{30}, Tick{50}})
+        soonest = std::min(soonest, t);
+    EXPECT_EQ(soonest, Tick{30});
+}
+
+TEST(Instant, StreamsAsRawCount)
+{
+    std::ostringstream os;
+    os << Tick{42} << "/" << TickSpan{7};
+    EXPECT_EQ(os.str(), "42/7");
+}
+
+TEST(TickTypes, ZeroOverheadLayout)
+{
+    // The wrappers must stay single-word and trivially copyable so
+    // they compile to the raw integers they replaced.
+    static_assert(sizeof(Tick) == sizeof(std::uint64_t));
+    static_assert(sizeof(TickSpan) == sizeof(std::uint64_t));
+    static_assert(std::is_trivially_copyable_v<Tick>);
+    static_assert(std::is_trivially_copyable_v<TickSpan>);
+    static_assert(std::is_trivially_destructible_v<Tick>);
+    SUCCEED();
+}
+
+TEST(ClockDomainsBridge, SpanRoundTripsAreExactOnTheGrid)
+{
+    for (const auto &clk :
+         {kBaselineClocks, ClockDomains::fromMhz(2000, 1200),
+          ClockDomains::fromMhz(2000, 2400),
+          ClockDomains::fromMhz(2000, 533)}) {
+        for (std::uint64_t n : {0ull, 1ull, 13ull, 4096ull, 999'983ull}) {
+            EXPECT_EQ(clk.ticksToCore(clk.coreToTicks(CoreCycles{n})),
+                      CoreCycles{n});
+            EXPECT_EQ(clk.ticksToDram(clk.dramToTicks(DramCycles{n})),
+                      DramCycles{n});
+            EXPECT_EQ(clk.ticksToCore(clk.coreToTicks(CoreCycle{n})),
+                      CoreCycle{n});
+            EXPECT_EQ(clk.ticksToDram(clk.dramToTicks(DramCycle{n})),
+                      DramCycle{n});
+        }
+    }
+}
+
+TEST(ClockDomainsBridge, RawAndTypedOverloadsAgree)
+{
+    const ClockDomains clk = ClockDomains::fromMhz(2000, 1200);
+    EXPECT_EQ(clk.coreToTicks(77u), clk.coreToTicks(CoreCycles{77}));
+    EXPECT_EQ(clk.dramToTicks(77u), clk.dramToTicks(DramCycles{77}));
+}
+
+TEST(ClockDomainsBridge, InstantConversionPreservesOrigin)
+{
+    // Converting an absolute cycle index lands on the tick grid with
+    // the shared origin 0, consistent with the span conversion.
+    const ClockDomains clk = kBaselineClocks;
+    EXPECT_EQ(clk.coreToTicks(CoreCycle{10}),
+              Tick{} + clk.coreToTicks(CoreCycles{10}));
+    EXPECT_EQ(clk.dramToTicks(DramCycle{10}),
+              Tick{} + clk.dramToTicks(DramCycles{10}));
+}
+
+TEST(ClockDomainsBridge, MidCycleTicksRoundDown)
+{
+    const ClockDomains clk = kBaselineClocks; // 2 and 5 ticks/cycle.
+    EXPECT_EQ(clk.ticksToDram(Tick{4}), DramCycle{0});
+    EXPECT_EQ(clk.ticksToDram(Tick{5}), DramCycle{1});
+    EXPECT_EQ(clk.ticksToCore(TickSpan{3}), CoreCycles{1});
+}

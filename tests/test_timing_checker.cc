@@ -32,8 +32,9 @@ TEST(TimingChecker, AcceptsLegalSequence)
     const auto tm = DramTimings::ddr3_1600();
     TimingChecker chk(geom(), tm);
     DramCoord c{0, 0, 0, 5, 0};
-    EXPECT_EQ(chk.check(DramCommand::activate(c), 0), "");
-    EXPECT_EQ(chk.check(DramCommand::read(c), kBaselineClocks.dramToTicks(tm.tRCD)),
+    EXPECT_EQ(chk.check(DramCommand::activate(c), Tick{}), "");
+    EXPECT_EQ(chk.check(DramCommand::read(c),
+                        Tick{} + kBaselineClocks.dramToTicks(tm.tRCD)),
               "");
     EXPECT_EQ(chk.accepted(), 2u);
 }
@@ -43,9 +44,10 @@ TEST(TimingChecker, RejectsTrcdViolation)
     const auto tm = DramTimings::ddr3_1600();
     TimingChecker chk(geom(), tm);
     DramCoord c{0, 0, 0, 5, 0};
-    EXPECT_EQ(chk.check(DramCommand::activate(c), 0), "");
+    EXPECT_EQ(chk.check(DramCommand::activate(c), Tick{}), "");
     const std::string err =
-        chk.check(DramCommand::read(c), kBaselineClocks.dramToTicks(tm.tRCD) - 5);
+        chk.check(DramCommand::read(c),
+                  Tick{} + kBaselineClocks.dramToTicks(tm.tRCD) - TickSpan{5});
     EXPECT_NE(err.find("tRCD"), std::string::npos);
 }
 
@@ -53,7 +55,7 @@ TEST(TimingChecker, RejectsCasToClosedBank)
 {
     TimingChecker chk(geom(), DramTimings::ddr3_1600());
     DramCoord c{0, 0, 0, 5, 0};
-    const std::string err = chk.check(DramCommand::read(c), 100);
+    const std::string err = chk.check(DramCommand::read(c), Tick{100});
     EXPECT_NE(err.find("closed bank"), std::string::npos);
 }
 
@@ -61,9 +63,10 @@ TEST(TimingChecker, RejectsActToOpenBank)
 {
     TimingChecker chk(geom(), DramTimings::ddr3_1600());
     DramCoord c{0, 0, 0, 5, 0};
-    EXPECT_EQ(chk.check(DramCommand::activate(c), 0), "");
+    EXPECT_EQ(chk.check(DramCommand::activate(c), Tick{}), "");
     const std::string err =
-        chk.check(DramCommand::activate(c), kBaselineClocks.dramToTicks(100));
+        chk.check(DramCommand::activate(c),
+                  Tick{} + kBaselineClocks.dramToTicks(100));
     EXPECT_NE(err.find("open bank"), std::string::npos);
 }
 
@@ -71,9 +74,10 @@ TEST(TimingChecker, RejectsRefreshWithOpenBank)
 {
     TimingChecker chk(geom(), DramTimings::ddr3_1600());
     DramCoord c{0, 0, 0, 5, 0};
-    EXPECT_EQ(chk.check(DramCommand::activate(c), 0), "");
+    EXPECT_EQ(chk.check(DramCommand::activate(c), Tick{}), "");
     const std::string err =
-        chk.check(DramCommand::refresh(0), kBaselineClocks.dramToTicks(100));
+        chk.check(DramCommand::refresh(0),
+                  Tick{} + kBaselineClocks.dramToTicks(100));
     EXPECT_NE(err.find("open bank"), std::string::npos);
 }
 
@@ -95,7 +99,8 @@ TEST_P(ChannelCheckerFuzz, ChannelNeverViolatesProtocol)
     Pcg32 rng(GetParam());
 
     std::uint64_t issued = 0;
-    for (Tick t = 0; t < kBaselineClocks.dramToTicks(20000);
+    const Tick fuzzEnd = Tick{} + kBaselineClocks.dramToTicks(20000);
+    for (Tick t{}; t < fuzzEnd;
          t += kBaselineClocks.ticksPerDram) {
         // Refresh first, mirroring the controller's priority.
         const int refRank = chan.refreshDueRank(t);

@@ -161,7 +161,7 @@ class DistanceProbe
         geom_.channels = 1;
     }
 
-    Tick cyc(std::uint64_t c) const { return clk_.dramToTicks(c); }
+    TickSpan cyc(std::uint64_t c) const { return clk_.dramToTicks(c); }
 
     static DramCommand
     make(CT type, const DramCoord &c)
@@ -205,7 +205,7 @@ class DistanceProbe
         // Prefix: open whichever banks the pair needs, 1000 cycles
         // apart so no prefix constraint reaches the probe window.
         std::vector<std::pair<DramCommand, Tick>> cmds;
-        Tick t = 0;
+        Tick t{};
         const auto prep = [&](const DramCoord &c) {
             cmds.push_back({DramCommand::activate(c), t});
             t += cyc(1000);
@@ -218,7 +218,7 @@ class DistanceProbe
             prep(prevC);
         if (nextNeedsOpen && s.rel != Rel::SameBank)
             prep(nextC);
-        const Tick t0 = cyc(10'000);
+        const Tick t0 = Tick{} + cyc(10'000);
         cmds.push_back({make(s.prev, prevC), t0});
         const DramCommand next = make(s.next, nextC);
 
@@ -238,18 +238,18 @@ class DistanceProbe
         b1.bank = 1;
         DramCoord r1 = b0;
         r1.rank = 1;
-        const Tick t0 = cyc(10'000);
+        const Tick t0 = Tick{} + cyc(10'000);
         if (tm_.perBankRefresh) {
             {
                 SCOPED_TRACE("PRE->REFpb SameBank");
-                probe({{DramCommand::activate(b0), 0},
+                probe({{DramCommand::activate(b0), Tick{}},
                        {DramCommand::precharge(0, 0), t0}},
                       DramCommand::refreshBank(0, 0), t0, tm_.tRP,
                       tm_.tRP);
             }
             {
                 SCOPED_TRACE("PRE->REFpb DiffBank");
-                probe({{DramCommand::activate(b0), 0},
+                probe({{DramCommand::activate(b0), Tick{}},
                        {DramCommand::precharge(0, 0), t0}},
                       DramCommand::refreshBank(0, 1), t0, 1, 1);
             }
@@ -272,7 +272,7 @@ class DistanceProbe
         } else {
             {
                 SCOPED_TRACE("PRE->REF SameRank");
-                probe({{DramCommand::activate(b0), 0},
+                probe({{DramCommand::activate(b0), Tick{}},
                        {DramCommand::precharge(0, 0), t0}},
                       DramCommand::refresh(0), t0, tm_.tRP, tm_.tRP);
             }

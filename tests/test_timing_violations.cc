@@ -36,8 +36,16 @@ geom()
 
 const DramTimings kTm = DramTimings::ddr3_1600();
 
+/** The instant @p c DRAM cycles after the time origin. */
 Tick
 cyc(std::uint32_t c)
+{
+    return Tick{} + kBaselineClocks.dramToTicks(c);
+}
+
+/** @p c DRAM cycles as a tick span. */
+TickSpan
+dur(std::uint32_t c)
 {
     return kBaselineClocks.dramToTicks(c);
 }
@@ -47,7 +55,7 @@ struct OpenRowFixture
 {
     OpenRowFixture() : chk(geom(), kTm)
     {
-        EXPECT_EQ(chk.check(DramCommand::activate(c00), 0), "");
+        EXPECT_EQ(chk.check(DramCommand::activate(c00), Tick{}), "");
     }
 
     TimingChecker chk;
@@ -63,7 +71,7 @@ TEST(TimingViolation, TrcActToActSameBank)
     EXPECT_EQ(f.chk.check(DramCommand::precharge(0, 0), cyc(kTm.tRAS)),
               "");
     const std::string err =
-        f.chk.check(DramCommand::activate(f.c00), cyc(kTm.tRC) - 1);
+        f.chk.check(DramCommand::activate(f.c00), cyc(kTm.tRC) - TickSpan{1});
     EXPECT_NE(err.find("tRC"), std::string::npos) << err;
 }
 
@@ -73,7 +81,7 @@ TEST(TimingViolation, TrpPrechargeToActivate)
     const Tick preAt = cyc(kTm.tRAS);
     EXPECT_EQ(f.chk.check(DramCommand::precharge(0, 0), preAt), "");
     // One cycle short of tRP after the precharge.
-    const Tick actAt = preAt + cyc(kTm.tRP) - 1;
+    const Tick actAt = preAt + dur(kTm.tRP) - TickSpan{1};
     const std::string err =
         f.chk.check(DramCommand::activate(f.c00), actAt);
     EXPECT_NE(err.find("tRP"), std::string::npos) << err;
@@ -84,7 +92,7 @@ TEST(TimingViolation, TrrdActToActAcrossBanks)
     OpenRowFixture f;
     DramCoord other{0, 0, 1, 9, 0};
     const std::string err =
-        f.chk.check(DramCommand::activate(other), cyc(kTm.tRRD) - 1);
+        f.chk.check(DramCommand::activate(other), cyc(kTm.tRRD) - TickSpan{1});
     EXPECT_NE(err.find("tRRD"), std::string::npos) << err;
 }
 
@@ -96,11 +104,12 @@ TEST(TimingViolation, TfawFifthActivateInWindow)
     ASSERT_LT(3 * kTm.tRRD, kTm.tFAW);
     for (std::uint32_t b = 0; b < 4; ++b) {
         DramCoord c{0, 0, b, 1, 0};
-        ASSERT_EQ(chk.check(DramCommand::activate(c), b * cyc(kTm.tRRD)),
+        ASSERT_EQ(chk.check(DramCommand::activate(c),
+                            Tick{} + b * dur(kTm.tRRD)),
                   "");
     }
     DramCoord fifth{0, 0, 4, 1, 0};
-    const Tick at = 4 * cyc(kTm.tRRD); // Legal for tRRD, not for tFAW.
+    const Tick at = Tick{} + 4 * dur(kTm.tRRD); // Legal for tRRD, not for tFAW.
     ASSERT_LT(at, cyc(kTm.tFAW));
     const std::string err = chk.check(DramCommand::activate(fifth), at);
     EXPECT_NE(err.find("tFAW"), std::string::npos) << err;
@@ -112,7 +121,7 @@ TEST(TimingViolation, TccdBackToBackReads)
     const Tick rd1 = cyc(kTm.tRCD);
     EXPECT_EQ(f.chk.check(DramCommand::read(f.c00), rd1), "");
     const std::string err =
-        f.chk.check(DramCommand::read(f.c00), rd1 + cyc(kTm.tCCD) - 1);
+        f.chk.check(DramCommand::read(f.c00), rd1 + dur(kTm.tCCD) - TickSpan{1});
     EXPECT_NE(err.find("tCCD"), std::string::npos) << err;
 }
 
@@ -124,7 +133,7 @@ TEST(TimingViolation, TrtwReadThenWriteTooSoon)
     // Past tCCD but short of the read-to-write turnaround.
     ASSERT_GT(kTm.tRTW, kTm.tCCD);
     const std::string err =
-        f.chk.check(DramCommand::write(f.c00), rd + cyc(kTm.tRTW) - 1);
+        f.chk.check(DramCommand::write(f.c00), rd + dur(kTm.tRTW) - TickSpan{1});
     EXPECT_NE(err.find("tRTW"), std::string::npos) << err;
 }
 
@@ -133,9 +142,9 @@ TEST(TimingViolation, TwtrWriteThenReadTooSoon)
     OpenRowFixture f;
     const Tick wr = cyc(kTm.tRCD);
     EXPECT_EQ(f.chk.check(DramCommand::write(f.c00), wr), "");
-    const Tick gap = cyc(kTm.tCWL + kTm.tBURST + kTm.tWTR);
+    const TickSpan gap = dur(kTm.tCWL + kTm.tBURST + kTm.tWTR);
     const std::string err =
-        f.chk.check(DramCommand::read(f.c00), wr + gap - 1);
+        f.chk.check(DramCommand::read(f.c00), wr + gap - TickSpan{1});
     EXPECT_NE(err.find("tWTR"), std::string::npos) << err;
 }
 
@@ -143,7 +152,7 @@ TEST(TimingViolation, TrasPrechargeTooEarly)
 {
     OpenRowFixture f;
     const std::string err =
-        f.chk.check(DramCommand::precharge(0, 0), cyc(kTm.tRAS) - 1);
+        f.chk.check(DramCommand::precharge(0, 0), cyc(kTm.tRAS) - TickSpan{1});
     EXPECT_NE(err.find("tRAS"), std::string::npos) << err;
 }
 
@@ -154,7 +163,7 @@ TEST(TimingViolation, TrtpReadToPrechargeTooEarly)
     const Tick rd = cyc(kTm.tRAS);
     EXPECT_EQ(f.chk.check(DramCommand::read(f.c00), rd), "");
     const std::string err =
-        f.chk.check(DramCommand::precharge(0, 0), rd + cyc(kTm.tRTP) - 1);
+        f.chk.check(DramCommand::precharge(0, 0), rd + dur(kTm.tRTP) - TickSpan{1});
     EXPECT_NE(err.find("tRTP"), std::string::npos) << err;
 }
 
@@ -163,9 +172,9 @@ TEST(TimingViolation, WriteRecoveryBeforePrecharge)
     OpenRowFixture f;
     const Tick wr = cyc(kTm.tRAS);
     EXPECT_EQ(f.chk.check(DramCommand::write(f.c00), wr), "");
-    const Tick gap = cyc(kTm.tCWL + kTm.tBURST + kTm.tWR);
+    const TickSpan gap = dur(kTm.tCWL + kTm.tBURST + kTm.tWR);
     const std::string err =
-        f.chk.check(DramCommand::precharge(0, 0), wr + gap - 1);
+        f.chk.check(DramCommand::precharge(0, 0), wr + gap - TickSpan{1});
     EXPECT_NE(err.find("write recovery"), std::string::npos) << err;
 }
 
@@ -174,14 +183,14 @@ TEST(TimingViolation, CommandBusOnePerCycle)
     OpenRowFixture f;
     DramCoord other{0, 1, 0, 2, 0};
     const std::string err =
-        f.chk.check(DramCommand::activate(other), cyc(1) - 1);
+        f.chk.check(DramCommand::activate(other), cyc(1) - TickSpan{1});
     EXPECT_NE(err.find("command bus"), std::string::npos) << err;
 }
 
 TEST(TimingViolation, PrechargeToClosedBank)
 {
     TimingChecker chk(geom(), kTm);
-    const std::string err = chk.check(DramCommand::precharge(0, 0), 100);
+    const std::string err = chk.check(DramCommand::precharge(0, 0), Tick{100});
     EXPECT_NE(err.find("closed bank"), std::string::npos) << err;
 }
 
@@ -191,17 +200,17 @@ TEST(TimingViolation, RefreshBeforeTrpAfterPrecharge)
     const Tick preAt = cyc(kTm.tRAS);
     EXPECT_EQ(f.chk.check(DramCommand::precharge(0, 0), preAt), "");
     const std::string err =
-        f.chk.check(DramCommand::refresh(0), preAt + cyc(kTm.tRP) - 1);
+        f.chk.check(DramCommand::refresh(0), preAt + dur(kTm.tRP) - TickSpan{1});
     EXPECT_NE(err.find("tRP"), std::string::npos) << err;
 }
 
 TEST(TimingViolation, ActivateDuringTrfc)
 {
     TimingChecker chk(geom(), kTm);
-    EXPECT_EQ(chk.check(DramCommand::refresh(0), 0), "");
+    EXPECT_EQ(chk.check(DramCommand::refresh(0), Tick{}), "");
     DramCoord c{0, 0, 0, 5, 0};
     const std::string err =
-        chk.check(DramCommand::activate(c), cyc(kTm.tRFC) - 1);
+        chk.check(DramCommand::activate(c), cyc(kTm.tRFC) - TickSpan{1});
     EXPECT_NE(err.find("tRFC"), std::string::npos) << err;
 }
 
@@ -211,7 +220,7 @@ TEST(TimingViolation, ViolatingCommandDoesNotCorruptState)
     // same command at a legal time is then accepted.
     OpenRowFixture f;
     const std::string err =
-        f.chk.check(DramCommand::read(f.c00), cyc(kTm.tRCD) - 1);
+        f.chk.check(DramCommand::read(f.c00), cyc(kTm.tRCD) - TickSpan{1});
     EXPECT_FALSE(err.empty());
     EXPECT_EQ(f.chk.accepted(), 1u); // Only the ACT.
     EXPECT_EQ(f.chk.check(DramCommand::read(f.c00), cyc(kTm.tRCD)), "");
@@ -226,7 +235,7 @@ TEST(TimingViolation, MessagesAccumulatePerCheck)
     EXPECT_EQ(f.chk.check(DramCommand::read(f.c00), cyc(kTm.tRCD)), "");
     // Immediately-following read: command bus + tCCD both violated.
     const std::string err =
-        f.chk.check(DramCommand::read(f.c00), cyc(kTm.tRCD) + 1);
+        f.chk.check(DramCommand::read(f.c00), cyc(kTm.tRCD) + TickSpan{1});
     EXPECT_NE(err.find("command bus"), std::string::npos) << err;
     EXPECT_NE(err.find("tCCD"), std::string::npos) << err;
 }
@@ -243,10 +252,10 @@ TEST(TimingViolation, TrfcWitnessSurvivesLongCommandStreams)
     const ClockDomains clk = ClockDomains::fromMhz(2000, dev.busMhz);
     TimingChecker chk(dev.geometry, tm, clk);
     const auto cyc = [&clk](std::uint32_t c) {
-        return clk.dramToTicks(c);
+        return Tick{} + clk.dramToTicks(c);
     };
 
-    ASSERT_EQ(chk.check(DramCommand::refresh(0), 0), "");
+    ASSERT_EQ(chk.check(DramCommand::refresh(0), Tick{}), "");
 
     // Rank 1 pipeline, one {ACT, RD, PRE} triple per 8-cycle slot on
     // command-bus offsets {0, 42, 85}: ACTs stride 4 banks so
@@ -278,7 +287,7 @@ TEST(TimingViolation, TrfcWitnessSurvivesLongCommandStreams)
     // Still one cycle inside rank 0's refresh window.
     DramCoord r0{0, 0, 0, 5, 0};
     const std::string err =
-        chk.check(DramCommand::activate(r0), cyc(tm.tRFC) - 1);
+        chk.check(DramCommand::activate(r0), cyc(tm.tRFC) - TickSpan{1});
     EXPECT_NE(err.find("tRFC"), std::string::npos) << err;
     // And legal once the window closes and the rank-1 stream (whose
     // last command lands at cycle 973) has drained off the bus.

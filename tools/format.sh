@@ -1,0 +1,11 @@
+#!/bin/sh
+# Apply (default) or check (--check) the repo .clang-format across all
+# C++ sources. CI uses --check; see .github/workflows/ci.yml.
+set -eu
+cd "$(dirname "$0")/.."
+mode="-i"
+if [ "${1:-}" = "--check" ]; then
+    mode="--dry-run -Werror"
+fi
+# shellcheck disable=SC2086 # $mode is intentionally word-split.
+git ls-files '*.cc' '*.hh' '*.cpp' | xargs clang-format $mode
