@@ -16,16 +16,29 @@
  * metrics, the event kernel's core contract.
  *
  * Usage: kernel_smoke [--cycles N] [--workload ACR] [--device DEV]
- *                     [--json PATH]
+ *                     [--json PATH] [--check-regression BASELINE]
  *        (defaults: 2M measured core cycles, WS, DDR3-1600,
  *        BENCH_kernel.json)
  *
- * Entries are stamped with the git SHA (CLOUDMC_GIT_SHA or GITHUB_SHA
- * environment variable, "unknown" otherwise) and the device name, so
- * the accumulated perf trajectory is attributable to a commit and a
- * clock-ratio configuration.
+ * Entries are stamped with the git SHA and the device name, so the
+ * accumulated perf trajectory is attributable to a commit and a
+ * clock-ratio configuration. The SHA resolution chain (first hit
+ * wins): the CLOUDMC_GIT_SHA environment variable (explicit
+ * override), GITHUB_SHA (set by CI), `git rev-parse HEAD` run in the
+ * current directory at bench time, the SHA CMake captured at
+ * configure time (stale across commits without a reconfigure, so it
+ * ranks below the live lookup), and finally "unknown" for builds
+ * from a tarball with no git anywhere.
+ *
+ * --check-regression reads the committed BASELINE json (normally the
+ * in-tree BENCH_kernel*.json stamped by the last perf-affecting PR)
+ * before this run overwrites anything, and exits 4 if the measured
+ * speedup_vs_reference fell more than 15% below it. The speedup is a
+ * same-host ratio of the two kernels, so the guard transfers across
+ * machines of different absolute speed.
  */
 
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -48,6 +61,8 @@ struct KernelRun
     double mticksPerS = 0.0;
     double coreTicksFrac = 0.0; ///< Core ticks run / eager core ticks.
     double ctlTicksFrac = 0.0;  ///< Controller ticks run / DRAM cycles.
+    double batchedFrac = 0.0;   ///< Cycles run in batches / eager ticks.
+    std::uint64_t batchRuns = 0; ///< runBatch() calls that advanced.
     MetricSet metrics;
     Tick endTick{};
     ClockDomains clk; ///< The grid the system actually ran.
@@ -86,6 +101,11 @@ runOnce(WorkloadId wl, const DramDevice &dev,
         dramCycles > 0.0 ? static_cast<double>(k.ctlTicksRun) /
                                (dramCycles * sys.numControllers())
                          : 0.0;
+    r.batchedFrac = coreCycles > 0.0
+                        ? static_cast<double>(k.coreCyclesBatched) /
+                              (coreCycles * sys.numCores())
+                        : 0.0;
+    r.batchRuns = k.coreBatchRuns;
     return r;
 }
 
@@ -176,15 +196,62 @@ fairnessCacheRoundtrips(WorkloadId wl, const DramDevice &dev,
     return ok;
 }
 
-/** Commit fingerprint for the perf trajectory (CI exports it). */
-const char *
+/**
+ * Commit fingerprint for the perf trajectory. Resolution chain (see
+ * the file comment): CLOUDMC_GIT_SHA env, GITHUB_SHA env, a live
+ * `git rev-parse HEAD`, the configure-time SHA baked in by CMake,
+ * "unknown".
+ */
+std::string
 gitSha()
 {
     if (const char *sha = std::getenv("CLOUDMC_GIT_SHA"))
         return sha;
     if (const char *sha = std::getenv("GITHUB_SHA"))
         return sha;
+    if (std::FILE *p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+        char buf[64] = {};
+        const bool got = std::fgets(buf, sizeof(buf), p) != nullptr;
+        const bool clean = pclose(p) == 0;
+        if (got && clean) {
+            std::string sha(buf);
+            while (!sha.empty() &&
+                   std::isspace(static_cast<unsigned char>(sha.back()))) {
+                sha.pop_back();
+            }
+            if (sha.size() == 40)
+                return sha;
+        }
+    }
+#ifdef CLOUDMC_GIT_SHA_CONFIGURED
+    if (CLOUDMC_GIT_SHA_CONFIGURED[0] != '\0')
+        return CLOUDMC_GIT_SHA_CONFIGURED;
+#endif
     return "unknown";
+}
+
+/**
+ * Pull speedup_vs_reference out of a previously committed bench JSON.
+ * Returns a negative value when the file or the key is missing (the
+ * guard then passes trivially — a fresh tree has no baseline yet).
+ */
+double
+baselineSpeedup(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return -1.0;
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    const char *key = "\"speedup_vs_reference\":";
+    const std::size_t pos = text.find(key);
+    if (pos == std::string::npos)
+        return -1.0;
+    return std::strtod(text.c_str() + pos + std::strlen(key), nullptr);
 }
 
 } // namespace
@@ -196,6 +263,7 @@ main(int argc, char **argv)
     std::string workload = "WS";
     std::string device = "DDR3-1600";
     std::string jsonPath = "BENCH_kernel.json";
+    std::string regressionBaseline;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc)
             cycles = std::strtoull(argv[++i], nullptr, 10);
@@ -205,9 +273,17 @@ main(int argc, char **argv)
             device = argv[++i];
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
+        else if (std::strcmp(argv[i], "--check-regression") == 0 &&
+                 i + 1 < argc)
+            regressionBaseline = argv[++i];
     }
     const WorkloadId wl = workloadByAcronym(workload);
     const DramDevice &dev = dramDeviceOrDie(device);
+    // Read the baseline up front: --json may point at the same file
+    // this run is about to overwrite.
+    const double baseSpeedup = regressionBaseline.empty()
+                                   ? -1.0
+                                   : baselineSpeedup(regressionBaseline);
 
     const KernelRun ref = runOnce(wl, dev, cycles, true);
     const KernelRun ev = runOnce(wl, dev, cycles, false);
@@ -223,9 +299,9 @@ main(int argc, char **argv)
                 workload.c_str(), dev.name.c_str(),
                 static_cast<unsigned long long>(cycles));
     std::printf("  event kernel:     %7.2f Mticks/s (%.3f s, core ticks "
-                "run %.1f%%, ctl ticks run %.1f%%)\n",
+                "run %.1f%%, batched %.1f%%, ctl ticks run %.1f%%)\n",
                 ev.mticksPerS, ev.wallS, 100.0 * ev.coreTicksFrac,
-                100.0 * ev.ctlTicksFrac);
+                100.0 * ev.batchedFrac, 100.0 * ev.ctlTicksFrac);
     std::printf("  reference kernel: %7.2f Mticks/s (%.3f s)\n",
                 ref.mticksPerS, ref.wallS);
     std::printf("  speedup %.2fx, metrics bit-identical: %s\n", speedup,
@@ -254,7 +330,9 @@ main(int argc, char **argv)
         "    \"mticks_per_s\": %.3f,\n"
         "    \"wall_s\": %.4f,\n"
         "    \"core_ticks_run_frac\": %.4f,\n"
-        "    \"ctl_ticks_run_frac\": %.4f\n"
+        "    \"ctl_ticks_run_frac\": %.4f,\n"
+        "    \"cycles_batched_frac\": %.4f,\n"
+        "    \"batch_runs\": %llu\n"
         "  },\n"
         "  \"reference_kernel\": {\n"
         "    \"mticks_per_s\": %.3f,\n"
@@ -264,16 +342,28 @@ main(int argc, char **argv)
         "  \"metrics_bit_identical\": %s,\n"
         "  \"fairness_cache_roundtrip\": %s\n"
         "}\n",
-        gitSha(), workload.c_str(), dev.name.c_str(),
+        gitSha().c_str(), workload.c_str(), dev.name.c_str(),
         static_cast<unsigned long long>(clk.ticksPerCore.count()),
         static_cast<unsigned long long>(clk.ticksPerDram.count()),
         static_cast<unsigned long long>(cycles),
         static_cast<unsigned long long>(ev.endTick.count()), ev.mticksPerS,
-        ev.wallS, ev.coreTicksFrac, ev.ctlTicksFrac, ref.mticksPerS,
+        ev.wallS, ev.coreTicksFrac, ev.ctlTicksFrac, ev.batchedFrac,
+        static_cast<unsigned long long>(ev.batchRuns), ref.mticksPerS,
         ref.wallS, speedup, bitIdentical ? "true" : "false",
         fairnessRoundtrip ? "true" : "false");
     std::fclose(f);
     if (!bitIdentical)
         return 2;
-    return fairnessRoundtrip ? 0 : 3;
+    if (!fairnessRoundtrip)
+        return 3;
+    if (baseSpeedup > 0.0) {
+        const double floor = 0.85 * baseSpeedup;
+        std::printf("  regression guard: measured %.2fx vs baseline "
+                    "%.2fx (floor %.2fx): %s\n",
+                    speedup, baseSpeedup, floor,
+                    speedup >= floor ? "ok" : "REGRESSION");
+        if (speedup < floor)
+            return 4;
+    }
+    return 0;
 }

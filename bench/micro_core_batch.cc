@@ -1,0 +1,168 @@
+/**
+ * @file
+ * google-benchmark microbenchmark of the batched core/cache hot path:
+ * the same instruction stream driven through per-cycle tick() stepping
+ * and through the event kernel's tick()+runBatch() pattern, at
+ * controlled L1-hit run lengths (how many consecutive core-private
+ * instructions separate two batch-breaking L2 accesses).
+ *
+ * The generator emits, per period: `hitRun` loads that stay inside a
+ * 16 KiB ring (L1D-resident after warmup), then one load from a 64 KiB
+ * ring that always misses the L1D and hits the warm L2 — the canonical
+ * batch terminator. Throughput is reported in simulated core cycles
+ * per second (items/s), so the two stepping modes are directly
+ * comparable and the batched/per-cycle ratio at each run length shows
+ * where the batching machinery's fixed cost amortizes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "cpu/hierarchy.hh"
+#include "workload/workload.hh"
+
+using namespace mcsim;
+
+namespace {
+
+constexpr std::uint64_t kBlock = 64;
+
+/** Deterministic loads with a fixed L1-hit run length between L2 hits. */
+class HitRunGenerator : public WorkloadGenerator
+{
+  public:
+    explicit HitRunGenerator(std::uint32_t hitRun) : hitRun_(hitRun) {}
+
+    const char *name() const override { return "hit-run"; }
+
+    Op
+    nextOp(CoreId) override
+    {
+        Op op;
+        op.kind = Op::Kind::Load;
+        if (phase_ < hitRun_) {
+            ++phase_;
+            // 256 blocks = 16 KiB: one block per L1D set, resident.
+            op.addr = kHitBase + hitPos_++ % 256 * kBlock;
+        } else {
+            phase_ = 0;
+            // 1024 blocks = 64 KiB: four spill blocks rotate through
+            // each L1D set, so a spill is always an L1D miss (and a
+            // warm L2 hit) — the access that ends a batch.
+            op.addr = kSpillBase + spillPos_++ % 1024 * kBlock;
+        }
+        return op;
+    }
+
+    bool
+    tryNextOpLocal(CoreId core, Op &out) override
+    {
+        out = nextOp(core); // Purely per-core state: always local.
+        return true;
+    }
+
+    Addr
+    nextFetchBlock(CoreId) override
+    {
+        return kCodeBase; // One block: every refetch is an L1I hit.
+    }
+
+  private:
+    static constexpr Addr kCodeBase = 0;
+    static constexpr Addr kHitBase = 1 << 20;
+    static constexpr Addr kSpillBase = 2 << 20;
+
+    std::uint32_t hitRun_;
+    std::uint32_t phase_ = 0;
+    std::uint64_t hitPos_ = 0;
+    std::uint64_t spillPos_ = 0;
+};
+
+/** A one-core hierarchy whose DRAM fills land on the next step. */
+struct Rig
+{
+    explicit Rig(std::uint32_t hitRun) : gen(hitRun)
+    {
+        hierarchy =
+            std::make_unique<CacheHierarchy>(1, HierarchyConfig{});
+        core = std::make_unique<Core>(CoreId{0}, gen, *hierarchy,
+                                      CoreConfig{});
+        hierarchy->setSendMemRead(
+            [this](CoreId, Addr addr) { pending.push_back(addr); });
+        hierarchy->setSendMemWrite([](CoreId, Addr) {});
+        hierarchy->setWake([this](CoreId, MissKind kind) {
+            core->missReturned(kind);
+        });
+    }
+
+    /** Deliver outstanding fills (cold-start misses only). */
+    void
+    drain()
+    {
+        while (!pending.empty()) {
+            const Addr addr = pending.back();
+            pending.pop_back();
+            hierarchy->onMemResponse(CoreId{0}, addr);
+        }
+    }
+
+    HitRunGenerator gen;
+    std::unique_ptr<CacheHierarchy> hierarchy;
+    std::unique_ptr<Core> core;
+    std::vector<Addr> pending;
+};
+
+void
+coreStepping(benchmark::State &state, bool batched)
+{
+    Rig rig(static_cast<std::uint32_t>(state.range(0)));
+    Core &core = *rig.core;
+    // Warm both rings and the code block into the hierarchy so the
+    // timed loop sees only L1 hits and L2 hits, like a steady-state
+    // measurement window.
+    for (int i = 0; i < 200'000; ++i) {
+        core.tick();
+        rig.drain();
+    }
+    const std::uint64_t start = core.syncedCycles().count();
+    for (auto _ : state) {
+        if (batched) {
+            // The event kernel's pattern: account the skipped stall
+            // cycles, run the due tick, then batch ahead through the
+            // core-private run until the next L2 access latches.
+            const CoreCycle due = core.nextActCycle();
+            if (core.syncedCycles() < due)
+                core.catchUpTo(due);
+            core.tick();
+            benchmark::DoNotOptimize(core.runBatch(
+                CoreCycle{core.syncedCycles().count() + 1'000'000}));
+        } else {
+            core.tick();
+        }
+        rig.drain();
+    }
+    // items/s == simulated core cycles per second for either mode.
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(core.syncedCycles().count() - start));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(coreStepping, per_cycle, false)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(coreStepping, batched, true)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+BENCHMARK_MAIN();

@@ -10,32 +10,41 @@ Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
     mc_assert(cfg_.numSets() >= 1 && isPowerOf2(cfg_.numSets()),
               "cache sets must be a positive power of two; size ",
               cfg_.sizeBytes, " ways ", cfg_.ways);
+    mc_assert(cfg_.ways <= 255, "way index must fit the hint byte");
     blockShift_ = floorLog2(cfg_.blockBytes);
     setMask_ = cfg_.numSets() - 1;
     const std::size_t n = cfg_.numSets() * cfg_.ways;
     tags_.assign(n, kNoTag);
     dirty_.assign(n, 0);
-    if (cfg_.ways == 2)
+    if (cfg_.ways == 2) {
         mru_.assign(cfg_.numSets(), 0); // Unobservable until both ways
                                         // fill; invalid ways are always
                                         // preferred victims.
-    else
+    } else {
         stamps_.assign(n, 0);
+        wayHint_.assign(cfg_.numSets(), 0);
+    }
 }
 
 bool
-Cache::access2Way(Addr tag, std::size_t base, bool isWrite)
+Cache::accessScan(Addr tag, std::size_t set, bool isWrite)
 {
-    const std::size_t set = base >> 1;
-    if (tags_[base] == tag) {
-        mru_[set] = 0;
-        dirty_[base] |= static_cast<std::uint8_t>(isWrite);
+    const std::size_t base = set * cfg_.ways;
+    // Try the last-hit way first: a tag match there is exactly the hit
+    // the scan would find, with the same stamp/dirty updates.
+    const std::size_t hinted = base + wayHint_[set];
+    if (tags_[hinted] == tag) {
+        stamps_[hinted] = ++lruClock_;
+        dirty_[hinted] |= static_cast<std::uint8_t>(isWrite);
         return true;
     }
-    if (tags_[base + 1] == tag) {
-        mru_[set] = 1;
-        dirty_[base + 1] |= static_cast<std::uint8_t>(isWrite);
-        return true;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (tags_[base + w] == tag) {
+            stamps_[base + w] = ++lruClock_;
+            dirty_[base + w] |= static_cast<std::uint8_t>(isWrite);
+            wayHint_[set] = static_cast<std::uint8_t>(w);
+            return true;
+        }
     }
     ++stats_.misses;
     return false;
@@ -77,43 +86,13 @@ Cache::fill2Way(Addr tag, std::size_t base, bool dirty)
     return res;
 }
 
-std::size_t
-Cache::setIndex(Addr addr) const
-{
-    return static_cast<std::size_t>((addr >> blockShift_) & setMask_);
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr >> blockShift_;
-}
-
-bool
-Cache::access(Addr addr, bool isWrite)
-{
-    ++stats_.accesses;
-    const Addr tag = tagOf(addr);
-    const std::size_t base = setIndex(addr) * cfg_.ways;
-    if (cfg_.ways == 2)
-        return access2Way(tag, base, isWrite);
-    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        if (tags_[base + w] == tag) {
-            stamps_[base + w] = ++lruClock_;
-            dirty_[base + w] |= static_cast<std::uint8_t>(isWrite);
-            return true;
-        }
-    }
-    ++stats_.misses;
-    return false;
-}
-
 CacheAccessResult
 Cache::fill(Addr addr, bool dirty)
 {
     const Addr tag = tagOf(addr);
     mc_assert(tag != kNoTag, "address collides with the invalid tag");
-    const std::size_t base = setIndex(addr) * cfg_.ways;
+    const std::size_t set = setIndex(addr);
+    const std::size_t base = set * cfg_.ways;
     if (cfg_.ways == 2)
         return fill2Way(tag, base, dirty);
     std::size_t victim = base;
@@ -123,6 +102,7 @@ Cache::fill(Addr addr, bool dirty)
             // Already present (e.g. racing fills); just update state.
             dirty_[i] |= static_cast<std::uint8_t>(dirty);
             stamps_[i] = ++lruClock_;
+            wayHint_[set] = static_cast<std::uint8_t>(w);
             return {};
         }
         if (tags_[i] == kNoTag) {
@@ -143,19 +123,8 @@ Cache::fill(Addr addr, bool dirty)
     tags_[victim] = tag;
     dirty_[victim] = static_cast<std::uint8_t>(dirty);
     stamps_[victim] = ++lruClock_;
+    wayHint_[set] = static_cast<std::uint8_t>(victim - base);
     return res;
-}
-
-bool
-Cache::contains(Addr addr) const
-{
-    const Addr tag = tagOf(addr);
-    const std::size_t base = setIndex(addr) * cfg_.ways;
-    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        if (tags_[base + w] == tag)
-            return true;
-    }
-    return false;
 }
 
 bool

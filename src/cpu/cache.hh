@@ -2,6 +2,11 @@
  * @file
  * A set-associative, write-back, write-allocate cache model with true
  * LRU replacement. Tag state only — no data values are modeled.
+ *
+ * The lookup paths (access / probe / probeRun) live in this header so
+ * the cores' per-instruction loops inline them; misses and fills stay
+ * out of line. Layout is structure-of-arrays (see tags_ below), which
+ * is also what makes the run-length probe a contiguous scan.
  */
 
 #ifndef CLOUDMC_CPU_CACHE_HH
@@ -68,7 +73,16 @@ class Cache
      * allocate on miss — callers decide when the fill happens (after
      * the lower level responds). @p isWrite marks the block dirty.
      */
-    bool access(Addr addr, bool isWrite);
+    bool
+    access(Addr addr, bool isWrite)
+    {
+        ++stats_.accesses;
+        const Addr tag = tagOf(addr);
+        const std::size_t set = setIndex(addr);
+        if (cfg_.ways == 2)
+            return access2Way(tag, set * 2, isWrite);
+        return accessScan(tag, set, isWrite);
+    }
 
     /**
      * Insert the block for @p addr, evicting the LRU way if the set is
@@ -77,7 +91,53 @@ class Cache
     CacheAccessResult fill(Addr addr, bool dirty);
 
     /** Probe without disturbing LRU or stats. */
-    bool contains(Addr addr) const;
+    bool
+    contains(Addr addr) const
+    {
+        const Addr tag = tagOf(addr);
+        const std::size_t base = setIndex(addr) * cfg_.ways;
+        for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+            if (tags_[base + w] == tag)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Run-length probe: how many consecutive blocks starting at the
+     * block containing @p addr are present, up to @p maxBlocks. Pure
+     * (no LRU or stats side effects) — the cores use it to size
+     * batched runs without issuing per-access lookups.
+     */
+    std::uint32_t
+    probeRun(Addr addr, std::uint32_t maxBlocks) const
+    {
+        Addr block = blockAlign(addr);
+        std::uint32_t n = 0;
+        while (n < maxBlocks && contains(block)) {
+            ++n;
+            block += cfg_.blockBytes;
+        }
+        return n;
+    }
+
+    /**
+     * Host-side prefetch of @p addr's tag set. Semantics-free: a pure
+     * hint to the host CPU so a lookup known to happen soon (a latched
+     * batch-breaking access) finds the tag lines already cached. The
+     * simulated tag store dwarfs the host's caches, so the later scan
+     * would otherwise stall on host memory.
+     */
+    void
+    prefetchSet(Addr addr) const
+    {
+        const std::size_t base = setIndex(addr) * cfg_.ways;
+        __builtin_prefetch(&tags_[base]);
+        if (cfg_.ways * sizeof(Addr) > 64)
+            __builtin_prefetch(&tags_[base + 64 / sizeof(Addr)]);
+        if (!stamps_.empty())
+            __builtin_prefetch(&stamps_[base]);
+    }
 
     /** Invalidate the block if present; returns true if it was dirty. */
     bool invalidate(Addr addr);
@@ -98,10 +158,33 @@ class Cache
      *  of modelable addresses and can never reach it. */
     static constexpr Addr kNoTag = ~Addr{0};
 
-    std::size_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    std::size_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::size_t>((addr >> blockShift_) & setMask_);
+    }
 
-    bool access2Way(Addr tag, std::size_t base, bool isWrite);
+    Addr tagOf(Addr addr) const { return addr >> blockShift_; }
+
+    /** 2-way hit path: two tag compares, MRU bit update. */
+    bool
+    access2Way(Addr tag, std::size_t base, bool isWrite)
+    {
+        if (tags_[base] == tag) {
+            mru_[base >> 1] = 0;
+            dirty_[base] |= static_cast<std::uint8_t>(isWrite);
+            return true;
+        }
+        if (tags_[base + 1] == tag) {
+            mru_[base >> 1] = 1;
+            dirty_[base + 1] |= static_cast<std::uint8_t>(isWrite);
+            return true;
+        }
+        ++stats_.misses;
+        return false;
+    }
+
+    bool accessScan(Addr tag, std::size_t set, bool isWrite);
     CacheAccessResult fill2Way(Addr tag, std::size_t base, bool dirty);
 
     CacheConfig cfg_;
@@ -118,6 +201,14 @@ class Cache
     /** 2-way fast path: for two ways, true LRU is one MRU bit per set
      *  (the stamp array is not allocated). mru_[set] = last-touched way. */
     std::vector<std::uint8_t> mru_;
+    /**
+     * Wider-associativity fast path: the way that last hit (or was
+     * last filled) per set, tried before the full tag scan. A stale
+     * hint falls through to the scan, so hits, misses, stamps and
+     * victims are identical to the hint-less scan — this is a pure
+     * host-speed shortcut for the 16-way LLC.
+     */
+    std::vector<std::uint8_t> wayHint_;
     CacheStats stats_;
 };
 

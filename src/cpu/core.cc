@@ -6,7 +6,8 @@ namespace mcsim {
 
 Core::Core(CoreId id, WorkloadGenerator &gen, CacheHierarchy &hierarchy,
            const CoreConfig &cfg)
-    : id_(id), gen_(gen), hierarchy_(hierarchy), cfg_(cfg)
+    : id_(id), gen_(gen), hierarchy_(hierarchy), cfg_(cfg),
+      l1dBlockBytes_(hierarchy.l1dBlockBytes())
 {
     mc_assert(cfg_.mlpWindow >= 1, "MLP window must be >= 1");
 }
@@ -15,7 +16,7 @@ void
 Core::commit(std::uint32_t n)
 {
     stats_.committedInstructions += n;
-    fetchCredits_ = fetchCredits_ > n ? fetchCredits_ - n : 0;
+    x_.fetchCredits = x_.fetchCredits > n ? x_.fetchCredits - n : 0;
 }
 
 void
@@ -23,19 +24,19 @@ Core::missReturned(MissKind kind)
 {
     switch (kind) {
       case MissKind::Load:
-        mc_assert(outstandingLoads_ > 0, "spurious load return");
-        --outstandingLoads_;
-        if (outstandingLoads_ < cfg_.mlpWindow)
-            blockedOnLoads_ = false;
+        mc_assert(x_.outstandingLoads > 0, "spurious load return");
+        --x_.outstandingLoads;
+        if (x_.outstandingLoads < cfg_.mlpWindow)
+            x_.blockedOnLoads = false;
         break;
       case MissKind::Store:
-        mc_assert(outstandingStores_ > 0, "spurious store return");
-        --outstandingStores_;
-        if (outstandingStores_ < cfg_.storeBufferEntries)
-            blockedOnStores_ = false;
+        mc_assert(x_.outstandingStores > 0, "spurious store return");
+        --x_.outstandingStores;
+        if (x_.outstandingStores < cfg_.storeBufferEntries)
+            x_.blockedOnStores = false;
         break;
       case MissKind::Ifetch:
-        blockedOnFetch_ = false;
+        x_.blockedOnFetch = false;
         break;
     }
 }
@@ -43,19 +44,27 @@ Core::missReturned(MissKind kind)
 void
 Core::doFetch()
 {
-    const Addr fa = gen_.nextFetchBlock(id_);
+    Addr fa;
+    if (x_.fetchPending) {
+        // Pulled by runBatch() at this exact point of the per-core
+        // stream, but its access was not core-private; run it now.
+        fa = x_.pendingFetch;
+        x_.fetchPending = false;
+    } else {
+        fa = gen_.nextFetchBlock(id_);
+    }
     switch (hierarchy_.ifetch(id_, fa)) {
       case AccessOutcome::L1Hit:
-        fetchCredits_ = cfg_.instrsPerFetchBlock;
+        x_.fetchCredits = cfg_.instrsPerFetchBlock;
         break;
       case AccessOutcome::L2Hit:
-        fetchCredits_ = cfg_.instrsPerFetchBlock;
-        stallCyclesLeft_ = cfg_.l2HitLatency;
+        x_.fetchCredits = cfg_.instrsPerFetchBlock;
+        x_.stallCyclesLeft = cfg_.l2HitLatency;
         break;
       case AccessOutcome::Miss:
       case AccessOutcome::MergedMiss:
-        fetchCredits_ = cfg_.instrsPerFetchBlock;
-        blockedOnFetch_ = true;
+        x_.fetchCredits = cfg_.instrsPerFetchBlock;
+        x_.blockedOnFetch = true;
         break;
     }
 }
@@ -63,16 +72,24 @@ Core::doFetch()
 void
 Core::executeOp()
 {
-    if (computeRemaining_ > 0) {
-        --computeRemaining_;
+    if (x_.computeRemaining > 0) {
+        --x_.computeRemaining;
         commit();
         return;
     }
-    const Op op = gen_.nextOp(id_);
+    Op op;
+    if (x_.opPending) {
+        // Latched by runBatch(): already drawn from the generator in
+        // per-core order, left for this ordered tick to execute.
+        op = x_.pendingOp;
+        x_.opPending = false;
+    } else {
+        op = gen_.nextOp(id_);
+    }
     switch (op.kind) {
       case Op::Kind::Compute:
         mc_assert(op.length >= 1, "empty compute op");
-        computeRemaining_ = op.length - 1;
+        x_.computeRemaining = op.length - 1;
         commit();
         return;
 
@@ -81,13 +98,13 @@ Core::executeOp()
           case AccessOutcome::L1Hit:
             break;
           case AccessOutcome::L2Hit:
-            stallCyclesLeft_ = cfg_.l2HitLatency;
+            x_.stallCyclesLeft = cfg_.l2HitLatency;
             break;
           case AccessOutcome::Miss:
           case AccessOutcome::MergedMiss:
-            ++outstandingLoads_;
-            if (outstandingLoads_ >= cfg_.mlpWindow)
-                blockedOnLoads_ = true;
+            ++x_.outstandingLoads;
+            if (x_.outstandingLoads >= cfg_.mlpWindow)
+                x_.blockedOnLoads = true;
             break;
         }
         commit();
@@ -102,9 +119,9 @@ Core::executeOp()
             break;
           case AccessOutcome::Miss:
           case AccessOutcome::MergedMiss:
-            ++outstandingStores_;
-            if (outstandingStores_ >= cfg_.storeBufferEntries)
-                blockedOnStores_ = true;
+            ++x_.outstandingStores;
+            if (x_.outstandingStores >= cfg_.storeBufferEntries)
+                x_.blockedOnStores = true;
             break;
         }
         commit();
@@ -115,60 +132,200 @@ Core::executeOp()
 void
 Core::catchUpTo(CoreCycle cycle)
 {
-    if (cycle.count() <= synced_)
+    if (cycle.count() <= x_.synced)
         return;
-    std::uint64_t n = cycle.count() - synced_;
-    synced_ = cycle.count();
+    std::uint64_t n = cycle.count() - x_.synced;
+    x_.synced = cycle.count();
     stats_.cycles += n;
     // Replicate tick()'s inactive paths in bulk, in tick() order:
     // fixed-latency stall cycles drain first, then blocked cycles
     // count against the stall statistics.
     const std::uint64_t stallPart =
-        stallCyclesLeft_ < n ? stallCyclesLeft_ : n;
-    stallCyclesLeft_ -= static_cast<std::uint32_t>(stallPart);
+        x_.stallCyclesLeft < n ? x_.stallCyclesLeft : n;
+    x_.stallCyclesLeft -= static_cast<std::uint32_t>(stallPart);
     n -= stallPart;
     if (n == 0)
         return;
-    if (blockedOnFetch_) {
+    if (x_.blockedOnFetch) {
         stats_.fetchStallCycles += n;
         return;
     }
-    if (blockedOnLoads_ || blockedOnStores_) {
+    if (x_.blockedOnLoads || x_.blockedOnStores) {
         stats_.loadMissStallCycles += n;
         return;
     }
     // Committing tail of a compute run: each cycle decrements the op,
     // commits one instruction, and consumes one fetch credit.
-    const std::uint64_t run = computeRemaining_ < fetchCredits_
-                                  ? computeRemaining_
-                                  : fetchCredits_;
+    const std::uint64_t run = x_.computeRemaining < x_.fetchCredits
+                                  ? x_.computeRemaining
+                                  : x_.fetchCredits;
     mc_assert(n <= run, "catch-up spans cycles where the core could act");
-    computeRemaining_ -= static_cast<std::uint32_t>(n);
-    fetchCredits_ -= static_cast<std::uint32_t>(n);
+    x_.computeRemaining -= static_cast<std::uint32_t>(n);
+    x_.fetchCredits -= static_cast<std::uint32_t>(n);
     stats_.committedInstructions += n;
+}
+
+std::uint64_t
+Core::runBatch(CoreCycle limit)
+{
+    // Batching is only legal while no miss is in flight: returning
+    // fills mutate this core's L1s, and outstanding-counter updates
+    // from completions must interleave with new misses in exact cycle
+    // order.
+    if (x_.blockedOnFetch || x_.blockedOnLoads || x_.blockedOnStores ||
+        x_.outstandingLoads > 0 || x_.outstandingStores > 0) {
+        return 0;
+    }
+    if (x_.synced >= limit.count())
+        return 0;
+    // The hot loop runs on locals: the opaque generator call inside
+    // could alias anything as far as the compiler knows, and spilling
+    // these to memory every iteration costs more than the batch saves.
+    std::uint64_t left = limit.count() - x_.synced;
+    const std::uint64_t window = left;
+    std::uint64_t synced = x_.synced;
+    std::uint64_t cycles = stats_.cycles;
+    std::uint64_t committed = stats_.committedInstructions;
+    std::uint32_t credits = x_.fetchCredits;
+    std::uint32_t compute = x_.computeRemaining;
+    bool opHeld = x_.opPending;
+    Op op;
+    if (opHeld)
+        op = x_.pendingOp;
+    Addr fetchAddr = x_.pendingFetch;
+    bool fetchHeld = x_.fetchPending;
+    if (x_.stallCyclesLeft > 0) {
+        // A fixed-latency stall (an L2 hit) is core-private dead time:
+        // absorb it here, exactly as tick()/catchUpTo() account it,
+        // instead of bouncing back through the kernel's due-cycle
+        // machinery and returning for the cycle after the stall.
+        const std::uint64_t s =
+            x_.stallCyclesLeft < left ? x_.stallCyclesLeft : left;
+        x_.stallCyclesLeft -= static_cast<std::uint32_t>(s);
+        synced += s;
+        cycles += s;
+        left -= s;
+    }
+    probeRunBlocks_ = 0; // L1D contents may have changed since last batch.
+    while (left > 0) {
+        if (compute > 0 && credits > 0) {
+            // Committing tail of a compute run, in bulk: one commit
+            // and one credit per cycle, exactly as tick() would.
+            std::uint32_t run = compute < credits ? compute : credits;
+            if (static_cast<std::uint64_t>(run) > left)
+                run = static_cast<std::uint32_t>(left);
+            compute -= run;
+            credits -= run;
+            synced += run;
+            cycles += run;
+            committed += run;
+            left -= run;
+            continue;
+        }
+        if (credits == 0) {
+            if (!fetchHeld) {
+                // Fetch-block pulls use only per-core generator state,
+                // and this is exactly the point of the per-core stream
+                // where tick() would pull.
+                fetchAddr = gen_.nextFetchBlock(id_);
+                fetchHeld = true;
+            }
+            if (!hierarchy_.l1iProbe(id_, fetchAddr)) {
+                // Leaves the L1I: run at the ordered tick. Warm the
+                // host's caches with the L2 set it will scan there.
+                hierarchy_.l2Prefetch(fetchAddr);
+                break;
+            }
+            const AccessOutcome out = hierarchy_.ifetch(id_, fetchAddr);
+            mc_assert(out == AccessOutcome::L1Hit,
+                      "probed-hit fetch left the L1I");
+            fetchHeld = false;
+            credits = cfg_.instrsPerFetchBlock;
+            continue; // An L1I-hit fetch shares the consuming cycle.
+        }
+        if (!opHeld) {
+            if (!gen_.tryNextOpLocal(id_, op))
+                break; // Touches shared state: pull at the ordered tick.
+            opHeld = true;
+        }
+        if (op.kind == Op::Kind::Compute) {
+            mc_assert(op.length >= 1, "empty compute op");
+            compute = op.length;
+            opHeld = false;
+            continue; // Committed by the bulk path above.
+        }
+        // Load or store: only an L1D hit is core-private. Batched
+        // accesses are all hits and hits never evict, so a probed
+        // window of consecutive present blocks stays valid for the
+        // rest of the batch. Multi-block probes pay off only for
+        // sequential sweeps (the next block extends the window), so
+        // random accesses probe a single block.
+        const Addr addr = op.addr;
+        if (addr - probeRunBase_ >=
+            static_cast<Addr>(probeRunBlocks_) * l1dBlockBytes_) {
+            const Addr block = addr & ~static_cast<Addr>(l1dBlockBytes_ - 1);
+            const bool sequential =
+                probeRunBlocks_ > 0 &&
+                block == probeRunBase_ + static_cast<Addr>(probeRunBlocks_) *
+                                             l1dBlockBytes_;
+            const std::uint32_t run =
+                hierarchy_.l1dProbeRun(id_, addr, sequential ? 8 : 1);
+            if (run == 0) {
+                // Leaves the L1D: run at the ordered tick. Warm the
+                // host's caches with the L2 set it will scan there.
+                hierarchy_.l2Prefetch(addr);
+                break;
+            }
+            probeRunBase_ = block;
+            probeRunBlocks_ = run;
+        }
+        const AccessOutcome out = op.kind == Op::Kind::Store
+                                      ? hierarchy_.store(id_, addr)
+                                      : hierarchy_.load(id_, addr);
+        mc_assert(out == AccessOutcome::L1Hit,
+                  "probed-hit access left the L1D");
+        opHeld = false;
+        ++synced;
+        ++cycles;
+        ++committed;
+        --credits;
+        --left;
+    }
+    x_.synced = synced;
+    x_.fetchCredits = credits;
+    x_.computeRemaining = compute;
+    x_.opPending = opHeld;
+    if (opHeld)
+        x_.pendingOp = op;
+    x_.fetchPending = fetchHeld;
+    if (fetchHeld)
+        x_.pendingFetch = fetchAddr;
+    stats_.cycles = cycles;
+    stats_.committedInstructions = committed;
+    return window - left;
 }
 
 void
 Core::tick()
 {
-    ++synced_;
+    ++x_.synced;
     ++stats_.cycles;
-    if (stallCyclesLeft_ > 0) {
-        --stallCyclesLeft_;
+    if (x_.stallCyclesLeft > 0) {
+        --x_.stallCyclesLeft;
         return;
     }
-    if (blockedOnFetch_) {
+    if (x_.blockedOnFetch) {
         ++stats_.fetchStallCycles;
         return;
     }
-    if (blockedOnLoads_ || blockedOnStores_) {
+    if (x_.blockedOnLoads || x_.blockedOnStores) {
         ++stats_.loadMissStallCycles;
         return;
     }
-    if (fetchCredits_ == 0) {
+    if (x_.fetchCredits == 0) {
         doFetch();
         // The fetch itself consumes this cycle if it left L1I.
-        if (blockedOnFetch_ || stallCyclesLeft_ > 0)
+        if (x_.blockedOnFetch || x_.stallCyclesLeft > 0)
             return;
     }
     executeOp();

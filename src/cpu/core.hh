@@ -15,6 +15,15 @@
  *    the window is full (window = 1 models a blocking core).
  *  - Stores retire into a finite store buffer and never stall the
  *    core unless the buffer is full of outstanding fills.
+ *
+ * Execution is batched where that is provably unobservable: after its
+ * globally ordered tick() a core may pre-execute a run of future
+ * cycles (runBatch) as long as every instruction in the run touches
+ * only core-private state — L1 hits, compute commits, per-core
+ * generator draws. Anything that reaches the shared L2, the shared
+ * streaming frontier, or depends on in-flight fills ends the run and
+ * executes at its exact cycle in the global core-ID order, so results
+ * stay bit-identical to the per-cycle reference kernel.
  */
 
 #ifndef CLOUDMC_CPU_CORE_HH
@@ -75,8 +84,27 @@ class Core
      * blocked-on-miss bookkeeping, exactly as tick() would have done.
      * The event kernel calls this instead of ticking idle cores; it
      * must run before any state change (missReturned) or real tick.
+     * A no-op for cores that batched ahead of the global cycle count.
      */
     void catchUpTo(CoreCycle cycle);
+
+    /**
+     * Batched execution: starting from the just-ticked state, execute
+     * the run of upcoming cycles whose instructions are provably
+     * core-private — L1I/L1D hits (checked with pure probes before
+     * each access), compute-run commits, and workload draws the
+     * generator confirms touch no shared state. The run ends at the
+     * first instruction that would reach the L2 or the shared
+     * streaming frontier (it stays latched for this core's next
+     * ordered tick), at any stall or block, or at @p limit (the last
+     * core cycle of the current advance window, so statistics windows
+     * close identically to the reference kernel). Never runs while a
+     * miss is in flight: returning fills mutate the L1s, so pre-read
+     * tags could go stale mid-run.
+     *
+     * Returns the number of cycles executed, 0 when nothing batched.
+     */
+    std::uint64_t runBatch(CoreCycle limit);
 
     /**
      * First cycle index >= syncedCycles() at which tick() would do
@@ -90,18 +118,19 @@ class Core
     CoreCycle
     nextActCycle() const
     {
-        if (blockedOnFetch_ || blockedOnLoads_ || blockedOnStores_)
+        if (x_.blockedOnFetch || x_.blockedOnLoads || x_.blockedOnStores)
             return kNeverCycle;
         std::uint64_t run = 0;
-        if (computeRemaining_ > 0) {
-            run = computeRemaining_ < fetchCredits_ ? computeRemaining_
-                                                    : fetchCredits_;
+        if (x_.computeRemaining > 0) {
+            run = x_.computeRemaining < x_.fetchCredits
+                      ? x_.computeRemaining
+                      : x_.fetchCredits;
         }
-        return CoreCycle{synced_ + stallCyclesLeft_ + run};
+        return CoreCycle{x_.synced + x_.stallCyclesLeft + run};
     }
 
     /** Cycles executed or accounted so far (the catch-up frontier). */
-    CoreCycle syncedCycles() const { return CoreCycle{synced_}; }
+    CoreCycle syncedCycles() const { return CoreCycle{x_.synced}; }
 
     /** A miss this core was waiting on has been filled. */
     void missReturned(MissKind kind);
@@ -115,8 +144,8 @@ class Core
     bool
     isStalled() const
     {
-        return blockedOnFetch_ || blockedOnLoads_ || blockedOnStores_ ||
-               stallCyclesLeft_ > 0;
+        return x_.blockedOnFetch || x_.blockedOnLoads ||
+               x_.blockedOnStores || x_.stallCyclesLeft > 0;
     }
 
   private:
@@ -124,22 +153,46 @@ class Core
     void doFetch();
     void executeOp();
 
+    /**
+     * Everything tick() and runBatch() touch every cycle, packed into
+     * one struct (one or two host cache lines) instead of scattering
+     * across the object. The cross-core arrays the kernel scans every
+     * boundary (next-due cycles) live structure-of-arrays in System.
+     */
+    struct ExecState
+    {
+        std::uint32_t stallCyclesLeft = 0; ///< Fixed-latency stalls.
+        std::uint32_t fetchCredits = 0; ///< Instructions fetched, uncommitted.
+        std::uint32_t computeRemaining = 0;
+        std::uint32_t outstandingLoads = 0;
+        std::uint32_t outstandingStores = 0;
+        bool blockedOnFetch = false;
+        bool blockedOnLoads = false;
+        bool blockedOnStores = false;
+        /** pendingOp holds a generator op pulled by runBatch() but not
+         *  executable there (its access leaves the L1); the next
+         *  ordered tick executes it. Same for pendingFetch. */
+        bool opPending = false;
+        bool fetchPending = false;
+        std::uint64_t synced = 0; ///< Cycles executed or lazily accounted.
+        Op pendingOp{};
+        Addr pendingFetch = 0;
+    };
+
     CoreId id_;
     WorkloadGenerator &gen_;
     CacheHierarchy &hierarchy_;
     CoreConfig cfg_;
 
-    std::uint32_t stallCyclesLeft_ = 0; ///< Fixed-latency stalls.
-    bool blockedOnFetch_ = false;
-    bool blockedOnLoads_ = false;
-    bool blockedOnStores_ = false;
-    std::uint32_t outstandingLoads_ = 0;
-    std::uint32_t outstandingStores_ = 0;
+    ExecState x_;
 
-    std::uint32_t fetchCredits_ = 0;    ///< Instructions fetched, uncommitted.
-    std::uint32_t computeRemaining_ = 0;
-
-    std::uint64_t synced_ = 0; ///< Cycles executed or lazily accounted.
+    /** L1D run-length probe memo: blocks in
+     *  [probeRunBase_, probeRunBase_ + probeRunBlocks_ blocks) were
+     *  seen present this batch. Batched accesses are all hits and
+     *  hits never evict, so the memo stays valid for a whole batch. */
+    Addr probeRunBase_ = 0;
+    std::uint32_t probeRunBlocks_ = 0;
+    std::uint32_t l1dBlockBytes_;
 
     CoreStats stats_;
 };

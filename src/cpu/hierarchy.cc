@@ -50,36 +50,6 @@ CacheHierarchy::missToL2(CoreId core, Addr blockAddr, MissKind kind,
     return AccessOutcome::Miss;
 }
 
-AccessOutcome
-CacheHierarchy::load(CoreId core, Addr addr)
-{
-    Cache &l1 = *l1d_[core];
-    const Addr blockAddr = l1.blockAlign(addr);
-    if (l1.access(blockAddr, false))
-        return AccessOutcome::L1Hit;
-    return missToL2(core, blockAddr, MissKind::Load, false);
-}
-
-AccessOutcome
-CacheHierarchy::store(CoreId core, Addr addr)
-{
-    Cache &l1 = *l1d_[core];
-    const Addr blockAddr = l1.blockAlign(addr);
-    if (l1.access(blockAddr, true))
-        return AccessOutcome::L1Hit;
-    return missToL2(core, blockAddr, MissKind::Store, true);
-}
-
-AccessOutcome
-CacheHierarchy::ifetch(CoreId core, Addr addr)
-{
-    Cache &l1 = *l1i_[core];
-    const Addr blockAddr = l1.blockAlign(addr);
-    if (l1.access(blockAddr, false))
-        return AccessOutcome::L1Hit;
-    return missToL2(core, blockAddr, MissKind::Ifetch, false);
-}
-
 void
 CacheHierarchy::onMemResponse(CoreId core, Addr blockAddr)
 {

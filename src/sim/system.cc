@@ -133,12 +133,14 @@ void
 System::sendMemRead(CoreId core, Addr blockAddr)
 {
     toMem_.push(now_, allocRequest(core, blockAddr, false, false));
+    memHorizonDirty_ = true;
 }
 
 void
 System::sendMemWrite(CoreId core, Addr blockAddr)
 {
     toMem_.push(now_, allocRequest(core, blockAddr, true, false));
+    memHorizonDirty_ = true;
 }
 
 void
@@ -194,12 +196,59 @@ System::coreStep(bool eager)
             Core &core = *cores_[i];
             core.catchUpTo(cycle);
             core.tick();
-            coreDueCycle_[i] = core.nextActCycle();
             ++kernelStats_.coreTicksRun;
+            coreDueCycle_[i] = core.nextActCycle();
         }
         if (coreDueCycle_[i] < minAct)
             minAct = coreDueCycle_[i];
     }
+    coreCycles_ += CoreCycles{1};
+    ++kernelStats_.coreStepsRun;
+    coreActEventAt_ = minAct == kNeverCycle
+                          ? kMaxTick
+                          : cfg_.clocks.coreToTicks(minAct);
+}
+
+void
+System::coreStepEvent()
+{
+    while (toCpu_.ready(now_)) {
+        const CpuResponse resp = toCpu_.pop();
+        hierarchy_->onMemResponse(resp.core, resp.addr);
+    }
+    const CoreCycle cycle = coreCycles_;
+    CoreCycle minAct = kNeverCycle;
+    // detlint-allow(raw-tick): counts tick() calls, not time
+    std::uint64_t ticks = 0;
+    std::uint64_t batchRuns = 0;
+    std::uint64_t cyclesBatched = 0;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        if (coreDueCycle_[i] <= cycle) {
+            Core &core = *cores_[i];
+            // Guarded inline: a core that batched to (or past) this
+            // cycle has nothing to account, which is the common case
+            // here — unlike the eager loop, where catch-up is almost
+            // always a no-op and stays an out-of-line call.
+            if (core.syncedCycles() < cycle)
+                core.catchUpTo(cycle);
+            core.tick();
+            ++ticks;
+            // Greedy batch: run the core ahead through provably
+            // core-private cycles (L1 hits, compute commits) so the
+            // kernel never has to revisit it for them.
+            const std::uint64_t batched = core.runBatch(batchLimit_);
+            if (batched > 0) {
+                ++batchRuns;
+                cyclesBatched += batched;
+            }
+            coreDueCycle_[i] = core.nextActCycle();
+        }
+        if (coreDueCycle_[i] < minAct)
+            minAct = coreDueCycle_[i];
+    }
+    kernelStats_.coreTicksRun += ticks;
+    kernelStats_.coreBatchRuns += batchRuns;
+    kernelStats_.coreCyclesBatched += cyclesBatched;
     coreCycles_ += CoreCycles{1};
     ++kernelStats_.coreStepsRun;
     coreActEventAt_ = minAct == kNeverCycle
@@ -274,6 +323,27 @@ alignUp(Tick t, TickSpan step)
     return phase == TickSpan{0} ? t : t + (step - phase);
 }
 
+/**
+ * Round @p t up to the next boundary of @p step's grid, given that
+ * @p grid already is a boundary at or before the result. Event
+ * horizons usually sit within a few boundaries of the pending one, so
+ * a short walk from @p grid dodges alignUp()'s 64-bit division.
+ */
+Tick
+alignUpFrom(Tick grid, Tick t, TickSpan step)
+{
+    if (t <= grid)
+        return grid;
+    if (t - grid <= std::uint64_t{8} * step) {
+        if (t > kMaxTick - step)
+            return kMaxTick;
+        while (grid < t)
+            grid += step;
+        return grid;
+    }
+    return alignUp(t, step);
+}
+
 } // namespace
 
 void
@@ -308,27 +378,68 @@ System::advance(std::uint64_t coreCycles)
     const TickSpan perDram = cfg_.clocks.ticksPerDram;
     Tick nextCore = alignUp(now_, perCore);
     Tick nextMem = alignUp(now_, perDram);
+    // Cached aligned horizons. A horizon only moves when its domain's
+    // inputs move: the core horizon on a core step or a memory step
+    // (which may latch a response toward the cores), the memory
+    // horizon on a memory step or a crossbar push from the core side
+    // (memHorizonDirty_, set by sendMemRead/Write). Idle boundary
+    // elapses never invalidate either (a cached horizon past the
+    // elapsed boundary stays on its grid ahead of the new pending
+    // boundary), so most iterations skip the recompute entirely.
+    Tick tCore{};
+    Tick tMem{};
+    bool coreDirty = true;
+    memHorizonDirty_ = true;
+    // Cap batches at the window's final cycle count. The bound is
+    // invariant across the window: every boundary in [nextCore, end)
+    // adds exactly one core cycle whether it is stepped, skipped, or
+    // idle, so compute it once instead of re-deriving (with a 64-bit
+    // division) at every stepped boundary.
+    batchLimit_ =
+        end > nextCore
+            ? coreCycles_ +
+                  CoreCycles{(end - nextCore - TickSpan{1}) / perCore + 1}
+            : coreCycles_;
     while (true) {
         // Earliest boundary of each domain that must actually execute.
         // Events are computed from post-step state, and nothing runs
         // between here and that boundary, so every boundary before it
         // is a provable no-op.
-        const Tick tCore =
-            std::max(nextCore, alignUp(coreEventAt(), perCore));
-        const Tick tMem = std::max(nextMem, alignUp(memEventAt(), perDram));
+        if (coreDirty) {
+            tCore = alignUpFrom(nextCore, coreEventAt(), perCore);
+            coreDirty = false;
+        }
+        if (memHorizonDirty_) {
+            tMem = alignUpFrom(nextMem, memEventAt(), perDram);
+            memHorizonDirty_ = false;
+        }
         const Tick t = std::min(std::min(tCore, tMem), end);
 
         // Skipped core boundaries still elapse simulated core cycles;
-        // the cores account theirs lazily against coreCycles_.
+        // the cores account theirs lazily against coreCycles_. Short
+        // gaps (the common case) walk instead of dividing.
         if (nextCore < t) {
-            const std::uint64_t skipped =
-                (t - nextCore - TickSpan{1}) / perCore + 1;
+            std::uint64_t skipped;
+            if (t - nextCore <= std::uint64_t{8} * perCore) {
+                skipped = 0;
+                while (nextCore < t) {
+                    nextCore += perCore;
+                    ++skipped;
+                }
+            } else {
+                skipped = (t - nextCore - TickSpan{1}) / perCore + 1;
+                nextCore += skipped * perCore;
+            }
             coreCycles_ += CoreCycles{skipped};
-            nextCore += skipped * perCore;
         }
         if (nextMem < t) {
-            nextMem +=
-                ((t - nextMem - TickSpan{1}) / perDram + 1) * perDram;
+            if (t - nextMem <= std::uint64_t{8} * perDram) {
+                while (nextMem < t)
+                    nextMem += perDram;
+            } else {
+                nextMem +=
+                    ((t - nextMem - TickSpan{1}) / perDram + 1) * perDram;
+            }
         }
 
         now_ = t;
@@ -337,15 +448,20 @@ System::advance(std::uint64_t coreCycles)
         // A boundary shared with the other domain may itself be idle
         // (tCore/tMem past t); it still elapses but needs no step.
         if (t == nextCore) {
-            if (tCore <= t)
-                coreStep(false);
-            else
+            if (tCore <= t) {
+                coreStepEvent();
+                coreDirty = true;
+            } else {
                 coreCycles_ += CoreCycles{1};
+            }
             nextCore += perCore;
         }
         if (t == nextMem) {
-            if (tMem <= t)
+            if (tMem <= t) {
                 memStep(false);
+                memHorizonDirty_ = true;
+                coreDirty = true; // A completion may have latched toCpu_.
+            }
             nextMem += perDram;
         }
     }

@@ -51,6 +51,9 @@ struct KernelStats
     std::uint64_t memStepsRun = 0;   ///< DRAM-domain boundaries stepped.
     // detlint-allow(raw-tick): counts tick() calls, not time
     std::uint64_t ctlTicksRun = 0;   ///< MemController::tick calls.
+    std::uint64_t coreBatchRuns = 0; ///< runBatch() calls that advanced.
+    // detlint-allow(raw-tick): counts cycles executed, not time
+    std::uint64_t coreCyclesBatched = 0; ///< Core cycles run in batches.
 };
 
 /** The whole simulated machine. */
@@ -127,6 +130,8 @@ class System
 
     void build(const SimConfig &cfg, std::uint32_t numCores);
     void coreStep(bool eager);
+    /** coreStep specialized for the event kernel: due-scan + batching. */
+    void coreStepEvent();
     void memStep(bool eager);
     void ioStep();
     void referenceAdvance(Tick end);
@@ -149,6 +154,18 @@ class System
     bool referenceKernel_ = false;
     CoreCycle statsStartCycle_;
     CoreCycle coreCycles_;
+    /**
+     * Exclusive upper bound for Core::runBatch during the current
+     * advance() window: the window's final core-cycle count, so
+     * batched cores stop exactly where syncCores() and the statistics
+     * window close (identical to the reference kernel).
+     */
+    CoreCycle batchLimit_;
+    /**
+     * Set when the core side pushes onto toMem_ mid-step, moving the
+     * memory-domain event horizon earlier than advance()'s cached copy.
+     */
+    bool memHorizonDirty_ = true;
 
     /** Per-controller next-due ticks (tick() return; arrivals re-arm). */
     std::vector<Tick> ctlDueAt_;

@@ -127,6 +127,7 @@ SyntheticWorkload::SyntheticWorkload(const WorkloadParams &params,
         cs.burstLeft.assign(regions_.size(), 0);
         cs.repeatLeft.assign(regions_.size(), 0);
         cs.codeBlock = scrambleIndex(c * 977, codeBlockMask_);
+        rebuildRunThresh(cs);
     }
 }
 
@@ -215,6 +216,67 @@ SyntheticWorkload::advancePhase(CoreState &cs, std::uint32_t instrs)
     cs.memProb =
         std::min(0.95, std::max(0.001, cs.baseMemProb * factor));
     cs.log1mMemProb = std::log1p(-cs.memProb);
+    rebuildRunThresh(cs);
+}
+
+void
+SyntheticWorkload::rebuildRunThresh(CoreState &cs)
+{
+    for (std::size_t k = 0; k < kRunLevels; ++k) {
+        cs.runThresh[k] =
+            -std::expm1(cs.log1mMemProb * static_cast<double>(k + 1));
+    }
+}
+
+std::uint32_t
+SyntheticWorkload::runLength(const CoreState &cs, double u) const
+{
+    // runThresh[k] is the geometric CDF at k, so run == k exactly when
+    // runThresh[k-1] <= u < runThresh[k]. A table compare replaces the
+    // per-op log1p()+divide; draws within kRunMargin of a boundary
+    // (where the table and the closed form could round differently)
+    // fall through to the original formula, keeping results
+    // bit-identical to it.
+    for (std::size_t k = 0; k < kRunLevels; ++k) {
+        if (u < cs.runThresh[k] - kRunMargin) {
+            if (k > 0 && u < cs.runThresh[k - 1] + kRunMargin)
+                break;
+            return static_cast<std::uint32_t>(k);
+        }
+    }
+    return static_cast<std::uint32_t>(std::log1p(-u) / cs.log1mMemProb);
+}
+
+std::size_t
+SyntheticWorkload::pickRegion(CoreState &cs)
+{
+    // Continue a sticky run, or pick a region by entry weight.
+    if (cs.stickyRegion >= 0 && cs.stickyLeft > 0) {
+        --cs.stickyLeft;
+        return static_cast<std::size_t>(cs.stickyRegion);
+    }
+    const double u = cs.rng.nextDouble();
+    std::size_t idx = 0;
+    while (idx + 1 < regionCdf_.size() && u > regionCdf_[idx])
+        ++idx;
+    if (regions_[idx].spec.stickyRefs > 1) {
+        cs.stickyRegion = static_cast<int>(idx);
+        cs.stickyLeft = regions_[idx].spec.stickyRefs - 1;
+    } else {
+        cs.stickyRegion = -1;
+        cs.stickyLeft = 0;
+    }
+    return idx;
+}
+
+Op
+SyntheticWorkload::finishMemoryOp(CoreState &cs, std::size_t idx)
+{
+    Op op;
+    op.addr = regionAddress(regions_[idx], cs, idx);
+    op.kind = cs.rng.chance(params_.storeFrac) ? Op::Kind::Store
+                                               : Op::Kind::Load;
+    return op;
 }
 
 Op
@@ -222,13 +284,19 @@ SyntheticWorkload::nextOp(CoreId core)
 {
     CoreState &cs = cores_[core];
 
+    if (cs.resumePending) {
+        // tryNextOpLocal() already consumed this reference's run and
+        // region draws; finish it here, at the globally ordered turn,
+        // where touching the shared frontier is legal.
+        cs.resumePending = false;
+        return finishMemoryOp(cs, cs.resumeRegion);
+    }
+
     if (!cs.pendingMem) {
         // Choose the length of the next non-memory run. Under a
         // Bernoulli(p) per-instruction memory-reference model the run
         // length is geometric.
-        const double u = cs.rng.nextDouble();
-        const auto run = static_cast<std::uint32_t>(
-            std::log1p(-u) / cs.log1mMemProb);
+        const std::uint32_t run = runLength(cs, cs.rng.nextDouble());
         if (run > 0) {
             cs.pendingMem = true;
             Op op;
@@ -240,30 +308,41 @@ SyntheticWorkload::nextOp(CoreId core)
     }
     cs.pendingMem = false;
     advancePhase(cs, 1);
+    return finishMemoryOp(cs, pickRegion(cs));
+}
 
-    // Continue a sticky run, or pick a region by entry weight.
-    std::size_t idx;
-    if (cs.stickyRegion >= 0 && cs.stickyLeft > 0) {
-        idx = static_cast<std::size_t>(cs.stickyRegion);
-        --cs.stickyLeft;
-    } else {
-        const double u = cs.rng.nextDouble();
-        idx = 0;
-        while (idx + 1 < regionCdf_.size() && u > regionCdf_[idx])
-            ++idx;
-        if (regions_[idx].spec.stickyRefs > 1) {
-            cs.stickyRegion = static_cast<int>(idx);
-            cs.stickyLeft = regions_[idx].spec.stickyRefs - 1;
-        } else {
-            cs.stickyRegion = -1;
-            cs.stickyLeft = 0;
+bool
+SyntheticWorkload::tryNextOpLocal(CoreId core, Op &out)
+{
+    CoreState &cs = cores_[core];
+    if (cs.resumePending)
+        return false; // The stashed reference must go first, ordered.
+
+    if (!cs.pendingMem) {
+        const std::uint32_t run = runLength(cs, cs.rng.nextDouble());
+        if (run > 0) {
+            cs.pendingMem = true;
+            out = Op{};
+            out.kind = Op::Kind::Compute;
+            out.length = std::min<std::uint32_t>(run, 512);
+            advancePhase(cs, out.length);
+            return true;
         }
     }
-    Op op;
-    op.addr = regionAddress(regions_[idx], cs, idx);
-    op.kind = cs.rng.chance(params_.storeFrac) ? Op::Kind::Store
-                                               : Op::Kind::Load;
-    return op;
+    cs.pendingMem = false;
+    advancePhase(cs, 1);
+    const std::size_t idx = pickRegion(cs);
+    const RegionState &r = regions_[idx];
+    if (r.spec.seqBurstBlocks > 0 && r.spec.sharedFrontier &&
+        cs.repeatLeft[idx] == 0 && cs.burstLeft[idx] == 0) {
+        // Starting a new burst consumes the region-wide shared
+        // frontier. Stash the pick; the next nextOp() call resumes it.
+        cs.resumePending = true;
+        cs.resumeRegion = static_cast<std::uint32_t>(idx);
+        return false;
+    }
+    out = finishMemoryOp(cs, idx);
+    return true;
 }
 
 Addr

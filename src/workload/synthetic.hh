@@ -16,6 +16,7 @@
 #ifndef CLOUDMC_WORKLOAD_SYNTHETIC_HH
 #define CLOUDMC_WORKLOAD_SYNTHETIC_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -133,6 +134,7 @@ class SyntheticWorkload : public WorkloadGenerator
 
     const char *name() const override { return params_.name.c_str(); }
     Op nextOp(CoreId core) override;
+    bool tryNextOpLocal(CoreId core, Op &out) override;
     Addr nextFetchBlock(CoreId core) override;
 
     const WorkloadParams &params() const { return params_; }
@@ -141,6 +143,13 @@ class SyntheticWorkload : public WorkloadGenerator
     double intensityOf(CoreId core) const;
 
   private:
+    /** Geometric run-length fast path: CDF boundaries precomputed up
+     *  to this run length; longer runs fall back to the log formula. */
+    static constexpr std::size_t kRunLevels = 64;
+    /** Draws within this distance of a CDF boundary also fall back,
+     *  so the fast path is bit-identical to the closed form. */
+    static constexpr double kRunMargin = 1e-9;
+
     struct RegionState
     {
         RegionSpec spec;
@@ -172,11 +181,31 @@ class SyntheticWorkload : public WorkloadGenerator
         double baseMemProb = 0.3;
         // Instruction fetch.
         std::uint64_t codeBlock = 0;
+        /**
+         * A memory reference refused by tryNextOpLocal() because its
+         * address would consume the shared streaming frontier. All
+         * per-core draws for it are already consumed and its region is
+         * stashed here; the next nextOp() call — which happens at the
+         * core's globally ordered turn — finishes exactly this
+         * reference instead of drawing a new one.
+         */
+        bool resumePending = false;
+        std::uint32_t resumeRegion = 0;
+        /** runThresh[k] = P(run <= k) = 1 - (1-memProb)^(k+1); rebuilt
+         *  whenever memProb changes (see runLength()). */
+        std::array<double, kRunLevels> runThresh{};
     };
 
     Addr regionAddress(RegionState &region, CoreState &cs,
                        std::size_t regionIdx);
     void advancePhase(CoreState &cs, std::uint32_t instrs);
+    /** Pick the region of the next memory reference (sticky or CDF). */
+    std::size_t pickRegion(CoreState &cs);
+    /** Address + load/store draw for a reference in region @p idx. */
+    Op finishMemoryOp(CoreState &cs, std::size_t idx);
+    /** Non-memory run length for uniform draw @p u (geometric). */
+    std::uint32_t runLength(const CoreState &cs, double u) const;
+    static void rebuildRunThresh(CoreState &cs);
 
     WorkloadParams params_;
     std::vector<RegionState> regions_;

@@ -40,6 +40,25 @@ class WorkloadGenerator
     virtual Op nextOp(CoreId core) = 0;
 
     /**
+     * Produce the next operation for @p core only if doing so touches
+     * no state shared with other cores (per-core RNG and cursors
+     * only). Used by the batched core loop to pull ops ahead of the
+     * global cycle order; a refusal means the op must come from a
+     * plain nextOp() call at the core's globally ordered turn, and the
+     * generator must then produce exactly the op it refused here (any
+     * per-core draws already consumed are stashed, not redrawn).
+     *
+     * The default refuses always, which is safe for any generator.
+     */
+    virtual bool
+    tryNextOpLocal(CoreId core, Op &out)
+    {
+        (void)core;
+        (void)out;
+        return false;
+    }
+
+    /**
      * Produce the next instruction-fetch block address for @p core.
      * Called by the core each time it consumes a fetch block's worth
      * of instructions.

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Batched-execution boundary conditions: every way a core's batched
+ * run can terminate must leave the simulation bit-identical to the
+ * per-cycle reference kernel — metrics AND exact DRAM command traces
+ * — on both the DDR3-1600 baseline grid (2:5) and the DDR5-4800 grid
+ * (6:5). Covered terminators:
+ *  - a run ending at an L1-missing access (the op latches and executes
+ *    at the core's next ordered tick),
+ *  - scheduler quantum/decay/shuffle deadlines (ATLAS, TCM, RL, STFM)
+ *    that the kernel must wake for regardless of how far cores batched,
+ *  - refresh-induced stalls (batching must never skip a core past a
+ *    refresh deadline's side effects),
+ *  - the simulation end tick (batches clamp at the advance window so
+ *    statistics windows close exactly like the reference loop).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dram/channel.hh"
+#include "dram/devices.hh"
+#include "sim/system.hh"
+#include "workload/presets.hh"
+
+using namespace mcsim;
+
+namespace {
+
+SimConfig
+smallConfig(const char *device)
+{
+    SimConfig cfg = SimConfig::baseline();
+    if (device)
+        cfg.applyDevice(dramDeviceOrDie(device));
+    cfg.warmupCoreCycles = 20'000;
+    cfg.measureCoreCycles = 100'000;
+    return cfg;
+}
+
+/** Every metric must match to the last bit, not approximately. */
+void
+expectIdentical(const MetricSet &ev, const MetricSet &ref)
+{
+    EXPECT_EQ(ev.userIpc, ref.userIpc);
+    EXPECT_EQ(ev.avgReadLatency, ref.avgReadLatency);
+    EXPECT_EQ(ev.readLatencyP99, ref.readLatencyP99);
+    EXPECT_EQ(ev.rowHitRatePct, ref.rowHitRatePct);
+    EXPECT_EQ(ev.l2Mpki, ref.l2Mpki);
+    EXPECT_EQ(ev.bwUtilPct, ref.bwUtilPct);
+    EXPECT_EQ(ev.committedInstructions, ref.committedInstructions);
+    EXPECT_EQ(ev.measuredCycles, ref.measuredCycles);
+    EXPECT_EQ(ev.memReads, ref.memReads);
+    EXPECT_EQ(ev.memWrites, ref.memWrites);
+    ASSERT_EQ(ev.perCoreIpc.size(), ref.perCoreIpc.size());
+    for (std::size_t i = 0; i < ev.perCoreIpc.size(); ++i) {
+        EXPECT_EQ(ev.perCoreIpc[i], ref.perCoreIpc[i]);
+        EXPECT_EQ(ev.perCoreCommitted[i], ref.perCoreCommitted[i]);
+        EXPECT_EQ(ev.perCoreCycles[i], ref.perCoreCycles[i]);
+    }
+}
+
+struct TraceEntry
+{
+    DramCommandType type;
+    std::uint32_t rank, bank;
+    Tick tick;
+    bool
+    operator==(const TraceEntry &o) const
+    {
+        return type == o.type && rank == o.rank && bank == o.bank &&
+               tick == o.tick;
+    }
+};
+
+struct TracedRun
+{
+    MetricSet metrics;
+    std::vector<TraceEntry> trace;
+    KernelStats kernel;
+    Tick end{};
+};
+
+TracedRun
+runTraced(const SimConfig &cfg, WorkloadId wl, bool reference)
+{
+    System sys(cfg, workloadPreset(wl));
+    sys.useReferenceKernel(reference);
+    TracedRun r;
+    sys.controller(0).channel().setCommandHook(
+        [&r](const DramCommand &cmd, Tick now) {
+            r.trace.push_back({cmd.type, cmd.rank, cmd.bank, now});
+        });
+    r.metrics = sys.run();
+    r.kernel = sys.kernelStats();
+    r.end = sys.now();
+    return r;
+}
+
+/** Run both kernels; require identical metrics and command streams. */
+TracedRun
+expectEquivalent(const SimConfig &cfg, WorkloadId wl)
+{
+    const TracedRun ev = runTraced(cfg, wl, false);
+    const TracedRun ref = runTraced(cfg, wl, true);
+    EXPECT_EQ(ev.end, ref.end);
+    expectIdentical(ev.metrics, ref.metrics);
+    EXPECT_EQ(ev.trace.size(), ref.trace.size());
+    const std::size_t n = std::min(ev.trace.size(), ref.trace.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(ev.trace[i] == ref.trace[i])
+            << "command " << i << " diverges";
+        if (!(ev.trace[i] == ref.trace[i]))
+            break;
+    }
+    return ev;
+}
+
+} // namespace
+
+class BatchBoundary : public ::testing::TestWithParam<const char *>
+{
+};
+
+/**
+ * Miss-terminated runs: WS's shared L2 traffic means every few dozen
+ * instructions an access leaves the L1s, latches, and executes at the
+ * ordered tick. The event run must still batch (or the scenario tests
+ * nothing) and must still reach DRAM (so latched ops really were
+ * misses, not just L2 hits).
+ */
+TEST_P(BatchBoundary, MissTerminatedRunsStayBitIdentical)
+{
+    const SimConfig cfg = smallConfig(GetParam());
+    const TracedRun ev = expectEquivalent(cfg, WorkloadId::WS);
+    EXPECT_GT(ev.kernel.coreBatchRuns, 0u);
+    EXPECT_GT(ev.kernel.coreCyclesBatched, ev.kernel.coreBatchRuns);
+    EXPECT_GT(ev.metrics.memReads, 0u);
+}
+
+/**
+ * Scheduler deadline boundaries: ATLAS quanta, TCM's ranking shuffle,
+ * RL's learning epochs and STFM's continuous fairness estimation all
+ * report nextEventAt deadlines the kernel must execute no matter how
+ * far ahead the cores batched.
+ */
+TEST_P(BatchBoundary, SchedulerDeadlinesStayBitIdentical)
+{
+    for (const SchedulerKind kind :
+         {SchedulerKind::Atlas, SchedulerKind::Tcm, SchedulerKind::Rl,
+          SchedulerKind::Stfm}) {
+        SimConfig cfg = smallConfig(GetParam());
+        cfg.scheduler = kind;
+        const TracedRun ev = expectEquivalent(cfg, WorkloadId::WS);
+        EXPECT_GT(ev.kernel.coreCyclesBatched, 0u);
+    }
+}
+
+/**
+ * Refresh-induced stalls: a refresh blocks banks for tRFC, so reads
+ * queue up and the resulting stalls must land on exactly the same
+ * cycles in both kernels. The trace must actually contain refreshes.
+ */
+TEST_P(BatchBoundary, RefreshStallsStayBitIdentical)
+{
+    SimConfig cfg = smallConfig(GetParam());
+    cfg.refreshEnabled = true;
+    cfg.measureCoreCycles = 150'000; // Spans several tREFI periods.
+    const TracedRun ev = expectEquivalent(cfg, WorkloadId::WS);
+    std::size_t refreshes = 0;
+    for (const TraceEntry &e : ev.trace) {
+        if (e.type == DramCommandType::Refresh)
+            ++refreshes;
+    }
+    EXPECT_GT(refreshes, 0u) << "trace never exercised a refresh";
+    EXPECT_GT(ev.kernel.coreCyclesBatched, 0u);
+}
+
+/**
+ * Simulation end tick: batches are clamped to the advance window's
+ * final core cycle, so ragged windows (prime-sized chunks that never
+ * line up with batch sizes or the tick grid's LCM) must close every
+ * statistics window on exactly the same cycle as the reference loop.
+ */
+TEST_P(BatchBoundary, WindowEndClampsBatches)
+{
+    const SimConfig cfg = smallConfig(GetParam());
+    System ev(cfg, workloadPreset(WorkloadId::WS));
+    System ref(cfg, workloadPreset(WorkloadId::WS));
+    ref.useReferenceKernel(true);
+    for (const std::uint64_t chunk :
+         {std::uint64_t{9973}, std::uint64_t{1}, std::uint64_t{2},
+          std::uint64_t{15013}, std::uint64_t{3}, std::uint64_t{30011}}) {
+        ev.advance(chunk);
+        ref.advance(chunk);
+        ASSERT_EQ(ev.now(), ref.now());
+        expectIdentical(ev.collect(), ref.collect());
+    }
+    ev.resetStats();
+    ref.resetStats();
+    ev.advance(50'000);
+    ref.advance(50'000);
+    expectIdentical(ev.collect(), ref.collect());
+    EXPECT_GT(ev.kernelStats().coreCyclesBatched, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, BatchBoundary,
+                         ::testing::Values("DDR3-1600", "DDR5-4800"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return name;
+                         });
