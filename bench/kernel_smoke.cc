@@ -12,13 +12,18 @@
  *    System as the golden model), i.e. the pre-refactor throughput
  *    measured on the same build, host and config
  *
- * The smoke also cross-checks that both kernels produce bit-identical
+ * With --kernel-threads N > 1 a third run exercises the epoch-sharded
+ * parallel kernel and stamps its throughput plus self_speedup (the
+ * parallel/serial event-kernel ratio on this host).
+ *
+ * The smoke also cross-checks that every kernel produces bit-identical
  * metrics, the event kernel's core contract.
  *
  * Usage: kernel_smoke [--cycles N] [--workload ACR] [--device DEV]
+ *                     [--channels N] [--kernel-threads N]
  *                     [--json PATH] [--check-regression BASELINE]
- *        (defaults: 2M measured core cycles, WS, DDR3-1600,
- *        BENCH_kernel.json)
+ *        (defaults: 2M measured core cycles, WS, DDR3-1600, 1 channel,
+ *        1 thread, BENCH_kernel.json)
  *
  * Entries are stamped with the git SHA and the device name, so the
  * accumulated perf trajectory is attributable to a commit and a
@@ -33,9 +38,12 @@
  * --check-regression reads the committed BASELINE json (normally the
  * in-tree BENCH_kernel*.json stamped by the last perf-affecting PR)
  * before this run overwrites anything, and exits 4 if the measured
- * speedup_vs_reference fell more than 15% below it. The speedup is a
- * same-host ratio of the two kernels, so the guard transfers across
- * machines of different absolute speed.
+ * speedup_vs_reference fell more than 15% below it — likewise for
+ * self_speedup when both the baseline carries one and the host has
+ * at least two hardware threads (a single-CPU host cannot exhibit
+ * parallel speedup, so the clause would only measure scheduler
+ * noise there). The speedups are same-host kernel ratios, so the
+ * guard transfers across machines of different absolute speed.
  */
 
 #include <cctype>
@@ -45,6 +53,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "dram/devices.hh"
 #include "sim/experiment.hh"
@@ -70,10 +79,13 @@ struct KernelRun
 
 KernelRun
 runOnce(WorkloadId wl, const DramDevice &dev,
-        std::uint64_t measureCycles, bool reference)
+        std::uint64_t measureCycles, bool reference,
+        std::uint32_t channels = 1, std::uint32_t kernelThreads = 1)
 {
     SimConfig cfg = SimConfig::baseline();
     cfg.applyDevice(dev);
+    cfg.dram.channels = channels;
+    cfg.kernelThreads = kernelThreads;
     cfg.warmupCoreCycles = measureCycles / 4;
     cfg.measureCoreCycles = measureCycles;
     System sys(cfg, workloadPreset(wl));
@@ -231,12 +243,12 @@ gitSha()
 }
 
 /**
- * Pull speedup_vs_reference out of a previously committed bench JSON.
+ * Pull one numeric key out of a previously committed bench JSON.
  * Returns a negative value when the file or the key is missing (the
  * guard then passes trivially — a fresh tree has no baseline yet).
  */
 double
-baselineSpeedup(const std::string &path)
+baselineValue(const std::string &path, const char *name)
 {
     std::FILE *f = std::fopen(path.c_str(), "r");
     if (!f)
@@ -247,11 +259,11 @@ baselineSpeedup(const std::string &path)
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
         text.append(buf, n);
     std::fclose(f);
-    const char *key = "\"speedup_vs_reference\":";
+    const std::string key = std::string("\"") + name + "\":";
     const std::size_t pos = text.find(key);
     if (pos == std::string::npos)
         return -1.0;
-    return std::strtod(text.c_str() + pos + std::strlen(key), nullptr);
+    return std::strtod(text.c_str() + pos + key.size(), nullptr);
 }
 
 } // namespace
@@ -264,6 +276,8 @@ main(int argc, char **argv)
     std::string device = "DDR3-1600";
     std::string jsonPath = "BENCH_kernel.json";
     std::string regressionBaseline;
+    std::uint32_t channels = 1;
+    std::uint32_t kernelThreads = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc)
             cycles = std::strtoull(argv[++i], nullptr, 10);
@@ -271,6 +285,13 @@ main(int argc, char **argv)
             workload = argv[++i];
         else if (std::strcmp(argv[i], "--device") == 0 && i + 1 < argc)
             device = argv[++i];
+        else if (std::strcmp(argv[i], "--channels") == 0 && i + 1 < argc)
+            channels = static_cast<std::uint32_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (std::strcmp(argv[i], "--kernel-threads") == 0 &&
+                 i + 1 < argc)
+            kernelThreads = static_cast<std::uint32_t>(
+                std::strtoul(argv[++i], nullptr, 10));
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
         else if (std::strcmp(argv[i], "--check-regression") == 0 &&
@@ -279,24 +300,47 @@ main(int argc, char **argv)
     }
     const WorkloadId wl = workloadByAcronym(workload);
     const DramDevice &dev = dramDeviceOrDie(device);
+    const unsigned hostHw = std::thread::hardware_concurrency();
     // Read the baseline up front: --json may point at the same file
     // this run is about to overwrite.
-    const double baseSpeedup = regressionBaseline.empty()
-                                   ? -1.0
-                                   : baselineSpeedup(regressionBaseline);
+    const double baseSpeedup =
+        regressionBaseline.empty()
+            ? -1.0
+            : baselineValue(regressionBaseline, "speedup_vs_reference");
+    const double baseSelfSpeedup =
+        regressionBaseline.empty()
+            ? -1.0
+            : baselineValue(regressionBaseline, "self_speedup");
+    const double baseHostHw =
+        regressionBaseline.empty()
+            ? -1.0
+            : baselineValue(regressionBaseline, "host_hw_concurrency");
 
-    const KernelRun ref = runOnce(wl, dev, cycles, true);
-    const KernelRun ev = runOnce(wl, dev, cycles, false);
-    const bool bitIdentical =
+    const KernelRun ref = runOnce(wl, dev, cycles, true, channels);
+    const KernelRun ev = runOnce(wl, dev, cycles, false, channels);
+    bool bitIdentical =
         identical(ev.metrics, ref.metrics) && ev.endTick == ref.endTick;
     const double speedup =
         ref.mticksPerS > 0.0 ? ev.mticksPerS / ref.mticksPerS : 0.0;
+
+    // The epoch-sharded parallel kernel: measured against the serial
+    // event kernel on the same host (self_speedup) and held to the
+    // same bit-identity contract as serial-vs-reference.
+    KernelRun par;
+    double selfSpeedup = 0.0;
+    if (kernelThreads > 1) {
+        par = runOnce(wl, dev, cycles, false, channels, kernelThreads);
+        bitIdentical = bitIdentical && identical(par.metrics, ev.metrics) &&
+                       par.endTick == ev.endTick;
+        selfSpeedup =
+            ev.mticksPerS > 0.0 ? par.mticksPerS / ev.mticksPerS : 0.0;
+    }
     const bool fairnessRoundtrip =
         fairnessCacheRoundtrips(wl, dev, jsonPath + ".cache.tmp.csv");
 
     std::printf("kernel_smoke: fig01 config, workload %s, device %s, "
-                "%llu measured core cycles\n",
-                workload.c_str(), dev.name.c_str(),
+                "%u channel(s), %llu measured core cycles\n",
+                workload.c_str(), dev.name.c_str(), channels,
                 static_cast<unsigned long long>(cycles));
     std::printf("  event kernel:     %7.2f Mticks/s (%.3f s, core ticks "
                 "run %.1f%%, batched %.1f%%, ctl ticks run %.1f%%)\n",
@@ -304,6 +348,12 @@ main(int argc, char **argv)
                 100.0 * ev.batchedFrac, 100.0 * ev.ctlTicksFrac);
     std::printf("  reference kernel: %7.2f Mticks/s (%.3f s)\n",
                 ref.mticksPerS, ref.wallS);
+    if (kernelThreads > 1) {
+        std::printf("  parallel kernel:  %7.2f Mticks/s (%.3f s, %u "
+                    "threads, self-speedup %.2fx, host hw %u)\n",
+                    par.mticksPerS, par.wallS, kernelThreads, selfSpeedup,
+                    hostHw);
+    }
     std::printf("  speedup %.2fx, metrics bit-identical: %s\n", speedup,
                 bitIdentical ? "yes" : "NO");
     std::printf("  fairness fields survive cache round-trip: %s\n",
@@ -323,9 +373,12 @@ main(int argc, char **argv)
         "  \"git_sha\": \"%s\",\n"
         "  \"workload\": \"%s\",\n"
         "  \"device\": \"%s\",\n"
+        "  \"channels\": %u,\n"
         "  \"clock_ratios\": \"%llu:%llu\",\n"
         "  \"measure_core_cycles\": %llu,\n"
         "  \"sim_ticks\": %llu,\n"
+        "  \"threads\": %u,\n"
+        "  \"host_hw_concurrency\": %u,\n"
         "  \"event_kernel\": {\n"
         "    \"mticks_per_s\": %.3f,\n"
         "    \"wall_s\": %.4f,\n"
@@ -337,20 +390,31 @@ main(int argc, char **argv)
         "  \"reference_kernel\": {\n"
         "    \"mticks_per_s\": %.3f,\n"
         "    \"wall_s\": %.4f\n"
-        "  },\n"
-        "  \"speedup_vs_reference\": %.3f,\n"
-        "  \"metrics_bit_identical\": %s,\n"
-        "  \"fairness_cache_roundtrip\": %s\n"
-        "}\n",
-        gitSha().c_str(), workload.c_str(), dev.name.c_str(),
+        "  },\n",
+        gitSha().c_str(), workload.c_str(), dev.name.c_str(), channels,
         static_cast<unsigned long long>(clk.ticksPerCore.count()),
         static_cast<unsigned long long>(clk.ticksPerDram.count()),
         static_cast<unsigned long long>(cycles),
-        static_cast<unsigned long long>(ev.endTick.count()), ev.mticksPerS,
-        ev.wallS, ev.coreTicksFrac, ev.ctlTicksFrac, ev.batchedFrac,
-        static_cast<unsigned long long>(ev.batchRuns), ref.mticksPerS,
-        ref.wallS, speedup, bitIdentical ? "true" : "false",
-        fairnessRoundtrip ? "true" : "false");
+        static_cast<unsigned long long>(ev.endTick.count()), kernelThreads,
+        hostHw, ev.mticksPerS, ev.wallS, ev.coreTicksFrac, ev.ctlTicksFrac,
+        ev.batchedFrac, static_cast<unsigned long long>(ev.batchRuns),
+        ref.mticksPerS, ref.wallS);
+    if (kernelThreads > 1) {
+        std::fprintf(f,
+                     "  \"parallel_kernel\": {\n"
+                     "    \"mticks_per_s\": %.3f,\n"
+                     "    \"wall_s\": %.4f\n"
+                     "  },\n"
+                     "  \"self_speedup\": %.3f,\n",
+                     par.mticksPerS, par.wallS, selfSpeedup);
+    }
+    std::fprintf(f,
+                 "  \"speedup_vs_reference\": %.3f,\n"
+                 "  \"metrics_bit_identical\": %s,\n"
+                 "  \"fairness_cache_roundtrip\": %s\n"
+                 "}\n",
+                 speedup, bitIdentical ? "true" : "false",
+                 fairnessRoundtrip ? "true" : "false");
     std::fclose(f);
     if (!bitIdentical)
         return 2;
@@ -363,6 +427,21 @@ main(int argc, char **argv)
                     speedup, baseSpeedup, floor,
                     speedup >= floor ? "ok" : "REGRESSION");
         if (speedup < floor)
+            return 4;
+    }
+    // The self-speedup clause arms only where parallel speedup is
+    // physically possible AND the floor is meaningful: an MT run
+    // checked against an MT baseline, with both this host and the
+    // baseline's stamped host multi-core (a 1-vCPU stamp records
+    // self_speedup < 1 and would make the floor vacuous).
+    if (kernelThreads > 1 && baseSelfSpeedup > 0.0 && hostHw >= 2 &&
+        baseHostHw >= 2.0) {
+        const double floor = 0.85 * baseSelfSpeedup;
+        std::printf("  self-speedup guard: measured %.2fx vs baseline "
+                    "%.2fx (floor %.2fx): %s\n",
+                    selfSpeedup, baseSelfSpeedup, floor,
+                    selfSpeedup >= floor ? "ok" : "REGRESSION");
+        if (selfSpeedup < floor)
             return 4;
     }
     return 0;

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark microbenchmark of the epoch-sharded kernel's
+ * synchronization skeleton: the per-epoch cost of one SpinBarrier
+ * crossing plus the double-buffered EpochStage exchange (core shard
+ * stages requests and merges completions, memory shards absorb
+ * requests and stage completions), stripped of all simulation work.
+ *
+ * Swept over shard counts {1, 2, 4, 8} and epoch lengths {8, 32, 128}
+ * ticks. The items/s rate is epochs per second; the sim_ticks_per_s
+ * counter converts that through the epoch length, showing directly
+ * how much simulated time one barrier crossing buys — the number to
+ * compare against the serial kernel's Mticks/s when judging whether a
+ * configuration can profit from sharding. Epoch length is a config
+ * property (the minimum crossbar latency in ticks), so the sweep maps
+ * the overhead for crossbars faster and slower than the baseline's 8.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "common/worker_pool.hh"
+#include "cpu/crossbar.hh"
+
+using namespace mcsim;
+
+namespace {
+
+struct StagedItem
+{
+    Tick at;
+    std::uint64_t payload;
+};
+
+/** Traffic volume per epoch per side: a handful of entries, like a
+ *  moderately loaded channel at baseline clocks. */
+constexpr std::size_t kItemsPerEpoch = 4;
+constexpr std::uint64_t kEpochsPerIteration = 256;
+
+void
+BM_EpochBarrier(benchmark::State &state)
+{
+    const unsigned shards = static_cast<unsigned>(state.range(0));
+    const std::uint64_t epochTicks =
+        static_cast<std::uint64_t>(state.range(1));
+
+    WorkerPool pool(shards);
+    SpinBarrier barrier(shards + 1);
+    EpochStage<StagedItem> reqStage;
+    std::vector<EpochStage<StagedItem>> complStage(shards);
+    std::uint64_t merged = 0;
+
+    for (auto _ : state) {
+        pool.run(shards + 1, [&](unsigned shard) {
+            Tick t{};
+            for (std::uint64_t e = 0; e < kEpochsPerIteration; ++e) {
+                const unsigned parity = static_cast<unsigned>(e & 1);
+                if (shard == 0) {
+                    reqStage.beginEpoch(parity);
+                    // Merge-side: drain every shard's previous-epoch
+                    // completions, as mergeStagedCompletions does.
+                    for (auto &cs : complStage) {
+                        for (const StagedItem &it :
+                             cs.readBuf(parity ^ 1u)) {
+                            merged += it.payload;
+                        }
+                    }
+                    for (std::size_t i = 0; i < kItemsPerEpoch; ++i)
+                        reqStage.push(parity, {t, e + i});
+                } else {
+                    auto &cs = complStage[shard - 1];
+                    cs.beginEpoch(parity);
+                    std::uint64_t absorbed = 0;
+                    for (const StagedItem &it :
+                         reqStage.readBuf(parity ^ 1u))
+                        absorbed += it.payload;
+                    for (std::size_t i = 0; i < kItemsPerEpoch; ++i)
+                        cs.push(parity, {t, absorbed + i});
+                }
+                t += TickSpan{epochTicks};
+                barrier.arriveAndWait();
+            }
+        });
+    }
+    benchmark::DoNotOptimize(merged);
+
+    const double epochs = static_cast<double>(state.iterations()) *
+                          static_cast<double>(kEpochsPerIteration);
+    state.SetItemsProcessed(static_cast<std::int64_t>(epochs));
+    state.counters["sim_ticks_per_s"] = benchmark::Counter(
+        epochs * static_cast<double>(epochTicks),
+        benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK(BM_EpochBarrier)
+    ->ArgNames({"shards", "epoch_ticks"})
+    ->ArgsProduct({{1, 2, 4, 8}, {8, 32, 128}})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+#include "worker_pool.hh"
+
+#include "log.hh"
+
+namespace mcsim {
+
+WorkerPool::WorkerPool(unsigned workers)
+{
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+        // detlint-allow(raw-thread): this pool IS the shared worker
+        // pool every other thread construction must route through.
+        threads_.emplace_back([this, i] { workerMain(i); });
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    wakeCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::run(unsigned parties, const std::function<void(unsigned)> &job)
+{
+    mc_assert(parties <= workers() + 1,
+              "WorkerPool::run asked for more parties than the pool "
+              "plus the caller can supply");
+    if (parties <= 1) {
+        if (parties == 1)
+            job(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = &job;
+        parties_ = parties;
+        running_ = parties - 1;
+        ++generation_;
+    }
+    wakeCv_.notify_all();
+    job(0);
+    std::unique_lock<std::mutex> lock(mu_);
+    doneCv_.wait(lock, [this] { return running_ == 0; });
+    job_ = nullptr;
+}
+
+void
+WorkerPool::workerMain(unsigned index)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        std::unique_lock<std::mutex> lock(mu_);
+        wakeCv_.wait(lock, [this, seen] {
+            return shutdown_ || generation_ != seen;
+        });
+        if (shutdown_)
+            return;
+        seen = generation_;
+        // Worker i serves party i+1; a dispatch narrower than the pool
+        // leaves the tail workers asleep until the next generation.
+        if (index + 1 >= parties_)
+            continue;
+        const auto *job = job_;
+        lock.unlock();
+        (*job)(index + 1);
+        lock.lock();
+        if (--running_ == 0) {
+            lock.unlock();
+            doneCv_.notify_all();
+        }
+    }
+}
+
+} // namespace mcsim

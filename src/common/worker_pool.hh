@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The shared worker pool and the epoch barrier: the only place in the
+ * simulator that may construct raw threads.
+ *
+ * Two layers of parallelism draw from one thread budget (see
+ * README "Thread-budget sharing"): the experiment sweep pool runs
+ * independent simulation points concurrently, and the epoch-sharded
+ * event kernel splits one simulation's shards across workers. Both
+ * route through WorkerPool so the budget arithmetic stays in one
+ * place and the determinism linter can pin thread construction to
+ * this file (rule `raw-thread`).
+ *
+ * WorkerPool is a dispatch pool: run(parties, job) executes
+ * job(0..parties-1) with job(0) on the calling thread and the rest on
+ * persistent workers, then blocks until all return. Dispatch costs a
+ * mutex/condvar round trip, so it is paid once per advance() window or
+ * sweep batch — the per-epoch synchronization inside the kernel uses
+ * the much cheaper SpinBarrier below.
+ *
+ * SpinBarrier is a sense-reversing barrier for the kernel's epoch
+ * loop: hundreds of thousands of crossings per simulated second, so
+ * arrival spins on an atomic generation counter before yielding. On a
+ * single-hardware-thread host spinning only burns the quantum the
+ * other parties need, so the spin budget collapses to zero there and
+ * every wait yields immediately.
+ */
+
+#ifndef CLOUDMC_COMMON_WORKER_POOL_HH
+#define CLOUDMC_COMMON_WORKER_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcsim {
+
+/**
+ * Sense-reversing spin barrier. All @p parties threads must call
+ * arriveAndWait() the same number of times; the last arrival of each
+ * generation releases the rest. Release/acquire ordering on the
+ * generation counter makes everything written before a thread's
+ * arrival visible to every thread after the crossing — the epoch
+ * kernel's staged-queue handoff relies on exactly that edge.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(unsigned parties)
+        : parties_(parties), spinLimit_(defaultSpinLimit())
+    {
+    }
+
+    SpinBarrier(unsigned parties, unsigned spinLimit)
+        : parties_(parties), spinLimit_(spinLimit)
+    {
+    }
+
+    void
+    arriveAndWait()
+    {
+        const std::uint32_t gen =
+            generation_.load(std::memory_order_relaxed);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            generation_.store(gen + 1, std::memory_order_release);
+            return;
+        }
+        unsigned spins = 0;
+        while (generation_.load(std::memory_order_acquire) == gen) {
+            if (++spins > spinLimit_)
+                std::this_thread::yield();
+        }
+    }
+
+    /** Spin budget before yielding: 0 when the host has a single
+     *  hardware thread (spinning there can only delay the release). */
+    static unsigned
+    defaultSpinLimit()
+    {
+        return std::thread::hardware_concurrency() > 1 ? 4096 : 0;
+    }
+
+  private:
+    std::atomic<std::uint32_t> generation_{0};
+    std::atomic<std::uint32_t> arrived_{0};
+    unsigned parties_;
+    unsigned spinLimit_;
+};
+
+/**
+ * Persistent worker pool with caller participation.
+ *
+ * Construction spawns @p workers threads that sleep until dispatched;
+ * destruction joins them. Not reentrant: one run() at a time, from one
+ * caller thread.
+ */
+class WorkerPool
+{
+  public:
+    explicit WorkerPool(unsigned workers);
+    ~WorkerPool();
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    unsigned
+    workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /**
+     * Execute job(0), job(1), ..., job(parties-1) concurrently: job(0)
+     * runs on the calling thread, jobs 1..parties-1 on pool workers.
+     * Requires parties <= workers() + 1. Returns when every job has;
+     * the completion wait gives the caller a happens-after edge over
+     * everything the jobs wrote.
+     */
+    void run(unsigned parties, const std::function<void(unsigned)> &job);
+
+  private:
+    void workerMain(unsigned index);
+
+    std::mutex mu_;
+    std::condition_variable wakeCv_; ///< Workers wait for a dispatch.
+    std::condition_variable doneCv_; ///< Caller waits for completion.
+    const std::function<void(unsigned)> *job_ = nullptr;
+    unsigned parties_ = 0;
+    std::uint64_t generation_ = 0;
+    unsigned running_ = 0;
+    bool shutdown_ = false;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace mcsim
+
+#endif // CLOUDMC_COMMON_WORKER_POOL_HH

@@ -79,7 +79,7 @@ MemController::deliverResponses(Tick now)
         ++stats_.perCoreReads[slot];
         stats_.perCoreLatencyTicks[slot] += latency;
         if (onComplete_)
-            onComplete_(req);
+            onComplete_(req, now);
     }
 }
 
@@ -271,7 +271,7 @@ MemController::serviceCas(Request *req, Tick now, Tick dataReadyAt)
         ++stats_.servedWrites;
         req->completedAt = now;
         if (onComplete_)
-            onComplete_(req);
+            onComplete_(req, now);
     } else {
         removeFromQueue(readQ_, req);
         stats_.readQueueLen.update(now, static_cast<double>(readQ_.size()));

@@ -105,7 +105,11 @@ struct MemControllerStats
 class MemController
 {
   public:
-    using CompletionFn = std::function<void(Request *)>;
+    /** Completion callback: the finished request plus the tick the
+     *  controller completed it at (== the tick() argument). The
+     *  explicit tick lets the epoch-sharded kernel stage completions
+     *  from a shard thread without reading the system clock. */
+    using CompletionFn = std::function<void(Request *, Tick)>;
 
     MemController(Channel &channel, std::unique_ptr<Scheduler> scheduler,
                   std::unique_ptr<PagePolicy> pagePolicy,

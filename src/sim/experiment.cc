@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "common/worker_pool.hh"
 #include "system.hh"
 
 namespace mcsim {
@@ -459,13 +460,16 @@ ExperimentRunner::appendToCache(const std::string &key, const MetricSet &m)
 
 MetricSet
 ExperimentRunner::simulate(WorkloadId workload, const SimConfig &cfg,
-                           std::uint32_t presetCores)
+                           std::uint32_t presetCores,
+                           std::uint32_t kernelThreads)
 {
     SimConfig effective = cfg;
     const std::uint64_t divisor = fastDivisor();
     effective.warmupCoreCycles = cfg.warmupCoreCycles / divisor;
     effective.measureCoreCycles =
         std::max<std::uint64_t>(cfg.measureCoreCycles / divisor, 100'000);
+    if (kernelThreads)
+        effective.kernelThreads = kernelThreads;
 
     WorkloadParams params = workloadPreset(workload);
     if (presetCores)
@@ -475,22 +479,38 @@ ExperimentRunner::simulate(WorkloadId workload, const SimConfig &cfg,
 }
 
 MetricSet
-ExperimentRunner::simulatePoint(const Point &p)
+ExperimentRunner::simulatePoint(const Point &p, std::uint32_t kernelThreads)
 {
     if (!p.makeGenerator)
-        return simulate(p.workload, p.cfg, p.presetCores);
+        return simulate(p.workload, p.cfg, p.presetCores, kernelThreads);
 
     SimConfig effective = p.cfg;
     const std::uint64_t divisor = fastDivisor();
     effective.warmupCoreCycles = p.cfg.warmupCoreCycles / divisor;
     effective.measureCoreCycles = std::max<std::uint64_t>(
         p.cfg.measureCoreCycles / divisor, 100'000);
+    if (kernelThreads)
+        effective.kernelThreads = kernelThreads;
 
     const auto generator = p.makeGenerator();
     mc_assert(generator && p.customCores >= 1,
               "custom experiment point needs a generator and cores");
     System system(effective, *generator, p.customCores);
     return system.run();
+}
+
+ExperimentRunner::ThreadSplit
+ExperimentRunner::planThreadSplit(std::size_t jobs, unsigned threads)
+{
+    if (threads <= 1 || jobs == 0)
+        return {1, 1};
+    if (jobs >= threads)
+        return {threads, 1};
+    // Fewer points than threads: run every point concurrently and
+    // hand each the same share of the leftover budget. The product
+    // sweepWorkers * shardThreads never exceeds the budget.
+    const unsigned sweep = static_cast<unsigned>(jobs);
+    return {sweep, threads / sweep};
 }
 
 void
@@ -664,6 +684,11 @@ ExperimentRunner::runAll(const std::vector<Point> &points, unsigned threads)
     }
 
     if (!jobs.empty()) {
+        // One budget feeds both parallelism layers: sweep workers
+        // here, epoch shards inside each simulation. The split keeps
+        // their product within `threads` so the batch never runs more
+        // runnable threads than the caller budgeted for.
+        const ThreadSplit split = planThreadSplit(jobs.size(), threads);
         std::vector<MetricSet> jobResults(jobs.size());
         std::atomic<std::size_t> next{0};
         auto workerLoop = [&]() {
@@ -673,7 +698,7 @@ ExperimentRunner::runAll(const std::vector<Point> &points, unsigned threads)
                 if (j >= jobs.size())
                     return;
                 const Point &p = *work[jobs[j].workIdx].point;
-                const MetricSet m = simulatePoint(p);
+                const MetricSet m = simulatePoint(p, split.shardThreads);
                 jobResults[j] = m;
 
                 std::lock_guard<std::mutex> lock(mu_);
@@ -686,18 +711,12 @@ ExperimentRunner::runAll(const std::vector<Point> &points, unsigned threads)
             }
         };
 
-        const unsigned workers =
-            static_cast<unsigned>(std::min<std::size_t>(
-                threads >= 1 ? threads : 1, jobs.size()));
-        if (workers <= 1) {
+        if (split.sweepWorkers <= 1) {
             workerLoop();
         } else {
-            std::vector<std::thread> pool;
-            pool.reserve(workers);
-            for (unsigned t = 0; t < workers; ++t)
-                pool.emplace_back(workerLoop);
-            for (auto &th : pool)
-                th.join();
+            WorkerPool pool(split.sweepWorkers - 1);
+            pool.run(split.sweepWorkers,
+                     [&](unsigned) { workerLoop(); });
         }
 
         for (std::size_t i = 0; i < work.size(); ++i) {

@@ -8,6 +8,11 @@
  * tick-by-tick reference loop, asserting bit-identical metrics and
  * exact per-channel command-trace equality.
  *
+ * Each configuration additionally runs the epoch-sharded parallel
+ * kernel at thread budgets {2, 4, 7}; metrics and command traces must
+ * equal the serial event kernel (and hence the reference) at every
+ * thread count — the epoch/barrier contract in the README.
+ *
  * A failing configuration is printed as a reproducible spec string:
  * paste it into a file and run `example_run_experiment --config` (or
  * re-run this suite with CLOUDMC_FUZZ_SEED) to replay the exact point.
@@ -17,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -65,7 +71,8 @@ struct FuzzConfig
             << "workload = " << workloadAcronym(workload) << '\n'
             << "refresh = " << (refresh ? "on" : "off") << '\n'
             << "warmup = " << cfg.warmupCoreCycles << '\n'
-            << "measure = " << cfg.measureCoreCycles << '\n';
+            << "measure = " << cfg.measureCoreCycles << '\n'
+            << "kernel_threads = " << cfg.kernelThreads << '\n';
         return out.str();
     }
 };
@@ -126,21 +133,57 @@ struct RunResult
 };
 
 RunResult
-runKernel(const FuzzConfig &f, bool reference)
+runKernel(const FuzzConfig &f, bool reference,
+          std::uint32_t kernelThreads = 1)
 {
-    System sys(f.cfg, workloadPreset(f.workload));
+    SimConfig cfg = f.cfg;
+    cfg.kernelThreads = kernelThreads;
+    System sys(cfg, workloadPreset(f.workload));
     sys.useReferenceKernel(reference);
     RunResult r;
+    // Capture per channel: command hooks fire on the owning shard's
+    // thread under the parallel kernel, so a shared vector would race.
+    std::vector<std::vector<TraceEntry>> perCh(sys.numControllers());
     for (std::uint32_t ch = 0; ch < sys.numControllers(); ++ch) {
         sys.controller(ch).channel().setCommandHook(
-            [&r, ch](const DramCommand &cmd, Tick now) {
-                r.trace.push_back({ch, cmd.type, cmd.rank, cmd.bank,
-                                   cmd.row, cmd.column, now});
+            [&perCh, ch](const DramCommand &cmd, Tick now) {
+                perCh[ch].push_back({ch, cmd.type, cmd.rank, cmd.bank,
+                                     cmd.row, cmd.column, now});
             });
     }
     r.metrics = sys.run();
     r.endTick = sys.now();
+    // Merge by (tick, channel). The serial kernels' interleaved issue
+    // order is exactly this sort: controllers tick in channel-index
+    // order and issue at most one command per tick, so the merge is a
+    // kernel-independent canonical form.
+    for (const auto &v : perCh)
+        r.trace.insert(r.trace.end(), v.begin(), v.end());
+    std::stable_sort(r.trace.begin(), r.trace.end(),
+                     [](const TraceEntry &a, const TraceEntry &b) {
+                         return a.tick != b.tick ? a.tick < b.tick
+                                                 : a.channel < b.channel;
+                     });
     return r;
+}
+
+/** Exact command-trace equality with a pinpointed first divergence. */
+void
+expectTracesIdentical(const RunResult &got, const RunResult &want,
+                      const char *gotName, const char *wantName)
+{
+    ASSERT_EQ(got.trace.size(), want.trace.size())
+        << "command counts diverge (" << gotName << " vs " << wantName
+        << ")";
+    for (std::size_t i = 0; i < got.trace.size(); ++i) {
+        ASSERT_TRUE(got.trace[i] == want.trace[i])
+            << "command " << i << " diverges: " << gotName << " issued "
+            << dramCommandName(got.trace[i].type) << "@ch"
+            << got.trace[i].channel << " tick " << got.trace[i].tick
+            << ", " << wantName << " issued "
+            << dramCommandName(want.trace[i].type) << "@ch"
+            << want.trace[i].channel << " tick " << want.trace[i].tick;
+    }
 }
 
 /** Every metric must match to the last bit, not approximately. */
@@ -188,21 +231,25 @@ TEST_P(KernelFuzz, EventAndReferenceKernelsAgreeOnRandomConfig)
     expectMetricsIdentical(ev.metrics, ref.metrics);
     EXPECT_EQ(ev.endTick, ref.endTick);
 
-    // Exact command-trace equality, all channels interleaved in issue
-    // order: a kernel that skipped a refresh deadline, latch delivery
-    // or group-timing boundary shifts this sequence.
-    ASSERT_EQ(ev.trace.size(), ref.trace.size())
-        << "command counts diverge";
-    for (std::size_t i = 0; i < ev.trace.size(); ++i) {
-        ASSERT_TRUE(ev.trace[i] == ref.trace[i])
-            << "command " << i << " diverges: event kernel issued "
-            << dramCommandName(ev.trace[i].type) << "@ch"
-            << ev.trace[i].channel << " tick " << ev.trace[i].tick
-            << ", reference issued "
-            << dramCommandName(ref.trace[i].type) << "@ch"
-            << ref.trace[i].channel << " tick " << ref.trace[i].tick;
-    }
+    // Exact command-trace equality: a kernel that skipped a refresh
+    // deadline, latch delivery or group-timing boundary shifts this
+    // sequence.
+    expectTracesIdentical(ev, ref, "event kernel", "reference");
     EXPECT_FALSE(ev.trace.empty()) << "run issued no DRAM commands";
+
+    // The epoch-sharded parallel kernel must reproduce the serial
+    // event kernel bit for bit at every thread budget (IO-enabled
+    // workloads exercise the documented serial fallback).
+    for (const std::uint32_t threads : {2u, 4u, 7u}) {
+        FuzzConfig fp = f;
+        fp.cfg.kernelThreads = threads;
+        SCOPED_TRACE("with kernel_threads = " + std::to_string(threads) +
+                     "; reproduce with --config spec:\n" + fp.specString());
+        const RunResult par = runKernel(f, /*reference=*/false, threads);
+        expectMetricsIdentical(par.metrics, ev.metrics);
+        EXPECT_EQ(par.endTick, ev.endTick);
+        expectTracesIdentical(par, ev, "parallel kernel", "serial event");
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(SixtyFourSeededConfigs, KernelFuzz,

@@ -29,7 +29,7 @@ struct Harness
           mc(channel, makeScheduler(sched, 16), makePagePolicy(policy), 16)
     {
         mc.setCompletionCallback(
-            [this](Request *req) { completed.push_back(*req); });
+            [this](Request *req, Tick) { completed.push_back(*req); });
     }
 
     static DramGeometry

@@ -25,6 +25,13 @@
  *    family. All simulation randomness must flow through the seeded
  *    Pcg32 so runs replay exactly.
  *
+ *  - raw-thread: std::thread construction/storage outside
+ *    common/worker_pool.*. All parallelism — the sweep pool and the
+ *    epoch-sharded kernel alike — draws from one budgeted WorkerPool;
+ *    ad-hoc threads bypass the budget and the determinism argument.
+ *    std::thread::hardware_concurrency() (a pure host query) stays
+ *    legal. Suppressions need a detlint-allow(raw-thread) reason.
+ *
  *  - raw-tick: a std::uint64_t variable whose name says it holds
  *    ticks. Time in the core is strongly typed (Tick/TickSpan and the
  *    per-domain cycle types in common/types.hh); a raw integer named
@@ -226,6 +233,15 @@ class Linter
                       code,
                       "raw integer holding tick values; use "
                       "Tick/TickSpan so the clock-domain checks apply");
+            // std::thread::hardware_concurrency() is a pure query and
+            // stays legal: the lookahead rejects only construction-
+            // capable uses (the bare type), not its static members.
+            checkRule(path, lines, i, "raw-thread",
+                      std::regex("\\bstd\\s*::\\s*thread\\b(?!\\s*::)"),
+                      code,
+                      "raw std::thread outside the shared worker pool; "
+                      "route parallelism through WorkerPool so the "
+                      "sweep/shard thread budget stays enforceable");
         }
         // Ignore #include lines for unordered-iter: pulling the header
         // in is fine, declaring the container is what needs the proof.
@@ -241,6 +257,12 @@ class Linter
             return;
         if (rule == "unordered-iter" &&
             code.find("#include") != std::string::npos)
+            return;
+        // The worker pool is the one sanctioned thread owner: every
+        // other site must either go through it or carry an allow
+        // annotation with a reason.
+        if (rule == "raw-thread" &&
+            path.filename().string().rfind("worker_pool.", 0) == 0)
             return;
         const int here = allowState(lines[i], rule);
         const int above = i > 0 ? allowState(lines[i - 1], rule) : 0;
