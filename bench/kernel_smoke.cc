@@ -17,7 +17,9 @@
  * parallel/serial event-kernel ratio on this host).
  *
  * The smoke also cross-checks that every kernel produces bit-identical
- * metrics, the event kernel's core contract.
+ * metrics, the event kernel's core contract, and that the fairness
+ * (schema v4) and stacked-backend (schema v6) MetricSet fields survive
+ * a results-cache round-trip.
  *
  * Usage: kernel_smoke [--cycles N] [--workload ACR] [--device DEV]
  *                     [--channels N] [--kernel-threads N]
@@ -209,6 +211,56 @@ fairnessCacheRoundtrips(WorkloadId wl, const DramDevice &dev,
 }
 
 /**
+ * Schema-v6 round-trip check: the stacked-backend MetricSet fields
+ * (per-vault read-queue depths, the vault queue imbalance, and the
+ * remap migration counters) must survive the results cache. Runs one
+ * tiny stacked point (4 vaults, remapping on) against a scratch
+ * cache, reloads it with a fresh runner, and compares.
+ */
+bool
+stackedCacheRoundtrips(WorkloadId wl, const std::string &cachePath)
+{
+    std::remove(cachePath.c_str());
+    SimConfig cfg = SimConfig::baseline();
+    cfg.applyDevice(dramDeviceOrDie("HMC2-8GB"));
+    cfg.setVaults(4);
+    cfg.remap.enabled = true;
+    cfg.remap.windowAccesses = 256;
+    cfg.warmupCoreCycles = 50'000;
+    cfg.measureCoreCycles = 150'000;
+    ExperimentRunner::Point p(wl, cfg);
+
+    MetricSet fresh, cached;
+    std::uint64_t rerunSims = 0;
+    {
+        ExperimentRunner runner(cachePath);
+        fresh = runner.runAll({p}, 1).front();
+    }
+    {
+        ExperimentRunner runner(cachePath);
+        cached = runner.runAll({p}, 1).front();
+        rerunSims = runner.simulationsRun();
+    }
+    std::remove(cachePath.c_str());
+
+    const auto close = [](double a, double b) {
+        return std::fabs(a - b) <= 1e-5 * (std::fabs(b) + 1.0);
+    };
+    bool ok = rerunSims == 0 && fresh.perVaultReadQueue.size() == 4 &&
+              cached.perVaultReadQueue.size() == 4 &&
+              cached.remapMigrations == fresh.remapMigrations &&
+              cached.remapMigratedRows == fresh.remapMigratedRows &&
+              close(cached.vaultQueueImbalance,
+                    fresh.vaultQueueImbalance);
+    for (std::size_t i = 0; ok && i < fresh.perVaultReadQueue.size();
+         ++i) {
+        ok = close(cached.perVaultReadQueue[i],
+                   fresh.perVaultReadQueue[i]);
+    }
+    return ok;
+}
+
+/**
  * Commit fingerprint for the perf trajectory. Resolution chain (see
  * the file comment): CLOUDMC_GIT_SHA env, GITHUB_SHA env, a live
  * `git rev-parse HEAD`, the configure-time SHA baked in by CMake,
@@ -337,6 +389,8 @@ main(int argc, char **argv)
     }
     const bool fairnessRoundtrip =
         fairnessCacheRoundtrips(wl, dev, jsonPath + ".cache.tmp.csv");
+    const bool stackedRoundtrip =
+        stackedCacheRoundtrips(wl, jsonPath + ".cache.tmp.csv");
 
     std::printf("kernel_smoke: fig01 config, workload %s, device %s, "
                 "%u channel(s), %llu measured core cycles\n",
@@ -358,6 +412,8 @@ main(int argc, char **argv)
                 bitIdentical ? "yes" : "NO");
     std::printf("  fairness fields survive cache round-trip: %s\n",
                 fairnessRoundtrip ? "yes" : "NO");
+    std::printf("  stacked fields survive cache round-trip: %s\n",
+                stackedRoundtrip ? "yes" : "NO");
 
     const ClockDomains &clk = ev.clk;
     std::FILE *f = std::fopen(jsonPath.c_str(), "w");
@@ -411,15 +467,19 @@ main(int argc, char **argv)
     std::fprintf(f,
                  "  \"speedup_vs_reference\": %.3f,\n"
                  "  \"metrics_bit_identical\": %s,\n"
-                 "  \"fairness_cache_roundtrip\": %s\n"
+                 "  \"fairness_cache_roundtrip\": %s,\n"
+                 "  \"stacked_cache_roundtrip\": %s\n"
                  "}\n",
                  speedup, bitIdentical ? "true" : "false",
-                 fairnessRoundtrip ? "true" : "false");
+                 fairnessRoundtrip ? "true" : "false",
+                 stackedRoundtrip ? "true" : "false");
     std::fclose(f);
     if (!bitIdentical)
         return 2;
     if (!fairnessRoundtrip)
         return 3;
+    if (!stackedRoundtrip)
+        return 5;
     if (baseSpeedup > 0.0) {
         const double floor = 0.85 * baseSpeedup;
         std::printf("  regression guard: measured %.2fx vs baseline "

@@ -163,7 +163,10 @@ Channel::issue(const DramCommand &cmd, Tick now)
         onCas(now);
         stats_.dataBusBusyTicks += ticksBurst();
         ++stats_.reads;
-        res.dataReadyAt = dataStart + ticksBurst();
+        // Stacked parts add the vault-to-logic-layer TSV crossing on
+        // the data return; tTSV = 0 (flat JEDEC parts) is a no-op. The
+        // vault-local data bus frees at the burst end regardless.
+        res.dataReadyAt = dataStart + ticksBurst() + dct(tm_.tTSV);
         break;
       }
 

@@ -243,6 +243,49 @@ buildRegistry()
         out.push_back(std::move(d));
     }
 
+    { // HMC2-like stack: 16 vaults x 8 banks, 8 GiB, tCK = 0.8 ns.
+        DramDevice d;
+        d.name = "HMC2-8GB";
+        d.dataRateMtps = 2500;
+        d.busMhz = 1250;
+        d.timings.tCAS = 14;   // 11.2 ns vault DRAM access.
+        d.timings.tRCD = 14;   // 11.2 ns
+        d.timings.tRP = 14;    // 11.2 ns
+        d.timings.tRAS = 27;   // 21.6 ns
+        d.timings.tRC = 42;    // 33.6 ns
+        d.timings.tWR = 19;    // 15 ns
+        d.timings.tWTR = 4;    // Short vault-local turnaround.
+        d.timings.tWTRL = 4;   // No bank groups: _L == _S.
+        d.timings.tRTP = 8;
+        d.timings.tRRD = 4;
+        d.timings.tRRDL = 4;
+        d.timings.tFAW = 16;   // Small per-vault arrays relax tFAW.
+        d.timings.tCWL = 10;
+        d.timings.tBURST = 4;  // 32 B vault payload on a fast TSV bus.
+        d.timings.tCCD = 4;
+        d.timings.tCCDL = 4;
+        d.timings.tRTW = 10;   // 14 + 4 - 10 + 2
+        d.timings.tREFI = 9750; // 7.8 us
+        d.timings.tRFC = 325;   // 260 ns
+        d.timings.tTSV = 3;     // Vault-to-logic-layer data return.
+        d.geometry = ddr3Geom;
+        d.geometry.ranksPerChannel = 1;     // One rank of banks per vault.
+        d.geometry.banksPerRank = 8;        // Banks per vault.
+        d.geometry.vaultsPerStack = 16;
+        d.geometry.rowsPerBank = 1u << 18;
+        d.geometry.rowBufferBytes = 256;    // Small stacked-DRAM pages.
+        d.power.vdd = 1.2;
+        d.power.idd0 = 45.0;
+        d.power.idd2n = 25.0;
+        d.power.idd3n = 30.0;
+        d.power.idd4r = 120.0;
+        d.power.idd4w = 125.0;
+        d.power.idd5b = 150.0;
+        d.source = "representative HMC2-like stack (vault timings "
+                   "modeled after HMC Gen2 literature, not a JEDEC bin)";
+        out.push_back(std::move(d));
+    }
+
     return out;
 }
 

@@ -60,6 +60,11 @@ struct DramTimings
     bool perBankRefresh = false;
     std::uint32_t tRFCpb = 0; ///< Per-bank refresh cycle time.
 
+    /** Stacked devices only: TSV/return-path crossing from the vault
+     *  to the logic layer, charged on read data return. 0 (flat
+     *  devices) reproduces the JEDEC model exactly. */
+    std::uint32_t tTSV = 0;
+
     /** The paper's DDR3-1600 configuration (Table 2). */
     static DramTimings ddr3_1600() { return DramTimings{}; }
 };
@@ -94,6 +99,14 @@ struct DramGeometry
     std::uint64_t rowsPerBank = 1u << 16; ///< 64 K rows => 16 GB @ 1ch.
     std::uint32_t rowBufferBytes = 8192;  ///< 8 KB row buffer.
     std::uint32_t blockBytes = 64;        ///< Cache block / burst payload.
+    /**
+     * Stacked (HMC-style) devices: vaults per stack, 0 for flat JEDEC
+     * parts. When nonzero, `channels` counts stacks and the per-"rank"
+     * bank/row fields describe ONE vault, so capacity scales by the
+     * vault count and the stacked backend builds channels *
+     * vaultsPerStack controller queues (one per vault).
+     */
+    std::uint32_t vaultsPerStack = 0;
 
     /** Cache blocks per row (columns at block granularity). */
     std::uint32_t
@@ -116,12 +129,13 @@ struct DramGeometry
         return bank / banksPerGroup();
     }
 
-    /** Total addressable bytes across all channels. */
+    /** Total addressable bytes across all channels (and vaults). */
     std::uint64_t
     capacityBytes() const
     {
         return static_cast<std::uint64_t>(channels) * ranksPerChannel *
-               banksPerRank * rowsPerBank * rowBufferBytes;
+               banksPerRank * rowsPerBank * rowBufferBytes *
+               (vaultsPerStack ? vaultsPerStack : 1);
     }
 
     /** Validate power-of-two-ness; fatal on user error. */
@@ -137,6 +151,8 @@ struct DramGeometry
                   "bank groups must be a power of two dividing the banks");
         mc_assert(rowBufferBytes >= blockBytes,
                   "row buffer smaller than a block");
+        mc_assert(vaultsPerStack == 0 || isPowerOf2(vaultsPerStack),
+                  "vault count must be zero (flat) or a power of two");
     }
 };
 

@@ -1,0 +1,431 @@
+#include "backend.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "address_mapping.hh"
+#include "common/log.hh"
+#include "dram/dram_system.hh"
+#include "dram/energy.hh"
+#include "factory.hh"
+#include "sim/metrics.hh"
+#include "sim/sim_config.hh"
+
+namespace mcsim {
+
+const char *
+memBackendKindName(MemBackendKind k)
+{
+    switch (k) {
+      case MemBackendKind::FlatDram:
+        return "flat";
+      case MemBackendKind::StackedDram:
+        return "stacked";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * The flat JEDEC backend: the paper's memory system. One DramSystem
+ * channel per queue, one MemController in front of each, the scheme's
+ * AddressMapper doing the routing. Statistics collection reproduces
+ * the pre-backend System::collect() arithmetic bit for bit.
+ */
+class FlatDramBackend final : public MemBackend
+{
+  public:
+    FlatDramBackend(const SimConfig &cfg, std::uint32_t numCores)
+        : power_(cfg.power), timings_(cfg.timings), clk_(cfg.clocks),
+          ranksPerChannel_(cfg.dram.ranksPerChannel),
+          banksPerRank_(cfg.dram.banksPerRank),
+          mapper_(cfg.dram, cfg.mapping, cfg.bankGroupMapping),
+          dram_(cfg.dram, cfg.timings, cfg.refreshEnabled, cfg.clocks)
+    {
+        for (std::uint32_t ch = 0; ch < dram_.numChannels(); ++ch) {
+            controllers_.push_back(std::make_unique<MemController>(
+                dram_.channel(ch),
+                makeScheduler(cfg.scheduler, numCores, cfg.schedulerParams,
+                              cfg.clocks, cfg.timings),
+                makePagePolicy(cfg.pagePolicy, cfg.clocks), numCores,
+                cfg.controller));
+        }
+    }
+
+    MemBackendKind kind() const override { return MemBackendKind::FlatDram; }
+
+    std::uint32_t
+    numQueues() const override
+    {
+        return static_cast<std::uint32_t>(controllers_.size());
+    }
+
+    MemController &queue(std::uint32_t i) override { return *controllers_[i]; }
+
+    void
+    route(Request &req, Tick) override
+    {
+        req.coord = mapper_.decode(req.addr);
+    }
+
+    std::uint64_t
+    capacityBytes() const override
+    {
+        return dram_.geometry().capacityBytes();
+    }
+
+    void
+    resetStats(Tick now) override
+    {
+        for (auto &mc : controllers_)
+            mc->resetStats(now);
+    }
+
+    double
+    busUtilization(Tick now) const override
+    {
+        return dram_.busUtilization(now);
+    }
+
+    void
+    collect(MetricSet &m, Tick now) const override
+    {
+        m.bwUtilPct = 100.0 * dram_.busUtilization(now);
+
+        const DramEnergyModel energyModel(power_, timings_,
+                                          ranksPerChannel_, banksPerRank_,
+                                          clk_);
+        // Every channel's stats window starts at the same resetStats()
+        // tick, so the elapsed time is one number, not per-controller.
+        const double elapsedNs =
+            controllers_.empty()
+                ? 0.0
+                : clk_.ticksToNs(
+                      now -
+                      controllers_.front()->channel().stats().statsStartTick);
+        for (const auto &mc : controllers_) {
+            m.dramEnergyNj +=
+                energyModel.estimate(mc->channel().stats(), now).totalNj();
+        }
+        m.dramAvgPowerMw =
+            elapsedNs > 0.0 ? m.dramEnergyNj * 1e3 / elapsedNs : 0.0;
+    }
+
+  private:
+    DramPowerParams power_;
+    DramTimings timings_;
+    ClockDomains clk_;
+    std::uint32_t ranksPerChannel_;
+    std::uint32_t banksPerRank_;
+    AddressMapper mapper_;
+    DramSystem dram_;
+    std::vector<std::unique_ptr<MemController>> controllers_;
+};
+
+/**
+ * Per-stack dynamic remapping table: a permutation over the stack's
+ * vaults x banks logical slots, driven by per-slot access counters.
+ * Everything is an ordered std::vector walked by index with
+ * lowest-index tie-breaks, so decisions are deterministic; mutation
+ * happens only inside recordAccess(), i.e. on the route() path.
+ */
+class VaultRemapper
+{
+  public:
+    VaultRemapper(std::uint32_t vaults, std::uint32_t banks,
+                  const RemapConfig &cfg, TickSpan migrationTicks)
+        : vaults_(vaults), banks_(banks), cfg_(cfg),
+          migrationTicks_(migrationTicks),
+          logToPhys_(static_cast<std::size_t>(vaults) * banks),
+          counts_(logToPhys_.size(), 0), busyUntil_(logToPhys_.size())
+    {
+        std::iota(logToPhys_.begin(), logToPhys_.end(), 0u);
+        windowLeft_ = cfg_.windowAccesses;
+    }
+
+    /** Count an access to a logical slot; at each window boundary,
+     *  consider one hot-to-cold bank swap. */
+    void
+    recordAccess(std::uint32_t logicalSlot, Tick now)
+    {
+        ++counts_[logicalSlot];
+        if (cfg_.windowAccesses == 0 || --windowLeft_ > 0)
+            return;
+        windowLeft_ = cfg_.windowAccesses;
+        maybeMigrate(now);
+    }
+
+    std::uint32_t
+    physSlot(std::uint32_t logicalSlot) const
+    {
+        return logToPhys_[logicalSlot];
+    }
+
+    Tick busyUntil(std::uint32_t phys) const { return busyUntil_[phys]; }
+
+    std::uint64_t migrations() const { return migrations_; }
+    std::uint64_t migratedRows() const { return migratedRows_; }
+
+    /** Window stats reset: the learned table (and its counters, which
+     *  keep learning across the warmup/measure boundary) persist. */
+    void
+    resetStats()
+    {
+        migrations_ = 0;
+        migratedRows_ = 0;
+    }
+
+  private:
+    void
+    maybeMigrate(Tick now)
+    {
+        // Physical-vault load: sum each logical slot's count into the
+        // vault its physical slot lives in.
+        std::vector<std::uint64_t> load(vaults_, 0);
+        for (std::size_t l = 0; l < logToPhys_.size(); ++l)
+            load[logToPhys_[l] / banks_] += counts_[l];
+        std::uint32_t hot = 0, cold = 0;
+        for (std::uint32_t v = 1; v < vaults_; ++v) {
+            if (load[v] > load[hot])
+                hot = v; // Strict '>': lowest index wins ties.
+            if (load[v] < load[cold])
+                cold = v;
+        }
+        if (hot == cold ||
+            static_cast<double>(load[hot]) <=
+                cfg_.hotFactor *
+                    static_cast<double>(std::max<std::uint64_t>(load[cold],
+                                                                1))) {
+            return;
+        }
+        // Hottest logical slot currently in the hot vault, coldest in
+        // the cold vault (again lowest-index tie-breaks).
+        std::size_t lHot = logToPhys_.size(), lCold = logToPhys_.size();
+        for (std::size_t l = 0; l < logToPhys_.size(); ++l) {
+            const std::uint32_t pv = logToPhys_[l] / banks_;
+            if (pv == hot &&
+                (lHot == logToPhys_.size() || counts_[l] > counts_[lHot]))
+                lHot = l;
+            if (pv == cold &&
+                (lCold == logToPhys_.size() || counts_[l] < counts_[lCold]))
+                lCold = l;
+        }
+        if (lHot == logToPhys_.size() || lCold == logToPhys_.size())
+            return;
+        std::swap(logToPhys_[lHot], logToPhys_[lCold]);
+        const Tick doneAt = now + migrationTicks_;
+        busyUntil_[logToPhys_[lHot]] = doneAt;
+        busyUntil_[logToPhys_[lCold]] = doneAt;
+        ++migrations_;
+        migratedRows_ += 2ull * cfg_.migrationRows; // Both directions.
+        // Decay so old phases do not pin the table forever.
+        for (auto &c : counts_)
+            c >>= 1;
+    }
+
+    std::uint32_t vaults_;
+    std::uint32_t banks_;
+    RemapConfig cfg_;
+    TickSpan migrationTicks_;
+    std::vector<std::uint32_t> logToPhys_; ///< logical slot -> physical slot.
+    std::vector<std::uint64_t> counts_;    ///< Accesses per logical slot.
+    std::vector<Tick> busyUntil_;          ///< Migration gate per phys slot.
+    std::uint32_t windowLeft_ = 0;
+    std::uint64_t migrations_ = 0;
+    std::uint64_t migratedRows_ = 0;
+};
+
+/**
+ * HMC-style stacked DRAM: cfg.dram.channels stacks, each with
+ * geometry.vaultsPerStack vaults of banksPerRank banks. Every vault
+ * is its own single-channel Channel (so the vault-local command/data
+ * buses and refresh are modeled independently) with a MemController
+ * queue in front; the global queue index is stack * vaults + vault,
+ * which is what coord.channel carries, so the event kernel's routing
+ * and the parallel kernel's per-channel sharding decompose per vault
+ * group with no kernel changes. The TSV return-path crossing is the
+ * device's tTSV timing, charged by the Channel on read data return.
+ *
+ * Static routing comes from an AddressMapper over the flattened
+ * geometry (stacks * vaults "channels" of one rank), i.e. the
+ * vault-interleave the mapping scheme implies. With remapping enabled
+ * a per-stack VaultRemapper permutes (vault, bank) slots under it.
+ */
+class StackedDramBackend final : public MemBackend
+{
+  public:
+    StackedDramBackend(const SimConfig &cfg, std::uint32_t numCores)
+        : power_(cfg.power), timings_(cfg.timings), clk_(cfg.clocks),
+          stacks_(cfg.dram.channels), vaults_(cfg.dram.vaultsPerStack),
+          banks_(cfg.dram.banksPerRank), remapCfg_(cfg.remap),
+          mapper_(flattenedGeometry(cfg.dram), cfg.mapping,
+                  cfg.bankGroupMapping)
+    {
+        mc_assert(vaults_ > 0,
+                  "stacked backend needs geometry.vaultsPerStack > 0");
+        mc_assert(cfg.dram.ranksPerChannel == 1,
+                  "stacked backend models one rank per vault");
+        DramGeometry vaultGeom = cfg.dram;
+        vaultGeom.channels = 1;
+        vaultGeom.vaultsPerStack = 0; // One vault's worth of banks.
+        vaultGeom.validate();
+        const TickSpan migrationTicks = clk_.dramToTicks(
+            static_cast<std::uint64_t>(cfg.remap.migrationRows) *
+            cfg.remap.migrationCyclesPerRow);
+        for (std::uint32_t s = 0; s < stacks_; ++s)
+            remappers_.emplace_back(vaults_, banks_, cfg.remap,
+                                    migrationTicks);
+        for (std::uint32_t q = 0; q < stacks_ * vaults_; ++q) {
+            channels_.push_back(std::make_unique<Channel>(
+                vaultGeom, cfg.timings, cfg.refreshEnabled, cfg.clocks));
+            controllers_.push_back(std::make_unique<MemController>(
+                *channels_.back(),
+                makeScheduler(cfg.scheduler, numCores, cfg.schedulerParams,
+                              cfg.clocks, cfg.timings),
+                makePagePolicy(cfg.pagePolicy, cfg.clocks), numCores,
+                cfg.controller));
+        }
+    }
+
+    MemBackendKind
+    kind() const override
+    {
+        return MemBackendKind::StackedDram;
+    }
+
+    std::uint32_t
+    numQueues() const override
+    {
+        return static_cast<std::uint32_t>(controllers_.size());
+    }
+
+    MemController &queue(std::uint32_t i) override { return *controllers_[i]; }
+
+    void
+    route(Request &req, Tick now) override
+    {
+        req.coord = mapper_.decode(req.addr);
+        const std::uint32_t stack = req.coord.channel / vaults_;
+        std::uint32_t vault = req.coord.channel % vaults_;
+        std::uint32_t bank = req.coord.bank;
+        if (remapCfg_.enabled) {
+            VaultRemapper &rm = remappers_[stack];
+            const std::uint32_t logicalSlot = vault * banks_ + bank;
+            rm.recordAccess(logicalSlot, now);
+            const std::uint32_t phys = rm.physSlot(logicalSlot);
+            vault = phys / banks_;
+            bank = phys % banks_;
+            const Tick busy = rm.busyUntil(phys);
+            if (busy > req.availableAt)
+                req.availableAt = busy;
+        }
+        req.coord.channel = stack * vaults_ + vault;
+        req.coord.bank = bank;
+        req.coord.rank = 0;
+    }
+
+    std::uint64_t
+    capacityBytes() const override
+    {
+        return mapper_.geometry().capacityBytes();
+    }
+
+    void
+    resetStats(Tick now) override
+    {
+        for (auto &mc : controllers_)
+            mc->resetStats(now);
+        for (auto &rm : remappers_)
+            rm.resetStats();
+    }
+
+    double
+    busUtilization(Tick now) const override
+    {
+        if (channels_.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (const auto &ch : channels_)
+            sum += ch->stats().busUtilization(now);
+        return sum / static_cast<double>(channels_.size());
+    }
+
+    void
+    collect(MetricSet &m, Tick now) const override
+    {
+        m.bwUtilPct = 100.0 * busUtilization(now);
+
+        // One rank of banks_ banks per vault.
+        const DramEnergyModel energyModel(power_, timings_, 1, banks_,
+                                          clk_);
+        const double elapsedNs =
+            controllers_.empty()
+                ? 0.0
+                : clk_.ticksToNs(
+                      now -
+                      controllers_.front()->channel().stats().statsStartTick);
+        for (const auto &mc : controllers_) {
+            m.dramEnergyNj +=
+                energyModel.estimate(mc->channel().stats(), now).totalNj();
+        }
+        m.dramAvgPowerMw =
+            elapsedNs > 0.0 ? m.dramEnergyNj * 1e3 / elapsedNs : 0.0;
+
+        double sum = 0.0, peak = 0.0;
+        for (const auto &mc : controllers_) {
+            const double q = mc->stats().readQueueLen.mean(now);
+            m.perVaultReadQueue.push_back(q);
+            sum += q;
+            peak = std::max(peak, q);
+        }
+        const double mean =
+            controllers_.empty()
+                ? 0.0
+                : sum / static_cast<double>(controllers_.size());
+        m.vaultQueueImbalance = mean > 0.0 ? peak / mean : 0.0;
+        for (const auto &rm : remappers_) {
+            m.remapMigrations += rm.migrations();
+            m.remapMigratedRows += rm.migratedRows();
+        }
+    }
+
+  private:
+    /** The mapper's view: one "channel" per vault, one rank each, so
+     *  the scheme's channel bits interleave blocks over every vault in
+     *  the system. Capacity is identical to the stacked geometry's. */
+    static DramGeometry
+    flattenedGeometry(const DramGeometry &g)
+    {
+        DramGeometry flat = g;
+        flat.channels = g.channels * g.vaultsPerStack;
+        flat.ranksPerChannel = 1;
+        flat.vaultsPerStack = 0;
+        flat.validate();
+        return flat;
+    }
+
+    DramPowerParams power_;
+    DramTimings timings_;
+    ClockDomains clk_;
+    std::uint32_t stacks_;
+    std::uint32_t vaults_;
+    std::uint32_t banks_;
+    RemapConfig remapCfg_;
+    AddressMapper mapper_;
+    std::vector<VaultRemapper> remappers_; ///< One per stack.
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::vector<std::unique_ptr<MemController>> controllers_;
+};
+
+} // namespace
+
+std::unique_ptr<MemBackend>
+makeMemBackend(const SimConfig &cfg, std::uint32_t numCores)
+{
+    if (cfg.backend == MemBackendKind::StackedDram)
+        return std::make_unique<StackedDramBackend>(cfg, numCores);
+    return std::make_unique<FlatDramBackend>(cfg, numCores);
+}
+
+} // namespace mcsim

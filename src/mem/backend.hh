@@ -1,0 +1,116 @@
+/**
+ * @file
+ * MemBackend: the pluggable memory system behind the crossbar.
+ *
+ * A simulation composes a backend, not a hard-wired DramSystem. The
+ * backend owns its channels/vaults and the MemController queue in
+ * front of each, and exposes exactly the contracts the System kernels
+ * already rely on:
+ *
+ *  - queue(i).enqueue()/tick(): one controller per backend queue;
+ *    tick() returns the next-due tick (the event-kernel contract) and
+ *    arrivals re-arm a sleeping queue. The epoch-sharded parallel
+ *    kernel shards queues by index (i % shards), so a backend's queue
+ *    numbering is also its parallel decomposition.
+ *  - route(): stamp a request's DramCoord so coord.channel is the
+ *    global queue index the System routes and shards by. route() is
+ *    the only entry point that may mutate backend-global policy state
+ *    (e.g. the stacked backend's remap tables): it runs on the core
+ *    shard / serial thread in an order identical across the reference,
+ *    event, and parallel kernels, which is what keeps dynamic
+ *    remapping bit-identical under every kernel.
+ *  - resetStats()/collect()/busUtilization(): the statistics window
+ *    contract behind MetricSet, including the energy model.
+ *
+ * Implementations: FlatDramBackend (the paper's JEDEC DRAM system,
+ * one controller per channel) and StackedDramBackend (HMC-style
+ * stacks with per-vault controllers, TSV return-path timing, and an
+ * optional counters-driven hot-bank remapping layer with a migration
+ * cost model).
+ */
+
+#ifndef CLOUDMC_MEM_BACKEND_HH
+#define CLOUDMC_MEM_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+#include "mem_controller.hh"
+#include "request.hh"
+
+namespace mcsim {
+
+struct SimConfig;
+struct MetricSet;
+
+/** Which memory-backend implementation a SimConfig selects. */
+enum class MemBackendKind : std::uint8_t {
+    FlatDram,    ///< JEDEC channels behind one controller each.
+    StackedDram, ///< HMC-style stacks of vaults, one controller per vault.
+};
+
+const char *memBackendKindName(MemBackendKind k);
+
+/**
+ * Dynamic vault/bank remapping policy knobs (stacked backend only).
+ * The remapper counts accesses per logical bank slot; every
+ * windowAccesses routed requests it compares the hottest and coldest
+ * physical vaults and, when the hot one carries more than hotFactor
+ * times the cold one's load, swaps the hottest logical bank in the hot
+ * vault with the coldest logical bank in the cold vault. A swap copies
+ * migrationRows rows at migrationCyclesPerRow DRAM cycles each; both
+ * physical slots are unserviceable until the copy finishes (modeled as
+ * a per-request earliest-service tick, Request::availableAt).
+ */
+struct RemapConfig
+{
+    bool enabled = false;
+    std::uint32_t windowAccesses = 4096;
+    double hotFactor = 4.0;
+    std::uint32_t migrationRows = 16;
+    std::uint32_t migrationCyclesPerRow = 64;
+};
+
+/** The memory system behind the crossbar: queues, media, statistics. */
+class MemBackend
+{
+  public:
+    virtual ~MemBackend() = default;
+
+    virtual MemBackendKind kind() const = 0;
+
+    /** Independent controller queues (the parallel-kernel shards). */
+    virtual std::uint32_t numQueues() const = 0;
+    virtual MemController &queue(std::uint32_t i) = 0;
+
+    /**
+     * Stamp @p req.coord for this backend; coord.channel must be the
+     * global queue index. May also stamp req.availableAt with an
+     * earliest-service tick (migration cost). The only virtual that
+     * may mutate policy state; called in identical order by every
+     * kernel (see file comment).
+     */
+    virtual void route(Request &req, Tick now) = 0;
+
+    /** Total addressable bytes (workload address-space sizing). */
+    virtual std::uint64_t capacityBytes() const = 0;
+
+    /** Open a new statistics window on queues and media. */
+    virtual void resetStats(Tick now) = 0;
+
+    /** Mean data-bus utilization across the media, in [0,1]. */
+    virtual double busUtilization(Tick now) const = 0;
+
+    /** Fill the backend-owned MetricSet fields (bus utilization,
+     *  energy, per-vault occupancy, remap counters). */
+    virtual void collect(MetricSet &m, Tick now) const = 0;
+};
+
+/** Build the backend a SimConfig selects (cfg.backend). */
+std::unique_ptr<MemBackend> makeMemBackend(const SimConfig &cfg,
+                                           std::uint32_t numCores);
+
+} // namespace mcsim
+
+#endif // CLOUDMC_MEM_BACKEND_HH

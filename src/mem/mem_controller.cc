@@ -224,8 +224,16 @@ MemController::buildCandidates(Tick now)
                                            req->coord.bank),
                     now);
             }
+            // A backend-imposed earliest-service tick (a remap
+            // migration in flight over this request's slot) delays
+            // whichever command the request needs next. Zero for every
+            // flat-backend request.
+            if (req->availableAt > c.legalAt)
+                c.legalAt = req->availableAt;
             // nextLegalAt clamps to now, so legality now is equivalent
-            // to canIssue() (test_event_kernel cross-checks the two).
+            // to canIssue() (test_event_kernel cross-checks the two;
+            // the availableAt clamp above only moves legalAt past now
+            // for mid-migration stacked-backend requests).
             c.issuableNow = c.legalAt <= now;
             cands_.push_back(c);
         }

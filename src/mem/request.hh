@@ -36,6 +36,12 @@ struct Request
     Tick arrivedAt;   ///< Enqueue tick at the controller.
     Tick completedAt; ///< Read: last data beat; write: CAS issue.
 
+    /** Earliest tick the backend will service this request (default 0:
+     *  immediately). Stamped by MemBackend::route() when the target
+     *  slot is mid-migration (stacked backend's remap cost model); the
+     *  controller clamps every command's legal tick to it. */
+    Tick availableAt;
+
     RowOutcome outcome = RowOutcome::Unknown;
 
     // --- scheduler scratch state ---

@@ -58,6 +58,11 @@ constexpr const char *kDeviceKeyTag = "|dev=";
  *  groups per rank plus the group-mapping option. */
 constexpr const char *kBankGroupKeyTag = "|bg=";
 
+/** Key segment carrying the memory-backend fingerprint (schema v6):
+ *  "flat", or the stacked geometry ("st<vaults>v<banks>b", plus a
+ *  trailing 'r' when dynamic remapping is on). */
+constexpr const char *kBackendKeyTag = "|be=";
+
 /** Prefix of the full-parameter hash segment (schema v4). */
 constexpr const char *kParamsKeyTag = "|p";
 constexpr std::size_t kParamsHashDigits = 16;
@@ -145,6 +150,20 @@ paramsHash(const SimConfig &cfg)
         .u64(cfg.core.storeBufferEntries)
         .u64(cfg.core.l2HitLatency)
         .u64(cfg.core.instrsPerFetchBlock);
+    // Schema v6 extends the hash *conditionally*: the stacked-backend
+    // and TSV fields are folded in only when they are in play, so every
+    // flat-backend hash is byte-identical to the v5 hash and the v5
+    // cache rows stay recallable without a migration pass.
+    if (cfg.timings.tTSV != 0)
+        h.u64(cfg.timings.tTSV);
+    if (cfg.backend == MemBackendKind::StackedDram) {
+        h.u64(cfg.dram.vaultsPerStack);
+        h.u64(cfg.remap.enabled ? 1 : 0)
+            .u64(cfg.remap.windowAccesses)
+            .f64(cfg.remap.hotFactor)
+            .u64(cfg.remap.migrationRows)
+            .u64(cfg.remap.migrationCyclesPerRow);
+    }
     return h.value();
 }
 
@@ -172,6 +191,25 @@ bankGroupSegment(const SimConfig &cfg)
                         cfg.bankGroupMapping ==
                             BankGroupMapping::GroupPacked;
     seg += packed ? 'p' : 'i';
+    return seg;
+}
+
+/** The "|be=..." segment for @p cfg (schema v6). */
+std::string
+backendSegment(const SimConfig &cfg)
+{
+    std::string seg = kBackendKeyTag;
+    if (cfg.backend == MemBackendKind::StackedDram) {
+        seg += "st";
+        seg += std::to_string(cfg.dram.vaultsPerStack);
+        seg += 'v';
+        seg += std::to_string(cfg.dram.banksPerRank);
+        seg += 'b';
+        if (cfg.remap.enabled)
+            seg += 'r';
+    } else {
+        seg += "flat";
+    }
     return seg;
 }
 
@@ -220,6 +258,10 @@ ExperimentRunner::configKey(WorkloadId workload, const SimConfig &cfg)
     // mapping option), so a grouped-timing run never aliases a row
     // simulated under the old single-tCCD model or the other mapping.
     key << bankGroupSegment(cfg);
+    // Schema v6: the memory-backend axis (flat vs. stacked vault
+    // geometry, with the remap flag), so a stacked-backend run never
+    // aliases a row simulated under the flat JEDEC model.
+    key << backendSegment(cfg);
     // Schema v4: a hash of the full parameter set, so sweeps over any
     // scheduler/controller/geometry tunable the readable segments omit
     // can never alias either.
@@ -266,6 +308,13 @@ constexpr std::size_t kCacheFieldsV4 = 23;
  *  migrated on load by tagging them with the single-group fingerprint
  *  ("|bg=1i") — the only timing model those schemas could simulate. */
 constexpr std::size_t kCacheFieldsV5 = 24;
+/** Schema v6 appends the stacked-backend columns (vault-queue
+ *  imbalance, the two remap-migration counters, and the ';'-joined
+ *  per-vault read-queue list — all zeros/empty on flat rows) and
+ *  extends the *key* with the backend segment; older keys are migrated
+ *  on load by tagging them with the flat fingerprint ("|be=flat") —
+ *  the only backend those schemas could simulate. */
+constexpr std::size_t kCacheFieldsV6 = 28;
 
 /** Parse a ';'-joined list of doubles; empty text is an empty list. */
 bool
@@ -295,7 +344,9 @@ parseDoubleList(const std::string &text, std::vector<double> &out)
 /**
  * Split one CSV line; accepts key + 15 fields (v1, written before the
  * percentiles were persisted — they load as 0), key + 18 fields
- * (v2/v3), or key + 23 fields (v4, with the fairness columns).
+ * (v2/v3), key + 23 fields (v4, with the fairness columns), key + 24
+ * fields (v5), or key + 28 fields (v6, with the stacked-backend
+ * columns).
  */
 bool
 parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
@@ -314,7 +365,8 @@ parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
     if ((fields.size() != kCacheFieldsV1 + 1 &&
          fields.size() != kCacheFieldsV2 + 1 &&
          fields.size() != kCacheFieldsV4 + 1 &&
-         fields.size() != kCacheFieldsV5 + 1) ||
+         fields.size() != kCacheFieldsV5 + 1 &&
+         fields.size() != kCacheFieldsV6 + 1) ||
         fields[0].empty()) {
         return false;
     }
@@ -369,6 +421,21 @@ parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
         if (f.empty() || end != f.c_str() + f.size())
             return false;
     }
+    if (numFields >= kCacheFieldsV6) {
+        double scalars[3] = {};
+        for (std::size_t i = 0; i < 3; ++i) {
+            const std::string &f = fields[1 + 24 + i];
+            char *end = nullptr;
+            scalars[i] = std::strtod(f.c_str(), &end);
+            if (f.empty() || end != f.c_str() + f.size())
+                return false;
+        }
+        m.vaultQueueImbalance = scalars[0];
+        m.remapMigrations = static_cast<std::uint64_t>(scalars[1]);
+        m.remapMigratedRows = static_cast<std::uint64_t>(scalars[2]);
+        if (!parseDoubleList(fields[1 + 27], m.perVaultReadQueue))
+            return false;
+    }
     return true;
 }
 
@@ -414,6 +481,17 @@ ExperimentRunner::loadCache()
             else
                 key += bgSeg;
         }
+        // Schema v1-v5 keys predate the backend axis; everything they
+        // recorded ran the flat JEDEC model (the stacked backend did
+        // not exist). Insert that fingerprint before any trailing
+        // params-hash segment, matching configKey()'s segment order.
+        if (key.find(kBackendKeyTag) == std::string::npos) {
+            const std::string beSeg = std::string(kBackendKeyTag) + "flat";
+            if (hasParamsSegment(key))
+                key.insert(key.size() - (2 + kParamsHashDigits), beSeg);
+            else
+                key += beSeg;
+        }
         // Schema v1-v3 keys predate the full-parameter hash; the only
         // parameter set they could name unambiguously is the baseline
         // one, so migrate them to its fingerprint.
@@ -441,7 +519,9 @@ ExperimentRunner::appendToCache(const std::string &key, const MetricSet &m)
         << m.weightedSpeedup << ',' << m.harmonicSpeedup << ','
         << m.maxSlowdown << ',' << joinDoubleList(m.perCoreIpc) << ','
         << joinDoubleList(m.perCoreSlowdown) << ',' << m.sameGroupCasPct
-        << '\n';
+        << ',' << m.vaultQueueImbalance << ',' << m.remapMigrations
+        << ',' << m.remapMigratedRows << ','
+        << joinDoubleList(m.perVaultReadQueue) << '\n';
     const std::string line = rec.str();
 
     // One fwrite on an O_APPEND stream keeps the record contiguous

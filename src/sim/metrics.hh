@@ -97,6 +97,21 @@ struct MetricSet
     double dramEnergyNj = 0.0;
     double dramAvgPowerMw = 0.0;
 
+    /**
+     * Stacked-backend quantities (schema v6; flat-backend rows and
+     * entries recalled from older caches report zeros / an empty
+     * list). perVaultReadQueue is the mean read-queue occupancy of
+     * every vault queue in global queue order; vaultQueueImbalance is
+     * the hottest queue's occupancy over the all-queue mean (1.0 =
+     * perfectly balanced, 0 when idle). The remap counters total the
+     * measurement window's hot-bank migrations and the rows they
+     * copied across vaults.
+     */
+    std::vector<double> perVaultReadQueue;
+    double vaultQueueImbalance = 0.0;
+    std::uint64_t remapMigrations = 0;
+    std::uint64_t remapMigratedRows = 0;
+
     std::uint64_t committedInstructions = 0;
     std::uint64_t measuredCycles = 0;
     std::uint64_t memReads = 0;

@@ -150,6 +150,75 @@ ExperimentOptions::parse(int argc, char **argv)
                 fairness = true;
             else if (fairness)
                 spec.fairness = true; // --fairness before --config.
+        } else if (arg == "--backend") {
+            const char *v = need(i);
+            const std::string kind = v ? v : "";
+            if (kind == "stacked") {
+                // Selecting the stacked backend on a flat configuration
+                // means "give me the stacked reference part".
+                if (config.dram.vaultsPerStack == 0)
+                    config.applyDevice(dramDeviceOrDie("HMC2-8GB"));
+                if (hasSpec) {
+                    for (const std::string &d : spec.devices) {
+                        if (dramDeviceOrDie(d).geometry.vaultsPerStack ==
+                            0) {
+                            return "--backend stacked conflicts with "
+                                   "flat device '" +
+                                   d + "' in the sweep";
+                        }
+                    }
+                    if (spec.devices.empty())
+                        spec.devices = {config.deviceName};
+                    spec.hasBackend = true;
+                    spec.backendKind = MemBackendKind::StackedDram;
+                }
+            } else if (kind == "flat") {
+                if (config.dram.vaultsPerStack != 0)
+                    return "--backend flat conflicts with stacked "
+                           "device '" +
+                           config.deviceName +
+                           "' (pick a flat part with --device)";
+                if (hasSpec) {
+                    for (const std::string &d : spec.devices) {
+                        if (dramDeviceOrDie(d).geometry.vaultsPerStack >
+                            0) {
+                            return "--backend flat conflicts with "
+                                   "stacked device '" +
+                                   d + "' in the sweep";
+                        }
+                    }
+                    spec.hasBackend = true;
+                    spec.backendKind = MemBackendKind::FlatDram;
+                }
+            } else {
+                return "--backend must be 'flat' or 'stacked'";
+            }
+        } else if (arg == "--vaults") {
+            const char *v = need(i);
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n) || n == 0 || !isPowerOf2(n))
+                return "--vaults needs a power-of-two count";
+            if (config.dram.vaultsPerStack == 0)
+                return "--vaults applies to the stacked backend only "
+                       "(put --backend stacked or a stacked --device "
+                       "first)";
+            config.setVaults(static_cast<std::uint32_t>(n));
+            if (hasSpec)
+                spec.vaultCounts = {config.dram.vaultsPerStack};
+        } else if (arg == "--remap") {
+            const char *v = need(i);
+            const std::string mode = v ? v : "";
+            if (mode != "on" && mode != "off")
+                return "--remap must be 'on' or 'off'";
+            if (config.dram.vaultsPerStack == 0)
+                return "--remap applies to the stacked backend only "
+                       "(put --backend stacked or a stacked --device "
+                       "first)";
+            config.remap.enabled = mode == "on";
+            if (hasSpec) {
+                spec.hasRemap = true;
+                spec.base.remap.enabled = config.remap.enabled;
+            }
         } else if (arg == "--channels") {
             const char *v = need(i);
             std::uint64_t n = 0;
@@ -241,6 +310,17 @@ ExperimentOptions::listText()
         }
         if (d.timings.perBankRefresh)
             out << ", per-bank refresh";
+        // Backend + vault-geometry columns; flat parts show '-'.
+        out << ", " << (d.geometry.vaultsPerStack ? "stacked" : "flat")
+            << " backend, vaults ";
+        if (d.geometry.vaultsPerStack) {
+            out << d.geometry.vaultsPerStack << " x "
+                << d.geometry.banksPerRank << " banks";
+            if (d.timings.tTSV)
+                out << ", tTSV " << d.timings.tTSV;
+        } else {
+            out << '-';
+        }
         out << ") — " << d.source << '\n';
     }
     return out.str();
@@ -254,6 +334,8 @@ ExperimentOptions::usage(const std::string &tool)
         << " [workload] [--workload W] [--scheduler S] [--policy P]\n"
         << "       [--mapping M] [--group-mapping G] [--device D] "
            "[--config SPEC]\n"
+        << "       [--backend flat|stacked] [--vaults N] [--remap "
+           "on|off]\n"
         << "       [--channels N] [--warmup C] [--measure C] [--seed N] "
            "[--fast D]\n"
         << "       [--kernel-threads N] [--csv] [--fairness] [--list]\n\n";

@@ -56,6 +56,13 @@ struct ExperimentOptions
      *                             (bank-group bit placement)
      *   --device <name>           DRAM device registry name
      *   --config <file>           key=value experiment spec (sweeps)
+     *   --backend <flat|stacked>  memory backend; `stacked` on a flat
+     *                             configuration selects the HMC2-8GB
+     *                             registry entry
+     *   --vaults <n>              stacked only: capacity-preserving
+     *                             vault-count override (power of two)
+     *   --remap <on|off>          stacked only: dynamic hot-bank
+     *                             vault remapping
      *   --channels <1|2|4|...>
      *   --warmup <core cycles>    --measure <core cycles>
      *   --seed <n>                --fast <divisor>   --csv

@@ -15,6 +15,7 @@
 #include "dram/devices.hh"
 #include "dram/dram_params.hh"
 #include "mem/address_mapping.hh"
+#include "mem/backend.hh"
 #include "mem/factory.hh"
 #include "mem/mem_controller.hh"
 
@@ -40,6 +41,14 @@ struct SimConfig
     DramTimings timings = DramTimings::ddr3_1600();
     DramPowerParams power = DramPowerParams::ddr3_1600();
     bool refreshEnabled = true;
+
+    /** Which memory backend the System composes. applyDevice() keeps
+     *  this in step with the device geometry (vaultsPerStack > 0
+     *  selects the stacked backend). */
+    MemBackendKind backend = MemBackendKind::FlatDram;
+    /** Dynamic vault/bank remapping knobs (stacked backend only; the
+     *  spec loader rejects remap keys on a flat backend). */
+    RemapConfig remap;
 
     MappingScheme mapping = MappingScheme::RoRaBaCoCh;
     /** Placement of the bank-group bits on grouped devices (DDR4/
@@ -107,7 +116,26 @@ struct SimConfig
         const std::uint32_t channels = dram.channels;
         dram = dev.geometry;
         dram.channels = channels;
+        backend = dram.vaultsPerStack ? MemBackendKind::StackedDram
+                                      : MemBackendKind::FlatDram;
         clocks = ClockDomains::fromMhz(clocks.coreMhz, dev.busMhz);
+    }
+
+    /**
+     * Override a stacked device's vault count while preserving its
+     * capacity (rows per bank scale inversely), so the fixed IO/DMA
+     * buffer placement and workload footprints are identical across a
+     * vault-count sweep. Both counts must be powers of two.
+     */
+    void
+    setVaults(std::uint32_t vaults)
+    {
+        mc_assert(dram.vaultsPerStack > 0 && vaults > 0 &&
+                      isPowerOf2(vaults),
+                  "setVaults needs a stacked device and a power-of-two "
+                  "vault count");
+        dram.rowsPerBank = dram.rowsPerBank * dram.vaultsPerStack / vaults;
+        dram.vaultsPerStack = vaults;
     }
 
     /** Change the core frequency, re-deriving the tick grid. */

@@ -131,7 +131,8 @@ ExperimentSpec::pointCount() const
     const auto n = [](std::size_t axis) { return axis ? axis : 1; };
     return n(devices.size()) * n(schedulers.size()) * n(policies.size()) *
            n(mappings.size()) * n(groupMappings.size()) *
-           n(channelCounts.size()) * n(workloads.size());
+           n(channelCounts.size()) * n(vaultCounts.size()) *
+           n(workloads.size());
 }
 
 std::vector<ExperimentRunner::Point>
@@ -161,10 +162,14 @@ ExperimentSpec::points() const
     const auto wls = workloads.empty()
                          ? std::vector<WorkloadId>{WorkloadId::DS}
                          : workloads;
+    // 0 = keep the device's registry vault count (also the flat case).
+    const auto vaults = vaultCounts.empty()
+                            ? std::vector<std::uint32_t>{0}
+                            : vaultCounts;
 
     std::vector<ExperimentRunner::Point> out;
     out.reserve(devs.size() * scheds.size() * pols.size() * maps.size() *
-                gmaps.size() * chans.size() * wls.size());
+                gmaps.size() * chans.size() * vaults.size() * wls.size());
     for (const std::string &dev : devs) {
         SimConfig devCfg = base;
         devCfg.applyDevice(dramDeviceOrDie(dev));
@@ -173,19 +178,23 @@ ExperimentSpec::points() const
                 for (auto map : maps) {
                     for (auto gmap : gmaps) {
                         for (auto ch : chans) {
-                            SimConfig cfg = devCfg;
-                            cfg.scheduler = sched;
-                            cfg.pagePolicy = pol;
-                            cfg.mapping = map;
-                            cfg.bankGroupMapping = gmap;
-                            cfg.dram.channels = ch;
-                            for (auto wl : wls) {
-                                ExperimentRunner::Point p(wl, cfg);
-                                if (fairness) {
-                                    ExperimentRunner::
-                                        attachAloneBaseline(p);
+                            for (auto vc : vaults) {
+                                SimConfig cfg = devCfg;
+                                cfg.scheduler = sched;
+                                cfg.pagePolicy = pol;
+                                cfg.mapping = map;
+                                cfg.bankGroupMapping = gmap;
+                                cfg.dram.channels = ch;
+                                if (vc)
+                                    cfg.setVaults(vc);
+                                for (auto wl : wls) {
+                                    ExperimentRunner::Point p(wl, cfg);
+                                    if (fairness) {
+                                        ExperimentRunner::
+                                            attachAloneBaseline(p);
+                                    }
+                                    out.push_back(std::move(p));
                                 }
-                                out.push_back(std::move(p));
                             }
                         }
                     }
@@ -312,11 +321,90 @@ parseExperimentSpec(const std::string &text, ExperimentSpec &out)
             else
                 return err("fairness must be 'on' or 'off', got '" +
                            value + "'");
+        } else if (key == "backend") {
+            out.hasBackend = true;
+            if (value == "flat")
+                out.backendKind = MemBackendKind::FlatDram;
+            else if (value == "stacked")
+                out.backendKind = MemBackendKind::StackedDram;
+            else
+                return err("backend must be 'flat' or 'stacked', got '" +
+                           value + "'");
+        } else if (key == "vaults") {
+            axisErr = parseAxis<std::uint32_t>(
+                value, "vault count",
+                [](const std::string &n, std::uint32_t &o) {
+                    std::uint64_t v = 0;
+                    if (!parseUint(n, v) || v == 0 || !isPowerOf2(v))
+                        return false;
+                    o = static_cast<std::uint32_t>(v);
+                    return true;
+                },
+                out.vaultCounts);
+        } else if (key == "remap") {
+            out.hasRemap = true;
+            if (value == "on")
+                out.base.remap.enabled = true;
+            else if (value == "off")
+                out.base.remap.enabled = false;
+            else
+                return err("remap must be 'on' or 'off', got '" + value +
+                           "'");
         } else {
             return err("unknown key '" + key + "'");
         }
         if (!axisErr.empty())
             return err(axisErr);
+    }
+
+    // `backend = stacked` with no device axis selects the stacked
+    // reference part; `flat` is just an assertion over the sweep.
+    if (out.hasBackend &&
+        out.backendKind == MemBackendKind::StackedDram &&
+        out.devices.empty()) {
+        out.base.applyDevice(dramDeviceOrDie("HMC2-8GB"));
+    }
+
+    // Reconcile the backend key and the stacked-only keys against the
+    // devices the sweep will actually build. Silently ignoring a remap
+    // or vault knob on a flat part would masquerade as a null result,
+    // so each mismatch is a named error.
+    const std::vector<std::string> effDevs =
+        out.devices.empty() ? std::vector<std::string>{out.base.deviceName}
+                            : out.devices;
+    for (const std::string &d : effDevs) {
+        const bool stacked =
+            dramDeviceOrDie(d).geometry.vaultsPerStack > 0;
+        if (out.hasBackend &&
+            out.backendKind == MemBackendKind::StackedDram && !stacked) {
+            return "backend = stacked, but device '" + d +
+                   "' is a flat JEDEC part";
+        }
+        if (out.hasBackend &&
+            out.backendKind == MemBackendKind::FlatDram && stacked) {
+            return "backend = flat, but device '" + d +
+                   "' is a stacked part";
+        }
+        if (out.hasRemap && !stacked) {
+            return "remap applies to the stacked backend only, but "
+                   "device '" +
+                   d + "' is a flat JEDEC part (set backend = stacked "
+                       "or pick a stacked device)";
+        }
+        if (!out.vaultCounts.empty() && !stacked) {
+            return "vaults applies to the stacked backend only, but "
+                   "device '" +
+                   d + "' is a flat JEDEC part (set backend = stacked "
+                       "or pick a stacked device)";
+        }
+    }
+    for (std::uint32_t vc : out.vaultCounts) {
+        for (const std::string &d : effDevs) {
+            const DramGeometry &g = dramDeviceOrDie(d).geometry;
+            if (std::uint64_t(g.rowsPerBank) * g.vaultsPerStack % vc != 0)
+                return "vault count " + std::to_string(vc) +
+                       " cannot preserve device '" + d + "' capacity";
+        }
     }
 
     // Single-valued axes also shape the base config so a spec doubles
@@ -333,6 +421,10 @@ parseExperimentSpec(const std::string &text, ExperimentSpec &out)
         out.base.bankGroupMapping = out.groupMappings.front();
     if (out.channelCounts.size() == 1)
         out.base.dram.channels = out.channelCounts.front();
+    // (Guarded: with a multi-device stacked sweep the base config is
+    // not any one device's, so the vault override applies per point.)
+    if (out.vaultCounts.size() == 1 && out.base.dram.vaultsPerStack > 0)
+        out.base.setVaults(out.vaultCounts.front());
     return {};
 }
 

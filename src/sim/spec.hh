@@ -25,6 +25,20 @@
  *   refresh   = on | off                      scalar
  *   fairness  = on | off                      scalar; attach alone-run
  *                                             baselines to every point
+ *   backend   = flat | stacked                scalar; asserts the memory
+ *                                             backend every swept device
+ *                                             composes. `stacked` with no
+ *                                             device axis selects the
+ *                                             HMC2-8GB registry entry.
+ *   vaults    = 16[, 8, 4]                    stacked only: vault-count
+ *                                             sweep (powers of two,
+ *                                             capacity-preserving)
+ *   remap     = on | off                      stacked only: dynamic
+ *                                             hot-bank vault remapping
+ *
+ * The stacked-only keys (`vaults`, `remap`) are rejected with a named
+ * error when any swept device is a flat JEDEC part — a silently
+ * ignored remap knob would masquerade as a null result.
  *
  * Plural aliases (devices, schedulers, policies, mappings, workloads)
  * are accepted for readability. Every axis defaults to the baseline's
@@ -55,6 +69,17 @@ struct ExperimentSpec
     std::vector<BankGroupMapping> groupMappings;
     std::vector<std::uint32_t> channelCounts;
     std::vector<WorkloadId> workloads;
+    /** Stacked-only vault-count sweep (the `vaults` key); empty runs
+     *  every device at its registry vault count. */
+    std::vector<std::uint32_t> vaultCounts;
+
+    /** The `backend` key, when present: every swept device must
+     *  compose this backend kind (parse fails otherwise). */
+    bool hasBackend = false;
+    MemBackendKind backendKind = MemBackendKind::FlatDram;
+    /** The `remap` key was present (its value lives in
+     *  base.remap.enabled); stacked-only, parse fails on flat. */
+    bool hasRemap = false;
 
     /** Attach single-core alone-run baselines to every point so the
      *  sweep reports slowdown/fairness metrics (the `fairness` key). */

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/log.hh"
-#include "dram/energy.hh"
 
 namespace mcsim {
 
@@ -29,7 +28,7 @@ System::System(const SimConfig &cfg, const WorkloadParams &workload)
 
     build(cfg_, cfg_.numCores);
     ownedGenerator_ = std::make_unique<SyntheticWorkload>(
-        workload, dram_->geometry().capacityBytes());
+        workload, backend_->capacityBytes());
     generator_ = ownedGenerator_.get();
 
     if (workload.ioWindow > 0) {
@@ -42,7 +41,7 @@ System::System(const SimConfig &cfg, const WorkloadParams &workload)
         io_.bufferBlocks = kIoBufferBytes / kBlockBytes;
         io_.rng.reseed(workload.seed * 7919 + 17, 0x10);
         mc_assert(kIoBufferBase + kIoBufferBytes <=
-                      dram_->geometry().capacityBytes(),
+                      backend_->capacityBytes(),
                   "IO buffer does not fit in DRAM");
     }
 
@@ -71,21 +70,13 @@ System::~System() = default;
 void
 System::build(const SimConfig &cfg, std::uint32_t numCores)
 {
-    mapper_ = std::make_unique<AddressMapper>(cfg.dram, cfg.mapping,
-                                              cfg.bankGroupMapping);
-    dram_ = std::make_unique<DramSystem>(cfg.dram, cfg.timings,
-                                         cfg.refreshEnabled, cfg.clocks);
-    for (std::uint32_t ch = 0; ch < cfg.dram.channels; ++ch) {
-        auto mc = std::make_unique<MemController>(
-            dram_->channel(ch),
-            makeScheduler(cfg.scheduler, numCores, cfg.schedulerParams,
-                          cfg.clocks, cfg.timings),
-            makePagePolicy(cfg.pagePolicy, cfg.clocks), numCores,
-            cfg.controller);
-        mc->setCompletionCallback([this, ch](Request *req, Tick at) {
+    backend_ = makeMemBackend(cfg, numCores);
+    for (std::uint32_t ch = 0; ch < backend_->numQueues(); ++ch) {
+        MemController &mc = backend_->queue(ch);
+        mc.setCompletionCallback([this, ch](Request *req, Tick at) {
             onMemComplete(req, at, ch);
         });
-        controllers_.push_back(std::move(mc));
+        controllers_.push_back(&mc);
     }
     complStage_.resize(controllers_.size());
     chArrivals_.resize(controllers_.size());
@@ -123,7 +114,12 @@ System::allocRequest(CoreId core, Addr addr, bool isWrite, bool isIo)
     req->addr = addr;
     req->isWrite = isWrite;
     req->isIo = isIo;
-    req->coord = mapper_->decode(addr);
+    // Backend routing (and any remap-policy state it evolves) happens
+    // here, on the allocation path: every kernel — reference, event,
+    // and the parallel kernel's core shard — allocates requests in the
+    // same order at the same ticks, so backend policy decisions are
+    // identical under all of them.
+    backend_->route(*req, now_);
     return req;
 }
 
@@ -755,8 +751,7 @@ System::resetStats()
     for (auto &core : cores_)
         core->resetStats();
     hierarchy_->resetStats();
-    for (auto &mc : controllers_)
-        mc->resetStats(now_);
+    backend_->resetStats(now_);
 }
 
 MetricSet
@@ -834,26 +829,10 @@ System::collect() const
                             ? 100.0 * static_cast<double>(singles) /
                                   static_cast<double>(activations)
                             : 0.0;
-    m.bwUtilPct = 100.0 * dram_->busUtilization(now_);
-
-    const DramEnergyModel energyModel(cfg_.power, cfg_.timings,
-                                      cfg_.dram.ranksPerChannel,
-                                      cfg_.dram.banksPerRank,
-                                      cfg_.clocks);
-    // Every channel's stats window starts at the same resetStats()
-    // tick, so the elapsed time is one number, not per-controller.
-    const double elapsedNs =
-        controllers_.empty()
-            ? 0.0
-            : cfg_.clocks.ticksToNs(
-                  now_ -
-                  controllers_.front()->channel().stats().statsStartTick);
-    for (const auto &mc : controllers_) {
-        m.dramEnergyNj +=
-            energyModel.estimate(mc->channel().stats(), now_).totalNj();
-    }
-    m.dramAvgPowerMw =
-        elapsedNs > 0.0 ? m.dramEnergyNj * 1e3 / elapsedNs : 0.0;
+    // Media-side quantities — bus utilization, the energy model, and
+    // (stacked backend) per-vault occupancy and remap counters — are
+    // the backend's to report.
+    backend_->collect(m, now_);
     return m;
 }
 

@@ -43,8 +43,7 @@
 #include "cpu/core.hh"
 #include "cpu/crossbar.hh"
 #include "cpu/hierarchy.hh"
-#include "dram/dram_system.hh"
-#include "mem/address_mapping.hh"
+#include "mem/backend.hh"
 #include "mem/mem_controller.hh"
 #include "metrics.hh"
 #include "sim_config.hh"
@@ -222,9 +221,14 @@ class System
 
     std::unique_ptr<CacheHierarchy> hierarchy_;
     std::vector<std::unique_ptr<Core>> cores_;
-    std::unique_ptr<AddressMapper> mapper_;
-    std::unique_ptr<DramSystem> dram_;
-    std::vector<std::unique_ptr<MemController>> controllers_;
+    /** The composed memory backend (flat JEDEC or stacked vaults). It
+     *  owns the media and the controller queues; routing, capacity,
+     *  media statistics and energy all go through it. */
+    std::unique_ptr<MemBackend> backend_;
+    /** Raw per-queue pointers into backend_ (queue index == the
+     *  coord.channel routing/sharding index), cached so the kernels'
+     *  hot loops stay exactly as they were pre-backend. */
+    std::vector<MemController *> controllers_;
 
     CrossbarLink<Request *> toMem_;
     struct CpuResponse

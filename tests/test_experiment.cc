@@ -520,7 +520,10 @@ TEST(ExperimentCache, V4KeysMigrateToSingleGroupFingerprint)
     std::string key = ExperimentRunner::configKey(WorkloadId::WS, cfg);
     const std::size_t bg = key.find("|bg=1i");
     ASSERT_NE(bg, std::string::npos);
-    key.erase(bg, 6); // Strip the v5 segment: a v4-format key.
+    key.erase(bg, 6); // Strip the v5 segment...
+    const std::size_t be = key.find("|be=flat");
+    ASSERT_NE(be, std::string::npos);
+    key.erase(be, 8); // ...and the v6 segment: a v4-format key.
     {
         std::ofstream out(path);
         out << key
@@ -563,6 +566,119 @@ TEST(ExperimentCache, SameGroupCasColumnRoundtrips)
         EXPECT_EQ(runner.simulationsRun(), 0u);
         EXPECT_NEAR(cached.sameGroupCasPct, fresh.sameGroupCasPct,
                     1e-4 * fresh.sameGroupCasPct);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentCache, KeySeparatesBackends)
+{
+    // Schema v6: the memory backend (and, stacked, the vault geometry
+    // plus the remap flag) is part of the key, so a stacked-backend
+    // run can never alias a row simulated under the flat JEDEC model.
+    const SimConfig base = SimConfig::baseline();
+    SimConfig hmc = base;
+    hmc.applyDevice(dramDeviceOrDie("HMC2-8GB"));
+    SimConfig hmc8 = hmc;
+    hmc8.setVaults(8);
+    SimConfig hmcRemap = hmc;
+    hmcRemap.remap.enabled = true;
+
+    const auto kb = ExperimentRunner::configKey(WorkloadId::DS, base);
+    const auto kh = ExperimentRunner::configKey(WorkloadId::DS, hmc);
+    const auto k8 = ExperimentRunner::configKey(WorkloadId::DS, hmc8);
+    const auto kr =
+        ExperimentRunner::configKey(WorkloadId::DS, hmcRemap);
+    EXPECT_NE(kb.find("|be=flat"), std::string::npos) << kb;
+    EXPECT_NE(kh.find("|be=st16v8b|"), std::string::npos) << kh;
+    EXPECT_NE(k8.find("|be=st8v8b|"), std::string::npos) << k8;
+    EXPECT_NE(kr.find("|be=st16v8br|"), std::string::npos) << kr;
+    EXPECT_NE(kh, k8);
+    EXPECT_NE(kh, kr);
+
+    // Remap *tuning* changes the parameter hash even though the
+    // readable segment only carries the on/off flag.
+    SimConfig tuned = hmcRemap;
+    tuned.remap.hotFactor = 8.0;
+    EXPECT_NE(kr, ExperimentRunner::configKey(WorkloadId::DS, tuned));
+    // And the remap knobs are hashed only on the stacked backend, so
+    // flat keys are byte-identical whatever the dormant struct holds.
+    SimConfig flatTuned = base;
+    flatTuned.remap.hotFactor = 8.0;
+    EXPECT_EQ(kb, ExperimentRunner::configKey(WorkloadId::DS, flatTuned));
+}
+
+TEST(ExperimentCache, V5KeysMigrateToFlatFingerprint)
+{
+    // A v5-format row — key without the backend segment, 24 value
+    // columns — must load, satisfy a flat-backend lookup with the
+    // stacked columns zeroed, and never satisfy a stacked lookup.
+    const std::string path = tempCachePath("v5migrate");
+    const SimConfig cfg = tinyConfig();
+    std::string key = ExperimentRunner::configKey(WorkloadId::WS, cfg);
+    const std::size_t be = key.find("|be=flat");
+    ASSERT_NE(be, std::string::npos);
+    key.erase(be, 8); // Strip the v6 segment: a v5-format key.
+    {
+        std::ofstream out(path);
+        out << key
+            << ",1.5,100,30,5,1,2,10,20,1000,2000,30,40,0.9,5000,120,"
+               "55,77,99,1.1,1.2,1.3,,,42.5\n";
+    }
+    ExperimentRunner runner(path);
+    const MetricSet hit = runner.run(WorkloadId::WS, cfg);
+    EXPECT_EQ(runner.simulationsRun(), 0u);
+    EXPECT_EQ(runner.cacheHits(), 1u);
+    EXPECT_DOUBLE_EQ(hit.userIpc, 1.5);
+    EXPECT_DOUBLE_EQ(hit.sameGroupCasPct, 42.5);
+    // Pre-v6 columns default to empty/zero.
+    EXPECT_TRUE(hit.perVaultReadQueue.empty());
+    EXPECT_EQ(hit.remapMigrations, 0u);
+    EXPECT_DOUBLE_EQ(hit.vaultQueueImbalance, 0.0);
+
+    // The same point on the stacked backend misses and re-simulates.
+    SimConfig hmc = cfg;
+    hmc.applyDevice(dramDeviceOrDie("HMC2-8GB"));
+    hmc.setVaults(4);
+    (void)runner.run(WorkloadId::WS, hmc);
+    EXPECT_EQ(runner.simulationsRun(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentCache, StackedColumnsRoundtrip)
+{
+    // Schema v6 rows persist the per-vault occupancy list, the
+    // imbalance scalar and the remap counters; a reloaded stacked row
+    // must reproduce all of them.
+    const std::string path = tempCachePath("v6roundtrip");
+    std::remove(path.c_str());
+    SimConfig cfg = tinyConfig();
+    cfg.applyDevice(dramDeviceOrDie("HMC2-8GB"));
+    cfg.setVaults(4);
+    cfg.remap.enabled = true;
+    cfg.remap.windowAccesses = 256; // Migrate within the tiny window.
+    MetricSet fresh;
+    {
+        ExperimentRunner runner(path);
+        fresh = runner.run(WorkloadId::WS, cfg);
+        EXPECT_EQ(fresh.perVaultReadQueue.size(), 4u);
+        EXPECT_GT(fresh.vaultQueueImbalance, 0.0);
+    }
+    {
+        ExperimentRunner runner(path);
+        const MetricSet cached = runner.run(WorkloadId::WS, cfg);
+        EXPECT_EQ(runner.simulationsRun(), 0u);
+        EXPECT_EQ(runner.cacheHits(), 1u);
+        EXPECT_NEAR(cached.vaultQueueImbalance, fresh.vaultQueueImbalance,
+                    1e-5 * fresh.vaultQueueImbalance);
+        EXPECT_EQ(cached.remapMigrations, fresh.remapMigrations);
+        EXPECT_EQ(cached.remapMigratedRows, fresh.remapMigratedRows);
+        ASSERT_EQ(cached.perVaultReadQueue.size(),
+                  fresh.perVaultReadQueue.size());
+        for (std::size_t i = 0; i < fresh.perVaultReadQueue.size(); ++i) {
+            EXPECT_NEAR(cached.perVaultReadQueue[i],
+                        fresh.perVaultReadQueue[i],
+                        1e-5 * fresh.perVaultReadQueue[i] + 1e-9);
+        }
     }
     std::remove(path.c_str());
 }

@@ -2,11 +2,15 @@
  * @file
  * Randomized differential validation of the two simulation kernels:
  * 64 seeded random configurations — device (including the bank-group
- * DDR4/DDR5 grades and per-bank-refresh LPDDR3) x scheduler x page
- * policy x mapping x bank-group mapping x channel count x workload x
- * refresh on/off — each run on the event-scheduled kernel AND the
- * tick-by-tick reference loop, asserting bit-identical metrics and
- * exact per-channel command-trace equality.
+ * DDR4/DDR5 grades, per-bank-refresh LPDDR3, and the stacked HMC2
+ * part) x scheduler x page policy x mapping x bank-group mapping x
+ * channel count x workload x refresh on/off — each run on the
+ * event-scheduled kernel AND the tick-by-tick reference loop,
+ * asserting bit-identical metrics and exact per-channel command-trace
+ * equality. A quarter of the indices force the stacked backend
+ * (vault counts {4, 8, 16}, dynamic remapping on/off) so vault
+ * routing, TSV timing and the migration cost model are always in the
+ * differential sample.
  *
  * Each configuration additionally runs the epoch-sharded parallel
  * kernel at thread budgets {2, 4, 7}; metrics and command traces must
@@ -69,8 +73,14 @@ struct FuzzConfig
             << bankGroupMappingName(cfg.bankGroupMapping) << '\n'
             << "channels = " << cfg.dram.channels << '\n'
             << "workload = " << workloadAcronym(workload) << '\n'
-            << "refresh = " << (refresh ? "on" : "off") << '\n'
-            << "warmup = " << cfg.warmupCoreCycles << '\n'
+            << "refresh = " << (refresh ? "on" : "off") << '\n';
+        if (cfg.dram.vaultsPerStack > 0) {
+            out << "backend = stacked\n"
+                << "vaults = " << cfg.dram.vaultsPerStack << '\n'
+                << "remap = " << (cfg.remap.enabled ? "on" : "off")
+                << '\n';
+        }
+        out << "warmup = " << cfg.warmupCoreCycles << '\n'
             << "measure = " << cfg.measureCoreCycles << '\n'
             << "kernel_threads = " << cfg.kernelThreads << '\n';
         return out.str();
@@ -100,6 +110,20 @@ drawConfig(std::uint64_t index)
         static_cast<std::uint32_t>(kAllWorkloads.size()))];
     f.refresh = rng.below(2) == 0;
     f.cfg.refreshEnabled = f.refresh;
+    // Stacked-backend sampling: a quarter of the indices force the
+    // stacked reference part, so vault-geometry and remapping coverage
+    // never depends on the registry draw above happening to pick it.
+    if (rng.below(4) == 0)
+        f.cfg.applyDevice(*findDramDevice("HMC2-8GB"));
+    if (f.cfg.dram.vaultsPerStack > 0) {
+        const std::uint32_t vaultChoices[] = {4, 8, 16};
+        f.cfg.setVaults(vaultChoices[rng.below(3)]);
+        f.cfg.remap.enabled = rng.below(2) == 0;
+        // Each stack fans out into one controller queue per vault;
+        // cap the stack count so the tick-by-tick reference runs
+        // (which step every controller every cycle) stay cheap.
+        f.cfg.dram.channels = std::min(f.cfg.dram.channels, 2u);
+    }
     // Small windows keep 64 double (event + reference) runs cheap
     // while still spanning several tREFI periods on every device.
     f.cfg.warmupCoreCycles = 20'000;
@@ -212,6 +236,13 @@ expectMetricsIdentical(const MetricSet &ev, const MetricSet &ref)
     ASSERT_EQ(ev.perCoreIpc.size(), ref.perCoreIpc.size());
     for (std::size_t i = 0; i < ev.perCoreIpc.size(); ++i)
         EXPECT_EQ(ev.perCoreIpc[i], ref.perCoreIpc[i]);
+    // Stacked-backend quantities (all-zero on flat configurations).
+    EXPECT_EQ(ev.vaultQueueImbalance, ref.vaultQueueImbalance);
+    EXPECT_EQ(ev.remapMigrations, ref.remapMigrations);
+    EXPECT_EQ(ev.remapMigratedRows, ref.remapMigratedRows);
+    ASSERT_EQ(ev.perVaultReadQueue.size(), ref.perVaultReadQueue.size());
+    for (std::size_t i = 0; i < ev.perVaultReadQueue.size(); ++i)
+        EXPECT_EQ(ev.perVaultReadQueue[i], ref.perVaultReadQueue[i]);
 }
 
 } // namespace

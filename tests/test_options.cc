@@ -284,3 +284,54 @@ TEST(Options, NegativeNumbersAreRejected)
     EXPECT_NE(parseArgs(opts, {"--seed", "-3"}), "");
     EXPECT_NE(parseArgs(opts, {"--measure", "-1"}), "");
 }
+
+TEST(Options, BackendFlagSelectsStackedPart)
+{
+    ExperimentOptions opts;
+    EXPECT_EQ(parseArgs(opts, {"--backend", "stacked", "--vaults", "8",
+                               "--remap", "on"}),
+              "");
+    EXPECT_EQ(opts.config.deviceName, "HMC2-8GB");
+    EXPECT_EQ(opts.config.backend, MemBackendKind::StackedDram);
+    EXPECT_EQ(opts.config.dram.vaultsPerStack, 8u);
+    EXPECT_TRUE(opts.config.remap.enabled);
+
+    // --backend flat on the (flat) baseline is a no-op.
+    ExperimentOptions flat;
+    EXPECT_EQ(parseArgs(flat, {"--backend", "flat"}), "");
+    EXPECT_EQ(flat.config.backend, MemBackendKind::FlatDram);
+}
+
+TEST(Options, StackedOnlyFlagsAreNamedErrorsOnFlat)
+{
+    ExperimentOptions opts;
+    std::string err = parseArgs(opts, {"--remap", "on"});
+    EXPECT_NE(err.find("stacked backend only"), std::string::npos)
+        << err;
+
+    err = parseArgs(opts, {"--vaults", "8"});
+    EXPECT_NE(err.find("stacked backend only"), std::string::npos)
+        << err;
+
+    err = parseArgs(opts, {"--vaults", "3", "--backend", "stacked"});
+    EXPECT_NE(err.find("power-of-two"), std::string::npos) << err;
+
+    err = parseArgs(opts, {"--device", "HMC2-8GB", "--backend", "flat"});
+    EXPECT_NE(err.find("stacked device"), std::string::npos) << err;
+
+    err = parseArgs(opts, {"--backend", "diagonal"});
+    EXPECT_NE(err.find("'flat' or 'stacked'"), std::string::npos) << err;
+}
+
+TEST(Options, ListShowsBackendAndVaultColumns)
+{
+    const std::string l = ExperimentOptions::listText();
+    // Flat parts show a '-' vault column; the stacked part shows its
+    // geometry and the TSV timing.
+    EXPECT_NE(l.find("flat backend, vaults -"), std::string::npos) << l;
+    EXPECT_NE(l.find("stacked backend, vaults 16 x 8 banks"),
+              std::string::npos)
+        << l;
+    EXPECT_NE(l.find("tTSV"), std::string::npos) << l;
+    EXPECT_NE(l.find("HMC2-8GB"), std::string::npos) << l;
+}

@@ -191,3 +191,86 @@ TEST(Spec, BadGroupMappingIsALineNumberedError)
     EXPECT_NE(err.find("line 1"), std::string::npos) << err;
     EXPECT_NE(err.find("bank-group mapping"), std::string::npos) << err;
 }
+
+TEST(Spec, StackedBackendSelectsTheReferencePart)
+{
+    // `backend = stacked` with no device axis means "the stacked
+    // reference part"; the vault axis expands per point.
+    ExperimentSpec spec;
+    ASSERT_EQ(parseExperimentSpec("backend = stacked\n"
+                                  "vaults = 16, 8, 4\n"
+                                  "remap = on\n"
+                                  "workload = WS\n",
+                                  spec),
+              "");
+    EXPECT_EQ(spec.base.deviceName, "HMC2-8GB");
+    EXPECT_EQ(spec.base.backend, MemBackendKind::StackedDram);
+    EXPECT_TRUE(spec.base.remap.enabled);
+    EXPECT_EQ(spec.pointCount(), 3u);
+    const auto points = spec.points();
+    ASSERT_EQ(points.size(), 3u);
+    std::uint64_t capacity = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].cfg.backend, MemBackendKind::StackedDram);
+        EXPECT_TRUE(points[i].cfg.remap.enabled);
+        // The vault sweep preserves capacity (rows scale inversely).
+        if (i == 0)
+            capacity = points[i].cfg.dram.capacityBytes();
+        EXPECT_EQ(points[i].cfg.dram.capacityBytes(), capacity);
+    }
+    EXPECT_EQ(points[0].cfg.dram.vaultsPerStack, 16u);
+    EXPECT_EQ(points[1].cfg.dram.vaultsPerStack, 8u);
+    EXPECT_EQ(points[2].cfg.dram.vaultsPerStack, 4u);
+}
+
+TEST(Spec, RemapOnFlatBackendIsANamedError)
+{
+    // A silently ignored remap key would masquerade as a null result;
+    // the loader must reject it by name.
+    ExperimentSpec spec;
+    std::string err = parseExperimentSpec("remap = on\n", spec);
+    EXPECT_NE(err.find("remap applies to the stacked backend only"),
+              std::string::npos)
+        << err;
+
+    // Even `remap = off` names a knob the flat backend does not have.
+    err = parseExperimentSpec("remap = off\n", spec);
+    EXPECT_NE(err.find("remap applies to the stacked backend only"),
+              std::string::npos)
+        << err;
+
+    err = parseExperimentSpec("device = DDR4-2400\nremap = on\n", spec);
+    EXPECT_NE(err.find("DDR4-2400"), std::string::npos) << err;
+
+    err = parseExperimentSpec("vaults = 8\n", spec);
+    EXPECT_NE(err.find("vaults applies to the stacked backend only"),
+              std::string::npos)
+        << err;
+}
+
+TEST(Spec, BackendDeviceMismatchesAreNamedErrors)
+{
+    ExperimentSpec spec;
+    std::string err = parseExperimentSpec("backend = stacked\n"
+                                          "device = DDR3-1600\n",
+                                          spec);
+    EXPECT_NE(err.find("flat JEDEC part"), std::string::npos) << err;
+
+    err = parseExperimentSpec("backend = flat\n"
+                              "device = HMC2-8GB\n",
+                              spec);
+    EXPECT_NE(err.find("stacked part"), std::string::npos) << err;
+
+    err = parseExperimentSpec("backend = sideways\n", spec);
+    EXPECT_NE(err.find("backend must be 'flat' or 'stacked'"),
+              std::string::npos)
+        << err;
+
+    // A stacked device without the backend key still works: the
+    // backend kind follows the device geometry.
+    ASSERT_EQ(parseExperimentSpec("device = HMC2-8GB\nremap = on\n",
+                                  spec),
+              "");
+    EXPECT_EQ(spec.base.backend, MemBackendKind::StackedDram);
+    EXPECT_TRUE(spec.base.remap.enabled);
+}
