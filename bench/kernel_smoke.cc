@@ -261,6 +261,50 @@ stackedCacheRoundtrips(WorkloadId wl, const std::string &cachePath)
 }
 
 /**
+ * Schema-v7 (tiered-backend) acceptance: the tier columns (fast-tier
+ * hit fraction, slow-tier read p99, migration counters) must survive
+ * the results cache. Runs one tiny tiered point (hotness_based, a
+ * monitor window small enough that migrations fire) against a scratch
+ * cache, reloads it with a fresh runner, and compares.
+ */
+bool
+tieredCacheRoundtrips(WorkloadId wl, const std::string &cachePath)
+{
+    std::remove(cachePath.c_str());
+    SimConfig cfg = SimConfig::baseline();
+    cfg.tier.enabled = true;
+    cfg.tier.policy = TierPolicy::HotnessBased;
+    cfg.tier.monitorWindowSamples = 64;
+    cfg.warmupCoreCycles = 50'000;
+    cfg.measureCoreCycles = 150'000;
+    ExperimentRunner::Point p(wl, cfg);
+
+    MetricSet fresh, cached;
+    std::uint64_t rerunSims = 0;
+    {
+        ExperimentRunner runner(cachePath);
+        fresh = runner.runAll({p}, 1).front();
+    }
+    {
+        ExperimentRunner runner(cachePath);
+        cached = runner.runAll({p}, 1).front();
+        rerunSims = runner.simulationsRun();
+    }
+    std::remove(cachePath.c_str());
+
+    const auto close = [](double a, double b) {
+        return std::fabs(a - b) <= 1e-5 * (std::fabs(b) + 1.0);
+    };
+    return rerunSims == 0 && fresh.fastTierHitPct > 0.0 &&
+           fresh.slowTierReadLatencyP99 > 0.0 &&
+           close(cached.fastTierHitPct, fresh.fastTierHitPct) &&
+           close(cached.slowTierReadLatencyP99,
+                 fresh.slowTierReadLatencyP99) &&
+           cached.tierMigrations == fresh.tierMigrations &&
+           cached.tierMigratedRows == fresh.tierMigratedRows;
+}
+
+/**
  * Commit fingerprint for the perf trajectory. Resolution chain (see
  * the file comment): CLOUDMC_GIT_SHA env, GITHUB_SHA env, a live
  * `git rev-parse HEAD`, the configure-time SHA baked in by CMake,
@@ -391,6 +435,8 @@ main(int argc, char **argv)
         fairnessCacheRoundtrips(wl, dev, jsonPath + ".cache.tmp.csv");
     const bool stackedRoundtrip =
         stackedCacheRoundtrips(wl, jsonPath + ".cache.tmp.csv");
+    const bool tieredRoundtrip =
+        tieredCacheRoundtrips(wl, jsonPath + ".cache.tmp.csv");
 
     std::printf("kernel_smoke: fig01 config, workload %s, device %s, "
                 "%u channel(s), %llu measured core cycles\n",
@@ -414,6 +460,8 @@ main(int argc, char **argv)
                 fairnessRoundtrip ? "yes" : "NO");
     std::printf("  stacked fields survive cache round-trip: %s\n",
                 stackedRoundtrip ? "yes" : "NO");
+    std::printf("  tiered fields survive cache round-trip: %s\n",
+                tieredRoundtrip ? "yes" : "NO");
 
     const ClockDomains &clk = ev.clk;
     std::FILE *f = std::fopen(jsonPath.c_str(), "w");
@@ -468,11 +516,13 @@ main(int argc, char **argv)
                  "  \"speedup_vs_reference\": %.3f,\n"
                  "  \"metrics_bit_identical\": %s,\n"
                  "  \"fairness_cache_roundtrip\": %s,\n"
-                 "  \"stacked_cache_roundtrip\": %s\n"
+                 "  \"stacked_cache_roundtrip\": %s,\n"
+                 "  \"tiered_cache_roundtrip\": %s\n"
                  "}\n",
                  speedup, bitIdentical ? "true" : "false",
                  fairnessRoundtrip ? "true" : "false",
-                 stackedRoundtrip ? "true" : "false");
+                 stackedRoundtrip ? "true" : "false",
+                 tieredRoundtrip ? "true" : "false");
     std::fclose(f);
     if (!bitIdentical)
         return 2;
@@ -480,6 +530,8 @@ main(int argc, char **argv)
         return 3;
     if (!stackedRoundtrip)
         return 5;
+    if (!tieredRoundtrip)
+        return 6;
     if (baseSpeedup > 0.0) {
         const double floor = 0.85 * baseSpeedup;
         std::printf("  regression guard: measured %.2fx vs baseline "

@@ -8,6 +8,7 @@
 #include "dram/dram_system.hh"
 #include "dram/energy.hh"
 #include "factory.hh"
+#include "hotness_monitor.hh"
 #include "sim/metrics.hh"
 #include "sim/sim_config.hh"
 
@@ -21,8 +22,37 @@ memBackendKindName(MemBackendKind k)
         return "flat";
       case MemBackendKind::StackedDram:
         return "stacked";
+      case MemBackendKind::Tiered:
+        return "tiered";
     }
     return "?";
+}
+
+const char *
+tierPolicyName(TierPolicy p)
+{
+    switch (p) {
+      case TierPolicy::StaticSplit:
+        return "static_split";
+      case TierPolicy::HotnessBased:
+        return "hotness_based";
+      case TierPolicy::AlloyCache:
+        return "alloy_cache";
+    }
+    return "?";
+}
+
+bool
+tryTierPolicyFromName(const std::string &name, TierPolicy &out)
+{
+    for (TierPolicy p : {TierPolicy::StaticSplit, TierPolicy::HotnessBased,
+                         TierPolicy::AlloyCache}) {
+        if (name == tierPolicyName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
 }
 
 namespace {
@@ -104,6 +134,10 @@ class FlatDramBackend final : public MemBackend
                 : clk_.ticksToNs(
                       now -
                       controllers_.front()->channel().stats().statsStartTick);
+        // collect() fills, it never accumulates: zero the sum before
+        // adding so a second collect() into the same MetricSet is
+        // idempotent.
+        m.dramEnergyNj = 0.0;
         for (const auto &mc : controllers_) {
             m.dramEnergyNj +=
                 energyModel.estimate(mc->channel().stats(), now).totalNj();
@@ -365,6 +399,13 @@ class StackedDramBackend final : public MemBackend
                 : clk_.ticksToNs(
                       now -
                       controllers_.front()->channel().stats().statsStartTick);
+        // collect() fills, it never accumulates: zero/clear every
+        // summed field up front so a second collect() into the same
+        // MetricSet reproduces identical values instead of doubling
+        // the energy, duplicating every vault's queue entry (which
+        // would also skew vaultQueueImbalance via the doubled mean),
+        // and double-counting the remap migrations.
+        m.dramEnergyNj = 0.0;
         for (const auto &mc : controllers_) {
             m.dramEnergyNj +=
                 energyModel.estimate(mc->channel().stats(), now).totalNj();
@@ -372,6 +413,7 @@ class StackedDramBackend final : public MemBackend
         m.dramAvgPowerMw =
             elapsedNs > 0.0 ? m.dramEnergyNj * 1e3 / elapsedNs : 0.0;
 
+        m.perVaultReadQueue.clear();
         double sum = 0.0, peak = 0.0;
         for (const auto &mc : controllers_) {
             const double q = mc->stats().readQueueLen.mean(now);
@@ -384,6 +426,8 @@ class StackedDramBackend final : public MemBackend
                 ? 0.0
                 : sum / static_cast<double>(controllers_.size());
         m.vaultQueueImbalance = mean > 0.0 ? peak / mean : 0.0;
+        m.remapMigrations = 0;
+        m.remapMigratedRows = 0;
         for (const auto &rm : remappers_) {
             m.remapMigrations += rm.migrations();
             m.remapMigratedRows += rm.migratedRows();
@@ -418,11 +462,432 @@ class StackedDramBackend final : public MemBackend
     std::vector<std::unique_ptr<MemController>> controllers_;
 };
 
+/**
+ * Two-tier memory: the SimConfig's base backend (flat or stacked) as
+ * the fast tier, composed with a slow CXL/NVM-like tier built from
+ * the same media model with extra return-path latency (charged via
+ * the tTSV hook, exactly like a stacked part's vault-to-logic-layer
+ * crossing) and a service-rate bandwidth throttle (the tCCD/tCCD_L/
+ * tBURST timings stretch by 100/slowBwPct). The slow tier adds
+ * cfg.dram.channels queues after the fast tier's, so the event
+ * kernel's routing and the parallel kernel's per-queue sharding
+ * decompose over both tiers with no kernel changes.
+ *
+ * Placement is tracked per "tile" — a power-of-two span of whole rows
+ * sized so the tile map stays bounded (<= 64 Ki tiles). The address
+ * space is the fast tier's capacity scaled by 100/fastCapacityPct;
+ * initially a fastCapacityPct share of the tiles is fast-resident,
+ * interleaved evenly across the space (the static_split policy stops
+ * there — CXLMemSim's static_balanced). A DAMON-style HotnessMonitor
+ * samples every routed access; with the hotness_based policy each
+ * closed aggregation window may swap the hottest slow-resident tile
+ * with the coldest fast-resident tile, counting the copied rows and
+ * gating both tiles until the copy's end via Request::availableAt —
+ * the same migration cost model as the vault remapper. The
+ * alloy_cache policy instead treats the fast tier as a direct-mapped
+ * row cache: a tag hit routes fast, a miss routes slow and fills the
+ * row's slot (a one-row migration with the same availableAt gate).
+ *
+ * All policy state (tile map, monitor, tags) mutates only inside
+ * route(), which every kernel calls in identical global order — the
+ * property that keeps tiered runs bit-identical across the reference,
+ * event, and parallel kernels.
+ */
+class TieredMemBackend final : public MemBackend
+{
+  public:
+    TieredMemBackend(const SimConfig &cfg, std::uint32_t numCores)
+        : tier_(cfg.tier), clk_(cfg.clocks), power_(cfg.power),
+          slowTimings_(slowTierTimings(cfg.timings, cfg.tier)),
+          slowGeom_(slowTierGeometry(cfg.dram)),
+          slowMapper_(slowGeom_, cfg.mapping, cfg.bankGroupMapping),
+          inner_(cfg.backend == MemBackendKind::StackedDram
+                     ? std::unique_ptr<MemBackend>(
+                           std::make_unique<StackedDramBackend>(cfg,
+                                                                numCores))
+                     : std::make_unique<FlatDramBackend>(cfg, numCores)),
+          monitor_(0, 1, MonitorConfig{})
+    {
+        mc_assert(tier_.fastCapacityPct >= 1 &&
+                      tier_.fastCapacityPct <= 100,
+                  "tier_capacity_pct must be in [1, 100]");
+        mc_assert(tier_.slowBwPct >= 1 && tier_.slowBwPct <= 100,
+                  "tier_bw must be in [1, 100]");
+        innerQueues_ = inner_->numQueues();
+        fastBytes_ = inner_->capacityBytes();
+        rowBytes_ = cfg.dram.rowBufferBytes;
+        slowSpan_ = slowGeom_.capacityBytes();
+
+        // Tile sizing: start at one row and double until the whole
+        // (fast + slow) space fits in the tile-map budget.
+        const std::uint64_t rawSlow =
+            fastBytes_ * (100ull - tier_.fastCapacityPct) /
+            tier_.fastCapacityPct;
+        tileBytes_ = rowBytes_;
+        while ((fastBytes_ + rawSlow) / tileBytes_ > kMaxTiles)
+            tileBytes_ <<= 1;
+        totalTiles_ =
+            static_cast<std::uint32_t>(fastBytes_ / tileBytes_) +
+            static_cast<std::uint32_t>(rawSlow / tileBytes_);
+        tileRows_ = tileBytes_ / rowBytes_;
+        // Initial placement: a fastCapacityPct share of tiles is
+        // fast-resident, spread evenly across the space (Bresenham
+        // interleave) rather than packed at the bottom — workloads lay
+        // their footprints from address 0 up, so a contiguous split
+        // would leave the slow tier idle under every real footprint.
+        tileTier_.assign(totalTiles_, 0);
+        std::uint32_t fastCount = 0;
+        for (std::uint32_t t = 0; t < totalTiles_; ++t) {
+            if (static_cast<std::uint64_t>(t) * tier_.fastCapacityPct %
+                    100 <
+                tier_.fastCapacityPct) {
+                tileTier_[t] = 1;
+                ++fastCount;
+            }
+        }
+        fastTiles_ = fastCount;
+        slowTiles_ = totalTiles_ - fastCount;
+
+        MonitorConfig mon;
+        mon.sampleEvery = tier_.monitorSampleEvery;
+        mon.windowSamples = tier_.monitorWindowSamples;
+        mon.minRegions = tier_.monitorMinRegions;
+        mon.maxRegions = tier_.monitorMaxRegions;
+        monitor_ = HotnessMonitor(capacityBytes(), tileBytes_, mon);
+
+        tileMigrationTicks_ = clk_.dramToTicks(
+            2ull * tileRows_ * tier_.migrationCyclesPerRow);
+        if (tier_.policy == TierPolicy::AlloyCache) {
+            const std::uint64_t slots = std::min<std::uint64_t>(
+                std::max<std::uint64_t>(fastBytes_ / rowBytes_, 1),
+                kMaxAlloySlots);
+            alloyTags_.assign(static_cast<std::size_t>(slots),
+                              ~std::uint64_t{0});
+            alloyBusy_.assign(static_cast<std::size_t>(slots), Tick{});
+            alloyFillTicks_ =
+                clk_.dramToTicks(tier_.migrationCyclesPerRow);
+        }
+
+        // The slow tier: one Channel + MemController per fast-tier
+        // stack/channel, built from the device's media model with the
+        // tier latency/bandwidth modifications.
+        DramGeometry chGeom = slowGeom_;
+        chGeom.channels = 1;
+        chGeom.validate();
+        for (std::uint32_t c = 0; c < slowGeom_.channels; ++c) {
+            channels_.push_back(std::make_unique<Channel>(
+                chGeom, slowTimings_, cfg.refreshEnabled, cfg.clocks));
+            controllers_.push_back(std::make_unique<MemController>(
+                *channels_.back(),
+                makeScheduler(cfg.scheduler, numCores, cfg.schedulerParams,
+                              cfg.clocks, cfg.timings),
+                makePagePolicy(cfg.pagePolicy, cfg.clocks), numCores,
+                cfg.controller));
+        }
+    }
+
+    MemBackendKind kind() const override { return MemBackendKind::Tiered; }
+
+    std::uint32_t
+    numQueues() const override
+    {
+        return innerQueues_ +
+               static_cast<std::uint32_t>(controllers_.size());
+    }
+
+    MemController &
+    queue(std::uint32_t i) override
+    {
+        return i < innerQueues_ ? inner_->queue(i)
+                                : *controllers_[i - innerQueues_];
+    }
+
+    void
+    route(Request &req, Tick now) override
+    {
+        const Addr addr = req.addr;
+        const std::uint32_t tile = tileOf(addr);
+        bool fast;
+        if (tier_.policy == TierPolicy::AlloyCache) {
+            const Addr row = addr / rowBytes_;
+            const std::size_t slot =
+                static_cast<std::size_t>(row % alloyTags_.size());
+            fast = alloyTags_[slot] == row;
+            if (fast) {
+                // A hit during the slot's fill waits for the copy.
+                if (alloyBusy_[slot] > req.availableAt)
+                    req.availableAt = alloyBusy_[slot];
+            } else {
+                // Miss: served from the slow tier; the row fills its
+                // direct-mapped fast slot behind the access.
+                alloyTags_[slot] = row;
+                alloyBusy_[slot] = now + alloyFillTicks_;
+                ++migrations_;
+                ++migratedRows_;
+            }
+        } else {
+            fast = tileTier_[tile] != 0;
+        }
+        if (monitor_.record(addr)) {
+            if (tier_.policy == TierPolicy::HotnessBased)
+                maybeMigrate(now);
+            monitor_.closeWindow();
+        }
+        if (fast) {
+            ++fastRouted_;
+            // Fold into the fast tier's physical space: a promoted
+            // slow-region address borrows the frame its fold lands in
+            // (a performance model, not a functional allocator).
+            req.addr = addr % fastBytes_;
+            inner_->route(req, now);
+            req.addr = addr;
+        } else {
+            ++slowRouted_;
+            req.coord = slowMapper_.decode(addr % slowSpan_);
+            req.coord.channel += innerQueues_;
+        }
+        // A tile mid-migration gates its requests (either direction of
+        // the swap) until the copy finishes.
+        for (const TileGate &g : migrating_) {
+            if (g.tile == tile && g.until > req.availableAt &&
+                g.until > now) {
+                req.availableAt = g.until;
+            }
+        }
+    }
+
+    std::uint64_t
+    capacityBytes() const override
+    {
+        return static_cast<std::uint64_t>(totalTiles_) * tileBytes_;
+    }
+
+    void
+    resetStats(Tick now) override
+    {
+        inner_->resetStats(now);
+        for (auto &mc : controllers_)
+            mc->resetStats(now);
+        // Window counters reset; the learned state (tile map, monitor
+        // regions, alloy tags) keeps learning across the boundary,
+        // like the vault remapper's table.
+        fastRouted_ = 0;
+        slowRouted_ = 0;
+        migrations_ = 0;
+        migratedRows_ = 0;
+    }
+
+    double
+    busUtilization(Tick now) const override
+    {
+        double sum = inner_->busUtilization(now) *
+                     static_cast<double>(innerQueues_);
+        for (const auto &ch : channels_)
+            sum += ch->stats().busUtilization(now);
+        const std::size_t n = innerQueues_ + channels_.size();
+        return n ? sum / static_cast<double>(n) : 0.0;
+    }
+
+    void
+    collect(MetricSet &m, Tick now) const override
+    {
+        // Fast-tier fields first (bus util, energy, any stacked
+        // quantities); the inner collect() fills idempotently, so this
+        // whole method stays fill-not-accumulate too.
+        inner_->collect(m, now);
+
+        // Fold the slow tier into the media-wide quantities.
+        m.bwUtilPct = 100.0 * busUtilization(now);
+        const DramEnergyModel energyModel(power_, slowTimings_,
+                                          slowGeom_.ranksPerChannel,
+                                          slowGeom_.banksPerRank, clk_);
+        for (const auto &mc : controllers_) {
+            m.dramEnergyNj +=
+                energyModel.estimate(mc->channel().stats(), now).totalNj();
+        }
+        const double elapsedNs =
+            controllers_.empty()
+                ? 0.0
+                : clk_.ticksToNs(
+                      now -
+                      controllers_.front()->channel().stats().statsStartTick);
+        m.dramAvgPowerMw =
+            elapsedNs > 0.0 ? m.dramEnergyNj * 1e3 / elapsedNs : 0.0;
+
+        // Tier quantities (schema v7). Every ratio guards its empty
+        // set: a run with no routed accesses reports a 0 hit fraction,
+        // and a slow tier that served no reads reports a 0 p99 (the
+        // histogram percentile of an empty merge is 0 by contract).
+        const std::uint64_t total = fastRouted_ + slowRouted_;
+        m.fastTierHitPct =
+            total ? 100.0 * static_cast<double>(fastRouted_) /
+                        static_cast<double>(total)
+                  : 0.0;
+        LogHistogram slowHist{24};
+        for (const auto &mc : controllers_)
+            slowHist.merge(mc->stats().readLatencyHist);
+        m.slowTierReadLatencyP99 = slowHist.percentile(0.99);
+        m.tierMigrations = migrations_;
+        m.tierMigratedRows = migratedRows_;
+    }
+
+  private:
+    /** Tile-map and alloy-tag budgets: bounded state, coarser tiles on
+     *  bigger spaces rather than unbounded vectors. */
+    static constexpr std::uint64_t kMaxTiles = 1ull << 16;
+    static constexpr std::uint64_t kMaxAlloySlots = 1ull << 18;
+
+    struct TileGate
+    {
+        std::uint32_t tile;
+        Tick until;
+    };
+
+    /** Slow-tier media timing: the device's, with the tier link
+     *  latency on the read return path (the tTSV hook; flat devices
+     *  carry 0 there) and the column/burst cadence stretched to the
+     *  throttled service rate. */
+    static DramTimings
+    slowTierTimings(const DramTimings &t, const TierConfig &tier)
+    {
+        DramTimings slow = t;
+        slow.tTSV += tier.slowLatencyDramCycles;
+        const auto scale = [&tier](std::uint32_t v) {
+            return static_cast<std::uint32_t>(
+                (static_cast<std::uint64_t>(v) * 100 + tier.slowBwPct -
+                 1) /
+                tier.slowBwPct);
+        };
+        slow.tCCD = scale(t.tCCD);
+        slow.tCCDL = scale(t.tCCDL);
+        slow.tBURST = scale(t.tBURST);
+        return slow;
+    }
+
+    /** Slow-tier geometry: the device's channel shape with the vault
+     *  dimension flattened away; slow-resident addresses fold into it
+     *  modulo its capacity (an aliasing performance model). */
+    static DramGeometry
+    slowTierGeometry(const DramGeometry &g)
+    {
+        DramGeometry slow = g;
+        slow.vaultsPerStack = 0;
+        slow.validate();
+        return slow;
+    }
+
+    std::uint32_t
+    tileOf(Addr addr) const
+    {
+        const std::uint64_t t = addr / tileBytes_;
+        return static_cast<std::uint32_t>(
+            t < totalTiles_ ? t : totalTiles_ - 1);
+    }
+
+    /**
+     * One tile swap per closed monitor window, at most: the hottest
+     * slow-resident tile (by its covering region's sampled density)
+     * swaps with the coldest fast-resident tile when the density gap
+     * exceeds hotFactor. Lowest tile index wins every tie, so the
+     * decision is deterministic.
+     */
+    void
+    maybeMigrate(Tick now)
+    {
+        // Expired gates prune here (bounded: 2 entries per window).
+        std::size_t keep = 0;
+        for (const TileGate &g : migrating_) {
+            if (g.until > now)
+                migrating_[keep++] = g;
+        }
+        migrating_.resize(keep);
+        if (fastTiles_ == 0 || slowTiles_ == 0)
+            return;
+
+        // Walk tiles and monitor regions in lockstep (both address-
+        // ordered): a tile's heat is its region's count per tile.
+        const auto &regions = monitor_.regions();
+        if (regions.empty())
+            return;
+        std::uint32_t hotTile = totalTiles_, coldTile = totalTiles_;
+        double hotHeat = 0.0, coldHeat = 0.0;
+        std::size_t r = 0;
+        for (std::uint32_t t = 0; t < totalTiles_; ++t) {
+            const Addr start = static_cast<Addr>(t) * tileBytes_;
+            while (r + 1 < regions.size() && regions[r].end <= start)
+                ++r;
+            const Addr regTiles =
+                (regions[r].end - regions[r].start) / tileBytes_;
+            const double heat =
+                regTiles ? static_cast<double>(regions[r].count) /
+                               static_cast<double>(regTiles)
+                         : 0.0;
+            if (tileTier_[t] == 0) {
+                if (hotTile == totalTiles_ || heat > hotHeat) {
+                    hotTile = t;
+                    hotHeat = heat;
+                }
+            } else if (coldTile == totalTiles_ || heat < coldHeat) {
+                coldTile = t;
+                coldHeat = heat;
+            }
+        }
+        if (hotTile == totalTiles_ || coldTile == totalTiles_)
+            return;
+        if (hotHeat <= tier_.hotFactor * std::max(coldHeat, 1.0))
+            return;
+
+        tileTier_[hotTile] = 1;
+        tileTier_[coldTile] = 0;
+        const Tick doneAt = now + tileMigrationTicks_;
+        migrating_.push_back({hotTile, doneAt});
+        migrating_.push_back({coldTile, doneAt});
+        ++migrations_;
+        migratedRows_ += 2ull * tileRows_; // Both directions of the swap.
+    }
+
+    TierConfig tier_;
+    ClockDomains clk_;
+    DramPowerParams power_;
+    DramTimings slowTimings_;
+    DramGeometry slowGeom_;
+    AddressMapper slowMapper_;
+    std::unique_ptr<MemBackend> inner_; ///< The fast tier.
+    HotnessMonitor monitor_;
+
+    std::uint32_t innerQueues_ = 0;
+    std::uint64_t fastBytes_ = 0;
+    std::uint64_t slowSpan_ = 0;
+    std::uint64_t rowBytes_ = 0;
+    std::uint64_t tileBytes_ = 0;
+    std::uint64_t tileRows_ = 0;
+    std::uint32_t fastTiles_ = 0;
+    std::uint32_t slowTiles_ = 0;
+    std::uint32_t totalTiles_ = 0;
+    std::vector<std::uint8_t> tileTier_; ///< 1 = fast-resident.
+    std::vector<TileGate> migrating_;    ///< In-flight tile copies.
+    TickSpan tileMigrationTicks_{};
+
+    std::vector<std::uint64_t> alloyTags_; ///< Direct-mapped row tags.
+    std::vector<Tick> alloyBusy_;          ///< Fill gate per slot.
+    TickSpan alloyFillTicks_{};
+
+    std::uint64_t fastRouted_ = 0;
+    std::uint64_t slowRouted_ = 0;
+    std::uint64_t migrations_ = 0;
+    std::uint64_t migratedRows_ = 0;
+
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::vector<std::unique_ptr<MemController>> controllers_;
+};
+
 } // namespace
 
 std::unique_ptr<MemBackend>
 makeMemBackend(const SimConfig &cfg, std::uint32_t numCores)
 {
+    if (cfg.tier.enabled)
+        return std::make_unique<TieredMemBackend>(cfg, numCores);
     if (cfg.backend == MemBackendKind::StackedDram)
         return std::make_unique<StackedDramBackend>(cfg, numCores);
     return std::make_unique<FlatDramBackend>(cfg, numCores);

@@ -23,10 +23,12 @@
  *    contract behind MetricSet, including the energy model.
  *
  * Implementations: FlatDramBackend (the paper's JEDEC DRAM system,
- * one controller per channel) and StackedDramBackend (HMC-style
- * stacks with per-vault controllers, TSV return-path timing, and an
- * optional counters-driven hot-bank remapping layer with a migration
- * cost model).
+ * one controller per channel), StackedDramBackend (HMC-style stacks
+ * with per-vault controllers, TSV return-path timing, and an optional
+ * counters-driven hot-bank remapping layer with a migration cost
+ * model), and TieredMemBackend (either of the above as the fast tier
+ * composed with a slow CXL/NVM-like tier, fronted by a DAMON-style
+ * HotnessMonitor and pluggable placement/migration policies).
  */
 
 #ifndef CLOUDMC_MEM_BACKEND_HH
@@ -34,6 +36,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/types.hh"
 #include "mem_controller.hh"
@@ -48,9 +51,68 @@ struct MetricSet;
 enum class MemBackendKind : std::uint8_t {
     FlatDram,    ///< JEDEC channels behind one controller each.
     StackedDram, ///< HMC-style stacks of vaults, one controller per vault.
+    /** Two-tier composition: a fast tier (flat or stacked, per the
+     *  config's base backend kind) in front of a slow CXL/NVM-like
+     *  tier. Never stored in SimConfig::backend (that names the fast
+     *  tier); selected by SimConfig::tier.enabled. */
+    Tiered,
 };
 
 const char *memBackendKindName(MemBackendKind k);
+
+/** Placement/migration policy of the tiered backend. */
+enum class TierPolicy : std::uint8_t {
+    /** Fixed placement: a tier_capacity_pct share of tiles is fast,
+     *  interleaved evenly across the space; no migration ever. */
+    StaticSplit,
+    /** DAMON-monitor-driven: each aggregation window may swap the
+     *  hottest slow-resident tile with the coldest fast-resident one,
+     *  charging the copy via Request::availableAt. */
+    HotnessBased,
+    /** Alloy-cache-like: the fast tier acts as a direct-mapped row
+     *  cache of the whole space; every miss is served slow and fills
+     *  the row's fast slot (one-row migration). */
+    AlloyCache,
+};
+
+const char *tierPolicyName(TierPolicy p);
+bool tryTierPolicyFromName(const std::string &name, TierPolicy &out);
+
+/**
+ * Tiered-memory knobs (TieredMemBackend; SimConfig::tier). The slow
+ * tier reuses the device's media model with two modifications: extra
+ * return-path latency (slowLatencyDramCycles, charged exactly like
+ * the stacked tTSV crossing) and a bandwidth throttle modeled as
+ * queue service-rate scaling (the column-to-column and burst timings
+ * stretch by 100/slowBwPct). fastCapacityPct sets the fast tier's
+ * share of the total address space; placement/migration granularity
+ * is one "tile" (a power-of-two row multiple chosen so the tile map
+ * stays bounded). The monitor fields configure the DAMON-style
+ * HotnessMonitor in front of the placement policies.
+ */
+struct TierConfig
+{
+    bool enabled = false;
+    TierPolicy policy = TierPolicy::HotnessBased;
+    /** Extra slow-tier read return latency, DRAM cycles. */
+    std::uint32_t slowLatencyDramCycles = 96;
+    /** Slow-tier service rate as a percent of the fast tier's,
+     *  in [1, 100]. */
+    std::uint32_t slowBwPct = 50;
+    /** Fast tier's share of the total address space, in [1, 100]. */
+    std::uint32_t fastCapacityPct = 50;
+    /** DAMON-style monitor knobs (the monitor_* spec keys). */
+    std::uint32_t monitorSampleEvery = 4;
+    std::uint32_t monitorWindowSamples = 2048;
+    std::uint32_t monitorMinRegions = 16;
+    std::uint32_t monitorMaxRegions = 256;
+    /** Promote only when the hottest slow tile's sampled density
+     *  exceeds hotFactor times the coldest fast tile's. */
+    double hotFactor = 2.0;
+    /** Migration cost: DRAM cycles per row copied; both tiles of a
+     *  swap are gated (Request::availableAt) until the copy ends. */
+    std::uint32_t migrationCyclesPerRow = 64;
+};
 
 /**
  * Dynamic vault/bank remapping policy knobs (stacked backend only).
@@ -103,7 +165,10 @@ class MemBackend
     virtual double busUtilization(Tick now) const = 0;
 
     /** Fill the backend-owned MetricSet fields (bus utilization,
-     *  energy, per-vault occupancy, remap counters). */
+     *  energy, per-vault occupancy, remap and tier counters). collect()
+     *  FILLS, it never accumulates: calling it twice on the same
+     *  MetricSet must leave identical values (list fields are cleared,
+     *  scalars assigned or zeroed before any summation). */
     virtual void collect(MetricSet &m, Tick now) const = 0;
 };
 

@@ -1,0 +1,144 @@
+#include "hotness_monitor.hh"
+
+#include <algorithm>
+
+namespace mcsim {
+
+HotnessMonitor::HotnessMonitor(Addr spanBytes, Addr grainBytes,
+                               const MonitorConfig &cfg)
+    : cfg_(cfg), span_(spanBytes),
+      grain_(grainBytes ? grainBytes : Addr{1})
+{
+    if (cfg_.sampleEvery == 0)
+        cfg_.sampleEvery = 1;
+    if (cfg_.windowSamples == 0)
+        cfg_.windowSamples = 1;
+    if (cfg_.minRegions == 0)
+        cfg_.minRegions = 1;
+    if (cfg_.maxRegions < cfg_.minRegions)
+        cfg_.maxRegions = cfg_.minRegions;
+
+    const Addr grains = span_ / grain_;
+    if (grains == 0)
+        return; // Zero-region monitor: record() is a no-op.
+    // Initial map: minRegions (or fewer, on tiny spans) equal-size,
+    // grain-aligned regions covering [0, grains * grain).
+    const Addr k = std::min<Addr>(cfg_.minRegions, grains);
+    Addr prev = 0;
+    for (Addr i = 1; i <= k; ++i) {
+        const Addr end = grain_ * (grains * i / k);
+        if (end > prev)
+            regions_.push_back({prev, end, 0});
+        prev = end;
+    }
+}
+
+std::size_t
+HotnessMonitor::regionIndex(Addr addr) const
+{
+    // Last region whose start is <= addr; out-of-span addresses clamp
+    // to the final region.
+    std::size_t lo = 0, hi = regions_.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi + 1) / 2;
+        if (regions_[mid].start <= addr)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+double
+HotnessMonitor::densityAt(Addr addr) const
+{
+    if (regions_.empty())
+        return 0.0;
+    const Region &r = regions_[regionIndex(addr)];
+    const Addr grains = (r.end - r.start) / grain_;
+    return grains ? static_cast<double>(r.count) /
+                        static_cast<double>(grains)
+                  : 0.0;
+}
+
+bool
+HotnessMonitor::record(Addr addr)
+{
+    if (regions_.empty())
+        return false;
+    if (--sampleCountdown_ > 0)
+        return false;
+    sampleCountdown_ = cfg_.sampleEvery;
+    ++regions_[regionIndex(addr)].count;
+    if (++samplesInWindow_ < cfg_.windowSamples)
+        return false;
+    samplesInWindow_ = 0;
+    ++windowsClosed_;
+    return true;
+}
+
+void
+HotnessMonitor::closeWindow()
+{
+    if (regions_.empty())
+        return;
+
+    // Merge FIRST, then split — DAMON's order. A split leaves two
+    // halves with near-equal counts; merging afterwards in the same
+    // pass would collapse them right back. Merged-then-split, the
+    // halves live through the next window, whose recording
+    // differentiates their counts before the next merge decision.
+
+    // Merge: adjacent regions whose counts differ by at most 20% of
+    // their sum collapse (cold space folds into wide regions), left to
+    // right, down to the minRegions floor.
+    std::vector<Region> merged;
+    merged.reserve(regions_.size());
+    std::size_t remaining = regions_.size();
+    for (const Region &r : regions_) {
+        if (!merged.empty() && remaining > cfg_.minRegions) {
+            Region &p = merged.back();
+            const std::uint64_t hi = std::max(p.count, r.count);
+            const std::uint64_t lo = std::min(p.count, r.count);
+            if ((hi - lo) * 5 <= hi + lo) {
+                p.end = r.end;
+                p.count += r.count;
+                --remaining;
+                continue;
+            }
+        }
+        merged.push_back(r);
+    }
+
+    // Split: a region carrying more than twice the per-region average
+    // count splits at its grain-aligned midpoint (the count divides in
+    // two, remainder to the lower half), while the region budget
+    // lasts.
+    std::uint64_t total = 0;
+    for (const Region &r : merged)
+        total += r.count;
+    const std::uint64_t avg = total / merged.size();
+    std::size_t budget =
+        cfg_.maxRegions > merged.size() ? cfg_.maxRegions - merged.size()
+                                        : 0;
+    regions_.clear();
+    regions_.reserve(merged.size() + budget);
+    for (const Region &r : merged) {
+        const Addr grains = (r.end - r.start) / grain_;
+        if (budget > 0 && grains >= 2 && avg > 0 && r.count > 2 * avg) {
+            const Addr mid = r.start + grain_ * (grains / 2);
+            regions_.push_back({r.start, mid, r.count - r.count / 2});
+            regions_.push_back({mid, r.end, r.count / 2});
+            --budget;
+        } else {
+            regions_.push_back(r);
+        }
+    }
+
+    // Age: one halving per window, so a dead-hot phase decays in a few
+    // windows instead of pinning the map forever.
+    for (Region &r : regions_)
+        r.count >>= 1;
+}
+
+} // namespace mcsim

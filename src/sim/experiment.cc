@@ -164,6 +164,21 @@ paramsHash(const SimConfig &cfg)
             .u64(cfg.remap.migrationRows)
             .u64(cfg.remap.migrationCyclesPerRow);
     }
+    // Schema v7: the tiered-memory knobs, again folded in only when
+    // the tier is enabled so every non-tiered hash (and therefore every
+    // v6 key) stays byte-identical.
+    if (cfg.tier.enabled) {
+        h.u64(static_cast<std::uint64_t>(cfg.tier.policy))
+            .u64(cfg.tier.slowLatencyDramCycles)
+            .u64(cfg.tier.slowBwPct)
+            .u64(cfg.tier.fastCapacityPct)
+            .u64(cfg.tier.monitorSampleEvery)
+            .u64(cfg.tier.monitorWindowSamples)
+            .u64(cfg.tier.monitorMinRegions)
+            .u64(cfg.tier.monitorMaxRegions)
+            .f64(cfg.tier.hotFactor)
+            .u64(cfg.tier.migrationCyclesPerRow);
+    }
     return h.value();
 }
 
@@ -194,7 +209,10 @@ bankGroupSegment(const SimConfig &cfg)
     return seg;
 }
 
-/** The "|be=..." segment for @p cfg (schema v6). */
+/** The "|be=..." segment for @p cfg (schema v6; schema v7 appends a
+ *  "+t<fast-capacity-pct><policy initial>" suffix when the tiered
+ *  composition is enabled, so a tiered run never aliases the plain
+ *  fast-tier row and non-tiered keys stay byte-identical to v6). */
 std::string
 backendSegment(const SimConfig &cfg)
 {
@@ -209,6 +227,11 @@ backendSegment(const SimConfig &cfg)
             seg += 'r';
     } else {
         seg += "flat";
+    }
+    if (cfg.tier.enabled) {
+        seg += "+t";
+        seg += std::to_string(cfg.tier.fastCapacityPct);
+        seg += tierPolicyName(cfg.tier.policy)[0]; // s / h / a.
     }
     return seg;
 }
@@ -315,6 +338,13 @@ constexpr std::size_t kCacheFieldsV5 = 24;
  *  on load by tagging them with the flat fingerprint ("|be=flat") —
  *  the only backend those schemas could simulate. */
 constexpr std::size_t kCacheFieldsV6 = 28;
+/** Schema v7 appends the tiered-backend columns (fast-tier hit
+ *  percent, slow-tier read-latency P99, and the two tier-migration
+ *  counters — all zeros on non-tiered rows) and extends the *key*'s
+ *  backend segment with a "+t..." suffix on tiered configs only, so
+ *  v6 keys and rows need no migration at all: a v6 line parses as a
+ *  v7 row whose tier columns are zero. */
+constexpr std::size_t kCacheFieldsV7 = 32;
 
 /** Parse a ';'-joined list of doubles; empty text is an empty list. */
 bool
@@ -345,8 +375,8 @@ parseDoubleList(const std::string &text, std::vector<double> &out)
  * Split one CSV line; accepts key + 15 fields (v1, written before the
  * percentiles were persisted — they load as 0), key + 18 fields
  * (v2/v3), key + 23 fields (v4, with the fairness columns), key + 24
- * fields (v5), or key + 28 fields (v6, with the stacked-backend
- * columns).
+ * fields (v5), key + 28 fields (v6, with the stacked-backend
+ * columns), or key + 32 fields (v7, with the tiered-backend columns).
  */
 bool
 parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
@@ -366,7 +396,8 @@ parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
          fields.size() != kCacheFieldsV2 + 1 &&
          fields.size() != kCacheFieldsV4 + 1 &&
          fields.size() != kCacheFieldsV5 + 1 &&
-         fields.size() != kCacheFieldsV6 + 1) ||
+         fields.size() != kCacheFieldsV6 + 1 &&
+         fields.size() != kCacheFieldsV7 + 1) ||
         fields[0].empty()) {
         return false;
     }
@@ -435,6 +466,20 @@ parseCacheLine(const std::string &line, std::string &key, MetricSet &m)
         m.remapMigratedRows = static_cast<std::uint64_t>(scalars[2]);
         if (!parseDoubleList(fields[1 + 27], m.perVaultReadQueue))
             return false;
+    }
+    if (numFields >= kCacheFieldsV7) {
+        double scalars[4] = {};
+        for (std::size_t i = 0; i < 4; ++i) {
+            const std::string &f = fields[1 + 28 + i];
+            char *end = nullptr;
+            scalars[i] = std::strtod(f.c_str(), &end);
+            if (f.empty() || end != f.c_str() + f.size())
+                return false;
+        }
+        m.fastTierHitPct = scalars[0];
+        m.slowTierReadLatencyP99 = scalars[1];
+        m.tierMigrations = static_cast<std::uint64_t>(scalars[2]);
+        m.tierMigratedRows = static_cast<std::uint64_t>(scalars[3]);
     }
     return true;
 }
@@ -521,7 +566,9 @@ ExperimentRunner::appendToCache(const std::string &key, const MetricSet &m)
         << joinDoubleList(m.perCoreSlowdown) << ',' << m.sameGroupCasPct
         << ',' << m.vaultQueueImbalance << ',' << m.remapMigrations
         << ',' << m.remapMigratedRows << ','
-        << joinDoubleList(m.perVaultReadQueue) << '\n';
+        << joinDoubleList(m.perVaultReadQueue) << ','
+        << m.fastTierHitPct << ',' << m.slowTierReadLatencyP99 << ','
+        << m.tierMigrations << ',' << m.tierMigratedRows << '\n';
     const std::string line = rec.str();
 
     // One fwrite on an O_APPEND stream keeps the record contiguous

@@ -112,6 +112,21 @@ struct MetricSet
     std::uint64_t remapMigrations = 0;
     std::uint64_t remapMigratedRows = 0;
 
+    /**
+     * Tiered-backend quantities (schema v7; non-tiered rows and
+     * entries recalled from older caches report zeros). fastTierHitPct
+     * is the percent of routed requests served by the fast tier (0
+     * when nothing was routed); slowTierReadLatencyP99 is the slow
+     * tier's read-latency tail in core cycles (0 when the slow tier
+     * served no reads); the migration counters total the window's
+     * tier migrations (tile swaps, or alloy-cache fills) and the rows
+     * they copied between tiers.
+     */
+    double fastTierHitPct = 0.0;
+    double slowTierReadLatencyP99 = 0.0;
+    std::uint64_t tierMigrations = 0;
+    std::uint64_t tierMigratedRows = 0;
+
     std::uint64_t committedInstructions = 0;
     std::uint64_t measuredCycles = 0;
     std::uint64_t memReads = 0;

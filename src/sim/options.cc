@@ -219,6 +219,64 @@ ExperimentOptions::parse(int argc, char **argv)
                 spec.hasRemap = true;
                 spec.base.remap.enabled = config.remap.enabled;
             }
+        } else if (arg == "--tier") {
+            const char *v = need(i);
+            const std::string mode = v ? v : "";
+            if (mode != "on" && mode != "off")
+                return "--tier must be 'on' or 'off'";
+            config.tier.enabled = mode == "on";
+            if (hasSpec) {
+                spec.hasTier = true;
+                spec.base.tier.enabled = config.tier.enabled;
+            }
+        } else if (arg == "--tier-policy") {
+            const char *v = need(i);
+            if (!v || !tryTierPolicyFromName(v, config.tier.policy))
+                return "--tier-policy must be 'static_split', "
+                       "'hotness_based', or 'alloy_cache'";
+            if (!config.tier.enabled)
+                return "--tier-policy applies to the tiered backend "
+                       "only (put --tier on first)";
+            if (hasSpec)
+                spec.base.tier.policy = config.tier.policy;
+        } else if (arg == "--tier-latency") {
+            const char *v = need(i);
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n) || n > 1'000'000)
+                return "--tier-latency needs a DRAM cycle count in "
+                       "[0, 1000000]";
+            if (!config.tier.enabled)
+                return "--tier-latency applies to the tiered backend "
+                       "only (put --tier on first)";
+            config.tier.slowLatencyDramCycles =
+                static_cast<std::uint32_t>(n);
+            if (hasSpec)
+                spec.base.tier.slowLatencyDramCycles =
+                    config.tier.slowLatencyDramCycles;
+        } else if (arg == "--tier-bw") {
+            const char *v = need(i);
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n) || n == 0 || n > 100)
+                return "--tier-bw needs a percentage in [1, 100]";
+            if (!config.tier.enabled)
+                return "--tier-bw applies to the tiered backend only "
+                       "(put --tier on first)";
+            config.tier.slowBwPct = static_cast<std::uint32_t>(n);
+            if (hasSpec)
+                spec.base.tier.slowBwPct = config.tier.slowBwPct;
+        } else if (arg == "--tier-capacity-pct") {
+            const char *v = need(i);
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n) || n == 0 || n > 100)
+                return "--tier-capacity-pct needs a percentage in "
+                       "[1, 100]";
+            if (!config.tier.enabled)
+                return "--tier-capacity-pct applies to the tiered "
+                       "backend only (put --tier on first)";
+            config.tier.fastCapacityPct = static_cast<std::uint32_t>(n);
+            if (hasSpec)
+                spec.base.tier.fastCapacityPct =
+                    config.tier.fastCapacityPct;
         } else if (arg == "--channels") {
             const char *v = need(i);
             std::uint64_t n = 0;
@@ -336,6 +394,10 @@ ExperimentOptions::usage(const std::string &tool)
            "[--config SPEC]\n"
         << "       [--backend flat|stacked] [--vaults N] [--remap "
            "on|off]\n"
+        << "       [--tier on|off] [--tier-policy "
+           "static_split|hotness_based|alloy_cache]\n"
+        << "       [--tier-latency C] [--tier-bw PCT] "
+           "[--tier-capacity-pct PCT]\n"
         << "       [--channels N] [--warmup C] [--measure C] [--seed N] "
            "[--fast D]\n"
         << "       [--kernel-threads N] [--csv] [--fairness] [--list]\n\n";

@@ -49,6 +49,12 @@ struct SimConfig
     /** Dynamic vault/bank remapping knobs (stacked backend only; the
      *  spec loader rejects remap keys on a flat backend). */
     RemapConfig remap;
+    /** Tiered-memory knobs. When tier.enabled, `backend` names the
+     *  fast tier and makeMemBackend() wraps it in a TieredMemBackend
+     *  (slow CXL/NVM-like tier + DAMON-style monitor + placement
+     *  policy). The spec loader rejects tier- and monitor-only keys
+     *  unless `tier on` is set. */
+    TierConfig tier;
 
     MappingScheme mapping = MappingScheme::RoRaBaCoCh;
     /** Placement of the bank-group bits on grouped devices (DDR4/

@@ -350,6 +350,109 @@ parseExperimentSpec(const std::string &text, ExperimentSpec &out)
             else
                 return err("remap must be 'on' or 'off', got '" + value +
                            "'");
+        } else if (key == "tier") {
+            out.hasTier = true;
+            if (value == "on")
+                out.base.tier.enabled = true;
+            else if (value == "off")
+                out.base.tier.enabled = false;
+            else
+                return err("tier must be 'on' or 'off', got '" + value +
+                           "'");
+        } else if (key == "tier_policy") {
+            if (out.tierOnlyKey.empty())
+                out.tierOnlyKey = key;
+            if (!tryTierPolicyFromName(value, out.base.tier.policy))
+                return err("tier_policy must be 'static_split', "
+                           "'hotness_based', or 'alloy_cache', got '" +
+                           value + "'");
+        } else if (key == "tier_latency") {
+            if (out.tierOnlyKey.empty())
+                out.tierOnlyKey = key;
+            std::uint64_t v = 0;
+            if (!parseUint(value, v) || v > 1'000'000)
+                return err("tier_latency needs a DRAM cycle count in "
+                           "[0, 1000000], got '" +
+                           value + "'");
+            out.base.tier.slowLatencyDramCycles =
+                static_cast<std::uint32_t>(v);
+        } else if (key == "tier_bw") {
+            if (out.tierOnlyKey.empty())
+                out.tierOnlyKey = key;
+            std::uint64_t v = 0;
+            if (!parseUint(value, v) || v == 0 || v > 100)
+                return err("tier_bw needs a percentage in [1, 100], "
+                           "got '" +
+                           value + "'");
+            out.base.tier.slowBwPct = static_cast<std::uint32_t>(v);
+        } else if (key == "tier_capacity_pct") {
+            if (out.tierOnlyKey.empty())
+                out.tierOnlyKey = key;
+            std::uint64_t v = 0;
+            if (!parseUint(value, v) || v == 0 || v > 100)
+                return err("tier_capacity_pct needs a percentage in "
+                           "[1, 100], got '" +
+                           value + "'");
+            out.base.tier.fastCapacityPct = static_cast<std::uint32_t>(v);
+        } else if (key == "tier_hot_factor") {
+            if (out.tierOnlyKey.empty())
+                out.tierOnlyKey = key;
+            char *end = nullptr;
+            const double v = std::strtod(value.c_str(), &end);
+            if (end != value.c_str() + value.size() || !(v > 0.0))
+                return err("tier_hot_factor needs a number > 0, got '" +
+                           value + "'");
+            out.base.tier.hotFactor = v;
+        } else if (key == "tier_migration_cycles") {
+            if (out.tierOnlyKey.empty())
+                out.tierOnlyKey = key;
+            std::uint64_t v = 0;
+            if (!parseUint(value, v) || v == 0 || v > 1'000'000)
+                return err("tier_migration_cycles needs a DRAM cycle "
+                           "count in [1, 1000000], got '" +
+                           value + "'");
+            out.base.tier.migrationCyclesPerRow =
+                static_cast<std::uint32_t>(v);
+        } else if (key == "monitor_sample") {
+            if (out.tierOnlyKey.empty())
+                out.tierOnlyKey = key;
+            std::uint64_t v = 0;
+            if (!parseUint(value, v) || v == 0 || v > 1'000'000)
+                return err("monitor_sample needs an integer in "
+                           "[1, 1000000], got '" +
+                           value + "'");
+            out.base.tier.monitorSampleEvery =
+                static_cast<std::uint32_t>(v);
+        } else if (key == "monitor_window") {
+            if (out.tierOnlyKey.empty())
+                out.tierOnlyKey = key;
+            std::uint64_t v = 0;
+            if (!parseUint(value, v) || v == 0 || v > 100'000'000)
+                return err("monitor_window needs an integer in "
+                           "[1, 100000000], got '" +
+                           value + "'");
+            out.base.tier.monitorWindowSamples =
+                static_cast<std::uint32_t>(v);
+        } else if (key == "monitor_min_regions") {
+            if (out.tierOnlyKey.empty())
+                out.tierOnlyKey = key;
+            std::uint64_t v = 0;
+            if (!parseUint(value, v) || v == 0 || v > 1'000'000)
+                return err("monitor_min_regions needs an integer in "
+                           "[1, 1000000], got '" +
+                           value + "'");
+            out.base.tier.monitorMinRegions =
+                static_cast<std::uint32_t>(v);
+        } else if (key == "monitor_max_regions") {
+            if (out.tierOnlyKey.empty())
+                out.tierOnlyKey = key;
+            std::uint64_t v = 0;
+            if (!parseUint(value, v) || v == 0 || v > 1'000'000)
+                return err("monitor_max_regions needs an integer in "
+                           "[1, 1000000], got '" +
+                           value + "'");
+            out.base.tier.monitorMaxRegions =
+                static_cast<std::uint32_t>(v);
         } else {
             return err("unknown key '" + key + "'");
         }
@@ -405,6 +508,22 @@ parseExperimentSpec(const std::string &text, ExperimentSpec &out)
                 return "vault count " + std::to_string(vc) +
                        " cannot preserve device '" + d + "' capacity";
         }
+    }
+
+    // The tiered-only keys mirror the stacked-only ones: a tier_* or
+    // monitor_* knob on a config that never composes the tiered
+    // backend would be silently ignored, so it is a named error.
+    if (!out.tierOnlyKey.empty() && !out.base.tier.enabled) {
+        return "'" + out.tierOnlyKey +
+               "' applies to the tiered backend only, but the spec "
+               "does not enable it (put 'tier = on' first)";
+    }
+    if (out.base.tier.enabled &&
+        out.base.tier.monitorMaxRegions < out.base.tier.monitorMinRegions) {
+        return "monitor_max_regions (" +
+               std::to_string(out.base.tier.monitorMaxRegions) +
+               ") must be >= monitor_min_regions (" +
+               std::to_string(out.base.tier.monitorMinRegions) + ")";
     }
 
     // Single-valued axes also shape the base config so a spec doubles

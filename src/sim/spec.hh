@@ -35,10 +35,30 @@
  *                                             capacity-preserving)
  *   remap     = on | off                      stacked only: dynamic
  *                                             hot-bank vault remapping
+ *   tier      = on | off                      compose the device with a
+ *                                             slow CXL/NVM-like second
+ *                                             tier (TieredMemBackend)
+ *   tier_policy = hotness_based               static_split |
+ *                                             hotness_based | alloy_cache
+ *   tier_latency = 96                         extra slow-tier read
+ *                                             return latency, DRAM cycles
+ *   tier_bw   = 50                            slow-tier service rate,
+ *                                             percent of fast, [1,100]
+ *   tier_capacity_pct = 50                    fast tier's share of the
+ *                                             address space, [1,100]
+ *   tier_hot_factor = 2.0                     promote when hot density >
+ *                                             factor * cold density
+ *   tier_migration_cycles = 64                DRAM cycles per migrated row
+ *   monitor_sample = 4                        count every Nth access
+ *   monitor_window = 2048                     counted samples per window
+ *   monitor_min_regions = 16                  region-count floor
+ *   monitor_max_regions = 256                 region-count ceiling
  *
  * The stacked-only keys (`vaults`, `remap`) are rejected with a named
- * error when any swept device is a flat JEDEC part — a silently
- * ignored remap knob would masquerade as a null result.
+ * error when any swept device is a flat JEDEC part, and the
+ * tiered-only keys (`tier_*`, `monitor_*`) are rejected unless
+ * `tier = on` is set — a silently ignored knob would masquerade as a
+ * null result.
  *
  * Plural aliases (devices, schedulers, policies, mappings, workloads)
  * are accepted for readability. Every axis defaults to the baseline's
@@ -80,6 +100,12 @@ struct ExperimentSpec
     /** The `remap` key was present (its value lives in
      *  base.remap.enabled); stacked-only, parse fails on flat. */
     bool hasRemap = false;
+    /** The `tier` key was present (its value lives in
+     *  base.tier.enabled). */
+    bool hasTier = false;
+    /** First tiered-only key seen (tier_policy, tier_latency, ...);
+     *  parse fails when one is present without `tier = on`. */
+    std::string tierOnlyKey;
 
     /** Attach single-core alone-run baselines to every point so the
      *  sweep reports slowdown/fairness metrics (the `fairness` key). */

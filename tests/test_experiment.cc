@@ -734,3 +734,98 @@ TEST(ExperimentCache, LegacyKeysLoadAsBaselineDevice)
     EXPECT_EQ(runner.simulationsRun(), 1u);
     std::remove(path.c_str());
 }
+
+TEST(ExperimentCache, V6RowsLoadWithZeroTierColumns)
+{
+    // A v6-format row — 28 value columns, no tier counters — must
+    // satisfy a non-tiered lookup with the schema-v7 columns zeroed:
+    // non-tiered keys are byte-identical across v6 and v7.
+    const std::string path = tempCachePath("v6migrate");
+    const SimConfig cfg = tinyConfig();
+    const std::string key =
+        ExperimentRunner::configKey(WorkloadId::WS, cfg);
+    EXPECT_EQ(key.find("+t"), std::string::npos) << key;
+    {
+        std::ofstream out(path);
+        out << key
+            << ",1.5,100,30,5,1,2,10,20,1000,2000,30,40,0.9,5000,120,"
+               "55,77,99,1.1,1.2,1.3,,,42.5,0.25,3,7,\n";
+    }
+    ExperimentRunner runner(path);
+    const MetricSet hit = runner.run(WorkloadId::WS, cfg);
+    EXPECT_EQ(runner.simulationsRun(), 0u);
+    EXPECT_EQ(runner.cacheHits(), 1u);
+    EXPECT_DOUBLE_EQ(hit.userIpc, 1.5);
+    EXPECT_EQ(hit.remapMigrations, 3u);
+    // Schema-v7 columns default to zero.
+    EXPECT_DOUBLE_EQ(hit.fastTierHitPct, 0.0);
+    EXPECT_DOUBLE_EQ(hit.slowTierReadLatencyP99, 0.0);
+    EXPECT_EQ(hit.tierMigrations, 0u);
+    EXPECT_EQ(hit.tierMigratedRows, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentCache, TierColumnsRoundtrip)
+{
+    // Schema v7 rows persist the tier hit fraction, the slow-tier p99
+    // and the migration counters; a reloaded tiered row must
+    // reproduce all of them.
+    const std::string path = tempCachePath("v7roundtrip");
+    std::remove(path.c_str());
+    SimConfig cfg = tinyConfig();
+    cfg.tier.enabled = true;
+    cfg.tier.policy = TierPolicy::HotnessBased;
+    cfg.tier.monitorWindowSamples = 64; // Migrate within a tiny run.
+    MetricSet fresh;
+    {
+        ExperimentRunner runner(path);
+        fresh = runner.run(WorkloadId::WS, cfg);
+        EXPECT_GT(fresh.fastTierHitPct, 0.0);
+        EXPECT_LT(fresh.fastTierHitPct, 100.0);
+        EXPECT_GT(fresh.slowTierReadLatencyP99, 0.0);
+    }
+    {
+        ExperimentRunner runner(path);
+        const MetricSet cached = runner.run(WorkloadId::WS, cfg);
+        EXPECT_EQ(runner.simulationsRun(), 0u);
+        EXPECT_EQ(runner.cacheHits(), 1u);
+        EXPECT_NEAR(cached.fastTierHitPct, fresh.fastTierHitPct,
+                    1e-5 * fresh.fastTierHitPct);
+        EXPECT_NEAR(cached.slowTierReadLatencyP99,
+                    fresh.slowTierReadLatencyP99,
+                    1e-5 * fresh.slowTierReadLatencyP99);
+        EXPECT_EQ(cached.tierMigrations, fresh.tierMigrations);
+        EXPECT_EQ(cached.tierMigratedRows, fresh.tierMigratedRows);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ExperimentCache, KeySeparatesTiers)
+{
+    // Schema v7: a tiered run never aliases the plain fast-tier row,
+    // and policies / capacity splits / tier knobs never alias each
+    // other — while non-tiered keys ignore the dormant tier struct.
+    const SimConfig base = SimConfig::baseline();
+    SimConfig tiered = base;
+    tiered.tier.enabled = true;
+    SimConfig alloy = tiered;
+    alloy.tier.policy = TierPolicy::AlloyCache;
+    SimConfig slim = tiered;
+    slim.tier.fastCapacityPct = 25;
+    SimConfig tuned = tiered;
+    tuned.tier.slowLatencyDramCycles = 256;
+
+    const auto kb = ExperimentRunner::configKey(WorkloadId::DS, base);
+    const auto kt = ExperimentRunner::configKey(WorkloadId::DS, tiered);
+    EXPECT_NE(kb, kt);
+    EXPECT_NE(kt.find("+t50h"), std::string::npos) << kt;
+    EXPECT_NE(kt, ExperimentRunner::configKey(WorkloadId::DS, alloy));
+    EXPECT_NE(kt, ExperimentRunner::configKey(WorkloadId::DS, slim));
+    EXPECT_NE(kt, ExperimentRunner::configKey(WorkloadId::DS, tuned));
+    // Tier knobs are hashed only when the composition is enabled, so
+    // non-tiered keys are byte-identical whatever the struct holds.
+    SimConfig dormant = base;
+    dormant.tier.fastCapacityPct = 25;
+    dormant.tier.hotFactor = 8.0;
+    EXPECT_EQ(kb, ExperimentRunner::configKey(WorkloadId::DS, dormant));
+}

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -152,6 +153,38 @@ TEST(DeriveFairness, RejectsBadCoverage)
     // No per-core data on the shared run (a pre-v4 cache row).
     shared = MetricSet{};
     EXPECT_FALSE(deriveFairnessMetrics(shared, {{0, 1, &aloneOk}}));
+}
+
+TEST(DeriveFairness, DivisionEdgesNeverProduceNanOrInf)
+{
+    // measuredCycles == 0 (a degenerate window) with a starved core:
+    // the floor IPC falls back to 1.0 instead of dividing by zero, so
+    // the slowdown stays finite and equal to the alone IPC.
+    MetricSet shared = makeShared({0.0});
+    shared.measuredCycles = 0;
+    MetricSet alone = makeShared({2.0});
+    ASSERT_TRUE(deriveFairnessMetrics(shared, {{0, 1, &alone}}));
+    EXPECT_DOUBLE_EQ(shared.perCoreSlowdown[0], 2.0);
+    EXPECT_TRUE(std::isfinite(shared.maxSlowdown));
+    EXPECT_TRUE(std::isfinite(shared.harmonicSpeedup));
+
+    // Every core idle in both runs: slowdownSum lands on the core
+    // count (all neutral 1s), never a 0/0.
+    MetricSet allIdle = makeShared({0.0, 0.0});
+    MetricSet idleAlone = makeShared({0.0});
+    ASSERT_TRUE(deriveFairnessMetrics(allIdle, {{0, 2, &idleAlone}}));
+    EXPECT_DOUBLE_EQ(allIdle.harmonicSpeedup, 1.0);
+    EXPECT_DOUBLE_EQ(allIdle.weightedSpeedup, 0.0);
+    EXPECT_DOUBLE_EQ(allIdle.maxSlowdown, 1.0);
+
+    // Empty baseline list: rejected before any division happens.
+    MetricSet noBase = makeShared({0.5});
+    EXPECT_FALSE(deriveFairnessMetrics(noBase, {}));
+    EXPECT_FALSE(noBase.hasFairness());
+
+    // A baseline part declaring zero cores is malformed coverage.
+    MetricSet zeroPart = makeShared({0.5});
+    EXPECT_FALSE(deriveFairnessMetrics(zeroPart, {{0, 0, &alone}}));
 }
 
 TEST(Fairness, PresetPointMeasuresRealSlowdowns)

@@ -80,6 +80,17 @@ struct FuzzConfig
                 << "remap = " << (cfg.remap.enabled ? "on" : "off")
                 << '\n';
         }
+        if (cfg.tier.enabled) {
+            out << "tier = on\n"
+                << "tier_policy = " << tierPolicyName(cfg.tier.policy)
+                << '\n'
+                << "tier_capacity_pct = " << cfg.tier.fastCapacityPct
+                << '\n'
+                << "monitor_sample = " << cfg.tier.monitorSampleEvery
+                << '\n'
+                << "monitor_window = " << cfg.tier.monitorWindowSamples
+                << '\n';
+        }
         out << "warmup = " << cfg.warmupCoreCycles << '\n'
             << "measure = " << cfg.measureCoreCycles << '\n'
             << "kernel_threads = " << cfg.kernelThreads << '\n';
@@ -123,6 +134,22 @@ drawConfig(std::uint64_t index)
         // cap the stack count so the tick-by-tick reference runs
         // (which step every controller every cycle) stay cheap.
         f.cfg.dram.channels = std::min(f.cfg.dram.channels, 2u);
+    }
+    // Tiered-composition sampling (drawn AFTER every earlier knob so
+    // the pre-v7 rng streams — and CI's pinned coverage — are
+    // unchanged): a quarter of the indices wrap the drawn fast tier
+    // in the tiered backend, cycling the three policies and both
+    // capacity splits, with a monitor window small enough that
+    // hotness_based migrations actually fire inside the tiny run.
+    if (rng.below(4) == 0) {
+        f.cfg.tier.enabled = true;
+        const TierPolicy policies[] = {TierPolicy::StaticSplit,
+                                       TierPolicy::HotnessBased,
+                                       TierPolicy::AlloyCache};
+        f.cfg.tier.policy = policies[rng.below(3)];
+        f.cfg.tier.fastCapacityPct = rng.below(2) == 0 ? 50 : 25;
+        f.cfg.tier.monitorSampleEvery = 2;
+        f.cfg.tier.monitorWindowSamples = 64;
     }
     // Small windows keep 64 double (event + reference) runs cheap
     // while still spanning several tREFI periods on every device.
@@ -240,6 +267,11 @@ expectMetricsIdentical(const MetricSet &ev, const MetricSet &ref)
     EXPECT_EQ(ev.vaultQueueImbalance, ref.vaultQueueImbalance);
     EXPECT_EQ(ev.remapMigrations, ref.remapMigrations);
     EXPECT_EQ(ev.remapMigratedRows, ref.remapMigratedRows);
+    // Tiered-backend quantities (all-zero on non-tiered configurations).
+    EXPECT_EQ(ev.fastTierHitPct, ref.fastTierHitPct);
+    EXPECT_EQ(ev.slowTierReadLatencyP99, ref.slowTierReadLatencyP99);
+    EXPECT_EQ(ev.tierMigrations, ref.tierMigrations);
+    EXPECT_EQ(ev.tierMigratedRows, ref.tierMigratedRows);
     ASSERT_EQ(ev.perVaultReadQueue.size(), ref.perVaultReadQueue.size());
     for (std::size_t i = 0; i < ev.perVaultReadQueue.size(); ++i)
         EXPECT_EQ(ev.perVaultReadQueue[i], ref.perVaultReadQueue[i]);

@@ -274,3 +274,156 @@ TEST(Spec, BackendDeviceMismatchesAreNamedErrors)
     EXPECT_EQ(spec.base.backend, MemBackendKind::StackedDram);
     EXPECT_TRUE(spec.base.remap.enabled);
 }
+
+TEST(Spec, TierKeysShapeTheBaseConfig)
+{
+    ExperimentSpec spec;
+    ASSERT_EQ(parseExperimentSpec("tier = on\n"
+                                  "tier_policy = alloy_cache\n"
+                                  "tier_latency = 120\n"
+                                  "tier_bw = 40\n"
+                                  "tier_capacity_pct = 25\n"
+                                  "tier_hot_factor = 3.5\n"
+                                  "tier_migration_cycles = 32\n"
+                                  "monitor_sample = 8\n"
+                                  "monitor_window = 512\n"
+                                  "monitor_min_regions = 8\n"
+                                  "monitor_max_regions = 64\n",
+                                  spec),
+              "");
+    EXPECT_TRUE(spec.base.tier.enabled);
+    EXPECT_EQ(spec.base.tier.policy, TierPolicy::AlloyCache);
+    EXPECT_EQ(spec.base.tier.slowLatencyDramCycles, 120u);
+    EXPECT_EQ(spec.base.tier.slowBwPct, 40u);
+    EXPECT_EQ(spec.base.tier.fastCapacityPct, 25u);
+    EXPECT_DOUBLE_EQ(spec.base.tier.hotFactor, 3.5);
+    EXPECT_EQ(spec.base.tier.migrationCyclesPerRow, 32u);
+    EXPECT_EQ(spec.base.tier.monitorSampleEvery, 8u);
+    EXPECT_EQ(spec.base.tier.monitorWindowSamples, 512u);
+    EXPECT_EQ(spec.base.tier.monitorMinRegions, 8u);
+    EXPECT_EQ(spec.base.tier.monitorMaxRegions, 64u);
+
+    // Every expanded point carries the tier shape.
+    const auto points = spec.points();
+    ASSERT_FALSE(points.empty());
+    EXPECT_TRUE(points[0].cfg.tier.enabled);
+    EXPECT_EQ(points[0].cfg.tier.fastCapacityPct, 25u);
+
+    // 'tier = off' alone is legal: explicitly declining the tiered
+    // backend is not a tiered-only key.
+    ExperimentSpec off;
+    ASSERT_EQ(parseExperimentSpec("tier = off\n", off), "");
+    EXPECT_FALSE(off.base.tier.enabled);
+}
+
+TEST(Spec, TierPolicyNamesAllParse)
+{
+    const struct {
+        const char *name;
+        TierPolicy policy;
+    } cases[] = {
+        {"static_split", TierPolicy::StaticSplit},
+        {"hotness_based", TierPolicy::HotnessBased},
+        {"alloy_cache", TierPolicy::AlloyCache},
+    };
+    for (const auto &c : cases) {
+        ExperimentSpec spec;
+        const std::string text =
+            std::string("tier = on\ntier_policy = ") + c.name + "\n";
+        ASSERT_EQ(parseExperimentSpec(text, spec), "") << c.name;
+        EXPECT_EQ(spec.base.tier.policy, c.policy) << c.name;
+    }
+}
+
+TEST(Spec, BadTierValuesAreLineNumberedErrors)
+{
+    const struct {
+        const char *line;
+        const char *expect;
+    } cases[] = {
+        {"tier = maybe", "tier must be 'on' or 'off'"},
+        {"tier_policy = lru", "tier_policy must be"},
+        {"tier_latency = -1", "tier_latency needs"},
+        {"tier_latency = 1000001", "tier_latency needs"},
+        {"tier_bw = 0", "tier_bw needs a percentage in [1, 100]"},
+        {"tier_bw = 101", "tier_bw needs a percentage in [1, 100]"},
+        {"tier_capacity_pct = 0", "tier_capacity_pct needs"},
+        {"tier_capacity_pct = 150", "tier_capacity_pct needs"},
+        {"tier_hot_factor = 0", "tier_hot_factor needs a number > 0"},
+        {"tier_hot_factor = bogus", "tier_hot_factor needs"},
+        {"tier_migration_cycles = 0", "tier_migration_cycles needs"},
+        {"monitor_sample = 0", "monitor_sample needs"},
+        {"monitor_window = 0", "monitor_window needs"},
+        {"monitor_min_regions = 0", "monitor_min_regions needs"},
+        {"monitor_max_regions = 0", "monitor_max_regions needs"},
+    };
+    for (const auto &c : cases) {
+        ExperimentSpec spec;
+        const std::string text = std::string("tier = on\n") + c.line + "\n";
+        const std::string errText = parseExperimentSpec(text, spec);
+        EXPECT_NE(errText.find(c.expect), std::string::npos)
+            << c.line << " -> " << errText;
+        EXPECT_NE(errText.find("line 2"), std::string::npos)
+            << c.line << " -> " << errText;
+    }
+}
+
+TEST(Spec, TierOnlyKeysWithoutTierAreNamedErrors)
+{
+    // Mirrors RemapOnFlatBackendIsANamedError: a tier-only knob on a
+    // config that never composes the tiered backend is a spec bug.
+    const char *lines[] = {
+        "tier_policy = hotness_based", "tier_latency = 64",
+        "tier_bw = 50",                "tier_capacity_pct = 50",
+        "tier_hot_factor = 2.0",       "tier_migration_cycles = 64",
+        "monitor_sample = 4",          "monitor_window = 2048",
+        "monitor_min_regions = 16",    "monitor_max_regions = 256",
+    };
+    for (const char *line : lines) {
+        ExperimentSpec spec;
+        const std::string errText =
+            parseExperimentSpec(std::string(line) + "\n", spec);
+        EXPECT_NE(errText.find("applies to the tiered backend only"),
+                  std::string::npos)
+            << line << " -> " << errText;
+        EXPECT_NE(errText.find("put 'tier = on' first"),
+                  std::string::npos)
+            << line << " -> " << errText;
+    }
+
+    // The error names the FIRST tier-only key seen, and fires even
+    // when 'tier = off' appears explicitly afterwards.
+    ExperimentSpec spec;
+    const std::string errText = parseExperimentSpec(
+        "tier_bw = 50\ntier = off\ntier_latency = 64\n", spec);
+    EXPECT_NE(errText.find("'tier_bw'"), std::string::npos) << errText;
+}
+
+TEST(Spec, MonitorRegionBoundsMismatchIsANamedError)
+{
+    ExperimentSpec spec;
+    const std::string errText =
+        parseExperimentSpec("tier = on\n"
+                            "monitor_min_regions = 64\n"
+                            "monitor_max_regions = 16\n",
+                            spec);
+    EXPECT_NE(errText.find("monitor_max_regions"), std::string::npos)
+        << errText;
+    EXPECT_NE(errText.find("monitor_min_regions"), std::string::npos)
+        << errText;
+}
+
+TEST(Spec, TieredSpecWorksOnTheStackedBackend)
+{
+    // The fast tier can itself be the stacked backend; the two layers'
+    // keys compose in one spec.
+    ExperimentSpec spec;
+    ASSERT_EQ(parseExperimentSpec("device = HMC2-8GB\n"
+                                  "tier = on\n"
+                                  "tier_policy = static_split\n",
+                                  spec),
+              "");
+    EXPECT_EQ(spec.base.backend, MemBackendKind::StackedDram);
+    EXPECT_TRUE(spec.base.tier.enabled);
+    EXPECT_EQ(spec.base.tier.policy, TierPolicy::StaticSplit);
+}
